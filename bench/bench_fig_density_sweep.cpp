@@ -1,0 +1,50 @@
+// M1 -- mechanism chart: adaptive-encoding saving as a function of the
+// data's bit-1 density and the access mix. This is the figure that explains
+// *why* every other number looks the way it does: profit peaks at extreme
+// densities (far from 0.5) and flips preference as writes take over.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "trace/gen/workloads.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("M1", "saving vs data density x write mix");
+  const double scale = bench::scale_from_env(1.0);
+
+  Table t({"bit1 density", "wr=5%", "wr=20%", "wr=50%", "wr=80%"});
+  const std::string csv_path = result_path("fig_density_sweep.csv");
+  CsvWriter csv(csv_path, {"density", "write_fraction", "cnt_saving",
+                           "static_saving", "ideal_saving"});
+
+  const double write_fracs[] = {0.05, 0.20, 0.50, 0.80};
+  for (const double d :
+       {0.02, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.95}) {
+    std::vector<std::string> row{Table::num(d, 2)};
+    for (const double wf : write_fracs) {
+      gen::DensityProbeParams p;
+      p.bit1_density = d;
+      p.write_fraction = wf;
+      p.accesses = static_cast<usize>(30000 * scale);
+      SimConfig cfg;
+      cfg.with_cmos = false;
+      const auto res = simulate(gen::density_probe(p), cfg);
+      row.push_back(Table::pct(res.saving(kPolicyCnt)));
+      csv.add_row({std::to_string(d), std::to_string(wf),
+                   std::to_string(res.saving(kPolicyCnt)),
+                   std::to_string(res.saving(kPolicyStatic)),
+                   std::to_string(res.saving(kPolicyIdeal))});
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.render()
+            << "\nsavings peak far from density 0.5 and survive moderate "
+               "write mixes;\nat density ~0.5 there is nothing to encode "
+               "and the overheads show.\n\ncsv: "
+            << csv_path << "\n";
+  return 0;
+}

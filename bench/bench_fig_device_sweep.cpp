@@ -1,0 +1,58 @@
+// M3 -- device-to-system sweep: derive the cell energies from the CNFET
+// device model and sweep the device choices (tubes per device, tube
+// diameter). Shows the whole stack end to end: transistor parameters ->
+// cell asymmetry -> cache-level saving, and that the paper's conclusion is
+// a property of the cell topology, not of one parameter point.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "device/cell_derivation.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("M3", "CNFET device-parameter sweep (derived cell model)");
+  const double scale = bench::scale_from_env(0.2);
+
+  Table t({"tubes/device", "diameter", "wr1/wr0", "rd0 (fJ)", "clock",
+           "mean saving"});
+  const std::string csv_path = result_path("fig_device_sweep.csv");
+  CsvWriter csv(csv_path, {"tubes", "diameter_nm", "wr_ratio", "rd0_fj",
+                           "clock_ghz", "mean_saving"});
+
+  struct Point {
+    u32 tubes;
+    double diameter;
+  };
+  for (const Point pt : {Point{3, 1.5}, Point{6, 1.2}, Point{6, 1.5},
+                         Point{6, 2.0}, Point{10, 1.5}}) {
+    CnfetDeviceParams dev;
+    dev.tubes_per_device = pt.tubes;
+    dev.diameter_nm = pt.diameter;
+
+    SimConfig cfg;
+    cfg.tech = derive_tech_params(dev);
+    cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+    const auto results = run_suite(cfg, scale);
+    const double mean = mean_saving(results);
+    const double wr_ratio = cfg.tech.cell.wr1 / cfg.tech.cell.wr0;
+
+    t.add_row({std::to_string(pt.tubes), Table::num(pt.diameter, 1) + " nm",
+               Table::num(wr_ratio, 1) + "x",
+               Table::num(cfg.tech.cell.rd0.in_femtojoules(), 2),
+               Table::num(cfg.tech.clock_ghz, 2) + " GHz", Table::pct(mean)});
+    csv.add_row({std::to_string(pt.tubes), std::to_string(pt.diameter),
+                 std::to_string(wr_ratio),
+                 std::to_string(cfg.tech.cell.rd0.in_femtojoules()),
+                 std::to_string(cfg.tech.clock_ghz), std::to_string(mean)});
+  }
+  std::cout << t.render()
+            << "\nThe saving tracks the cell's asymmetry, which every "
+               "realistic device point\nexhibits; the derived defaults land "
+               "on the calibrated Table-1 reconstruction.\n\ncsv: "
+            << csv_path << " (scale " << scale << ")\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// E1 -- the headline experiment: D-Cache dynamic energy of CNT-Cache vs the
+// baseline CNFET cache across the benchmark suite. The paper reports a
+// 22.2% average reduction; this harness regenerates the per-benchmark bars
+// and the mean.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("E1 (headline)",
+                "D-Cache dynamic energy, CNT-Cache vs baseline CNFET cache");
+  const double scale = bench::scale_from_env(1.0);
+
+  SimConfig cfg;  // 32 KiB 4-way L1D, W = 15, K = 8: the paper's setup
+  const auto results = run_suite(cfg, scale);
+
+  std::cout << savings_table(results) << "\n";
+  const double mean = mean_saving(results);
+  std::cout << "mean CNT-Cache dynamic-energy saving: " << Table::pct(mean)
+            << "\npaper reports: 22.2% on its benchmark set\n\n";
+
+  const std::string csv_path = result_path("fig_dynamic_energy.csv");
+  write_savings_csv(results, csv_path);
+  std::cout << "csv: " << csv_path << " (scale " << scale << ")\n";
+  return 0;
+}

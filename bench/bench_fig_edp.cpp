@@ -1,0 +1,57 @@
+// E9 -- energy-delay product: the abstract's full pitch is that CNFET
+// gives "both higher clock speed and energy efficiency". This experiment
+// combines the dynamic-energy results with a first-order timing model:
+// the CMOS cache runs at its technology clock, the CNFET caches at theirs
+// (the adaptive encoder is off the critical path, Section III.A, so
+// CNT-Cache keeps the CNFET clock).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("E9", "energy-delay product, CMOS vs CNFET vs CNT-Cache");
+  const double scale = bench::scale_from_env(0.5);
+
+  SimConfig cfg;
+  cfg.with_static = cfg.with_ideal = false;
+  const auto results = run_suite(cfg, scale);
+
+  TimingParams cnfet_t;
+  cnfet_t.clock_ghz = cfg.tech.clock_ghz;
+  TimingParams cmos_t;
+  cmos_t.clock_ghz = cfg.cmos_tech.clock_ghz;
+
+  Table t({"workload", "EDP cmos", "EDP cnfet base", "EDP cnt", "cnt vs cmos",
+           "cnt vs cnfet"});
+  const std::string csv_path = result_path("fig_edp.csv");
+  CsvWriter csv(csv_path, {"workload", "edp_cmos", "edp_cnfet", "edp_cnt"});
+
+  GeoMean vs_cmos, vs_base;
+  for (const auto& r : results) {
+    const double sec_cnfet = cnfet_t.seconds(r.cache_stats);
+    const double sec_cmos = cmos_t.seconds(r.cache_stats);
+    const double e_cmos = edp(r.energy(kPolicyCmos), sec_cmos);
+    const double e_base = edp(r.energy(kPolicyBaseline), sec_cnfet);
+    const double e_cnt = edp(r.energy(kPolicyCnt), sec_cnfet);
+    vs_cmos.add(e_cmos / e_cnt);
+    vs_base.add(e_base / e_cnt);
+    auto fmt = [](double js) { return Table::num(js * 1e18, 1) + " aJs"; };
+    t.add_row({r.workload, fmt(e_cmos), fmt(e_base), fmt(e_cnt),
+               Table::num(e_cmos / e_cnt, 2) + "x",
+               Table::num(e_base / e_cnt, 2) + "x"});
+    csv.add_row({r.workload, std::to_string(e_cmos), std::to_string(e_base),
+                 std::to_string(e_cnt)});
+  }
+  t.add_row({"geo-mean", "", "", "", Table::num(vs_cmos.value(), 2) + "x",
+             Table::num(vs_base.value(), 2) + "x"});
+  std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

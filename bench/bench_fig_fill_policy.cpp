@@ -1,0 +1,46 @@
+// Ablation -- fill-direction policy. The paper leaves the initial encoding
+// of a freshly filled line unspecified; this ablation quantifies the three
+// natural choices (see FillDirectionPolicy) and justifies the library
+// default (min-write).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("Ablation", "fill-time encoding-direction policy");
+  const double scale = bench::scale_from_env(0.35);
+
+  Table t({"fill policy", "mean saving", "fill inversions", "re-encodes"});
+  const std::string csv_path = result_path("fig_fill_policy.csv");
+  CsvWriter csv(csv_path,
+                {"policy", "mean_saving", "fill_inversions", "reencodes"});
+
+  for (const auto fp :
+       {FillDirectionPolicy::kAsIs, FillDirectionPolicy::kMinWriteEnergy,
+        FillDirectionPolicy::kReadOptimized,
+        FillDirectionPolicy::kByMissType}) {
+    SimConfig cfg;
+    cfg.cnt.fill_policy = fp;
+    cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+    const auto results = run_suite(cfg, scale);
+    const double mean = mean_saving(results);
+    u64 inversions = 0, reencodes = 0;
+    for (const auto& r : results) {
+      const auto* p = r.find(kPolicyCnt);
+      inversions += p->cnt_stats.fill_inversions;
+      reencodes += p->cnt_stats.reencodes_applied;
+    }
+    t.add_row({to_string(fp), Table::pct(mean), std::to_string(inversions),
+               std::to_string(reencodes)});
+    csv.add_row({to_string(fp), std::to_string(mean),
+                 std::to_string(inversions), std::to_string(reencodes)});
+  }
+  std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// E8 -- cache-geometry sensitivity: does the saving hold across sizes and
+// associativities? (Bigger caches -> higher hit rates -> more read hits for
+// the encoder to optimize; associativity changes conflict-miss behaviour.)
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("E8", "cache size / associativity sweep");
+  const double scale = bench::scale_from_env(0.25);
+
+  Table t({"size", "ways", "mean hit%", "mean saving"});
+  const std::string csv_path = result_path("fig_geometry_sweep.csv");
+  CsvWriter csv(csv_path, {"size_kib", "ways", "mean_hit_rate",
+                           "mean_saving"});
+
+  for (const usize kib : {8u, 16u, 32u, 64u}) {
+    for (const usize ways : {2u, 4u, 8u}) {
+      SimConfig cfg;
+      cfg.cache.size_bytes = kib * 1024;
+      cfg.cache.ways = ways;
+      cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+      const auto results = run_suite(cfg, scale);
+      Accumulator hit;
+      for (const auto& r : results) hit.add(r.cache_stats.hit_rate());
+      const double mean = mean_saving(results);
+      t.add_row({std::to_string(kib) + " KiB", std::to_string(ways),
+                 Table::pct(hit.mean()), Table::pct(mean)});
+      csv.add_row({std::to_string(kib), std::to_string(ways),
+                   std::to_string(hit.mean()), std::to_string(mean)});
+    }
+  }
+  std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

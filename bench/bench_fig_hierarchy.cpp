@@ -1,0 +1,72 @@
+// E10 -- system-level view: split L1 + unified L2 + DRAM, with adaptive
+// encoding enabled at no level, L1 only, or L1+L2. Shows where the paper's
+// D-Cache focus sits in the whole-hierarchy energy picture.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/hierarchy_runner.hpp"
+#include "sim/report.hpp"
+#include "trace/workload_suite.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("E10", "hierarchy energy with CNT-Cache at different levels");
+  const double scale = bench::scale_from_env(0.5);
+
+  const Workload code = build_workload("ifetch", scale);
+  const Workload data = build_workload("zipf_kv", scale);
+
+  struct Row {
+    const char* name;
+    bool l1, l2;
+  };
+  const Row rows[] = {{"baseline (no encoding)", false, false},
+                      {"CNT-Cache at L1", true, false},
+                      {"CNT-Cache at L1+L2", true, true}};
+
+  Table t({"configuration", "L1I", "L1D", "L2", "hierarchy total",
+           "hierarchy saving"});
+  const std::string csv_path = result_path("fig_hierarchy.csv");
+  CsvWriter csv(csv_path,
+                {"config", "l1i_j", "l1d_j", "l2_j", "caches_j", "dram_j"});
+
+  double base_caches = 0;
+  Energy dram{};
+  for (const Row& row : rows) {
+    HierarchyRunConfig cfg;
+    cfg.cnt_at_l1i = cfg.cnt_at_l1d = row.l1;
+    cfg.cnt_at_l2 = row.l2;
+    // L2 lines see little reuse (miss traffic only), so speculative
+    // read-optimized fills rarely amortize there; fill for the cheap write.
+    cfg.l2_cnt.fill_policy = FillDirectionPolicy::kMinWriteEnergy;
+
+    const HierarchyRunResult res = run_hierarchy(cfg, code, data);
+    const double caches = res.cache_total().in_joules();
+    if (base_caches == 0) base_caches = caches;
+    dram = res.dram_energy;
+
+    t.add_row({row.name, res.level("L1I").ledger.total().to_string(),
+               res.level("L1D").ledger.total().to_string(),
+               res.level("L2").ledger.total().to_string(),
+               res.cache_total().to_string(),
+               Table::pct(1.0 - caches / base_caches)});
+    csv.add_row({row.name,
+                 std::to_string(res.level("L1I").ledger.total().in_joules()),
+                 std::to_string(res.level("L1D").ledger.total().in_joules()),
+                 std::to_string(res.level("L2").ledger.total().in_joules()),
+                 std::to_string(caches),
+                 std::to_string(res.dram_energy.in_joules())});
+  }
+  std::cout << t.render()
+            << "\nDRAM context: the off-chip traffic costs "
+            << dram.to_string()
+            << " in every configuration\n(encoding is invisible outside "
+               "the arrays and changes no traffic). On-chip,\nL1 absorbs "
+               "most accesses, so CNT-Cache at L1 captures most of the "
+               "benefit;\nL2 sees only low-reuse miss traffic and is "
+               "roughly neutral.\n\ncsv: "
+            << csv_path << " (scale " << scale << ")\n";
+  return 0;
+}

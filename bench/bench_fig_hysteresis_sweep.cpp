@@ -1,0 +1,44 @@
+// E4 -- switch-hysteresis sweep: the authors' extended description gates
+// encoding switches on saving at least a deltaT fraction of the window
+// energy ("the new pattern becomes the stable optimization pattern only
+// when E_original - E_new > deltaT * E_original"). This sweep regenerates
+// the deltaT-vs-saving relationship they set out to explore.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("E4", "encoding-switch hysteresis (deltaT) sweep");
+  const double scale = bench::scale_from_env(0.35);
+
+  Table t({"deltaT", "mean saving", "switch decisions", "re-encodes"});
+  const std::string csv_path = result_path("fig_hysteresis_sweep.csv");
+  CsvWriter csv(csv_path,
+                {"delta_t", "mean_saving", "decisions", "reencodes"});
+
+  for (const double dt : {0.0, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50}) {
+    SimConfig cfg;
+    cfg.cnt.delta_t = dt;
+    cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+    const auto results = run_suite(cfg, scale);
+    const double mean = mean_saving(results);
+    u64 decisions = 0, reencodes = 0;
+    for (const auto& r : results) {
+      const auto* p = r.find(kPolicyCnt);
+      decisions += p->cnt_stats.switch_decisions;
+      reencodes += p->cnt_stats.reencodes_applied;
+    }
+    t.add_row({Table::pct(dt, 0), Table::pct(mean),
+               std::to_string(decisions), std::to_string(reencodes)});
+    csv.add_row({std::to_string(dt), std::to_string(mean),
+                 std::to_string(decisions), std::to_string(reencodes)});
+  }
+  std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

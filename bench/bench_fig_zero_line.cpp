@@ -1,0 +1,49 @@
+// Extension -- zero-line elision on top of adaptive encoding. Real
+// programs keep plenty of all-zero lines resident (zero-initialized
+// outputs, sparse tables, padded records); one flag bit per line lets the
+// cache skip the data array for them entirely, and the lines it helps
+// most (all-zero, read-before-materialize) are exactly the CNFET
+// worst-case reads adaptive encoding otherwise has to fix.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("Extension", "zero-line elision (+1 flag bit per line)");
+  const double scale = bench::scale_from_env(0.35);
+
+  Table t({"configuration", "mean saving", "zero fills", "zero reads",
+           "materializations"});
+  const std::string csv_path = result_path("fig_zero_line.csv");
+  CsvWriter csv(csv_path, {"config", "mean_saving", "zero_fills",
+                           "zero_reads", "materializations"});
+
+  for (const bool enabled : {false, true}) {
+    SimConfig cfg;
+    cfg.cnt.zero_line_opt = enabled;
+    cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+    const auto results = run_suite(cfg, scale);
+    const double mean = mean_saving(results);
+    u64 zf = 0, zr = 0, zm = 0;
+    for (const auto& r : results) {
+      const auto* p = r.find(kPolicyCnt);
+      zf += p->cnt_stats.zero_fills;
+      zr += p->cnt_stats.zero_reads;
+      zm += p->cnt_stats.zero_materializations;
+    }
+    t.add_row({enabled ? "adaptive + zero-line flag" : "adaptive only",
+               Table::pct(mean), std::to_string(zf), std::to_string(zr),
+               std::to_string(zm)});
+    csv.add_row({enabled ? "zero_line" : "baseline", std::to_string(mean),
+                 std::to_string(zf), std::to_string(zr),
+                 std::to_string(zm)});
+  }
+  std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Microbenchmarks (google-benchmark): throughput of the simulator's hot
+// kernels -- bit counting, line encoding, predictor evaluation, functional
+// cache access, and the end-to-end simulation loop.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cnt/cnt_policy.hpp"
+#include "cnt/encoding.hpp"
+#include "cnt/predictor.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "sim/runner.hpp"
+#include "sim/stats_dump.hpp"
+#include "trace/capture.hpp"
+#include "trace/workload_suite.hpp"
+
+namespace {
+
+using namespace cnt;
+
+std::vector<u8> random_line(u64 seed, usize bytes = 64) {
+  Rng rng(seed);
+  std::vector<u8> line(bytes);
+  for (auto& b : line) b = static_cast<u8>(rng.next());
+  return line;
+}
+
+void BM_Popcount64B(benchmark::State& state) {
+  const auto line = random_line(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(popcount(line));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Popcount64B);
+
+void BM_PopcountRange(benchmark::State& state) {
+  const auto line = random_line(2);
+  usize i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(popcount_range(line, i % 64, 512 - (i % 64)));
+    ++i;
+  }
+}
+BENCHMARK(BM_PopcountRange);
+
+void BM_EncodeLine(benchmark::State& state) {
+  const PartitionScheme ps(64, static_cast<usize>(state.range(0)));
+  const auto line = random_line(3);
+  std::vector<u8> out(64);
+  u64 dirs = 0xA5A5A5A5A5A5A5A5ULL;
+  for (auto _ : state) {
+    encode_line(ps, line, dirs, out);
+    benchmark::DoNotOptimize(out.data());
+    dirs = (dirs << 1) | (dirs >> 63);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EncodeLine)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_StoredOnes(benchmark::State& state) {
+  const PartitionScheme ps(64, 8);
+  const auto line = random_line(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stored_ones(ps, line, 0x5A));
+  }
+}
+BENCHMARK(BM_StoredOnes);
+
+void BM_ThresholdTableBuild(benchmark::State& state) {
+  const auto cell = TechParams::cnfet().cell;
+  for (auto _ : state) {
+    const ThresholdTable t(cell, static_cast<usize>(state.range(0)), 64);
+    benchmark::DoNotOptimize(&t);
+  }
+}
+BENCHMARK(BM_ThresholdTableBuild)->Arg(15)->Arg(63);
+
+void BM_PredictorWindow(benchmark::State& state) {
+  const Predictor p(TechParams::cnfet().cell, PartitionScheme(64, 8), 15);
+  const auto line = random_line(5);
+  LineState st;
+  usize i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.on_access(st, (i++ % 4) == 0, line));
+  }
+}
+BENCHMARK(BM_PredictorWindow);
+
+void BM_CacheAccess(benchmark::State& state) {
+  CacheConfig cfg;
+  cfg.size_bytes = 32 * 1024;
+  cfg.ways = 4;
+  MainMemory mem;
+  Cache cache(cfg, mem);
+  Rng rng(6);
+  for (auto _ : state) {
+    cache.access(MemAccess::read(rng.uniform(1 << 16) * 8));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_CacheAccessWithCntPolicy(benchmark::State& state) {
+  CacheConfig cfg;
+  cfg.size_bytes = 32 * 1024;
+  cfg.ways = 4;
+  MainMemory mem;
+  Cache cache(cfg, mem);
+  CntPolicy policy("cnt", TechParams::cnfet(), geometry_of(cfg), CntConfig{});
+  cache.add_sink(policy);
+  Rng rng(7);
+  for (auto _ : state) {
+    cache.access(MemAccess::read(rng.uniform(1 << 16) * 8));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccessWithCntPolicy);
+
+void BM_StoredOnesRange(benchmark::State& state) {
+  const PartitionScheme ps(64, 8);
+  const auto line = random_line(8);
+  usize i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stored_ones_range(ps, line, 0xA5, (i % 56) * 8, (i % 56) * 8 + 64));
+    ++i;
+  }
+}
+BENCHMARK(BM_StoredOnesRange);
+
+void BM_TraceCaptureStore(benchmark::State& state) {
+  TraceCapture tc("bm");
+  auto arr = tc.array<u64>(0x1000, 4096);
+  usize i = 0;
+  for (auto _ : state) {
+    arr[i % 4096] = i;
+    ++i;
+    if (tc.recorded() > 1u << 20) {
+      (void)tc.take();
+      arr = tc.array<u64>(0x1000, 4096);
+    }
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_TraceCaptureStore);
+
+void BM_JsonDump(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+  const std::vector<SimResult> results{
+      simulate(build_workload("zipf_kv", 0.02), cfg)};
+  for (auto _ : state) {
+    std::ostringstream os;
+    dump_json(results, os);
+    benchmark::DoNotOptimize(os.str());
+  }
+}
+BENCHMARK(BM_JsonDump);
+
+void BM_EndToEndSimulate(benchmark::State& state) {
+  const Workload w = build_workload("zipf_kv", 0.05);
+  SimConfig cfg;
+  cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(w, cfg));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(w.trace.size()));
+}
+BENCHMARK(BM_EndToEndSimulate);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// T1 -- reconstruction of the paper's Table `tab:rw-analysis`: per-bit
+// CNFET SRAM read/write energies for '0' and '1', with the CMOS reference
+// and the derived quantities the paper's argument rests on.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cnt/threshold.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "energy/tech_params.hpp"
+#include "sim/report.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("T1 (tab:rw-analysis)",
+                "per-bit SRAM access energies, CNFET vs CMOS");
+
+  const auto cnfet = TechParams::cnfet();
+  const auto cmos = TechParams::cmos();
+
+  Table t({"technology", "E_rd0", "E_rd1", "E_wr0", "E_wr1", "wr1/wr0",
+           "rd0-rd1", "wr1-wr0"});
+  auto add = [&t](const TechParams& p) {
+    t.add_row({p.name, p.cell.rd0.to_string(), p.cell.rd1.to_string(),
+               p.cell.wr0.to_string(), p.cell.wr1.to_string(),
+               Table::num(p.cell.wr1 / p.cell.wr0, 2) + "x",
+               p.cell.read_delta().to_string(),
+               p.cell.write_delta().to_string()});
+  };
+  add(cnfet);
+  add(cmos);
+  std::cout << t.render() << "\n";
+
+  std::cout << "paper anchors:\n"
+            << "  * writing '1' is \"almost 10X\" writing '0' (abstract): "
+            << Table::num(cnfet.cell.wr1 / cnfet.cell.wr0, 2) << "x\n"
+            << "  * E_rd0-E_rd1 \"quite close\" to E_wr1-E_wr0: "
+            << cnfet.cell.read_delta().to_string() << " vs "
+            << cnfet.cell.write_delta().to_string() << "\n";
+
+  const ThresholdTable tt(cnfet.cell, 15, 512);
+  std::cout << "  * hence Th_rd (Eq. 3) = " << Table::num(tt.th_rd(), 2)
+            << " for W = 15, i.e. roughly W/2\n\n";
+
+  const std::string csv_path = result_path("table1_rw_energy.csv");
+  CsvWriter csv(csv_path, {"tech", "rd0_fj", "rd1_fj", "wr0_fj", "wr1_fj"});
+  for (const auto* p : {&cnfet, &cmos}) {
+    csv.add_row({p->name, std::to_string(p->cell.rd0.in_femtojoules()),
+                 std::to_string(p->cell.rd1.in_femtojoules()),
+                 std::to_string(p->cell.wr0.in_femtojoules()),
+                 std::to_string(p->cell.wr1.in_femtojoules())});
+  }
+  std::cout << "csv: " << csv_path << "\n";
+  return 0;
+}

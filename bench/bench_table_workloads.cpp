@@ -1,0 +1,46 @@
+// T2 -- benchmark-suite characterization: the table a paper's evaluation
+// section opens with. Access counts, read/write mix, footprint, hit rate
+// on the default L1D, and the bit-1 density of written data (the property
+// adaptive encoding exploits).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "trace/workload_suite.hpp"
+
+using namespace cnt;
+
+int main() {
+  bench::banner("T2", "benchmark-suite characterization");
+  const double scale = bench::scale_from_env(1.0);
+
+  Table t({"workload", "accesses", "wr%", "footprint", "hit% (32K/4w)",
+           "write bit1", "description"});
+  const std::string csv_path = result_path("table_workloads.csv");
+  CsvWriter csv(csv_path, {"workload", "accesses", "write_fraction",
+                           "footprint_kib", "hit_rate", "write_bit1_density"});
+
+  SimConfig cfg;
+  cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+  for (const auto& entry : default_suite()) {
+    const Workload w = entry.build(scale, 0);
+    const auto ts = w.trace.stats();
+    const auto res = simulate(w, cfg);
+    t.add_row({w.name, std::to_string(ts.accesses),
+               Table::pct(ts.write_fraction),
+               Table::num(ts.footprint_kib, 0) + " KiB",
+               Table::pct(res.cache_stats.hit_rate()),
+               Table::pct(ts.write_bit1_density),
+               w.description.substr(0, 46)});
+    csv.add_row({w.name, std::to_string(ts.accesses),
+                 std::to_string(ts.write_fraction),
+                 std::to_string(ts.footprint_kib),
+                 std::to_string(res.cache_stats.hit_rate()),
+                 std::to_string(ts.write_bit1_density)});
+  }
+  std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Shared helpers for the benchmark harness binaries.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace cnt::bench {
+
+/// Workload scale factor for this binary: $CNT_BENCH_SCALE overrides the
+/// caller-supplied default (sweeps default below 1.0 to keep the full
+/// `for b in build/bench/*` pass quick; the headline bench runs full size).
+inline double scale_from_env(double default_scale) {
+  if (const char* env = std::getenv("CNT_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return default_scale;
+}
+
+inline void banner(const std::string& experiment, const std::string& what) {
+  std::cout << "==============================================================\n"
+            << experiment << ": " << what << "\n"
+            << "==============================================================\n\n";
+}
+
+}  // namespace cnt::bench

@@ -1,0 +1,100 @@
+// cnt_sweep: sweep any configuration key without writing a bench binary.
+//
+//   $ ./cnt_sweep <base.ini|-> <config-key> <v1,v2,...> [workload|suite] [scale]
+//
+//   $ ./cnt_sweep - cnt.window 3,7,15,31 suite 0.2
+//   $ ./cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5
+//   $ ./cnt_sweep base.ini cnt.fill as-is,min-write,read-optimized,by-miss-type
+//
+// "-" uses the built-in defaults as the base configuration. The key may be
+// any key `sim_config_from` understands (see src/sim/config_io.hpp).
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/config_io.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "trace/workload_suite.hpp"
+
+using namespace cnt;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int usage() {
+  std::cerr
+      << "usage: cnt_sweep <base.ini|-> <config-key> <v1,v2,...> "
+         "[workload|suite] [scale]\n"
+         "examples:\n"
+         "  cnt_sweep - cnt.window 3,7,15,31 suite 0.2\n"
+         "  cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string base_path = argv[1];
+  const std::string key = argv[2];
+  const auto values = split_csv(argv[3]);
+  const std::string target = argc > 4 ? argv[4] : "suite";
+  const double scale = argc > 5 ? std::atof(argv[5]) : 0.25;
+  if (values.empty()) return usage();
+
+  try {
+    const Config base =
+        base_path == "-" ? Config{} : Config::load(base_path);
+
+    Table t({key, "baseline", "CNT-Cache", "saving"});
+    for (const auto& value : values) {
+      Config cfg_ini = base;
+      cfg_ini.set(key, value);
+      const SimConfig cfg = sim_config_from(cfg_ini);
+
+      double saving = 0;
+      Energy base_e{}, cnt_e{};
+      if (target == "suite") {
+        SimConfig quiet = cfg;
+        quiet.with_cmos = quiet.with_static = quiet.with_ideal = false;
+        const auto results = run_suite(quiet, scale);
+        saving = mean_saving(results);
+        for (const auto& r : results) {
+          base_e += r.energy(kPolicyBaseline);
+          cnt_e += r.energy(kPolicyCnt);
+        }
+        base_e = base_e / static_cast<double>(results.size());
+        cnt_e = cnt_e / static_cast<double>(results.size());
+      } else {
+        SimConfig quiet = cfg;
+        quiet.with_cmos = quiet.with_static = quiet.with_ideal = false;
+        const auto res = simulate(build_workload(target, scale), quiet);
+        saving = res.saving(kPolicyCnt);
+        base_e = res.energy(kPolicyBaseline);
+        cnt_e = res.energy(kPolicyCnt);
+      }
+      t.add_row({value, base_e.to_string(), cnt_e.to_string(),
+                 Table::pct(saving)});
+    }
+    std::cout << "sweep over " << key << " ("
+              << (target == "suite" ? "suite mean" : target) << ", scale "
+              << scale << ")\n\n"
+              << t.render();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Plot the benchmark harness's CSV outputs.
+
+Usage:
+    python3 scripts/plot_results.py [results_dir] [out_dir]
+
+Reads every known CSV in `results_dir` (default ./results, as written by the
+bench binaries) and renders figures. With matplotlib installed it writes
+PNGs into `out_dir` (default results/plots); otherwise it prints compact
+ASCII bar charts so the repository stays dependency-free.
+"""
+
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def ascii_bars(title, labels, values, unit="%"):
+    print(f"\n{title}")
+    print("-" * len(title))
+    if not values:
+        print("  (no data)")
+        return
+    peak = max(abs(v) for v in values) or 1.0
+    width = 46
+    for label, v in zip(labels, values):
+        bar = "#" * int(abs(v) / peak * width)
+        sign = "-" if v < 0 else " "
+        print(f"  {label:<16} {sign}{bar} {v:.1f}{unit}")
+
+
+def try_matplotlib():
+    try:
+        import matplotlib  # noqa: F401
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt  # noqa: F401
+
+        return plt
+    except Exception:
+        return None
+
+
+PLOTS = []
+
+
+def plot(filename):
+    def register(fn):
+        PLOTS.append((filename, fn))
+        return fn
+
+    return register
+
+
+@plot("fig_dynamic_energy.csv")
+def plot_dynamic(rows, plt, out):
+    labels = [r["workload"] for r in rows]
+    savings = [100 * float(r["saving"]) for r in rows]
+    if plt is None:
+        ascii_bars("E1: CNT-Cache saving per workload", labels, savings)
+        return
+    fig, ax = plt.subplots(figsize=(8, 4))
+    ax.bar(labels, savings)
+    ax.axhline(22.2, ls="--", c="gray", label="paper mean 22.2%")
+    ax.set_ylabel("dynamic energy saving [%]")
+    ax.set_title("E1: CNT-Cache vs baseline CNFET cache")
+    ax.tick_params(axis="x", rotation=45)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(os.path.join(out, "fig_dynamic_energy.png"), dpi=150)
+
+
+@plot("fig_window_sweep.csv")
+def plot_window(rows, plt, out):
+    w = [int(r["window"]) for r in rows]
+    s = [100 * float(r["mean_saving"]) for r in rows]
+    if plt is None:
+        ascii_bars("E2: saving vs window W", [f"W={x}" for x in w], s)
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(w, s, marker="o")
+    ax.set_xlabel("window W")
+    ax.set_ylabel("mean saving [%]")
+    ax.set_title("E2: prediction-window sweep")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out, "fig_window_sweep.png"), dpi=150)
+
+
+@plot("fig_partition_sweep.csv")
+def plot_partitions(rows, plt, out):
+    k = [int(r["partitions"]) for r in rows]
+    s = [100 * float(r["mean_saving"]) for r in rows]
+    if plt is None:
+        ascii_bars("E3: saving vs partitions K", [f"K={x}" for x in k], s)
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(k, s, marker="s")
+    ax.set_xscale("log", base=2)
+    ax.set_xlabel("partitions K")
+    ax.set_ylabel("mean saving [%]")
+    ax.set_title("E3: encoding granularity")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out, "fig_partition_sweep.png"), dpi=150)
+
+
+@plot("fig_density_sweep.csv")
+def plot_density(rows, plt, out):
+    series = {}
+    for r in rows:
+        series.setdefault(float(r["write_fraction"]), []).append(
+            (float(r["density"]), 100 * float(r["cnt_saving"]))
+        )
+    if plt is None:
+        for wf, pts in sorted(series.items()):
+            ascii_bars(
+                f"M1: saving vs density (writes={int(wf * 100)}%)",
+                [f"d={d:.2f}" for d, _ in pts],
+                [s for _, s in pts],
+            )
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for wf, pts in sorted(series.items()):
+        pts.sort()
+        ax.plot([d for d, _ in pts], [s for _, s in pts], marker="o",
+                label=f"writes {int(wf * 100)}%")
+    ax.axhline(0, c="gray", lw=0.5)
+    ax.set_xlabel("bit-1 density")
+    ax.set_ylabel("saving [%]")
+    ax.set_title("M1: mechanism chart")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(os.path.join(out, "fig_density_sweep.png"), dpi=150)
+
+
+@plot("fig_asymmetry_sweep.csv")
+def plot_asymmetry(rows, plt, out):
+    x = [float(r["asymmetry"]) for r in rows]
+    s = [100 * float(r["mean_saving"]) for r in rows]
+    if plt is None:
+        ascii_bars("M2: saving vs cell asymmetry", [f"x={v}" for v in x], s)
+        return
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(x, s, marker="d")
+    ax.axhline(0, c="gray", lw=0.5)
+    ax.set_xlabel("asymmetry scale (1.0 = reconstruction)")
+    ax.set_ylabel("mean saving [%]")
+    ax.set_title("M2: cell-asymmetry sensitivity")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out, "fig_asymmetry_sweep.png"), dpi=150)
+
+
+def main():
+    results_dir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
+        results_dir, "plots")
+    plt = try_matplotlib()
+    if plt is not None:
+        os.makedirs(out_dir, exist_ok=True)
+
+    plotted = 0
+    for filename, fn in PLOTS:
+        path = os.path.join(results_dir, filename)
+        if not os.path.exists(path):
+            print(f"skip: {path} (run the matching bench binary first)")
+            continue
+        fn(read_csv(path), plt, out_dir)
+        plotted += 1
+
+    if plt is not None and plotted:
+        print(f"wrote {plotted} figures to {out_dir}")
+    elif plotted == 0:
+        print("nothing to plot; run the bench binaries first")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

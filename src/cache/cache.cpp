@@ -1,0 +1,304 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+#include "common/bits.hpp"
+
+namespace cnt {
+
+namespace {
+
+// All-words-dirty mask for a line of `line_bytes`.
+u64 full_dirty_mask(usize line_bytes) {
+  const usize words = line_bytes / 8;
+  return words >= 64 ? ~0ULL : (1ULL << words) - 1;
+}
+
+u64 load_word(std::span<const u8> line, u32 offset, u8 size) {
+  u64 v = 0;
+  for (usize b = 0; b < size; ++b) {
+    v |= static_cast<u64>(line[offset + b]) << (8 * b);
+  }
+  return v;
+}
+
+void store_word(std::span<u8> line, u32 offset, u8 size, u64 value) {
+  for (usize b = 0; b < size; ++b) {
+    line[offset + b] = static_cast<u8>(value >> (8 * b));
+  }
+}
+
+}  // namespace
+
+Cache::Cache(CacheConfig cfg, MemoryLevel& next)
+    : cfg_(std::move(cfg)), next_(next) {
+  cfg_.validate();
+  lines_.resize(cfg_.sets() * cfg_.ways);
+  for (auto& l : lines_) l.data.assign(cfg_.line_bytes, 0);
+  repl_ = make_replacement(cfg_.replacement, cfg_.sets(), cfg_.ways,
+                           cfg_.replacement_seed);
+  mru_way_.assign(cfg_.sets(), 0);
+  scratch_before_.assign(cfg_.line_bytes, 0);
+  scratch_after_.assign(cfg_.line_bytes, 0);
+}
+
+void Cache::add_sink(AccessSink& sink) { sinks_.push_back(&sink); }
+
+void Cache::access(const MemAccess& a) {
+  assert(a.valid());
+  assert(cfg_.offset_of(a.addr) + a.size <= cfg_.line_bytes);
+  access_impl(a.addr, a.op, cfg_.offset_of(a.addr), a.size, a.value, {});
+}
+
+void Cache::read_line(u64 line_addr, std::span<u8> out) {
+  assert(out.size() == cfg_.line_bytes);
+  access_impl(line_addr, MemOp::kRead, 0, 0, 0, {});
+  // After the access the line is resident (read misses always allocate);
+  // copy it out.
+  const u32 set = cfg_.set_index(line_addr);
+  const u64 tag = cfg_.tag_of(line_addr);
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    const Line& l = line(set, w);
+    if (l.valid && l.tag == tag) {
+      std::memcpy(out.data(), l.data.data(), cfg_.line_bytes);
+      return;
+    }
+  }
+  assert(false && "line missing after read fill");
+}
+
+void Cache::write_line(u64 line_addr, std::span<const u8> data) {
+  assert(data.size() == cfg_.line_bytes);
+  access_impl(line_addr, MemOp::kWrite, 0, 0, 0, data);
+}
+
+void Cache::write_word(u64 addr, u64 value, u8 size) {
+  access_impl(addr, MemOp::kWrite, cfg_.offset_of(addr), size, value, {});
+}
+
+void Cache::access_impl(u64 addr, MemOp op, u32 offset, u8 size, u64 value,
+                        std::span<const u8> full_line_data) {
+  const u32 set = cfg_.set_index(addr);
+  const u64 tag = cfg_.tag_of(addr);
+  const bool is_write = op == MemOp::kWrite;
+  ++stats_.accesses;
+
+  AccessEvent ev;
+  ev.op = op;
+  ev.addr = addr;
+  ev.set = set;
+  ev.offset = offset;
+  ev.size = size != 0 ? size : static_cast<u8>(0);
+  ev.tag = tag;
+  count_tag_read(set, tag, ev);
+
+  // Lookup.
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Line& l = line(set, w);
+    if (!l.valid || l.tag != tag) continue;
+
+    // --- Hit ---
+    std::memcpy(scratch_before_.data(), l.data.data(), cfg_.line_bytes);
+    if (is_write) {
+      if (!full_line_data.empty()) {
+        std::memcpy(l.data.data(), full_line_data.data(), cfg_.line_bytes);
+      } else {
+        store_word(l.data, offset, size, value);
+      }
+      if (cfg_.write_policy == WritePolicy::kWriteBack) {
+        l.dirty = true;
+        l.dirty_words |= full_line_data.empty()
+                             ? (1ULL << (offset / 8))
+                             : full_dirty_mask(cfg_.line_bytes);
+      } else {
+        // Write-through: forward immediately; line stays clean.
+        if (!full_line_data.empty()) {
+          next_.write_line(cfg_.line_addr(addr), l.data);
+        } else {
+          next_.write_word(addr, value, size);
+        }
+      }
+      ++stats_.write_hits;
+      ev.kind = AccessKind::kWriteHit;
+    } else {
+      ++stats_.read_hits;
+      ev.kind = AccessKind::kReadHit;
+    }
+    repl_->on_access(set, w);
+    mru_way_[set] = w;
+    ev.way = w;
+    ev.line_before = scratch_before_;
+    ev.line_after = l.data;
+    ev.idle_slots = idle_slots_for(/*miss=*/false);
+    emit(ev);
+    return;
+  }
+
+  // --- Miss ---
+  if (is_write && cfg_.alloc_policy == AllocPolicy::kNoWriteAllocate) {
+    if (!full_line_data.empty()) {
+      next_.write_line(cfg_.line_addr(addr), full_line_data);
+    } else {
+      next_.write_word(addr, value, size);
+    }
+    ++stats_.write_arounds;
+    ++stats_.write_misses;
+    ev.kind = AccessKind::kWriteAround;
+    ev.idle_slots = idle_slots_for(/*miss=*/true);
+    emit(ev);
+    return;
+  }
+
+  const u32 victim = choose_victim(set);
+  Line& l = line(set, victim);
+
+  // Previous occupant -> line_before / eviction bookkeeping.
+  if (l.valid) {
+    std::memcpy(scratch_before_.data(), l.data.data(), cfg_.line_bytes);
+    ev.evicted_valid = true;
+    ev.evicted_dirty = l.dirty;
+    ev.evicted_tag = l.tag;
+    if (l.dirty) {
+      ev.evicted_dirty_words = cfg_.sector_writeback
+                                   ? l.dirty_words
+                                   : full_dirty_mask(cfg_.line_bytes);
+    }
+    ++stats_.evictions;
+    if (l.dirty && cfg_.write_policy == WritePolicy::kWriteBack) {
+      next_.write_line(cfg_.addr_of(l.tag, set), l.data);
+      ++stats_.writebacks;
+    }
+  } else {
+    std::memset(scratch_before_.data(), 0, cfg_.line_bytes);
+  }
+
+  // Fill.
+  next_.read_line(cfg_.line_addr(addr), l.data);
+  l.valid = true;
+  l.tag = tag;
+  l.dirty = false;
+  l.dirty_words = 0;
+
+  if (is_write) {
+    if (!full_line_data.empty()) {
+      std::memcpy(l.data.data(), full_line_data.data(), cfg_.line_bytes);
+    } else {
+      store_word(l.data, offset, size, value);
+    }
+    if (cfg_.write_policy == WritePolicy::kWriteBack) {
+      l.dirty = true;
+      l.dirty_words = full_line_data.empty()
+                          ? (1ULL << (offset / 8))
+                          : full_dirty_mask(cfg_.line_bytes);
+    } else if (!full_line_data.empty()) {
+      next_.write_line(cfg_.line_addr(addr), l.data);
+    } else {
+      next_.write_word(addr, value, size);
+    }
+    ++stats_.write_misses;
+    ev.kind = AccessKind::kWriteMissFill;
+  } else {
+    ++stats_.read_misses;
+    ev.kind = AccessKind::kReadMissFill;
+  }
+  ++stats_.fills;
+  repl_->on_fill(set, victim);
+  mru_way_[set] = victim;
+
+  ev.way = victim;
+  ev.line_before = scratch_before_;
+  ev.line_after = l.data;
+  // Tag write on fill: tag field + valid + dirty state bits.
+  ev.tag_bits_written = cfg_.tag_bits() + 2;
+  ev.tag_ones_written =
+      static_cast<usize>(std::popcount(tag)) + 1 + (l.dirty ? 1 : 0);
+  ev.idle_slots = idle_slots_for(/*miss=*/true);
+  emit(ev);
+}
+
+u32 Cache::choose_victim(u32 set) {
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (!line(set, w).valid) return w;
+  }
+  return repl_->victim(set);
+}
+
+void Cache::count_tag_read(u32 set, u64 tag, AccessEvent& ev) const {
+  const usize per_way = cfg_.tag_bits() + 2;  // tag + valid + dirty
+  const auto way_tag_ones = [this, set](u32 w) {
+    const Line& l = line(set, w);
+    return static_cast<usize>(std::popcount(l.tag)) + (l.valid ? 1u : 0u) +
+           (l.dirty ? 1u : 0u);
+  };
+
+  if (cfg_.way_prediction) {
+    // Probe the MRU way's tag first; only a first-probe miss reads the
+    // remaining ways' tags.
+    const u32 predicted = mru_way_[set];
+    const Line& p = line(set, predicted);
+    if (p.valid && p.tag == tag) {
+      ev.tag_bits_read = per_way;
+      ev.tag_ones_read = way_tag_ones(predicted);
+      return;
+    }
+  }
+
+  usize ones = 0;
+  for (u32 w = 0; w < cfg_.ways; ++w) ones += way_tag_ones(w);
+  ev.tag_bits_read = per_way * cfg_.ways;
+  ev.tag_ones_read = ones;
+}
+
+void Cache::emit(const AccessEvent& ev) {
+  for (auto* s : sinks_) s->on_access(ev);
+}
+
+u32 Cache::idle_slots_for(bool miss) {
+  if (miss) return cfg_.idle.idle_per_miss;
+  if (cfg_.idle.hit_idle_period == 0) return 0;
+  return (++hit_counter_ % cfg_.idle.hit_idle_period == 0) ? 1u : 0u;
+}
+
+u64 Cache::peek_word(u64 addr, u8 size) const {
+  const u32 set = cfg_.set_index(addr);
+  const u64 tag = cfg_.tag_of(addr);
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    const Line& l = line(set, w);
+    if (l.valid && l.tag == tag) {
+      return load_word(l.data, cfg_.offset_of(addr), size);
+    }
+  }
+  return 0;
+}
+
+void Cache::flush() {
+  for (u32 s = 0; s < cfg_.sets(); ++s) {
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      Line& l = line(s, w);
+      if (l.valid && l.dirty) {
+        next_.write_line(cfg_.addr_of(l.tag, s), l.data);
+        l.dirty = false;
+        l.dirty_words = 0;
+      }
+    }
+  }
+}
+
+Cache::LineView Cache::line_view(u32 set, u32 way) const {
+  const Line& l = line(set, way);
+  return LineView{l.valid, l.dirty, l.tag, l.data};
+}
+
+std::optional<u32> Cache::find_way(u64 addr) const {
+  const u32 set = cfg_.set_index(addr);
+  const u64 tag = cfg_.tag_of(addr);
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    const Line& l = line(set, w);
+    if (l.valid && l.tag == tag) return w;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cnt

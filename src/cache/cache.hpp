@@ -1,0 +1,111 @@
+// Set-associative, value-carrying cache model.
+//
+// This is the gem5-style functional substrate the paper's evaluation
+// extends: it stores real line contents (energy depends on the bits), does
+// write-back/write-allocate by default, and broadcasts every access as an
+// AccessEvent to registered sinks (the energy policies).
+//
+// A Cache is itself a MemoryLevel, so hierarchies compose: L1 -> L2 -> DRAM.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "cache/cache_stats.hpp"
+#include "cache/events.hpp"
+#include "cache/main_memory.hpp"
+#include "cache/replacement.hpp"
+#include "trace/access.hpp"
+
+namespace cnt {
+
+class Cache final : public MemoryLevel {
+ public:
+  /// `next` must outlive the cache.
+  Cache(CacheConfig cfg, MemoryLevel& next);
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Register an observer (not owned; must outlive the cache).
+  void add_sink(AccessSink& sink);
+
+  /// CPU-side access. Precondition: a.valid() and the word lies within one
+  /// line.
+  void access(const MemAccess& a);
+
+  /// Read the current value at `addr` from the cache *without* side effects
+  /// (no allocation, no stats, no events) -- test/debug helper. Returns 0
+  /// when the line is not resident; use find_way() to distinguish.
+  [[nodiscard]] u64 peek_word(u64 addr, u8 size) const;
+
+  // MemoryLevel interface (traffic from an upper-level cache).
+  void read_line(u64 line_addr, std::span<u8> out) override;
+  void write_line(u64 line_addr, std::span<const u8> data) override;
+  void write_word(u64 addr, u64 value, u8 size) override;
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Flush every dirty line to the next level (end-of-run accounting).
+  /// Does not emit events (the paper's dynamic-energy windows cover the
+  /// simulated execution, not the teardown).
+  void flush();
+
+  /// Introspection for tests: contents of a (set, way).
+  struct LineView {
+    bool valid;
+    bool dirty;
+    u64 tag;
+    std::span<const u8> data;
+  };
+  [[nodiscard]] LineView line_view(u32 set, u32 way) const;
+  /// Locate `addr` in the cache, if resident.
+  [[nodiscard]] std::optional<u32> find_way(u64 addr) const;
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    u64 tag = 0;
+    u64 dirty_words = 0;  ///< per-8B-word dirty bits (sector_writeback)
+    std::vector<u8> data;
+  };
+
+  enum class LineOp : u8 { kRead, kWrite };
+
+  [[nodiscard]] Line& line(u32 set, u32 way) {
+    return lines_[static_cast<usize>(set) * cfg_.ways + way];
+  }
+  [[nodiscard]] const Line& line(u32 set, u32 way) const {
+    return lines_[static_cast<usize>(set) * cfg_.ways + way];
+  }
+
+  /// Core path shared by CPU accesses and upper-level line traffic.
+  /// For full-line ops, offset=0 and size=line_bytes with `data` supplied.
+  void access_impl(u64 addr, MemOp op, u32 offset, u8 size, u64 value,
+                   std::span<const u8> full_line_data);
+
+  [[nodiscard]] u32 choose_victim(u32 set);
+  void count_tag_read(u32 set, u64 tag, AccessEvent& ev) const;
+  void emit(const AccessEvent& ev);
+  [[nodiscard]] u32 idle_slots_for(bool miss);
+
+  CacheConfig cfg_;
+  MemoryLevel& next_;
+  std::vector<Line> lines_;
+  std::unique_ptr<ReplacementPolicy> repl_;
+  std::vector<AccessSink*> sinks_;
+  CacheStats stats_;
+  u64 hit_counter_ = 0;  // for IdleModel.hit_idle_period
+  std::vector<u32> mru_way_;  // per-set MRU way (way prediction)
+
+  // Scratch buffers backing the event spans.
+  std::vector<u8> scratch_before_;
+  std::vector<u8> scratch_after_;
+};
+
+}  // namespace cnt

@@ -1,0 +1,31 @@
+// Functional statistics for one cache.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+struct CacheStats {
+  u64 accesses = 0;
+  u64 read_hits = 0;
+  u64 read_misses = 0;
+  u64 write_hits = 0;
+  u64 write_misses = 0;
+  u64 write_arounds = 0;
+  u64 fills = 0;
+  u64 evictions = 0;
+  u64 writebacks = 0;  ///< dirty evictions reaching the next level
+
+  [[nodiscard]] u64 hits() const noexcept { return read_hits + write_hits; }
+  [[nodiscard]] u64 misses() const noexcept {
+    return read_misses + write_misses;
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const u64 total = hits() + misses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits()) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace cnt

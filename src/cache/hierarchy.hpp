@@ -1,0 +1,54 @@
+// Two-level cache hierarchy: split L1 (I + D) over a unified L2 over DRAM.
+//
+// The trace-driven "CPU" is a front-end that routes each MemAccess to the
+// right L1 port; energy sinks attach per cache level.
+#pragma once
+
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "cache/main_memory.hpp"
+#include "trace/trace.hpp"
+
+namespace cnt {
+
+struct HierarchyConfig {
+  CacheConfig l1d;
+  CacheConfig l1i;
+  CacheConfig l2;
+  bool enable_l2 = true;
+
+  /// Typical embedded-class defaults: 32 KiB 4-way L1s, 256 KiB 8-way L2,
+  /// 64 B lines everywhere.
+  [[nodiscard]] static HierarchyConfig typical();
+};
+
+class Hierarchy {
+ public:
+  Hierarchy(HierarchyConfig cfg, MainMemory& memory);
+
+  /// Route one access: IFetch -> L1I, loads/stores -> L1D.
+  void access(const MemAccess& a);
+
+  /// Run an entire trace.
+  void run(const Trace& trace);
+
+  [[nodiscard]] Cache& l1d() noexcept { return *l1d_; }
+  [[nodiscard]] Cache& l1i() noexcept { return *l1i_; }
+  /// Precondition: config().enable_l2.
+  [[nodiscard]] Cache& l2() noexcept { return *l2_; }
+  [[nodiscard]] bool has_l2() const noexcept { return l2_ != nullptr; }
+  [[nodiscard]] const HierarchyConfig& config() const noexcept { return cfg_; }
+
+  /// Flush L1s then L2 (writeback teardown).
+  void flush_all();
+
+ private:
+  HierarchyConfig cfg_;
+  MainMemory& memory_;
+  std::unique_ptr<Cache> l2_;
+  std::unique_ptr<Cache> l1d_;
+  std::unique_ptr<Cache> l1i_;
+};
+
+}  // namespace cnt

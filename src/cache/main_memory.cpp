@@ -1,0 +1,98 @@
+#include "cache/main_memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace cnt {
+
+void MainMemory::load(const Workload& w) {
+  for (const auto& seg : w.init) load_segment(seg);
+}
+
+void MainMemory::load_segment(const MemorySegment& seg) {
+  u64 addr = seg.base;
+  usize off = 0;
+  while (off < seg.bytes.size()) {
+    auto& pg = page(addr);
+    const usize page_off = addr % kPageBytes;
+    const usize chunk = std::min(kPageBytes - page_off, seg.bytes.size() - off);
+    std::memcpy(pg.data() + page_off, seg.bytes.data() + off, chunk);
+    addr += chunk;
+    off += chunk;
+  }
+}
+
+void MainMemory::read_line(u64 line_addr, std::span<u8> out) {
+  assert(line_addr % out.size() == 0);
+  ++line_reads_;
+  u64 addr = line_addr;
+  usize off = 0;
+  while (off < out.size()) {
+    const usize page_off = addr % kPageBytes;
+    const usize chunk = std::min(kPageBytes - page_off, out.size() - off);
+    if (const auto* pg = page_if_present(addr)) {
+      std::memcpy(out.data() + off, pg->data() + page_off, chunk);
+    } else {
+      std::memset(out.data() + off, 0, chunk);
+    }
+    addr += chunk;
+    off += chunk;
+  }
+}
+
+void MainMemory::write_line(u64 line_addr, std::span<const u8> data) {
+  assert(line_addr % data.size() == 0);
+  ++line_writes_;
+  u64 addr = line_addr;
+  usize off = 0;
+  while (off < data.size()) {
+    auto& pg = page(addr);
+    const usize page_off = addr % kPageBytes;
+    const usize chunk = std::min(kPageBytes - page_off, data.size() - off);
+    std::memcpy(pg.data() + page_off, data.data() + off, chunk);
+    addr += chunk;
+    off += chunk;
+  }
+}
+
+void MainMemory::write_word(u64 addr, u64 value, u8 size) {
+  assert(size <= 8 && addr % size == 0);
+  ++word_writes_;
+  auto& pg = page(addr);
+  const usize page_off = addr % kPageBytes;
+  // Natural alignment guarantees the word does not straddle a page.
+  for (usize b = 0; b < size; ++b) {
+    pg[page_off + b] = static_cast<u8>(value >> (8 * b));
+  }
+}
+
+u8 MainMemory::peek(u64 addr) const {
+  if (const auto* pg = page_if_present(addr)) {
+    return (*pg)[addr % kPageBytes];
+  }
+  return 0;
+}
+
+void MainMemory::poke(u64 addr, u8 value) { page(addr)[addr % kPageBytes] = value; }
+
+u64 MainMemory::peek_word(u64 addr, u8 size) const {
+  u64 v = 0;
+  for (usize b = 0; b < size; ++b) {
+    v |= static_cast<u64>(peek(addr + b)) << (8 * b);
+  }
+  return v;
+}
+
+std::vector<u8>& MainMemory::page(u64 addr) {
+  auto [it, inserted] = pages_.try_emplace(addr / kPageBytes);
+  if (inserted) it->second.assign(kPageBytes, 0);
+  return it->second;
+}
+
+const std::vector<u8>* MainMemory::page_if_present(u64 addr) const {
+  const auto it = pages_.find(addr / kPageBytes);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cnt

@@ -1,0 +1,64 @@
+// Backing-store model: sparse paged main memory plus the line-granular
+// interface caches use to talk to the level below them.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace cnt {
+
+/// The downstream interface of a cache: line fills/writebacks plus word
+/// writes (for write-through / write-around traffic).
+class MemoryLevel {
+ public:
+  virtual ~MemoryLevel() = default;
+
+  /// Fetch `out.size()` bytes starting at line-aligned `line_addr`.
+  virtual void read_line(u64 line_addr, std::span<u8> out) = 0;
+  /// Store a full line at line-aligned `line_addr` (writeback).
+  virtual void write_line(u64 line_addr, std::span<const u8> data) = 0;
+  /// Store a single word (write-through / no-allocate write miss path).
+  virtual void write_word(u64 addr, u64 value, u8 size) = 0;
+};
+
+/// Sparse paged memory image. Unwritten bytes read as zero. Tracks traffic
+/// counters so experiments can report line fills / writebacks reaching DRAM.
+class MainMemory final : public MemoryLevel {
+ public:
+  static constexpr usize kPageBytes = 4096;
+
+  MainMemory() = default;
+
+  /// Load a workload's initial data segments.
+  void load(const Workload& w);
+  void load_segment(const MemorySegment& seg);
+
+  void read_line(u64 line_addr, std::span<u8> out) override;
+  void write_line(u64 line_addr, std::span<const u8> data) override;
+  void write_word(u64 addr, u64 value, u8 size) override;
+
+  /// Direct byte access (test/introspection helpers; no traffic counted).
+  [[nodiscard]] u8 peek(u64 addr) const;
+  void poke(u64 addr, u8 value);
+  [[nodiscard]] u64 peek_word(u64 addr, u8 size) const;
+
+  [[nodiscard]] u64 line_reads() const noexcept { return line_reads_; }
+  [[nodiscard]] u64 line_writes() const noexcept { return line_writes_; }
+  [[nodiscard]] u64 word_writes() const noexcept { return word_writes_; }
+  [[nodiscard]] usize resident_pages() const noexcept { return pages_.size(); }
+
+ private:
+  [[nodiscard]] std::vector<u8>& page(u64 addr);
+  [[nodiscard]] const std::vector<u8>* page_if_present(u64 addr) const;
+
+  std::unordered_map<u64, std::vector<u8>> pages_;
+  u64 line_reads_ = 0;
+  u64 line_writes_ = 0;
+  u64 word_writes_ = 0;
+};
+
+}  // namespace cnt

@@ -1,0 +1,157 @@
+#include "cache/replacement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace cnt {
+
+namespace {
+
+/// True-LRU via per-line timestamps (exact, O(ways) victim scan).
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(usize sets, usize ways)
+      : ways_(ways), stamp_(sets * ways, 0) {}
+
+  void on_access(u32 set, u32 way) override { stamp_[idx(set, way)] = ++clock_; }
+  void on_fill(u32 set, u32 way) override { stamp_[idx(set, way)] = ++clock_; }
+
+  u32 victim(u32 set) override {
+    u32 best = 0;
+    u64 best_stamp = stamp_[idx(set, 0)];
+    for (u32 w = 1; w < ways_; ++w) {
+      if (stamp_[idx(set, w)] < best_stamp) {
+        best_stamp = stamp_[idx(set, w)];
+        best = w;
+      }
+    }
+    return best;
+  }
+
+  const char* name() const noexcept override { return "LRU"; }
+
+ private:
+  [[nodiscard]] usize idx(u32 set, u32 way) const noexcept {
+    return static_cast<usize>(set) * ways_ + way;
+  }
+  usize ways_;
+  u64 clock_ = 0;
+  std::vector<u64> stamp_;
+};
+
+/// FIFO: timestamps updated only on fill.
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  FifoPolicy(usize sets, usize ways)
+      : ways_(ways), stamp_(sets * ways, 0) {}
+
+  void on_access(u32, u32) override {}
+  void on_fill(u32 set, u32 way) override { stamp_[idx(set, way)] = ++clock_; }
+
+  u32 victim(u32 set) override {
+    u32 best = 0;
+    u64 best_stamp = stamp_[idx(set, 0)];
+    for (u32 w = 1; w < ways_; ++w) {
+      if (stamp_[idx(set, w)] < best_stamp) {
+        best_stamp = stamp_[idx(set, w)];
+        best = w;
+      }
+    }
+    return best;
+  }
+
+  const char* name() const noexcept override { return "FIFO"; }
+
+ private:
+  [[nodiscard]] usize idx(u32 set, u32 way) const noexcept {
+    return static_cast<usize>(set) * ways_ + way;
+  }
+  usize ways_;
+  u64 clock_ = 0;
+  std::vector<u64> stamp_;
+};
+
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(usize ways, u64 seed) : ways_(ways), rng_(seed) {}
+
+  void on_access(u32, u32) override {}
+  void on_fill(u32, u32) override {}
+  u32 victim(u32) override { return static_cast<u32>(rng_.uniform(ways_)); }
+  const char* name() const noexcept override { return "random"; }
+
+ private:
+  usize ways_;
+  Rng rng_;
+};
+
+/// Tree-PLRU: one bit per internal node of a binary tree over the ways.
+/// A touch points every node on the way's path *away* from it; the victim
+/// walk follows the pointed-to direction.
+class TreePlruPolicy final : public ReplacementPolicy {
+ public:
+  TreePlruPolicy(usize sets, usize ways)
+      : ways_(ways), levels_(log2_exact(ways)),
+        bits_(sets * (ways - 1), false) {
+    assert(is_pow2(ways));
+  }
+
+  void on_access(u32 set, u32 way) override { touch(set, way); }
+  void on_fill(u32 set, u32 way) override { touch(set, way); }
+
+  u32 victim(u32 set) override {
+    if (ways_ == 1) return 0;
+    usize node = 0;  // root within this set's tree
+    u32 way = 0;
+    for (u32 level = 0; level < levels_; ++level) {
+      const bool go_right = node_bit(set, node);
+      way = (way << 1) | static_cast<u32>(go_right);
+      node = 2 * node + 1 + static_cast<usize>(go_right);
+    }
+    return way;
+  }
+
+  const char* name() const noexcept override { return "tree-PLRU"; }
+
+ private:
+  void touch(u32 set, u32 way) {
+    if (ways_ == 1) return;
+    usize node = 0;
+    for (u32 level = 0; level < levels_; ++level) {
+      const bool bit = (way >> (levels_ - 1 - level)) & 1u;
+      // Point away from the touched way.
+      set_node_bit(set, node, !bit);
+      node = 2 * node + 1 + static_cast<usize>(bit);
+    }
+  }
+
+  [[nodiscard]] bool node_bit(u32 set, usize node) const {
+    return bits_[static_cast<usize>(set) * (ways_ - 1) + node];
+  }
+  void set_node_bit(u32 set, usize node, bool v) {
+    bits_[static_cast<usize>(set) * (ways_ - 1) + node] = v;
+  }
+
+  usize ways_;
+  u32 levels_;
+  std::vector<bool> bits_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_replacement(ReplKind kind, usize sets,
+                                                    usize ways, u64 seed) {
+  switch (kind) {
+    case ReplKind::kLru: return std::make_unique<LruPolicy>(sets, ways);
+    case ReplKind::kFifo: return std::make_unique<FifoPolicy>(sets, ways);
+    case ReplKind::kRandom: return std::make_unique<RandomPolicy>(ways, seed);
+    case ReplKind::kTreePlru:
+      return std::make_unique<TreePlruPolicy>(sets, ways);
+  }
+  return nullptr;
+}
+
+}  // namespace cnt

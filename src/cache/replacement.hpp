@@ -1,0 +1,31 @@
+// Replacement policies for the set-associative cache substrate.
+#pragma once
+
+#include <memory>
+
+#include "cache/cache_config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cnt {
+
+/// Victim selection + recency bookkeeping. The cache resolves invalid ways
+/// itself; `victim()` is only consulted when every way in the set is valid.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// A hit touched (set, way).
+  virtual void on_access(u32 set, u32 way) = 0;
+  /// (set, way) was just filled.
+  virtual void on_fill(u32 set, u32 way) = 0;
+  /// Choose the way to evict from `set` (all ways valid).
+  [[nodiscard]] virtual u32 victim(u32 set) = 0;
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Construct a policy instance for a (sets x ways) cache.
+[[nodiscard]] std::unique_ptr<ReplacementPolicy> make_replacement(
+    ReplKind kind, usize sets, usize ways, u64 seed = 0);
+
+}  // namespace cnt

@@ -1,0 +1,210 @@
+#include "cnt/baseline_policies.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "energy/sram_cell.hpp"
+
+namespace cnt {
+
+void PlainPolicy::on_access(const AccessEvent& ev) {
+  charge_decode();
+  charge_tag_lookup(ev);
+
+  switch (ev.kind) {
+    case AccessKind::kReadHit:
+      ledger_.charge(EnergyCategory::kDataRead,
+                     read_energy(tech_.cell, ev.line_after));
+      charge_output(transfer_bits(ev));
+      break;
+
+    case AccessKind::kWriteHit: {
+      const auto [lo, hi] = written_bit_range(ev);
+      ledger_.charge(EnergyCategory::kDataWrite,
+                     write_energy_counts(tech_.cell, hi - lo,
+                                         popcount_range(ev.line_after, lo,
+                                                        hi)));
+      charge_output(transfer_bits(ev));
+      break;
+    }
+
+    case AccessKind::kReadMissFill:
+    case AccessKind::kWriteMissFill: {
+      if (ev.evicted_valid && ev.evicted_dirty) {
+        // Writeback: a second array operation reads the victim's dirty
+        // words out (all words unless sectored writebacks are on).
+        charge_decode();
+        Energy rd{};
+        usize dirty_bits = 0;
+        for_each_dirty_word(ev, [&](usize lo, usize hi) {
+          rd += read_energy_counts(tech_.cell, hi - lo,
+                                   popcount_range(ev.line_before, lo, hi));
+          dirty_bits += hi - lo;
+        });
+        ledger_.charge(EnergyCategory::kDataRead, rd);
+        charge_output(dirty_bits);
+      }
+      // Fill write (a second/third array operation).
+      charge_decode();
+      ledger_.charge(EnergyCategory::kDataWrite,
+                     write_energy(tech_.cell, ev.line_after));
+      charge_tag_write(ev);
+      charge_output(array_.geometry().line_bits());
+      break;
+    }
+
+    case AccessKind::kWriteAround:
+      // The word bypasses this array; only the (missing) lookup was paid.
+      break;
+  }
+}
+
+void StaticInvertPolicy::on_access(const AccessEvent& ev) {
+  charge_decode();
+  charge_tag_lookup(ev);
+
+  const usize line_bits = array_.geometry().line_bits();
+  const auto& cell = tech_.cell;
+  // Stored image is the complement: stored ones = L - logical ones.
+  const auto inv_ones = [&](std::span<const u8> line) {
+    return line_bits - popcount(line);
+  };
+
+  switch (ev.kind) {
+    case AccessKind::kReadHit:
+      ledger_.charge(EnergyCategory::kDataRead,
+                     read_energy_counts(cell, line_bits, inv_ones(ev.line_after)));
+      ledger_.charge(EnergyCategory::kEncoderLogic,
+                     static_cast<double>(line_bits) *
+                         tech_.periph.encoder_per_bit);
+      charge_output(transfer_bits(ev));
+      break;
+
+    case AccessKind::kWriteHit: {
+      const auto [lo, hi] = written_bit_range(ev);
+      const usize ones = (hi - lo) - popcount_range(ev.line_after, lo, hi);
+      ledger_.charge(EnergyCategory::kDataWrite,
+                     write_energy_counts(cell, hi - lo, ones));
+      ledger_.charge(EnergyCategory::kEncoderLogic,
+                     static_cast<double>(line_bits) *
+                         tech_.periph.encoder_per_bit);
+      charge_output(transfer_bits(ev));
+      break;
+    }
+
+    case AccessKind::kReadMissFill:
+    case AccessKind::kWriteMissFill: {
+      if (ev.evicted_valid && ev.evicted_dirty) {
+        charge_decode();
+        Energy rd{};
+        usize dirty_bits = 0;
+        for_each_dirty_word(ev, [&](usize lo, usize hi) {
+          const usize ones =
+              (hi - lo) - popcount_range(ev.line_before, lo, hi);
+          rd += read_energy_counts(cell, hi - lo, ones);
+          dirty_bits += hi - lo;
+        });
+        ledger_.charge(EnergyCategory::kDataRead, rd);
+        ledger_.charge(EnergyCategory::kEncoderLogic,
+                       static_cast<double>(dirty_bits) *
+                           tech_.periph.encoder_per_bit);
+        charge_output(dirty_bits);
+      }
+      charge_decode();
+      ledger_.charge(EnergyCategory::kDataWrite,
+                     write_energy_counts(cell, line_bits,
+                                         inv_ones(ev.line_after)));
+      ledger_.charge(EnergyCategory::kEncoderLogic,
+                     static_cast<double>(line_bits) *
+                         tech_.periph.encoder_per_bit);
+      charge_tag_write(ev);
+      charge_output(line_bits);
+      break;
+    }
+
+    case AccessKind::kWriteAround:
+      break;
+  }
+}
+
+IdealPolicy::IdealPolicy(std::string name, const TechParams& tech,
+                         const ArrayGeometry& geom, usize partitions,
+                         WriteGranularity wg)
+    : EnergyPolicyBase(std::move(name), tech, geom, wg),
+      scheme_(geom.line_bytes, partitions) {}
+
+Energy IdealPolicy::best_read(std::span<const u8> line) const {
+  Energy total{};
+  const usize pb = scheme_.partition_bits();
+  for (usize p = 0; p < scheme_.partitions(); ++p) {
+    const usize ones = stored_partition_ones(scheme_, line, p, false);
+    total += std::min(read_energy_counts(tech_.cell, pb, ones),
+                      read_energy_counts(tech_.cell, pb, pb - ones));
+  }
+  return total;
+}
+
+Energy IdealPolicy::best_write(std::span<const u8> line, usize bit_lo,
+                               usize bit_hi) const {
+  Energy total{};
+  for (usize p = 0; p < scheme_.partitions(); ++p) {
+    const usize lo = std::max(bit_lo, scheme_.bit_begin(p));
+    const usize hi = std::min(bit_hi, scheme_.bit_end(p));
+    if (lo >= hi) continue;
+    const usize width = hi - lo;
+    const usize ones = popcount_range(line, lo, hi);
+    total += std::min(write_energy_counts(tech_.cell, width, ones),
+                      write_energy_counts(tech_.cell, width, width - ones));
+  }
+  return total;
+}
+
+void IdealPolicy::on_access(const AccessEvent& ev) {
+  charge_decode();
+  charge_tag_lookup(ev);
+
+  switch (ev.kind) {
+    case AccessKind::kReadHit:
+      ledger_.charge(EnergyCategory::kDataRead, best_read(ev.line_after));
+      charge_output(transfer_bits(ev));
+      break;
+
+    case AccessKind::kWriteHit: {
+      const auto [lo, hi] = written_bit_range(ev);
+      ledger_.charge(EnergyCategory::kDataWrite,
+                     best_write(ev.line_after, lo, hi));
+      charge_output(transfer_bits(ev));
+      break;
+    }
+
+    case AccessKind::kReadMissFill:
+    case AccessKind::kWriteMissFill: {
+      if (ev.evicted_valid && ev.evicted_dirty) {
+        charge_decode();
+        Energy rd{};
+        usize dirty_bits = 0;
+        for_each_dirty_word(ev, [&](usize lo, usize hi) {
+          const usize width = hi - lo;
+          const usize ones = popcount_range(ev.line_before, lo, hi);
+          rd += std::min(read_energy_counts(tech_.cell, width, ones),
+                         read_energy_counts(tech_.cell, width, width - ones));
+          dirty_bits += width;
+        });
+        ledger_.charge(EnergyCategory::kDataRead, rd);
+        charge_output(dirty_bits);
+      }
+      charge_decode();
+      ledger_.charge(EnergyCategory::kDataWrite,
+                     best_write(ev.line_after, 0,
+                                array_.geometry().line_bits()));
+      charge_tag_write(ev);
+      charge_output(array_.geometry().line_bits());
+      break;
+    }
+
+    case AccessKind::kWriteAround:
+      break;
+  }
+}
+
+}  // namespace cnt

@@ -1,0 +1,60 @@
+// Comparator policies: the baseline CNFET cache (no encoding), the CMOS
+// cache (same class, CMOS parameters), a static always-invert encoder, and
+// the unattainable per-access oracle.
+#pragma once
+
+#include "cnt/encoding.hpp"
+#include "cnt/policy_base.hpp"
+
+namespace cnt {
+
+/// Conventional cache: data stored as-is. Instantiate with
+/// TechParams::cnfet() for the paper's baseline CNFET cache, or
+/// TechParams::cmos() for the CMOS reference.
+class PlainPolicy final : public EnergyPolicyBase {
+ public:
+  PlainPolicy(std::string name, const TechParams& tech,
+              const ArrayGeometry& geom,
+              WriteGranularity wg = WriteGranularity::kWord)
+      : EnergyPolicyBase(std::move(name), tech, geom, wg) {}
+
+  void on_access(const AccessEvent& ev) override;
+};
+
+/// Static whole-line inversion: every line is stored complemented. Needs no
+/// per-line metadata (the direction is global) but pays the encoder
+/// data-path energy. Wins only when workload data is biased the right way
+/// for the access mix -- the strawman that motivates *adaptive* encoding.
+class StaticInvertPolicy final : public EnergyPolicyBase {
+ public:
+  StaticInvertPolicy(std::string name, const TechParams& tech,
+                     const ArrayGeometry& geom,
+                     WriteGranularity wg = WriteGranularity::kWord)
+      : EnergyPolicyBase(std::move(name), tech, geom, wg) {}
+
+  void on_access(const AccessEvent& ev) override;
+};
+
+/// Unattainable upper bound: every individual access magically uses the
+/// cheaper of {raw, inverted} per partition, with zero switch, metadata,
+/// or logic overhead. No real encoding scheme can beat it; CNT-Cache's
+/// quality is measured as the fraction of this bound it captures.
+class IdealPolicy final : public EnergyPolicyBase {
+ public:
+  IdealPolicy(std::string name, const TechParams& tech,
+              const ArrayGeometry& geom, usize partitions,
+              WriteGranularity wg = WriteGranularity::kWord);
+
+  void on_access(const AccessEvent& ev) override;
+
+ private:
+  [[nodiscard]] Energy best_read(std::span<const u8> line) const;
+  /// Cheapest possible write of the bit range [lo, hi), choosing the better
+  /// of raw/inverted independently per overlapped partition.
+  [[nodiscard]] Energy best_write(std::span<const u8> line, usize bit_lo,
+                                  usize bit_hi) const;
+
+  PartitionScheme scheme_;
+};
+
+}  // namespace cnt

@@ -1,0 +1,102 @@
+#include "cnt/encoding.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace cnt {
+
+PartitionScheme::PartitionScheme(usize line_bytes, usize partitions)
+    : line_bytes_(line_bytes), k_(partitions) {
+  if (k_ == 0 || k_ > 64) {
+    throw std::invalid_argument("PartitionScheme: K must be in [1, 64]");
+  }
+  const usize line_bits = line_bytes_ * 8;
+  if (line_bits % k_ != 0 || (line_bits / k_) % 8 != 0) {
+    throw std::invalid_argument(
+        "PartitionScheme: K must divide the line into byte-aligned "
+        "partitions");
+  }
+  part_bits_ = line_bits / k_;
+}
+
+void encode_line(const PartitionScheme& ps, std::span<const u8> logical,
+                 u64 directions, std::span<u8> out) {
+  assert(logical.size() == ps.line_bytes());
+  assert(out.size() == ps.line_bytes());
+  std::memcpy(out.data(), logical.data(), logical.size());
+  const usize pb = ps.partition_bytes();
+  for (usize p = 0; p < ps.partitions(); ++p) {
+    if ((directions >> p) & 1u) {
+      invert(out.subspan(p * pb, pb));
+    }
+  }
+}
+
+std::vector<u8> encode_line(const PartitionScheme& ps,
+                            std::span<const u8> logical, u64 directions) {
+  std::vector<u8> out(ps.line_bytes());
+  encode_line(ps, logical, directions, out);
+  return out;
+}
+
+void reencode_line(const PartitionScheme& ps, std::span<u8> stored,
+                   u64 old_dirs, u64 new_dirs) {
+  assert(stored.size() == ps.line_bytes());
+  const u64 changed = old_dirs ^ new_dirs;
+  const usize pb = ps.partition_bytes();
+  for (usize p = 0; p < ps.partitions(); ++p) {
+    if ((changed >> p) & 1u) {
+      invert(stored.subspan(p * pb, pb));
+    }
+  }
+}
+
+usize stored_partition_ones(const PartitionScheme& ps,
+                            std::span<const u8> data, usize p,
+                            bool inverted) {
+  assert(p < ps.partitions());
+  const usize pb = ps.partition_bytes();
+  const usize raw = popcount(data.subspan(p * pb, pb));
+  return inverted ? ps.partition_bits() - raw : raw;
+}
+
+usize stored_ones(const PartitionScheme& ps, std::span<const u8> logical,
+                  u64 directions) {
+  usize total = 0;
+  for (usize p = 0; p < ps.partitions(); ++p) {
+    total += stored_partition_ones(ps, logical, p, (directions >> p) & 1u);
+  }
+  return total;
+}
+
+usize stored_ones_range(const PartitionScheme& ps,
+                        std::span<const u8> logical, u64 directions,
+                        usize bit_begin, usize bit_end) {
+  assert(bit_begin <= bit_end);
+  assert(bit_end <= ps.line_bits());
+  usize total = 0;
+  for (usize p = 0; p < ps.partitions(); ++p) {
+    const usize lo = std::max(bit_begin, ps.bit_begin(p));
+    const usize hi = std::min(bit_end, ps.bit_end(p));
+    if (lo >= hi) continue;
+    const usize raw = popcount_range(logical, lo, hi);
+    total += ((directions >> p) & 1u) ? (hi - lo) - raw : raw;
+  }
+  return total;
+}
+
+std::vector<usize> partition_ones(const PartitionScheme& ps,
+                                  std::span<const u8> data) {
+  std::vector<usize> ones(ps.partitions());
+  const usize pb = ps.partition_bytes();
+  for (usize p = 0; p < ps.partitions(); ++p) {
+    ones[p] = popcount(data.subspan(p * pb, pb));
+  }
+  return ones;
+}
+
+}  // namespace cnt

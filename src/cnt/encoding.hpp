@@ -1,0 +1,89 @@
+// Partitioned cache-line encoding (paper Section III.B, Fig. 2).
+//
+// A line of L bits is split into K equal partitions; each partition p has a
+// direction bit D[p]. When D[p] = 1 the partition is stored bitwise
+// inverted. The hardware encoder is "a series of inverters with 2-to-1
+// multiplexers" selected by the direction bits; here we provide the
+// bit-exact functional equivalent plus the popcount helpers the predictor
+// and the energy model need.
+//
+// Direction bits are packed LSB-first into a u64 mask (K <= 64).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+/// Static description of a line's partitioning.
+class PartitionScheme {
+ public:
+  /// Precondition: K >= 1, K <= 64, and K divides line_bytes*8 into
+  /// byte-aligned partitions (L/K % 8 == 0) so the hardware mux boundaries
+  /// fall on byte lanes.
+  PartitionScheme(usize line_bytes, usize partitions);
+
+  [[nodiscard]] usize partitions() const noexcept { return k_; }
+  [[nodiscard]] usize line_bytes() const noexcept { return line_bytes_; }
+  [[nodiscard]] usize line_bits() const noexcept { return line_bytes_ * 8; }
+  [[nodiscard]] usize partition_bits() const noexcept { return part_bits_; }
+  [[nodiscard]] usize partition_bytes() const noexcept {
+    return part_bits_ / 8;
+  }
+
+  /// Bit range [begin, end) of partition p.
+  [[nodiscard]] usize bit_begin(usize p) const noexcept {
+    return p * part_bits_;
+  }
+  [[nodiscard]] usize bit_end(usize p) const noexcept {
+    return (p + 1) * part_bits_;
+  }
+
+ private:
+  usize line_bytes_;
+  usize k_;
+  usize part_bits_;
+};
+
+/// Apply the encoding: copy `logical` into `out`, inverting every partition
+/// whose direction bit is set. Involutive: encode(encode(x, D), D) == x,
+/// so the same function decodes.
+void encode_line(const PartitionScheme& ps, std::span<const u8> logical,
+                 u64 directions, std::span<u8> out);
+
+/// Convenience allocating form.
+[[nodiscard]] std::vector<u8> encode_line(const PartitionScheme& ps,
+                                          std::span<const u8> logical,
+                                          u64 directions);
+
+/// In-place re-encode from `old_dirs` to `new_dirs`: inverts exactly the
+/// partitions whose direction changed (what the deferred-update write does).
+void reencode_line(const PartitionScheme& ps, std::span<u8> stored,
+                   u64 old_dirs, u64 new_dirs);
+
+/// Number of '1' bits partition p of `data` would have when stored with
+/// direction bit `inverted`.
+[[nodiscard]] usize stored_partition_ones(const PartitionScheme& ps,
+                                          std::span<const u8> data, usize p,
+                                          bool inverted);
+
+/// Total '1' bits of the full stored image of `logical` under `directions`,
+/// without materializing the encoded bytes.
+[[nodiscard]] usize stored_ones(const PartitionScheme& ps,
+                                std::span<const u8> logical, u64 directions);
+
+/// '1' bits of the stored image restricted to the bit range
+/// [bit_begin, bit_end) -- used for word-granular write accounting, where
+/// only the accessed word's columns are driven.
+[[nodiscard]] usize stored_ones_range(const PartitionScheme& ps,
+                                      std::span<const u8> logical,
+                                      u64 directions, usize bit_begin,
+                                      usize bit_end);
+
+/// Per-partition '1' counts of the raw (unencoded) data.
+[[nodiscard]] std::vector<usize> partition_ones(const PartitionScheme& ps,
+                                                std::span<const u8> data);
+
+}  // namespace cnt

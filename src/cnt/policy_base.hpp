@@ -1,0 +1,125 @@
+// Shared machinery for energy-accounting policies (AccessSink adapters).
+//
+// A policy observes the functional cache's access events and charges an
+// EnergyLedger according to its storage scheme. All policies charge the
+// same peripheral costs (decode, tag, output) through the helpers here, so
+// differences between ledgers isolate the data-array encoding effects.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "cache/events.hpp"
+#include "common/bits.hpp"
+#include "common/types.hpp"
+#include "energy/array_model.hpp"
+#include "energy/energy_ledger.hpp"
+#include "energy/tech_params.hpp"
+
+namespace cnt {
+
+/// How much of the data array a store drives.
+///
+/// In a column-muxed SRAM a *read* discharges the bitlines of every cell on
+/// the asserted row (the whole line's worth of columns), but a *write* only
+/// drives the accessed word's columns through the write drivers. kWord
+/// models that physics and is the library default; kLine is the paper's
+/// simplification (Eqs. (4)/(5) charge L bits per access in both
+/// directions) and is kept as the paper-exact ablation.
+enum class WriteGranularity : u8 {
+  kLine,  ///< every store writes all L line bits (paper model)
+  kWord,  ///< a store writes only the accessed word's bits (physical model)
+};
+
+[[nodiscard]] constexpr const char* to_string(WriteGranularity g) noexcept {
+  return g == WriteGranularity::kLine ? "line" : "word";
+}
+
+class EnergyPolicyBase : public AccessSink {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const EnergyLedger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] const ArrayModel& array() const noexcept { return array_; }
+  [[nodiscard]] const TechParams& tech() const noexcept { return tech_; }
+  [[nodiscard]] WriteGranularity write_granularity() const noexcept {
+    return write_gran_;
+  }
+
+ protected:
+  EnergyPolicyBase(std::string name, const TechParams& tech,
+                   const ArrayGeometry& geom,
+                   WriteGranularity write_gran = WriteGranularity::kWord)
+      : name_(std::move(name)),
+        tech_(tech),
+        array_(tech, geom),
+        write_gran_(write_gran) {}
+
+  /// Bit range of the line a write-hit drives under the configured
+  /// granularity. ev.size == 0 (line-granular traffic from an upper level)
+  /// always drives the whole line.
+  [[nodiscard]] std::pair<usize, usize> written_bit_range(
+      const AccessEvent& ev) const noexcept {
+    if (write_gran_ == WriteGranularity::kLine || ev.size == 0) {
+      return {0, array_.geometry().line_bits()};
+    }
+    const usize lo = static_cast<usize>(ev.offset) * 8;
+    return {lo, lo + static_cast<usize>(ev.size) * 8};
+  }
+
+  /// Row decode + wordline for one array operation.
+  void charge_decode() {
+    ledger_.charge(EnergyCategory::kDecode, array_.decode_energy());
+  }
+
+  /// Tag-side lookup for this access.
+  void charge_tag_lookup(const AccessEvent& ev) {
+    ledger_.charge(EnergyCategory::kTagRead,
+                   array_.tag_lookup_energy(ev.tag_bits_read,
+                                            ev.tag_ones_read));
+  }
+
+  /// Tag write on a fill.
+  void charge_tag_write(const AccessEvent& ev) {
+    if (ev.tag_bits_written != 0) {
+      ledger_.charge(EnergyCategory::kTagWrite,
+                     array_.tag_write_energy(ev.tag_bits_written,
+                                             ev.tag_ones_written));
+    }
+  }
+
+  /// IO drivers for `bits` transferred.
+  void charge_output(usize bits) {
+    ledger_.charge(EnergyCategory::kOutput, array_.output_energy(bits));
+  }
+
+  /// Bits moved to/from the CPU for this access (the word, or the whole
+  /// line for line-granular traffic from an upper level, ev.size == 0).
+  [[nodiscard]] usize transfer_bits(const AccessEvent& ev) const noexcept {
+    return ev.size != 0 ? static_cast<usize>(ev.size) * 8
+                        : array_.geometry().line_bits();
+  }
+
+  /// Invoke fn(bit_lo, bit_hi) for every dirty 8-byte word of the evicted
+  /// victim (sectored writebacks narrow the mask; otherwise it covers the
+  /// whole line). Returns the number of dirty words visited.
+  template <typename Fn>
+  usize for_each_dirty_word(const AccessEvent& ev, Fn&& fn) const {
+    const usize words = array_.geometry().line_bytes / 8;
+    usize visited = 0;
+    for (usize w = 0; w < words; ++w) {
+      if ((ev.evicted_dirty_words >> w) & 1u) {
+        fn(w * 64, w * 64 + 64);
+        ++visited;
+      }
+    }
+    return visited;
+  }
+
+  std::string name_;
+  TechParams tech_;
+  ArrayModel array_;
+  EnergyLedger ledger_;
+  WriteGranularity write_gran_;
+};
+
+}  // namespace cnt

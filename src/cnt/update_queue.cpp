@@ -1,0 +1,23 @@
+#include "cnt/update_queue.hpp"
+
+#include <algorithm>
+
+namespace cnt {
+
+bool UpdateQueue::push(const ReencodeRequest& req) {
+  if (!fifo_.push(req)) {
+    ++stats_.dropped_full;
+    return false;
+  }
+  ++stats_.pushed;
+  stats_.max_occupancy = std::max<u64>(stats_.max_occupancy, fifo_.size());
+  return true;
+}
+
+std::optional<ReencodeRequest> UpdateQueue::pop() {
+  auto req = fifo_.pop();
+  if (req) ++stats_.drained;
+  return req;
+}
+
+}  // namespace cnt

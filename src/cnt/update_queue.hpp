@@ -1,0 +1,66 @@
+// Deferred re-encoding queue (paper Section III.A).
+//
+// "To avoid affecting the cache write data path, a data FIFO is used to
+// delay the update until there is an idle time slot. Meanwhile, an index
+// FIFO is also needed to decide the update cache line address
+// synchronously." We model the pair as one bounded queue of re-encode
+// requests; the energy adapter charges the data-FIFO traffic (line bytes in
+// and out) and the index-FIFO traffic per request.
+//
+// When the FIFO is full, a new decision is dropped (the line simply keeps
+// its current encoding until a later window re-evaluates it) -- the
+// conservative hardware behaviour, counted in the stats.
+#pragma once
+
+#include <optional>
+
+#include "common/fixed_queue.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace cnt {
+
+struct ReencodeRequest {
+  u32 set = 0;
+  u32 way = 0;
+  u64 new_directions = 0;
+  u32 generation = 0;  ///< line generation at decision time (stale guard)
+  /// The data FIFO holds the re-encoded line captured at decision time;
+  /// this is the E_encode write cost of committing it, plus flip count.
+  Energy write_cost{};
+  u32 partitions_flipped = 0;
+};
+
+struct UpdateQueueStats {
+  u64 pushed = 0;
+  u64 dropped_full = 0;
+  u64 drained = 0;
+  u64 drained_stale = 0;  ///< popped but line was refilled in the meantime
+  u64 max_occupancy = 0;
+};
+
+class UpdateQueue {
+ public:
+  explicit UpdateQueue(usize depth) : fifo_(depth) {}
+
+  /// Returns false when the FIFO was full and the request dropped.
+  bool push(const ReencodeRequest& req);
+
+  /// Pop the oldest request, if any. The caller validates generation and
+  /// reports staleness back via note_stale().
+  [[nodiscard]] std::optional<ReencodeRequest> pop();
+  void note_stale() noexcept { ++stats_.drained_stale; }
+
+  [[nodiscard]] bool empty() const noexcept { return fifo_.empty(); }
+  [[nodiscard]] usize size() const noexcept { return fifo_.size(); }
+  [[nodiscard]] usize depth() const noexcept { return fifo_.capacity(); }
+  [[nodiscard]] const UpdateQueueStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  FixedQueue<ReencodeRequest> fifo_;
+  UpdateQueueStats stats_;
+};
+
+}  // namespace cnt

@@ -1,0 +1,73 @@
+// Bit-level utilities for cache-line data.
+//
+// CNT-Cache's energy model is bit-pattern dependent (reading/writing '0'
+// and '1' cost differently in a CNFET SRAM cell), so the simulator needs
+// fast popcounts, range inversion, and bit-density statistics over byte
+// buffers representing cache lines.
+#pragma once
+
+#include <bit>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+/// Number of '1' bits in a byte buffer.
+[[nodiscard]] usize popcount(std::span<const u8> bytes) noexcept;
+
+/// Number of '1' bits in the bit-range [bit_begin, bit_end) of `bytes`.
+/// Bits are numbered LSB-first within each byte, bytes in buffer order.
+/// Precondition: bit_end <= bytes.size() * 8 and bit_begin <= bit_end.
+[[nodiscard]] usize popcount_range(std::span<const u8> bytes, usize bit_begin,
+                                   usize bit_end) noexcept;
+
+/// Invert every bit of `bytes` in place.
+void invert(std::span<u8> bytes) noexcept;
+
+/// Invert the bit-range [bit_begin, bit_end) of `bytes` in place.
+/// Same bit-numbering and preconditions as popcount_range().
+void invert_range(std::span<u8> bytes, usize bit_begin, usize bit_end) noexcept;
+
+/// Returns a copy of `bytes` with every bit inverted.
+[[nodiscard]] std::vector<u8> inverted(std::span<const u8> bytes);
+
+/// Number of bit positions where `a` and `b` differ (Hamming distance).
+/// Precondition: a.size() == b.size().
+[[nodiscard]] usize hamming_distance(std::span<const u8> a,
+                                     std::span<const u8> b) noexcept;
+
+/// Fraction of '1' bits in the buffer, in [0, 1]. Empty buffers yield 0.
+[[nodiscard]] double bit1_density(std::span<const u8> bytes) noexcept;
+
+/// Extract bit `index` (LSB-first within bytes) from the buffer.
+[[nodiscard]] bool get_bit(std::span<const u8> bytes, usize index) noexcept;
+
+/// Set bit `index` (LSB-first within bytes) in the buffer.
+void set_bit(std::span<u8> bytes, usize index, bool value) noexcept;
+
+/// True iff `v` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(u64 v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// log2 of a power of two. Precondition: is_pow2(v).
+[[nodiscard]] constexpr u32 log2_exact(u64 v) noexcept {
+  return static_cast<u32>(std::countr_zero(v));
+}
+
+/// Smallest number of bits needed to represent values in [0, n].
+/// ceil_log2(0) == 0, ceil_log2(1) == 1 bit counter? -- by convention this
+/// returns the width of a counter able to hold the value n itself:
+/// ceil_log2(15) == 4, ceil_log2(16) == 5.
+[[nodiscard]] constexpr u32 bits_to_hold(u64 n) noexcept {
+  u32 w = 0;
+  while (n != 0) {
+    ++w;
+    n >>= 1;
+  }
+  return w == 0 ? 1 : w;
+}
+
+}  // namespace cnt

@@ -1,0 +1,177 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cnt {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* kind) {
+  throw std::invalid_argument("config: key '" + key + "' has invalid " +
+                              kind + " value '" + value + "'");
+}
+
+}  // namespace
+
+Config Config::parse(std::istream& is) {
+  Config cfg;
+  std::string line;
+  std::string section;
+  usize line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments ('#' or ';').
+    const auto hash = line.find_first_of("#;");
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+
+    if (t.front() == '[') {
+      if (t.back() != ']' || t.size() < 3) {
+        throw std::runtime_error("config: bad section header at line " +
+                                 std::to_string(line_no));
+      }
+      section = trim(t.substr(1, t.size() - 2));
+      continue;
+    }
+
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config: missing '=' at line " +
+                               std::to_string(line_no));
+    }
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("config: empty key at line " +
+                               std::to_string(line_no));
+    }
+    cfg.set(section.empty() ? key : section + "." + key, value);
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  return parse(in);
+}
+
+Config Config::parse_string(const std::string& text) {
+  std::istringstream ss(text);
+  return parse(ss);
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+i64 Config::get_int(const std::string& key, i64 fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    usize pos = 0;
+    const i64 out = std::stoll(*v, &pos);
+    if (pos != v->size()) bad_value(key, *v, "integer");
+    return out;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *v, "integer");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *v, "integer");
+  }
+}
+
+u64 Config::get_uint(const std::string& key, u64 fallback) const {
+  const i64 v = get_int(key, static_cast<i64>(fallback));
+  if (v < 0) bad_value(key, *get(key), "unsigned");
+  return static_cast<u64>(v);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  try {
+    usize pos = 0;
+    const double out = std::stod(*v, &pos);
+    if (pos != v->size()) bad_value(key, *v, "number");
+    return out;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *v, "number");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *v, "number");
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const std::string lv = lower(*v);
+  if (lv == "true" || lv == "1" || lv == "yes" || lv == "on") return true;
+  if (lv == "false" || lv == "0" || lv == "no" || lv == "off") return false;
+  bad_value(key, *v, "boolean");
+}
+
+u64 Config::get_size(const std::string& key, u64 fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  std::string body = *v;
+  u64 mult = 1;
+  switch (std::tolower(static_cast<unsigned char>(body.back()))) {
+    case 'k': mult = 1024; body.pop_back(); break;
+    case 'm': mult = 1024 * 1024; body.pop_back(); break;
+    case 'g': mult = 1024ULL * 1024 * 1024; body.pop_back(); break;
+    default: break;
+  }
+  try {
+    usize pos = 0;
+    const u64 base = std::stoull(trim(body), &pos);
+    if (pos != trim(body).size()) bad_value(key, *v, "size");
+    return base * mult;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, *v, "size");
+  } catch (const std::out_of_range&) {
+    bad_value(key, *v, "size");
+  }
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+}  // namespace cnt

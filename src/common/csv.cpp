@@ -1,0 +1,45 @@
+#include "common/csv.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cnt {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
+    : path_(path), out_(path), columns_(headers.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  emit(headers);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  assert(cells.size() == columns_);
+  emit(cells);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (usize i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+}  // namespace cnt

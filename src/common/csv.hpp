@@ -1,0 +1,33 @@
+// Minimal CSV writer: every experiment binary writes its series next to the
+// printed table so figures can be re-plotted from the raw data.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+  /// Append a data row; must have exactly as many cells as the header.
+  /// Cells containing commas, quotes, or newlines are quoted per RFC 4180.
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  usize columns_;
+};
+
+}  // namespace cnt

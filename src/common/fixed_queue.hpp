@@ -1,0 +1,63 @@
+// Bounded FIFO used to model the CNT-Cache deferred-update queues.
+//
+// The paper takes re-encoding off the critical path with a data FIFO plus a
+// synchronized index FIFO drained in idle cache slots; this container models
+// a hardware FIFO with a fixed capacity and explicit overflow signalling.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+template <typename T>
+class FixedQueue {
+ public:
+  explicit FixedQueue(usize capacity) : buf_(capacity) {
+    assert(capacity > 0);
+  }
+
+  [[nodiscard]] usize capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] usize size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+
+  /// Enqueue; returns false (and leaves the queue unchanged) when full --
+  /// the hardware analogue of a FIFO-full backpressure signal.
+  [[nodiscard]] bool push(T value) {
+    if (full()) return false;
+    buf_[(head_ + size_) % buf_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Dequeue the oldest element, or nullopt when empty.
+  [[nodiscard]] std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T out = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return out;
+  }
+
+  /// Peek at the oldest element. Precondition: !empty().
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  usize head_ = 0;
+  usize size_ = 0;
+};
+
+}  // namespace cnt

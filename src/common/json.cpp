@@ -1,0 +1,174 @@
+#include "common/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace cnt {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {
+  stack_.push_back(Ctx::kTop);
+  has_items_.push_back(false);
+}
+
+JsonWriter::~JsonWriter() {
+  assert(done() && "JsonWriter destroyed with unterminated containers");
+}
+
+bool JsonWriter::done() const noexcept {
+  return stack_.size() == 1 && top_written_;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (usize i = 1; i < stack_.size(); ++i) {
+    for (int s = 0; s < indent_; ++s) os_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  const Ctx ctx = stack_.back();
+  assert(ctx != Ctx::kObject &&
+         "value inside an object requires a preceding key()");
+  if (ctx == Ctx::kTop) {
+    assert(!top_written_ && "only one top-level JSON value allowed");
+    top_written_ = true;
+    return;
+  }
+  if (ctx == Ctx::kAwaitValue) {
+    stack_.pop_back();  // the key consumed; back to the object
+    return;
+  }
+  // Array element.
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Ctx::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(stack_.back() == Ctx::kObject);
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) {
+    // Closing brace at the parent's indent level.
+    if (indent_ > 0) {
+      os_ << '\n';
+      for (usize i = 1; i < stack_.size(); ++i) {
+        for (int s = 0; s < indent_; ++s) os_ << ' ';
+      }
+    }
+  }
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Ctx::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(stack_.back() == Ctx::kArray);
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had && indent_ > 0) {
+    os_ << '\n';
+    for (usize i = 1; i < stack_.size(); ++i) {
+      for (int s = 0; s < indent_; ++s) os_ << ' ';
+    }
+  }
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  assert(stack_.back() == Ctx::kObject && "key() outside an object");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline_indent();
+  write_escaped(name);
+  os_ << (indent_ > 0 ? ": " : ":");
+  stack_.push_back(Ctx::kAwaitValue);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  write_escaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+}  // namespace cnt

@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer for machine-readable experiment output.
+//
+// Correct-by-construction nesting via an explicit context stack: commas
+// and colons are inserted automatically, misuse (value without a key
+// inside an object, end_object inside an array, ...) asserts. Doubles are
+// emitted with enough digits to round-trip; non-finite doubles become
+// null (JSON has no NaN/Inf).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 = compact single-line output.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(u64 v);
+  JsonWriter& value(i64 v);
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<i64>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key(name) + value(v) in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once the single top-level value is complete.
+  [[nodiscard]] bool done() const noexcept;
+
+ private:
+  enum class Ctx : u8 { kTop, kObject, kArray, kAwaitValue };
+  void before_value();
+  void newline_indent();
+  void write_escaped(std::string_view s);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> has_items_;
+  bool top_written_ = false;
+};
+
+}  // namespace cnt

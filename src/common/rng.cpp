@@ -1,0 +1,105 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numbers>
+
+namespace cnt {
+
+namespace {
+
+constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+u64 splitmix64(u64& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(u64 seed) noexcept {
+  u64 sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+u64 Rng::next() noexcept {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::uniform(u64 bound) noexcept {
+  assert(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  const u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    const u64 r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+u64 Rng::uniform_range(u64 lo, u64 hi) noexcept {
+  assert(lo <= hi);
+  const u64 span = hi - lo;
+  if (span == ~0ULL) return next();
+  return lo + uniform(span + 1);
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::gaussian() noexcept {
+  // Box-Muller; avoid log(0).
+  double u1 = uniform01();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+u64 Rng::geometric_magnitude(u32 max_bits, double decay) noexcept {
+  assert(max_bits >= 1 && max_bits <= 64);
+  u32 bits = 1;
+  while (bits < max_bits && chance(decay)) ++bits;
+  if (bits >= 64) return next();
+  return uniform(1ULL << bits);
+}
+
+ZipfSampler::ZipfSampler(usize n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (usize k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against FP rounding at the tail
+}
+
+usize ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<usize>(it - cdf_.begin());
+}
+
+}  // namespace cnt

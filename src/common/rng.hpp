@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All simulator randomness flows through Rng (xoshiro256**), so a seed fully
+// reproduces a run. Distribution helpers cover the needs of the workload
+// generators: uniform ranges, geometric magnitudes (small-integer value
+// models), Zipfian keys (database-like access skew), and Gaussians
+// (floating-point value models).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Chosen over std::mt19937_64 for speed and a compact, well-defined state
+/// that keeps traces bit-reproducible across standard libraries.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via SplitMix64.
+  void reseed(u64 seed) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] u64 next() noexcept;
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  [[nodiscard]] u64 uniform(u64 bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  [[nodiscard]] u64 uniform_range(u64 lo, u64 hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Standard normal via Box-Muller (one value per call; no caching so the
+  /// stream stays position-independent).
+  [[nodiscard]] double gaussian() noexcept;
+
+  /// Geometric-magnitude unsigned integer: P(value needs b bits) decays by
+  /// `decay` per extra bit, capped at max_bits. Models the small-integer
+  /// skew of real program data (many leading zeros -> low bit-1 density).
+  [[nodiscard]] u64 geometric_magnitude(u32 max_bits, double decay) noexcept;
+
+ private:
+  u64 s_[4]{};
+};
+
+/// Zipf(s, n) sampler over {0, .., n-1} using precomputed inverse CDF
+/// buckets; O(log n) per sample. Rank 0 is the most popular key.
+class ZipfSampler {
+ public:
+  /// Precondition: n > 0, s >= 0. s == 0 degenerates to uniform.
+  ZipfSampler(usize n, double s);
+
+  [[nodiscard]] usize sample(Rng& rng) const noexcept;
+  [[nodiscard]] usize size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace cnt

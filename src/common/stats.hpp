@@ -1,0 +1,78 @@
+// Streaming statistics accumulators used by the simulator's reporting layer.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] usize count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator into this one (parallel-safe combine).
+  void merge(const Accumulator& other) noexcept;
+
+ private:
+  usize n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Geometric mean over positive samples. Samples <= 0 are rejected by
+/// precondition (assert) because geo-mean is undefined there.
+class GeoMean {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] usize count() const noexcept { return n_; }
+  [[nodiscard]] double value() const noexcept;
+
+ private:
+  usize n_ = 0;
+  double log_sum_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples land in
+/// saturating underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, usize buckets);
+
+  void add(double x) noexcept;
+  [[nodiscard]] usize bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] u64 bucket(usize i) const noexcept { return counts_[i]; }
+  [[nodiscard]] u64 underflow() const noexcept { return underflow_; }
+  [[nodiscard]] u64 overflow() const noexcept { return overflow_; }
+  [[nodiscard]] u64 total() const noexcept { return total_; }
+  [[nodiscard]] double bucket_lo(usize i) const noexcept;
+  [[nodiscard]] double bucket_hi(usize i) const noexcept;
+
+  /// Multi-line ASCII rendering (one row per bucket with a bar).
+  [[nodiscard]] std::string render(usize bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<u64> counts_;
+  u64 underflow_ = 0;
+  u64 overflow_ = 0;
+  u64 total_ = 0;
+};
+
+}  // namespace cnt

@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace cnt {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::pct(double frac, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, frac * 100.0);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<usize> widths(headers_.size());
+  for (usize c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (usize c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (usize c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << " | ";
+      os << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << "\n";
+  };
+
+  emit_row(headers_);
+  for (usize c = 0; c < widths.size(); ++c) {
+    if (c != 0) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace cnt

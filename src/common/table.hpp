@@ -1,0 +1,40 @@
+// ASCII table rendering for benchmark harness output.
+//
+// Every experiment binary prints the rows of the paper table/figure it
+// regenerates; this formatter keeps that output aligned and readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; it may have fewer cells than there are headers (the
+  /// remainder renders empty) but not more.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  [[nodiscard]] static std::string num(double v, int digits = 3);
+  /// Convenience: format a percentage (0.222 -> "22.2%").
+  [[nodiscard]] static std::string pct(double frac, int digits = 1);
+
+  [[nodiscard]] usize rows() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing rules, e.g.
+  ///   name     | saving
+  ///   ---------+-------
+  ///   matmul   | 21.3%
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cnt

@@ -1,0 +1,43 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace cnt {
+
+std::string Energy::to_string(int digits) const {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr std::array<Prefix, 7> kPrefixes{{
+      {1.0, "J"},
+      {1e-3, "mJ"},
+      {1e-6, "uJ"},
+      {1e-9, "nJ"},
+      {1e-12, "pJ"},
+      {1e-15, "fJ"},
+      {1e-18, "aJ"},
+  }};
+
+  const double mag = std::fabs(j_);
+  const Prefix* chosen = &kPrefixes.back();
+  if (mag == 0.0) {
+    chosen = &kPrefixes[4];  // render zero as pJ, the common scale here
+  } else {
+    for (const auto& p : kPrefixes) {
+      if (mag >= p.scale) {
+        chosen = &p;
+        break;
+      }
+    }
+  }
+
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %s", digits, j_ / chosen->scale,
+                chosen->name);
+  return buf;
+}
+
+}  // namespace cnt

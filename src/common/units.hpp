@@ -1,0 +1,98 @@
+// Strong types for physical quantities used by the energy model.
+//
+// Energies are carried in joules internally; formatting helpers render the
+// magnitudes the paper's domain uses (fJ per bit, pJ per access, nJ/uJ per
+// run). A strong type keeps joules from being confused with counts or
+// seconds anywhere in the accounting pipeline.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace cnt {
+
+class Energy {
+ public:
+  constexpr Energy() noexcept = default;
+
+  [[nodiscard]] static constexpr Energy joules(double j) noexcept {
+    return Energy{j};
+  }
+  [[nodiscard]] static constexpr Energy millijoules(double mj) noexcept {
+    return Energy{mj * 1e-3};
+  }
+  [[nodiscard]] static constexpr Energy nanojoules(double nj) noexcept {
+    return Energy{nj * 1e-9};
+  }
+  [[nodiscard]] static constexpr Energy picojoules(double pj) noexcept {
+    return Energy{pj * 1e-12};
+  }
+  [[nodiscard]] static constexpr Energy femtojoules(double fj) noexcept {
+    return Energy{fj * 1e-15};
+  }
+
+  [[nodiscard]] constexpr double in_joules() const noexcept { return j_; }
+  [[nodiscard]] constexpr double in_nanojoules() const noexcept {
+    return j_ * 1e9;
+  }
+  [[nodiscard]] constexpr double in_picojoules() const noexcept {
+    return j_ * 1e12;
+  }
+  [[nodiscard]] constexpr double in_femtojoules() const noexcept {
+    return j_ * 1e15;
+  }
+
+  constexpr Energy& operator+=(Energy rhs) noexcept {
+    j_ += rhs.j_;
+    return *this;
+  }
+  constexpr Energy& operator-=(Energy rhs) noexcept {
+    j_ -= rhs.j_;
+    return *this;
+  }
+  constexpr Energy& operator*=(double k) noexcept {
+    j_ *= k;
+    return *this;
+  }
+
+  friend constexpr Energy operator+(Energy a, Energy b) noexcept {
+    return Energy{a.j_ + b.j_};
+  }
+  friend constexpr Energy operator-(Energy a, Energy b) noexcept {
+    return Energy{a.j_ - b.j_};
+  }
+  friend constexpr Energy operator*(Energy e, double k) noexcept {
+    return Energy{e.j_ * k};
+  }
+  friend constexpr Energy operator*(double k, Energy e) noexcept {
+    return Energy{e.j_ * k};
+  }
+  friend constexpr double operator/(Energy a, Energy b) noexcept {
+    return a.j_ / b.j_;
+  }
+  friend constexpr Energy operator/(Energy e, double k) noexcept {
+    return Energy{e.j_ / k};
+  }
+  friend constexpr auto operator<=>(Energy a, Energy b) noexcept = default;
+
+  /// Human-readable rendering with an auto-selected SI prefix, e.g.
+  /// "3.21 pJ". `digits` controls significant fraction digits.
+  [[nodiscard]] std::string to_string(int digits = 3) const;
+
+ private:
+  explicit constexpr Energy(double j) noexcept : j_(j) {}
+  double j_ = 0.0;
+};
+
+/// Convenience literal-style helpers (cnt::fJ(2.5) etc.).
+[[nodiscard]] constexpr Energy fJ(double v) noexcept {
+  return Energy::femtojoules(v);
+}
+[[nodiscard]] constexpr Energy pJ(double v) noexcept {
+  return Energy::picojoules(v);
+}
+[[nodiscard]] constexpr Energy nJ(double v) noexcept {
+  return Energy::nanojoules(v);
+}
+
+}  // namespace cnt

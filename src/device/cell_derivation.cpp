@@ -1,0 +1,59 @@
+#include "device/cell_derivation.hpp"
+
+namespace cnt {
+
+BitEnergies derive_bit_energies(const CnfetDeviceParams& dev,
+                                const ArrayContext& arr) {
+  const CnfetDevice d = evaluate(dev);
+
+  // Bitline capacitance of one column.
+  const double c_bl = static_cast<double>(arr.rows) * arr.cbl_per_cell_af *
+                      1e-18;
+  // Energy of a bitline excursion of dv from the precharge rail.
+  const auto bl_energy = [&](double dv) { return c_bl * dev.vdd * dv; };
+
+  BitEnergies e;
+  // Read '0': the line discharges past the sense threshold (overshoot).
+  e.rd0 = Energy::joules(bl_energy(arr.sense_swing_v * arr.read0_overshoot));
+  // Read '1': only residual droop plus nothing from the cell.
+  e.rd1 = Energy::joules(bl_energy(arr.sense_swing_v * arr.read1_residual));
+  // Write '0': the strong n-type path flips the internal nodes; the
+  // bitline barely moves. One cell transition's worth of charge.
+  e.wr0 = Energy::joules(d.switch_energy);
+  // Write '1': cell transition plus the contended bitline drive through
+  // the weak p-type path (crowbar while the pull-down still conducts).
+  e.wr1 = Energy::joules(d.switch_energy +
+                         arr.write1_contention_factor *
+                             bl_energy(arr.sense_swing_v));
+  return e;
+}
+
+TechParams derive_tech_params(const CnfetDeviceParams& dev,
+                              const ArrayContext& arr) {
+  TechParams t = TechParams::cnfet();
+  t.name = "CNFET-derived";
+  t.cell = derive_bit_energies(dev, arr);
+
+  // Peripheral logic scales with the device switching energy relative to
+  // the nominal device the calibrated table assumes.
+  const CnfetDevice nominal = evaluate(CnfetDeviceParams{});
+  const CnfetDevice actual = evaluate(dev);
+  const double energy_scale = actual.switch_energy / nominal.switch_energy;
+  t.periph.decoder_per_addr_bit = t.periph.decoder_per_addr_bit * energy_scale;
+  t.periph.wordline_per_cell = t.periph.wordline_per_cell * energy_scale;
+  t.periph.tag_compare_per_bit = t.periph.tag_compare_per_bit * energy_scale;
+  t.periph.output_per_bit = t.periph.output_per_bit * energy_scale;
+  t.periph.encoder_per_bit = t.periph.encoder_per_bit * energy_scale;
+  t.periph.predictor_update = t.periph.predictor_update * energy_scale;
+  t.periph.predictor_eval_per_bit =
+      t.periph.predictor_eval_per_bit * energy_scale;
+  t.periph.fifo_per_byte = t.periph.fifo_per_byte * energy_scale;
+
+  // Clock scales inversely with the device RC relative to nominal.
+  const double rc_nominal = nominal.r_on_n * nominal.c_device;
+  const double rc_actual = actual.r_on_n * actual.c_device;
+  t.clock_ghz = t.clock_ghz * rc_nominal / rc_actual;
+  return t;
+}
+
+}  // namespace cnt

@@ -1,0 +1,48 @@
+#include "device/cnfet_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cnt {
+
+CnfetDevice evaluate(const CnfetDeviceParams& p) {
+  if (p.tubes_per_device == 0) {
+    throw std::invalid_argument("cnfet: tubes_per_device must be > 0");
+  }
+  if (p.diameter_nm < 0.7 || p.diameter_nm > 3.0) {
+    throw std::invalid_argument(
+        "cnfet: diameter outside the semiconducting-CNT range [0.7, 3] nm");
+  }
+  if (p.p_drive_ratio <= 0.0 || p.p_drive_ratio > 1.0) {
+    throw std::invalid_argument("cnfet: p_drive_ratio must be in (0, 1]");
+  }
+
+  CnfetDevice d;
+  // Bandgap Eg ~ 0.84 eV / d(nm); Vth ~ Eg / 2q.
+  const double eg = 0.84 / p.diameter_nm;
+  d.vth = eg / 2.0;
+  if (p.vdd <= d.vth) {
+    throw std::invalid_argument("cnfet: vdd must exceed the threshold");
+  }
+
+  // On-current scales with tube count and with the gate overdrive relative
+  // to the nominal characterization point (0.85 V supply, 1.5 nm tube).
+  const double nominal_overdrive = 0.85 - 0.84 / 1.5 / 2.0;
+  const double overdrive = p.vdd - d.vth;
+  const double drive_scale = overdrive / nominal_overdrive;
+  d.ion_n = static_cast<double>(p.tubes_per_device) * p.ion_per_tube_ua *
+            1e-6 * drive_scale;
+  d.ion_p = d.ion_n * p.p_drive_ratio;
+
+  d.c_device = (static_cast<double>(p.tubes_per_device) *
+                    p.cgate_per_tube_af +
+                p.cparasitic_af) *
+               1e-18;
+  d.switch_energy = d.c_device * p.vdd * p.vdd;
+
+  d.r_on_n = p.vdd / d.ion_n;
+  d.r_on_p = p.vdd / d.ion_p;
+  return d;
+}
+
+}  // namespace cnt

@@ -1,0 +1,60 @@
+// First-order CNFET device model.
+//
+// The paper asserts per-bit SRAM energies (its Table `tab:rw-analysis`,
+// lost); this module derives them one level down, from transistor-level
+// CNFET parameters taken from the standard literature (Stanford VS-CNFET
+// style characterization): carbon nanotubes per device, tube diameter
+// (which sets the bandgap and on-current), supply voltage, and the
+// parasitic capacitances of a 16 nm-class standard cell.
+//
+// The model is deliberately analytic and first-order -- drive currents,
+// effective capacitances, and switching energies, no transient solver --
+// because its role is to show that the *asymmetry structure* the paper
+// exploits emerges from device physics plus the cell topology, and to let
+// experiments sweep device choices (tube count, diameter) end to end.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+/// Literature-anchored CNFET device description.
+struct CnfetDeviceParams {
+  /// Parallel semiconducting tubes per device. More tubes: linearly more
+  /// drive current and channel capacitance.
+  u32 tubes_per_device = 6;
+  /// Tube diameter in nm; bandgap Eg ~ 0.84 eV / d, so smaller tubes have
+  /// higher threshold and lower on-current at fixed VDD.
+  double diameter_nm = 1.5;
+  /// Supply voltage.
+  double vdd = 0.85;
+  /// On-current per tube at nominal overdrive, in uA (literature: ~20-25
+  /// uA/tube for well-contacted semiconducting CNTs).
+  double ion_per_tube_ua = 22.0;
+  /// Gate capacitance per tube, in aF (quantum + electrostatic, ~50 nm
+  /// gate length).
+  double cgate_per_tube_af = 45.0;
+  /// Parasitic (contact + fringe) capacitance per device, in aF.
+  double cparasitic_af = 110.0;
+  /// n-type / p-type drive imbalance: p-CNFETs are contact-limited; their
+  /// on-current is this fraction of the n-type's (literature ~0.5-0.8).
+  double p_drive_ratio = 0.6;
+};
+
+/// Derived device quantities.
+struct CnfetDevice {
+  double vth = 0;          ///< threshold voltage (V)
+  double ion_n = 0;        ///< n-type on-current (A)
+  double ion_p = 0;        ///< p-type on-current (A)
+  double c_device = 0;     ///< total switched capacitance per device (F)
+  double switch_energy = 0;///< C * VDD^2 of one device transition (J)
+  double r_on_n = 0;       ///< effective on-resistance, n-type (Ohm)
+  double r_on_p = 0;       ///< effective on-resistance, p-type (Ohm)
+};
+
+/// Evaluate the device model. Throws std::invalid_argument for
+/// non-physical parameters (zero tubes, diameter outside [0.7, 3] nm,
+/// vdd <= vth).
+[[nodiscard]] CnfetDevice evaluate(const CnfetDeviceParams& p);
+
+}  // namespace cnt

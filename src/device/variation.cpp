@@ -1,0 +1,37 @@
+#include "device/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "device/cell_derivation.hpp"
+
+namespace cnt {
+
+CnfetDeviceParams sample_device(const CnfetDeviceParams& nominal,
+                                const VariationParams& var, Rng& rng) {
+  CnfetDeviceParams p = nominal;
+
+  const double tubes = static_cast<double>(nominal.tubes_per_device) +
+                       var.tube_count_sigma * rng.gaussian();
+  p.tubes_per_device = static_cast<u32>(std::max(1.0, std::round(tubes)));
+
+  const double d = nominal.diameter_nm *
+                   (1.0 + var.diameter_rel_sigma * rng.gaussian());
+  p.diameter_nm = std::clamp(d, 0.7, 3.0);
+
+  p.cgate_per_tube_af =
+      nominal.cgate_per_tube_af * (1.0 + var.cap_rel_sigma * rng.gaussian());
+  p.cparasitic_af =
+      nominal.cparasitic_af * (1.0 + var.cap_rel_sigma * rng.gaussian());
+  return p;
+}
+
+BitEnergies sample_bit_energies(const CnfetDeviceParams& nominal,
+                                const VariationParams& var, Rng& rng) {
+  const CnfetDeviceParams dev = sample_device(nominal, var, rng);
+  ArrayContext arr;
+  arr.cbl_per_cell_af *= 1.0 + var.cap_rel_sigma * rng.gaussian();
+  return derive_bit_energies(dev, arr);
+}
+
+}  // namespace cnt

@@ -1,0 +1,40 @@
+// CNFET process variation.
+//
+// CNFET fabrication suffers tube-count variation (a device gets a Poisson-
+// ish number of semiconducting tubes after metallic-CNT removal) and
+// diameter spread, which perturb drive currents and capacitances and with
+// them the per-bit energies. This module provides Monte-Carlo sampling of
+// perturbed cells so experiments can report the headline saving with error
+// bars instead of a single point.
+#pragma once
+
+#include "common/rng.hpp"
+#include "device/cnfet_model.hpp"
+#include "energy/tech_params.hpp"
+
+namespace cnt {
+
+struct VariationParams {
+  /// Std-dev of the tube count around the nominal, in tubes (after
+  /// metallic-tube removal; literature ~1 tube at 6 nominal).
+  double tube_count_sigma = 1.0;
+  /// Relative std-dev of tube diameter (~4-6% for sorted CNT solutions).
+  double diameter_rel_sigma = 0.05;
+  /// Relative std-dev applied directly to the array/peripheral
+  /// capacitances (lithographic variation).
+  double cap_rel_sigma = 0.03;
+};
+
+/// Sample one perturbed device instance. The tube count is clamped to at
+/// least 1 and the diameter to the model's physical range.
+[[nodiscard]] CnfetDeviceParams sample_device(const CnfetDeviceParams& nominal,
+                                              const VariationParams& var,
+                                              Rng& rng);
+
+/// Sample a perturbed BitEnergies table by evaluating the cell derivation
+/// on a sampled device with capacitance noise.
+[[nodiscard]] BitEnergies sample_bit_energies(const CnfetDeviceParams& nominal,
+                                              const VariationParams& var,
+                                              Rng& rng);
+
+}  // namespace cnt

@@ -1,0 +1,58 @@
+#include "energy/array_model.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+#include "energy/sram_cell.hpp"
+
+namespace cnt {
+
+namespace {
+// 6T SRAM cell footprint at a 16 nm-class node, in um^2. Used only for the
+// relative area-overhead report (H&D bits vs. data bits), so the absolute
+// value is uncritical.
+constexpr double kCellAreaUm2 = 0.075;
+}  // namespace
+
+ArrayModel::ArrayModel(const TechParams& tech, const ArrayGeometry& geom)
+    : tech_(tech), geom_(geom) {
+  assert(geom.sets > 0 && is_pow2(geom.sets));
+  assert(geom.ways > 0);
+  assert(geom.line_bytes > 0 && is_pow2(geom.line_bytes));
+
+  const u32 addr_bits = log2_exact(geom.sets);
+  // Wordline spans the selected row: one way's data+meta columns plus the
+  // set's tag columns asserted during lookup.
+  const auto row_cells = static_cast<double>(
+      geom.line_bits() + geom.meta_bits + geom.tag_bits + geom.state_bits);
+  decode_ = static_cast<double>(addr_bits) * tech.periph.decoder_per_addr_bit +
+            row_cells * tech.periph.wordline_per_cell;
+}
+
+Energy ArrayModel::tag_lookup_energy(usize tag_bits_read,
+                                     usize tag_ones) const noexcept {
+  assert(tag_ones <= tag_bits_read);
+  return read_energy_counts(tech_.cell, tag_bits_read, tag_ones) +
+         static_cast<double>(tag_bits_read) * tech_.periph.tag_compare_per_bit;
+}
+
+Energy ArrayModel::tag_write_energy(usize tag_bits_written,
+                                    usize tag_ones) const noexcept {
+  assert(tag_ones <= tag_bits_written);
+  return write_energy_counts(tech_.cell, tag_bits_written, tag_ones);
+}
+
+Energy ArrayModel::output_energy(usize bits) const noexcept {
+  return static_cast<double>(bits) * tech_.periph.output_per_bit;
+}
+
+double ArrayModel::leakage_watts() const noexcept {
+  return static_cast<double>(geom_.total_cells()) *
+         tech_.periph.leakage_per_cell_w;
+}
+
+double ArrayModel::area_um2() const noexcept {
+  return static_cast<double>(geom_.total_cells()) * kCellAreaUm2;
+}
+
+}  // namespace cnt

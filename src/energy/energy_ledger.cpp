@@ -1,0 +1,54 @@
+#include "energy/energy_ledger.hpp"
+
+namespace cnt {
+
+std::string_view to_string(EnergyCategory c) noexcept {
+  switch (c) {
+    case EnergyCategory::kDataRead: return "data_read";
+    case EnergyCategory::kDataWrite: return "data_write";
+    case EnergyCategory::kTagRead: return "tag_read";
+    case EnergyCategory::kTagWrite: return "tag_write";
+    case EnergyCategory::kDecode: return "decode";
+    case EnergyCategory::kOutput: return "output";
+    case EnergyCategory::kMetaRead: return "meta_read";
+    case EnergyCategory::kMetaWrite: return "meta_write";
+    case EnergyCategory::kEncoderLogic: return "encoder_logic";
+    case EnergyCategory::kPredictorLogic: return "predictor_logic";
+    case EnergyCategory::kReencode: return "reencode";
+    case EnergyCategory::kFifo: return "fifo";
+    case EnergyCategory::kCount: break;
+  }
+  return "?";
+}
+
+Energy EnergyLedger::total() const noexcept {
+  Energy sum{};
+  for (const auto e : entries_) sum += e;
+  return sum;
+}
+
+Energy EnergyLedger::array_total() const noexcept {
+  using C = EnergyCategory;
+  return get(C::kDataRead) + get(C::kDataWrite) + get(C::kTagRead) +
+         get(C::kTagWrite) + get(C::kDecode) + get(C::kOutput);
+}
+
+Energy EnergyLedger::overhead_total() const noexcept {
+  using C = EnergyCategory;
+  return get(C::kMetaRead) + get(C::kMetaWrite) + get(C::kEncoderLogic) +
+         get(C::kPredictorLogic) + get(C::kReencode) + get(C::kFifo);
+}
+
+void EnergyLedger::merge(const EnergyLedger& other) noexcept {
+  for (usize i = 0; i < entries_.size(); ++i) {
+    entries_[i] += other.entries_[i];
+    counts_[i] += other.counts_[i];
+  }
+}
+
+void EnergyLedger::reset() noexcept {
+  entries_.fill(Energy{});
+  counts_.fill(0);
+}
+
+}  // namespace cnt

@@ -1,0 +1,66 @@
+// Categorized energy accounting for one simulated cache.
+//
+// Every joule charged during simulation lands in exactly one category, so
+// experiment reports can show both totals (the paper's headline metric is
+// total dynamic energy) and breakdowns (array vs. encoding-logic vs.
+// re-encode switch overhead -- experiment E7 in DESIGN.md).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace cnt {
+
+enum class EnergyCategory : u8 {
+  kDataRead,       ///< data-array column reads (bit-pattern dependent)
+  kDataWrite,      ///< data-array column writes
+  kTagRead,        ///< tag-array reads + comparators
+  kTagWrite,       ///< tag-array writes (fills)
+  kDecode,         ///< row decode + wordline
+  kOutput,         ///< IO drivers
+  kMetaRead,       ///< H&D field reads (CNT-Cache only)
+  kMetaWrite,      ///< H&D field writes (CNT-Cache only)
+  kEncoderLogic,   ///< inverter+mux data-path overhead
+  kPredictorLogic, ///< counter updates + window-boundary evaluations
+  kReencode,       ///< deferred re-encoding line rewrites (E_encode)
+  kFifo,           ///< deferred-update FIFO traffic
+  kCount
+};
+
+[[nodiscard]] std::string_view to_string(EnergyCategory c) noexcept;
+
+class EnergyLedger {
+ public:
+  void charge(EnergyCategory c, Energy e) noexcept {
+    entries_[static_cast<usize>(c)] += e;
+    ++counts_[static_cast<usize>(c)];
+  }
+
+  [[nodiscard]] Energy total() const noexcept;
+  [[nodiscard]] Energy get(EnergyCategory c) const noexcept {
+    return entries_[static_cast<usize>(c)];
+  }
+  [[nodiscard]] u64 count(EnergyCategory c) const noexcept {
+    return counts_[static_cast<usize>(c)];
+  }
+
+  /// Sum of the categories that exist in a conventional cache (array +
+  /// peripherals), i.e. everything except the CNT-Cache additions.
+  [[nodiscard]] Energy array_total() const noexcept;
+
+  /// Sum of the CNT-Cache-specific overhead categories (meta, encoder,
+  /// predictor, re-encode, FIFO).
+  [[nodiscard]] Energy overhead_total() const noexcept;
+
+  void merge(const EnergyLedger& other) noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<Energy, static_cast<usize>(EnergyCategory::kCount)> entries_{};
+  std::array<u64, static_cast<usize>(EnergyCategory::kCount)> counts_{};
+};
+
+}  // namespace cnt

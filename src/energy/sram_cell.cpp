@@ -1,0 +1,47 @@
+#include "energy/sram_cell.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+
+namespace cnt {
+
+namespace {
+// Cost factor for re-writing a bit with its existing value in the
+// flip-aware model: the cell's internal nodes do not swing, only the
+// write driver toggles.
+constexpr double kUnchangedFactor = 0.15;
+}  // namespace
+
+Energy read_energy(const BitEnergies& e, std::span<const u8> stored) noexcept {
+  const usize ones = popcount(stored);
+  return read_energy_counts(e, stored.size() * 8, ones);
+}
+
+Energy write_energy(const BitEnergies& e, std::span<const u8> data) noexcept {
+  const usize ones = popcount(data);
+  return write_energy_counts(e, data.size() * 8, ones);
+}
+
+Energy write_energy_flip_aware(const BitEnergies& e,
+                               std::span<const u8> old_data,
+                               std::span<const u8> new_data) noexcept {
+  assert(old_data.size() == new_data.size());
+  Energy total{};
+  for (usize i = 0; i < new_data.size(); ++i) {
+    const u8 changed = static_cast<u8>(old_data[i] ^ new_data[i]);
+    const u8 nw = new_data[i];
+    for (u32 b = 0; b < 8; ++b) {
+      const bool bit = (nw >> b) & 1u;
+      const Energy full = e.write(bit);
+      if ((changed >> b) & 1u) {
+        total += full;
+      } else {
+        total += full * kUnchangedFactor;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace cnt

@@ -1,0 +1,50 @@
+// SRAM cell/word energy helpers: bit-pattern-dependent read & write energy.
+//
+// Implements the per-access energy sums the paper uses in Eqs. (4)/(5):
+// reading a stored pattern costs N1*E_rd1 + (L-N1)*E_rd0 and writing a
+// pattern costs N1*E_wr1 + (L-N1)*E_wr0, where N1 is the number of '1'
+// bits among the L bits touched.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "energy/tech_params.hpp"
+
+namespace cnt {
+
+/// Energy to read `bit_count` stored bits of which `ones` are '1'.
+[[nodiscard]] constexpr Energy read_energy_counts(const BitEnergies& e,
+                                                  usize bit_count,
+                                                  usize ones) noexcept {
+  return static_cast<double>(ones) * e.rd1 +
+         static_cast<double>(bit_count - ones) * e.rd0;
+}
+
+/// Energy to write `bit_count` bits of which `ones` are '1'.
+[[nodiscard]] constexpr Energy write_energy_counts(const BitEnergies& e,
+                                                   usize bit_count,
+                                                   usize ones) noexcept {
+  return static_cast<double>(ones) * e.wr1 +
+         static_cast<double>(bit_count - ones) * e.wr0;
+}
+
+/// Energy to read the stored byte buffer (all bits).
+[[nodiscard]] Energy read_energy(const BitEnergies& e,
+                                 std::span<const u8> stored) noexcept;
+
+/// Energy to write the byte buffer (paper model: every written bit is
+/// charged at its value's write energy, regardless of the old content).
+[[nodiscard]] Energy write_energy(const BitEnergies& e,
+                                  std::span<const u8> data) noexcept;
+
+/// Flip-aware write model (ablation): only bits that change value are
+/// charged, at the energy of the *new* value; unchanged bits cost the
+/// (cheap) retention-write energy `e.wr0 * kUnchangedFactor`.
+/// Precondition: old_data.size() == new_data.size().
+[[nodiscard]] Energy write_energy_flip_aware(
+    const BitEnergies& e, std::span<const u8> old_data,
+    std::span<const u8> new_data) noexcept;
+
+}  // namespace cnt

@@ -1,0 +1,48 @@
+#include "energy/tech_params.hpp"
+
+namespace cnt {
+
+TechParams TechParams::cnfet() {
+  TechParams t;
+  t.name = "CNFET-16";
+  t.cell = BitEnergies{
+      .rd0 = fJ(2.38),
+      .rd1 = fJ(0.35),
+      .wr0 = fJ(0.26),
+      .wr1 = fJ(2.51),
+  };
+  // CNFET peripheral logic benefits from the same drive-current advantage
+  // as the cell array; defaults in PeripheralParams are already CNFET-class.
+  t.periph = PeripheralParams{};
+  t.clock_ghz = 2.8;
+  return t;
+}
+
+TechParams TechParams::cmos() {
+  TechParams t;
+  t.name = "CMOS-16";
+  // Differential 6T CMOS SRAM: read energy is dominated by the bitline pair
+  // (one side always discharges), so it is value-independent to first
+  // order; writes differ only marginally with the written value.
+  t.cell = BitEnergies{
+      .rd0 = fJ(4.20),
+      .rd1 = fJ(4.20),
+      .wr0 = fJ(4.75),
+      .wr1 = fJ(4.90),
+  };
+  PeripheralParams p;
+  p.decoder_per_addr_bit = fJ(3.6);
+  p.wordline_per_cell = fJ(0.09);
+  p.tag_compare_per_bit = fJ(0.10);
+  p.output_per_bit = fJ(0.22);
+  p.encoder_per_bit = fJ(0.036);
+  p.predictor_update = fJ(6.0);
+  p.predictor_eval_per_bit = fJ(0.02);
+  p.fifo_per_byte = fJ(0.8);
+  p.leakage_per_cell_w = 9.0e-12;
+  t.periph = p;
+  t.clock_ghz = 2.0;
+  return t;
+}
+
+}  // namespace cnt

@@ -1,0 +1,87 @@
+#include "sim/analysis.hpp"
+
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/main_memory.hpp"
+
+namespace cnt {
+
+namespace {
+
+/// Counts accesses per (set, way) tenure; a fill closes the previous
+/// tenure of the way it replaces.
+class ResidencyProbe final : public AccessSink {
+ public:
+  ResidencyProbe(const CacheConfig& cfg, usize window)
+      : ways_(cfg.ways), counts_(cfg.sets() * cfg.ways, 0),
+        valid_(cfg.sets() * cfg.ways, false), window_(window) {}
+
+  void on_access(const AccessEvent& ev) override {
+    ++stats_.accesses;
+    if (ev.kind == AccessKind::kWriteAround) return;
+    const usize idx = static_cast<usize>(ev.set) * ways_ + ev.way;
+    if (ev.is_fill()) {
+      if (valid_[idx]) close_tenure(counts_[idx]);
+      valid_[idx] = true;
+      counts_[idx] = 1;  // the demand access that caused the fill
+    } else {
+      ++counts_[idx];
+    }
+  }
+
+  [[nodiscard]] ResidencyStats finish() {
+    for (usize i = 0; i < counts_.size(); ++i) {
+      if (valid_[i]) close_tenure(counts_[i]);
+    }
+    stats_.long_tenure_fraction =
+        stats_.residencies == 0
+            ? 0.0
+            : static_cast<double>(long_tenures_) /
+                  static_cast<double>(stats_.residencies);
+    const u64 counted = stats_.accesses;
+    stats_.traffic_in_long_tenures =
+        counted == 0 ? 0.0
+                     : static_cast<double>(long_tenure_accesses_) /
+                           static_cast<double>(counted);
+    stats_.window = window_;
+    return stats_;
+  }
+
+ private:
+  void close_tenure(u64 count) {
+    ++stats_.residencies;
+    stats_.per_residency.add(static_cast<double>(count));
+    if (count >= window_) {
+      ++long_tenures_;
+      long_tenure_accesses_ += count;
+    }
+  }
+
+  usize ways_;
+  std::vector<u64> counts_;
+  std::vector<bool> valid_;
+  usize window_;
+  u64 long_tenures_ = 0;
+  u64 long_tenure_accesses_ = 0;
+  ResidencyStats stats_;
+};
+
+}  // namespace
+
+ResidencyStats analyze_residency(const Workload& w, const CacheConfig& cfg,
+                                 usize window) {
+  MainMemory memory;
+  memory.load(w);
+  Cache cache(cfg, memory);
+  ResidencyProbe probe(cfg, window);
+  cache.add_sink(probe);
+  for (const auto& a : w.trace) {
+    MemAccess routed = a;
+    if (routed.op == MemOp::kIFetch) routed.op = MemOp::kRead;
+    cache.access(routed);
+  }
+  return probe.finish();
+}
+
+}  // namespace cnt

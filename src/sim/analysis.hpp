@@ -1,0 +1,36 @@
+// Access-pattern analysis: how many accesses a cache line receives during
+// one residency (fill -> eviction). This is the quantity that gates the
+// paper's predictor: a line must accumulate W accesses before Algorithm 1
+// can fire even once, so the distribution of accesses-per-residency
+// explains where the window predictor acts and where the fill-time
+// encoding choice has to carry the saving alone.
+#pragma once
+
+#include "cache/cache_config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace cnt {
+
+struct ResidencyStats {
+  u64 residencies = 0;        ///< completed + still-resident line tenures
+  u64 accesses = 0;           ///< total cache accesses observed
+  Accumulator per_residency;  ///< accesses per tenure (mean/min/max/sd)
+  /// Fraction of *accesses* landing on tenures that reach at least the
+  /// given window length -- i.e., the share of traffic the window
+  /// predictor can ever influence.
+  double traffic_in_long_tenures = 0;
+  /// Fraction of tenures reaching at least the window length.
+  double long_tenure_fraction = 0;
+
+  u64 window = 15;  ///< the W this analysis was computed against
+};
+
+/// Replay `w` through a cache of geometry `cfg` and measure residency
+/// lengths against window `W`. Functional-only (no energy policies).
+[[nodiscard]] ResidencyStats analyze_residency(const Workload& w,
+                                               const CacheConfig& cfg,
+                                               usize window = 15);
+
+}  // namespace cnt

@@ -1,0 +1,45 @@
+// Build a SimConfig from an INI-style Config (see common/config.hpp), so
+// experiments are scriptable without recompiling:
+//
+//   [cache]
+//   size = 32k          ; accepts k/m/g suffixes
+//   ways = 4
+//   line = 64
+//   addr_bits = 40
+//   replacement = lru   ; lru | plru | fifo | random
+//   write_policy = wb   ; wb | wt
+//   alloc = wa          ; wa | nwa
+//   idle_per_miss = 8
+//   hit_idle_period = 4
+//
+//   [cnt]
+//   window = 15
+//   partitions = 8
+//   fifo_depth = 8
+//   delta_t = 0.0
+//   fill = by-miss-type ; as-is | min-write | read-optimized | by-miss-type
+//   granularity = word  ; word | line
+//   history = per-line  ; per-line | per-set
+//   account_metadata = true
+//   flip_aware = false
+//
+//   [policies]
+//   cmos = true
+//   static = true
+//   ideal = true
+//
+// Unknown enum values throw std::invalid_argument naming the key.
+#pragma once
+
+#include "common/config.hpp"
+#include "sim/runner.hpp"
+
+namespace cnt {
+
+/// Apply every recognized key of `cfg` on top of the defaults.
+[[nodiscard]] SimConfig sim_config_from(const Config& cfg);
+
+/// Keys this reader understands (for unknown-key warnings in CLIs).
+[[nodiscard]] std::vector<std::string> known_sim_config_keys();
+
+}  // namespace cnt

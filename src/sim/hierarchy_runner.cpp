@@ -1,0 +1,79 @@
+#include "sim/hierarchy_runner.hpp"
+
+#include <stdexcept>
+
+#include "cnt/baseline_policies.hpp"
+
+namespace cnt {
+
+Trace interleave(const Trace& code, const Trace& data, usize code_per_data) {
+  Trace out("interleaved:" + code.name() + "+" + data.name());
+  out.reserve(code.size() + data.size());
+  usize ci = 0, di = 0;
+  while (ci < code.size() || di < data.size()) {
+    for (usize k = 0; k < code_per_data && ci < code.size(); ++k) {
+      out.push(code[ci++]);
+    }
+    if (di < data.size()) out.push(data[di++]);
+    if (ci >= code.size()) {
+      while (di < data.size()) out.push(data[di++]);
+    }
+  }
+  return out;
+}
+
+Energy HierarchyRunResult::cache_total() const {
+  Energy total{};
+  for (const auto& l : levels) total += l.ledger.total();
+  return total;
+}
+
+const LevelResult& HierarchyRunResult::level(std::string_view name) const {
+  for (const auto& l : levels) {
+    if (l.level == name) return l;
+  }
+  throw std::out_of_range("HierarchyRunResult: no level named " +
+                          std::string(name));
+}
+
+HierarchyRunResult run_hierarchy(const HierarchyRunConfig& cfg,
+                                 const Workload& code, const Workload& data,
+                                 usize code_per_data) {
+  MainMemory memory;
+  memory.load(code);
+  memory.load(data);
+  Hierarchy h(cfg.hierarchy, memory);
+
+  std::vector<std::unique_ptr<EnergyPolicyBase>> policies;
+  auto attach = [&](Cache& cache, bool adaptive,
+                    const CntConfig& cnt_cfg) -> EnergyPolicyBase* {
+    const ArrayGeometry geom = geometry_of(cache.config());
+    std::unique_ptr<EnergyPolicyBase> p;
+    if (adaptive) {
+      p = std::make_unique<CntPolicy>("cnt", cfg.tech, geom, cnt_cfg);
+    } else {
+      p = std::make_unique<PlainPolicy>("base", cfg.tech, geom);
+    }
+    cache.add_sink(*p);
+    policies.push_back(std::move(p));
+    return policies.back().get();
+  };
+
+  auto* pi = attach(h.l1i(), cfg.cnt_at_l1i, cfg.l1_cnt);
+  auto* pd = attach(h.l1d(), cfg.cnt_at_l1d, cfg.l1_cnt);
+  auto* p2 = attach(h.l2(), cfg.cnt_at_l2, cfg.l2_cnt);
+
+  const Trace merged = interleave(code.trace, data.trace, code_per_data);
+  h.run(merged);
+
+  HierarchyRunResult res;
+  res.levels.push_back(
+      {"L1I", cfg.cnt_at_l1i, pi->ledger(), h.l1i().stats()});
+  res.levels.push_back(
+      {"L1D", cfg.cnt_at_l1d, pd->ledger(), h.l1d().stats()});
+  res.levels.push_back({"L2", cfg.cnt_at_l2, p2->ledger(), h.l2().stats()});
+  res.dram_energy = cfg.dram.traffic_energy(memory);
+  return res;
+}
+
+}  // namespace cnt

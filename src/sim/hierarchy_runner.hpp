@@ -1,0 +1,58 @@
+// Multi-level experiment runner: drive a split-L1 + unified-L2 hierarchy
+// with an interleaved instruction + data stream and per-level energy
+// policies (baseline or CNT-Cache per level).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "cnt/cnt_policy.hpp"
+#include "cnt/policy_base.hpp"
+#include "sim/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace cnt {
+
+/// Interleave an instruction stream with a data stream, `code_per_data`
+/// fetches between consecutive data accesses (a coarse dynamic mix). The
+/// tail of the longer trace is appended unchanged.
+[[nodiscard]] Trace interleave(const Trace& code, const Trace& data,
+                               usize code_per_data = 2);
+
+struct HierarchyRunConfig {
+  HierarchyConfig hierarchy = HierarchyConfig::typical();
+  TechParams tech = TechParams::cnfet();
+  /// Enable the adaptive policy per level (false = plain baseline).
+  bool cnt_at_l1i = true;
+  bool cnt_at_l1d = true;
+  bool cnt_at_l2 = false;
+  CntConfig l1_cnt;  ///< CNT configuration for both L1s
+  CntConfig l2_cnt;  ///< CNT configuration for the L2
+  DramParams dram;
+};
+
+struct LevelResult {
+  std::string level;
+  bool adaptive = false;
+  EnergyLedger ledger;
+  CacheStats stats;
+};
+
+struct HierarchyRunResult {
+  std::vector<LevelResult> levels;  ///< L1I, L1D, L2
+  Energy dram_energy{};
+
+  [[nodiscard]] Energy cache_total() const;
+  [[nodiscard]] const LevelResult& level(std::string_view name) const;
+};
+
+/// Load both workloads' init images, interleave their traces, run, and
+/// collect per-level ledgers.
+[[nodiscard]] HierarchyRunResult run_hierarchy(const HierarchyRunConfig& cfg,
+                                               const Workload& code,
+                                               const Workload& data,
+                                               usize code_per_data = 2);
+
+}  // namespace cnt

@@ -1,0 +1,123 @@
+#include "sim/runner.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "cache/cache.hpp"
+#include "cache/main_memory.hpp"
+#include "cnt/baseline_policies.hpp"
+#include "trace/workload_suite.hpp"
+
+namespace cnt {
+
+SimConfig::SimConfig()
+    : tech(TechParams::cnfet()), cmos_tech(TechParams::cmos()) {
+  cache.name = "L1D";
+  cache.size_bytes = 32 * 1024;
+  cache.ways = 4;
+  cache.line_bytes = 64;
+}
+
+const PolicyResult* SimResult::find(std::string_view name) const {
+  for (const auto& p : policies) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Energy SimResult::energy(std::string_view name) const {
+  const auto* p = find(name);
+  if (p == nullptr) {
+    throw std::out_of_range("SimResult: no policy named " + std::string(name));
+  }
+  return p->total();
+}
+
+double SimResult::saving(std::string_view opt, std::string_view base) const {
+  const double b = energy(base).in_joules();
+  const double o = energy(opt).in_joules();
+  return b <= 0.0 ? 0.0 : 1.0 - o / b;
+}
+
+SimResult simulate(const Workload& w, const SimConfig& cfg) {
+  MainMemory memory;
+  memory.load(w);
+
+  Cache cache(cfg.cache, memory);
+  const ArrayGeometry geom = geometry_of(cfg.cache);
+
+  // Every policy uses the same write-accounting granularity so the
+  // comparison isolates the encoding scheme.
+  const WriteGranularity wg = cfg.cnt.write_granularity;
+
+  auto baseline = std::make_unique<PlainPolicy>(std::string(kPolicyBaseline),
+                                                cfg.tech, geom, wg);
+  auto cnt_policy = std::make_unique<CntPolicy>(std::string(kPolicyCnt),
+                                                cfg.tech, geom, cfg.cnt);
+  cache.add_sink(*baseline);
+  cache.add_sink(*cnt_policy);
+
+  std::unique_ptr<PlainPolicy> cmos;
+  std::unique_ptr<StaticInvertPolicy> static_inv;
+  std::unique_ptr<IdealPolicy> ideal;
+  if (cfg.with_cmos) {
+    cmos = std::make_unique<PlainPolicy>(std::string(kPolicyCmos),
+                                         cfg.cmos_tech, geom, wg);
+    cache.add_sink(*cmos);
+  }
+  if (cfg.with_static) {
+    static_inv = std::make_unique<StaticInvertPolicy>(
+        std::string(kPolicyStatic), cfg.tech, geom, wg);
+    cache.add_sink(*static_inv);
+  }
+  if (cfg.with_ideal) {
+    ideal = std::make_unique<IdealPolicy>(std::string(kPolicyIdeal), cfg.tech,
+                                          geom, cfg.cnt.partitions, wg);
+    cache.add_sink(*ideal);
+  }
+
+  for (const auto& a : w.trace) {
+    // A single-cache study treats instruction fetches as reads.
+    MemAccess routed = a;
+    if (routed.op == MemOp::kIFetch) routed.op = MemOp::kRead;
+    cache.access(routed);
+  }
+
+  SimResult res;
+  res.workload = w.name;
+  res.trace_stats = w.trace.stats();
+  res.cache_stats = cache.stats();
+
+  auto take = [&res](const EnergyPolicyBase& p) {
+    PolicyResult pr;
+    pr.name = p.name();
+    pr.ledger = p.ledger();
+    res.policies.push_back(std::move(pr));
+  };
+
+  if (cmos) take(*cmos);
+  take(*baseline);
+  if (static_inv) take(*static_inv);
+  {
+    PolicyResult pr;
+    pr.name = cnt_policy->name();
+    pr.ledger = cnt_policy->ledger();
+    pr.has_cnt_stats = true;
+    pr.cnt_stats = cnt_policy->stats();
+    pr.queue_stats = cnt_policy->queue_stats();
+    res.policies.push_back(std::move(pr));
+  }
+  if (ideal) take(*ideal);
+  return res;
+}
+
+std::vector<SimResult> run_suite(const SimConfig& cfg, double scale,
+                                 u64 seed_offset) {
+  std::vector<SimResult> results;
+  for (const auto& entry : default_suite()) {
+    results.push_back(simulate(entry.build(scale, seed_offset), cfg));
+  }
+  return results;
+}
+
+}  // namespace cnt

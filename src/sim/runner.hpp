@@ -1,0 +1,79 @@
+// Experiment runner: replay one workload through a functional cache with
+// the full set of energy policies attached, and collect per-policy ledgers.
+//
+// Because the policies are pure observers, a single functional run yields
+// exactly comparable energy numbers for every policy (same hits, same
+// evictions, same data) -- the experimental-control property the paper's
+// comparison needs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "cache/cache_stats.hpp"
+#include "cnt/cnt_policy.hpp"
+#include "energy/energy_ledger.hpp"
+#include "energy/tech_params.hpp"
+#include "trace/trace.hpp"
+
+namespace cnt {
+
+/// Canonical policy names used in every report.
+inline constexpr std::string_view kPolicyCmos = "cmos";
+inline constexpr std::string_view kPolicyBaseline = "cnfet_base";
+inline constexpr std::string_view kPolicyStatic = "static_inv";
+inline constexpr std::string_view kPolicyCnt = "cnt_cache";
+inline constexpr std::string_view kPolicyIdeal = "ideal";
+
+struct SimConfig {
+  CacheConfig cache;            ///< the cache under study (default 32K/4w L1D)
+  TechParams tech;              ///< CNFET parameters for all CNFET policies
+  TechParams cmos_tech;         ///< CMOS parameters for the CMOS reference
+  CntConfig cnt;                ///< CNT-Cache configuration
+  bool with_cmos = true;
+  bool with_static = true;
+  bool with_ideal = true;
+
+  SimConfig();
+};
+
+struct PolicyResult {
+  std::string name;
+  EnergyLedger ledger;
+  bool has_cnt_stats = false;
+  CntPolicyStats cnt_stats;
+  UpdateQueueStats queue_stats;
+
+  [[nodiscard]] Energy total() const noexcept { return ledger.total(); }
+};
+
+struct SimResult {
+  std::string workload;
+  TraceStats trace_stats;
+  CacheStats cache_stats;
+  std::vector<PolicyResult> policies;
+
+  [[nodiscard]] const PolicyResult* find(std::string_view name) const;
+  /// Energy of a policy; throws std::out_of_range if absent.
+  [[nodiscard]] Energy energy(std::string_view name) const;
+  /// Fractional dynamic-energy saving of `opt` relative to `base`
+  /// (0.222 = 22.2% lower).
+  [[nodiscard]] double saving(std::string_view opt,
+                              std::string_view base = kPolicyBaseline) const;
+};
+
+/// Run one workload through one cache configuration with all selected
+/// policies attached.
+[[nodiscard]] SimResult simulate(const Workload& w, const SimConfig& cfg);
+
+/// Run the whole default suite. `scale` shrinks the workloads for quick
+/// runs (1.0 = full size); `seed_offset` perturbs the generators for
+/// statistical replication (0 = canonical instances).
+[[nodiscard]] std::vector<SimResult> run_suite(const SimConfig& cfg,
+                                               double scale = 1.0,
+                                               u64 seed_offset = 0);
+
+}  // namespace cnt

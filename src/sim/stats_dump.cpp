@@ -1,0 +1,119 @@
+#include "sim/stats_dump.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace cnt {
+
+namespace {
+
+void dump_result(JsonWriter& j, const SimResult& r) {
+  j.begin_object();
+  j.kv("workload", r.workload);
+
+  j.key("trace");
+  j.begin_object();
+  j.kv("accesses", r.trace_stats.accesses);
+  j.kv("reads", r.trace_stats.reads);
+  j.kv("writes", r.trace_stats.writes);
+  j.kv("ifetches", r.trace_stats.ifetches);
+  j.kv("unique_lines", r.trace_stats.unique_lines);
+  j.kv("write_fraction", r.trace_stats.write_fraction);
+  j.kv("footprint_kib", r.trace_stats.footprint_kib);
+  j.kv("write_bit1_density", r.trace_stats.write_bit1_density);
+  j.end_object();
+
+  j.key("cache");
+  j.begin_object();
+  j.kv("accesses", r.cache_stats.accesses);
+  j.kv("read_hits", r.cache_stats.read_hits);
+  j.kv("read_misses", r.cache_stats.read_misses);
+  j.kv("write_hits", r.cache_stats.write_hits);
+  j.kv("write_misses", r.cache_stats.write_misses);
+  j.kv("evictions", r.cache_stats.evictions);
+  j.kv("writebacks", r.cache_stats.writebacks);
+  j.kv("hit_rate", r.cache_stats.hit_rate());
+  j.end_object();
+
+  j.key("policies");
+  j.begin_array();
+  for (const auto& p : r.policies) {
+    j.begin_object();
+    j.kv("name", p.name);
+    j.kv("total_j", p.total().in_joules());
+
+    j.key("categories");
+    j.begin_object();
+    for (usize c = 0; c < static_cast<usize>(EnergyCategory::kCount); ++c) {
+      const auto cat = static_cast<EnergyCategory>(c);
+      if (p.ledger.count(cat) == 0) continue;
+      j.key(to_string(cat));
+      j.begin_object();
+      j.kv("joules", p.ledger.get(cat).in_joules());
+      j.kv("charges", p.ledger.count(cat));
+      j.end_object();
+    }
+    j.end_object();
+
+    if (p.has_cnt_stats) {
+      j.key("cnt");
+      j.begin_object();
+      j.kv("windows_evaluated", p.cnt_stats.windows_evaluated);
+      j.kv("switch_decisions", p.cnt_stats.switch_decisions);
+      j.kv("reencodes_applied", p.cnt_stats.reencodes_applied);
+      j.kv("partition_flips_applied", p.cnt_stats.partition_flips_applied);
+      j.kv("skipped_pending", p.cnt_stats.skipped_pending);
+      j.kv("fill_inversions", p.cnt_stats.fill_inversions);
+      j.kv("zero_fills", p.cnt_stats.zero_fills);
+      j.kv("zero_reads", p.cnt_stats.zero_reads);
+      j.kv("zero_materializations", p.cnt_stats.zero_materializations);
+      j.kv("fifo_pushed", p.queue_stats.pushed);
+      j.kv("fifo_dropped_full", p.queue_stats.dropped_full);
+      j.kv("fifo_drained_stale", p.queue_stats.drained_stale);
+      j.end_object();
+    }
+    j.end_object();
+  }
+  j.end_array();
+
+  j.key("savings");
+  j.begin_object();
+  for (const auto& p : r.policies) {
+    if (p.name == kPolicyBaseline) continue;
+    j.kv(p.name, r.saving(p.name));
+  }
+  j.end_object();
+
+  j.end_object();
+}
+
+}  // namespace
+
+void dump_json(const SimResult& result, std::ostream& os) {
+  JsonWriter j(os);
+  dump_result(j, result);
+  os << '\n';
+}
+
+void dump_json(const std::vector<SimResult>& results, std::ostream& os) {
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("schema", "cnt-cache-results-v1");
+  j.key("results");
+  j.begin_array();
+  for (const auto& r : results) dump_result(j, r);
+  j.end_array();
+  j.end_object();
+  os << '\n';
+}
+
+void dump_json_file(const std::vector<SimResult>& results,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("stats_dump: cannot open " + path);
+  dump_json(results, out);
+}
+
+}  // namespace cnt

@@ -1,0 +1,26 @@
+// Machine-readable experiment output: serialize SimResults as JSON so
+// external tooling (plotters, CI regressions, notebooks) can consume runs
+// without scraping tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace cnt {
+
+/// One result as a JSON object: workload + trace stats + cache stats +
+/// per-policy ledgers (per-category joules and charge counts) + CNT
+/// predictor/queue statistics where present.
+void dump_json(const SimResult& result, std::ostream& os);
+
+/// Many results as {"results": [...]} with a schema version.
+void dump_json(const std::vector<SimResult>& results, std::ostream& os);
+
+/// Convenience: write to a file; throws std::runtime_error on I/O failure.
+void dump_json_file(const std::vector<SimResult>& results,
+                    const std::string& path);
+
+}  // namespace cnt

@@ -1,0 +1,60 @@
+// Memory-access record: the unit of stimulus for the cache simulator.
+//
+// CNT-Cache's energy model depends on the *values* flowing through the
+// cache (bit-1 density decides encoding profit), so write records carry
+// their data payload -- the simulator is value-carrying end to end, like a
+// gem5 syscall-emulation run, not an address-only trace replay.
+#pragma once
+
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+enum class MemOp : u8 {
+  kRead,    ///< data load
+  kWrite,   ///< data store (carries `value`)
+  kIFetch,  ///< instruction fetch (read-only, separate cache port)
+};
+
+[[nodiscard]] constexpr const char* to_string(MemOp op) noexcept {
+  switch (op) {
+    case MemOp::kRead: return "R";
+    case MemOp::kWrite: return "W";
+    case MemOp::kIFetch: return "I";
+  }
+  return "?";
+}
+
+struct MemAccess {
+  u64 addr = 0;   ///< byte address; must be `size`-aligned
+  u64 value = 0;  ///< little-endian payload, low `size` bytes (writes only)
+  u8 size = 8;    ///< access width in bytes: 1, 2, 4, or 8
+  MemOp op = MemOp::kRead;
+
+  [[nodiscard]] bool is_write() const noexcept { return op == MemOp::kWrite; }
+
+  /// Validity: power-of-two size <= 8 and naturally aligned (so an access
+  /// never straddles a cache line of >= 8 bytes).
+  [[nodiscard]] bool valid() const noexcept {
+    return (size == 1 || size == 2 || size == 4 || size == 8) &&
+           (addr % size) == 0;
+  }
+
+  [[nodiscard]] static MemAccess read(u64 addr, u8 size = 8) noexcept {
+    return MemAccess{.addr = addr, .value = 0, .size = size,
+                     .op = MemOp::kRead};
+  }
+  [[nodiscard]] static MemAccess write(u64 addr, u64 value,
+                                       u8 size = 8) noexcept {
+    return MemAccess{.addr = addr, .value = value, .size = size,
+                     .op = MemOp::kWrite};
+  }
+  [[nodiscard]] static MemAccess ifetch(u64 addr, u8 size = 8) noexcept {
+    return MemAccess{.addr = addr, .value = 0, .size = size,
+                     .op = MemOp::kIFetch};
+  }
+};
+
+}  // namespace cnt

@@ -1,0 +1,60 @@
+#include "trace/capture.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace cnt {
+
+void TraceCapture::register_segment(u64 base, usize bytes, const u8* data) {
+  // Overlap with an existing segment would make the init image ambiguous.
+  for (const auto& seg : workload_.init) {
+    const u64 seg_end = seg.base + seg.bytes.size();
+    if (base < seg_end && base + bytes > seg.base) {
+      throw std::invalid_argument(
+          "TraceCapture: array overlaps an existing array at base 0x" +
+          std::to_string(base));
+    }
+  }
+
+  MemorySegment seg;
+  seg.base = base;
+  if (data != nullptr) {
+    seg.bytes.assign(data, data + bytes);
+  } else {
+    seg.bytes.assign(bytes, 0);
+  }
+  image_.push_back(seg);  // current values start equal to initial values
+  workload_.init.push_back(std::move(seg));
+}
+
+MemorySegment& TraceCapture::segment_for(u64 addr, usize size) {
+  for (auto& seg : image_) {
+    if (addr >= seg.base && addr + size <= seg.base + seg.bytes.size()) {
+      return seg;
+    }
+  }
+  throw std::out_of_range("TraceCapture: access at 0x" +
+                          std::to_string(addr) +
+                          " is outside every registered array");
+}
+
+void TraceCapture::read_image(u64 addr, usize size, u8* out) {
+  const MemorySegment& seg = segment_for(addr, size);
+  std::memcpy(out, seg.bytes.data() + (addr - seg.base), size);
+}
+
+void TraceCapture::write_image(u64 addr, usize size, const u8* in) {
+  MemorySegment& seg = segment_for(addr, size);
+  std::memcpy(seg.bytes.data() + (addr - seg.base), in, size);
+}
+
+Workload TraceCapture::take() {
+  Workload out = std::move(workload_);
+  workload_ = Workload{};
+  workload_.name = name_;
+  workload_.trace.set_name(name_);
+  image_.clear();
+  return out;
+}
+
+}  // namespace cnt

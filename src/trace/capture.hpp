@@ -1,0 +1,182 @@
+// Kernel capture: write a memory kernel as ordinary C++ against typed
+// array views, and get a value-carrying Workload out -- the syscall-
+// emulation front door for user-defined workloads.
+//
+//   TraceCapture tc("my_kernel");
+//   auto a = tc.array<double>(0x1000'0000, 1024);   // zero-initialized
+//   auto b = tc.array<i32>(0x2000'0000, src_values); // copied-in data
+//   for (usize i = 0; i + 1 < 1024; ++i) {
+//     a[i + 1] = a[i] * 0.5 + static_cast<double>(b[i]);  // loads+store
+//   }
+//   Workload w = tc.take();
+//
+// Every element read records a load (and returns the current value from
+// the backing image); every assignment records a store carrying the real
+// bytes. Initial contents become init segments, so the simulator's memory
+// is consistent with what the kernel saw.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cnt {
+
+class TraceCapture;
+
+namespace detail {
+
+template <typename T>
+concept CapturableScalar =
+    std::is_trivially_copyable_v<T> && (sizeof(T) == 1 || sizeof(T) == 2 ||
+                                        sizeof(T) == 4 || sizeof(T) == 8);
+
+template <CapturableScalar T>
+u64 to_word(T v) {
+  u64 w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  return w;
+}
+
+template <CapturableScalar T>
+T from_word(u64 w) {
+  T v;
+  std::memcpy(&v, &w, sizeof(T));
+  return v;
+}
+
+}  // namespace detail
+
+/// Proxy for one element access; converts on read, records on write.
+template <detail::CapturableScalar T>
+class ElementRef {
+ public:
+  ElementRef(TraceCapture& tc, u64 addr) : tc_(&tc), addr_(addr) {}
+
+  operator T() const;              // load
+  ElementRef& operator=(T value);  // store
+  ElementRef& operator=(const ElementRef& other) {  // element-to-element copy
+    return *this = static_cast<T>(other);
+  }
+  ElementRef(const ElementRef&) = default;
+
+  ElementRef& operator+=(T v) { return *this = static_cast<T>(*this) + v; }
+  ElementRef& operator-=(T v) { return *this = static_cast<T>(*this) - v; }
+  ElementRef& operator*=(T v) { return *this = static_cast<T>(*this) * v; }
+
+ private:
+  TraceCapture* tc_;
+  u64 addr_;
+};
+
+/// Typed window over captured memory.
+template <detail::CapturableScalar T>
+class ArrayView {
+ public:
+  ArrayView(TraceCapture& tc, u64 base, usize count)
+      : tc_(&tc), base_(base), count_(count) {}
+
+  [[nodiscard]] usize size() const noexcept { return count_; }
+  [[nodiscard]] u64 base() const noexcept { return base_; }
+  [[nodiscard]] u64 addr_of(usize i) const noexcept {
+    return base_ + i * sizeof(T);
+  }
+
+  [[nodiscard]] ElementRef<T> operator[](usize i) {
+    return ElementRef<T>(*tc_, addr_of(i));
+  }
+  /// Read-only access from a const view (still records the load).
+  [[nodiscard]] T at(usize i) const;
+
+ private:
+  TraceCapture* tc_;
+  u64 base_;
+  usize count_;
+};
+
+class TraceCapture {
+ public:
+  explicit TraceCapture(std::string name) : name_(std::move(name)) {
+    workload_.name = name_;
+    workload_.trace.set_name(name_);
+  }
+
+  /// Zero-initialized array at `base`. The base must be sizeof(T)-aligned.
+  template <detail::CapturableScalar T>
+  ArrayView<T> array(u64 base, usize count) {
+    register_segment(base, count * sizeof(T), nullptr);
+    return ArrayView<T>(*this, base, count);
+  }
+
+  /// Array initialized from `init` (contents become an init segment).
+  template <detail::CapturableScalar T>
+  ArrayView<T> array(u64 base, const std::vector<T>& init) {
+    register_segment(base, init.size() * sizeof(T),
+                     reinterpret_cast<const u8*>(init.data()));
+    return ArrayView<T>(*this, base, init.size());
+  }
+
+  /// Finalize: returns the workload (trace + init segments). The capture
+  /// is left empty and reusable.
+  [[nodiscard]] Workload take();
+
+  [[nodiscard]] usize recorded() const noexcept {
+    return workload_.trace.size();
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // -- recording primitives (used by the proxies; public so free kernels
+  //    can record raw accesses too). Accesses outside every registered
+  //    array throw std::out_of_range: the capture doubles as a bounds
+  //    checker for the kernel under test. --
+  template <detail::CapturableScalar T>
+  T load(u64 addr) {
+    workload_.trace.push(MemAccess::read(addr, sizeof(T)));
+    u64 word = 0;
+    read_image(addr, sizeof(T), reinterpret_cast<u8*>(&word));
+    return detail::from_word<T>(word);
+  }
+
+  template <detail::CapturableScalar T>
+  void store(u64 addr, T value) {
+    const u64 word = detail::to_word(value);
+    workload_.trace.push(
+        MemAccess::write(addr, word, static_cast<u8>(sizeof(T))));
+    write_image(addr, sizeof(T), reinterpret_cast<const u8*>(&word));
+  }
+
+ private:
+  void register_segment(u64 base, usize bytes, const u8* data);
+  /// Locate the current-value segment containing [addr, addr+size);
+  /// throws std::out_of_range when no registered array covers it.
+  [[nodiscard]] MemorySegment& segment_for(u64 addr, usize size);
+  void read_image(u64 addr, usize size, u8* out);
+  void write_image(u64 addr, usize size, const u8* in);
+
+  std::string name_;
+  Workload workload_;
+  /// Current memory contents, same layout as workload_.init (which keeps
+  /// the *initial* values).
+  std::vector<MemorySegment> image_;
+};
+
+template <detail::CapturableScalar T>
+ElementRef<T>::operator T() const {
+  return tc_->load<T>(addr_);
+}
+
+template <detail::CapturableScalar T>
+ElementRef<T>& ElementRef<T>::operator=(T value) {
+  tc_->store(addr_, value);
+  return *this;
+}
+
+template <detail::CapturableScalar T>
+T ArrayView<T>::at(usize i) const {
+  return tc_->load<T>(addr_of(i));
+}
+
+}  // namespace cnt

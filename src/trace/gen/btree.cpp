@@ -1,0 +1,85 @@
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload btree_lookup(const BtreeParams& p) {
+  Workload w;
+  w.name = "btree_lookup";
+  w.description =
+      "B+-tree point lookups: hot upper levels, cold leaves; key/pointer "
+      "data";
+  Rng rng(p.seed);
+  SmallIntModel keys(40, 0.8);
+  PointerModel ptrs;
+
+  // Node layout: fanout keys (8 B each) followed by fanout+1 child
+  // pointers. Levels are laid out breadth-first, each level contiguous.
+  const usize node_words = p.fanout + p.fanout + 1;
+  const usize node_bytes = node_words * 8;
+
+  std::vector<u64> level_base(p.levels);
+  std::vector<usize> level_nodes(p.levels);
+  u64 cursor = kRegionA;
+  usize nodes = 1;
+  for (usize lvl = 0; lvl < p.levels; ++lvl) {
+    level_base[lvl] = cursor;
+    level_nodes[lvl] = nodes;
+    cursor += static_cast<u64>(nodes) * node_bytes;
+    nodes *= p.fanout;
+  }
+
+  // Initialize every node: sorted-ish keys then child pointers.
+  for (usize lvl = 0; lvl < p.levels; ++lvl) {
+    MemorySegment seg;
+    seg.base = level_base[lvl];
+    seg.bytes.assign(level_nodes[lvl] * node_bytes, 0);
+    auto put = [&seg](usize off, u64 v) {
+      for (usize b = 0; b < 8; ++b) {
+        seg.bytes[off + b] = static_cast<u8>(v >> (8 * b));
+      }
+    };
+    for (usize n = 0; n < level_nodes[lvl]; ++n) {
+      u64 key = keys.sample(rng) & 0xFFFF;
+      for (usize k = 0; k < p.fanout; ++k) {
+        key += 1 + rng.uniform(64);
+        put(n * node_bytes + k * 8, key);
+      }
+      for (usize c = 0; c <= p.fanout; ++c) {
+        put(n * node_bytes + (p.fanout + c) * 8, ptrs.sample(rng));
+      }
+    }
+    w.init.push_back(std::move(seg));
+  }
+
+  w.trace.set_name(w.name);
+  // Each lookup: binary-probe the keys of one node per level, then read
+  // the chosen child pointer.
+  for (usize q = 0; q < p.lookups; ++q) {
+    usize node = 0;
+    for (usize lvl = 0; lvl < p.levels; ++lvl) {
+      const u64 base = level_base[lvl] + node * node_bytes;
+      usize lo = 0, hi = p.fanout;
+      while (lo < hi) {
+        const usize mid = (lo + hi) / 2;
+        w.trace.push(MemAccess::read(base + mid * 8));
+        if (rng.chance(0.5)) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      w.trace.push(MemAccess::read(base + (p.fanout + lo) * 8));  // child ptr
+      if (lvl + 1 < p.levels) {
+        node = node * p.fanout + (lo % p.fanout);
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

@@ -1,0 +1,54 @@
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+
+namespace cnt::gen {
+
+namespace {
+
+/// A 64-bit word with each bit independently 1 with probability `density`.
+u64 biased_word(Rng& rng, double density) {
+  u64 w = 0;
+  for (u32 b = 0; b < 64; ++b) {
+    if (rng.chance(density)) w |= 1ULL << b;
+  }
+  return w;
+}
+
+}  // namespace
+
+Workload density_probe(const DensityProbeParams& p) {
+  Workload w;
+  w.name = "density_probe";
+  w.description =
+      "synthetic probe: Bernoulli(" + std::to_string(p.bit1_density) +
+      ") data bits, " + std::to_string(p.write_fraction) + " write fraction";
+  Rng rng(p.seed);
+
+  const u64 base = kRegionA;
+  MemorySegment seg;
+  seg.base = base;
+  seg.bytes.resize(p.lines * 64);
+  for (usize i = 0; i < seg.bytes.size(); i += 8) {
+    const u64 v = biased_word(rng, p.bit1_density);
+    for (usize b = 0; b < 8; ++b) {
+      seg.bytes[i + b] = static_cast<u8>(v >> (8 * b));
+    }
+  }
+  w.init.push_back(std::move(seg));
+
+  w.trace.set_name(w.name);
+  w.trace.reserve(p.accesses);
+  const usize words = p.lines * 8;
+  for (usize i = 0; i < p.accesses; ++i) {
+    const u64 addr = base + rng.uniform(words) * 8;
+    if (rng.chance(p.write_fraction)) {
+      w.trace.push(MemAccess::write(addr, biased_word(rng, p.bit1_density)));
+    } else {
+      w.trace.push(MemAccess::read(addr));
+    }
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

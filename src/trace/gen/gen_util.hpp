@@ -1,0 +1,47 @@
+// Shared helpers for the workload generators (internal to src/trace/gen).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+/// Append an initial-memory segment of `words` 64-bit words at `base`,
+/// sampled from `model`. Returns the segment's end address.
+inline u64 init_segment(Workload& w, u64 base, usize words, ValueModel& model,
+                        Rng& rng) {
+  MemorySegment seg;
+  seg.base = base;
+  seg.bytes.resize(words * 8);
+  for (usize i = 0; i < words; ++i) {
+    const u64 v = model.sample(rng);
+    for (usize b = 0; b < 8; ++b) {
+      seg.bytes[i * 8 + b] = static_cast<u8>(v >> (8 * b));
+    }
+  }
+  w.init.push_back(std::move(seg));
+  return base + words * 8;
+}
+
+/// Append a zero-filled segment (e.g. output arrays written before read in
+/// some sweeps but read-before-write in later ones).
+inline u64 init_zero_segment(Workload& w, u64 base, usize bytes) {
+  MemorySegment seg;
+  seg.base = base;
+  seg.bytes.assign(bytes, 0);
+  w.init.push_back(std::move(seg));
+  return base + bytes;
+}
+
+// Disjoint virtual-address regions for the generators' data segments.
+inline constexpr u64 kRegionA = 0x1000'0000;
+inline constexpr u64 kRegionB = 0x2000'0000;
+inline constexpr u64 kRegionC = 0x3000'0000;
+inline constexpr u64 kRegionD = 0x4000'0000;
+inline constexpr u64 kTextRegion = 0x0040'0000;  ///< code for ifetch
+
+}  // namespace cnt::gen

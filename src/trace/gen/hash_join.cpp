@@ -1,0 +1,51 @@
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload hash_join(const HashJoinParams& p) {
+  Workload w;
+  w.name = "hash_join";
+  w.description =
+      "hash join: write-intensive build phase then read-intensive probe "
+      "phase over the same table (phase-change workload)";
+  Rng rng(p.seed);
+  SmallIntModel keys(30, 0.7);
+  PointerModel ptrs;
+
+  // Bucket layout (16 B): [key:8][tuple_ptr:8]; open addressing by key hash.
+  constexpr usize kBucketBytes = 16;
+  const u64 table = kRegionA;
+  init_zero_segment(w, table, p.buckets * kBucketBytes);
+
+  auto bucket_addr = [&](u64 key) {
+    // Multiplicative hash, power-of-two table assumed not required.
+    const u64 h = (key * 0x9E3779B97F4A7C15ULL) >> 32;
+    return table + (h % p.buckets) * kBucketBytes;
+  };
+
+  w.trace.set_name(w.name);
+  w.trace.reserve(p.build_tuples * 3 + p.probe_tuples * 2);
+
+  // Build: probe the slot (read key), then write key + pointer.
+  for (usize i = 0; i < p.build_tuples; ++i) {
+    const u64 key = keys.sample(rng);
+    const u64 slot = bucket_addr(key);
+    w.trace.push(MemAccess::read(slot + 0));
+    w.trace.push(MemAccess::write(slot + 0, key));
+    w.trace.push(MemAccess::write(slot + 8, ptrs.sample(rng)));
+  }
+
+  // Probe: read key + pointer per lookup.
+  for (usize i = 0; i < p.probe_tuples; ++i) {
+    const u64 key = keys.sample(rng);
+    const u64 slot = bucket_addr(key);
+    w.trace.push(MemAccess::read(slot + 0));
+    w.trace.push(MemAccess::read(slot + 8));
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

@@ -1,0 +1,47 @@
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload ifetch_stream(const IFetchParams& p) {
+  Workload w;
+  w.name = "ifetch";
+  w.description =
+      "instruction-fetch stream: Zipf-popular basic blocks of sequential "
+      "fetches (read-only, RISC-encoded words)";
+  Rng rng(p.seed);
+  InstructionModel insns;
+
+  // Lay out basic blocks back to back in the text segment; each block is
+  // 4..24 64-bit fetch words long.
+  std::vector<u64> block_start(p.static_blocks);
+  std::vector<usize> block_len(p.static_blocks);
+  u64 pc = kTextRegion;
+  for (usize b = 0; b < p.static_blocks; ++b) {
+    block_start[b] = pc;
+    block_len[b] = 4 + rng.uniform(21);
+    pc += block_len[b] * 8;
+  }
+  const usize text_words = static_cast<usize>((pc - kTextRegion) / 8);
+  init_segment(w, kTextRegion, text_words, insns, rng);
+
+  ZipfSampler popularity(p.static_blocks, p.zipf_s);
+
+  w.trace.set_name(w.name);
+  w.trace.reserve(p.fetches + 32);
+  usize emitted = 0;
+  while (emitted < p.fetches) {
+    const usize b = popularity.sample(rng);
+    for (usize i = 0; i < block_len[b] && emitted < p.fetches; ++i) {
+      w.trace.push(MemAccess::ifetch(block_start[b] + i * 8));
+      ++emitted;
+    }
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

@@ -1,0 +1,43 @@
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload image_blur(const ImageBlurParams& p) {
+  Workload w;
+  w.name = "image_blur";
+  w.description =
+      "3x3 box blur over an 8-bit image; 9 byte-reads per written pixel, "
+      "dark-ish pixel statistics";
+  Rng rng(p.seed);
+  PixelModel pixels(90.0, 45.0);
+
+  const u64 img = kRegionA;
+  const u64 out = kRegionB;
+  const usize pixel_words = p.width * p.height / 8;
+  init_segment(w, img, pixel_words, pixels, rng);
+  init_zero_segment(w, out, p.width * p.height);
+
+  auto at = [width = p.width](u64 base, usize r, usize c) {
+    return base + r * width + c;
+  };
+
+  w.trace.set_name(w.name);
+  w.trace.reserve((p.width - 2) * (p.height - 2) * 10);
+  for (usize r = 1; r + 1 < p.height; ++r) {
+    for (usize c = 1; c + 1 < p.width; ++c) {
+      for (usize dr = 0; dr < 3; ++dr) {
+        for (usize dc = 0; dc < 3; ++dc) {
+          w.trace.push(MemAccess::read(at(img, r + dr - 1, c + dc - 1), 1));
+        }
+      }
+      const u8 px = static_cast<u8>(pixels.sample(rng));
+      w.trace.push(MemAccess::write(at(out, r, c), px, 1));
+    }
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

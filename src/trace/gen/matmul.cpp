@@ -1,0 +1,56 @@
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload matmul(const MatmulParams& p) {
+  assert(p.block > 0 && p.n % p.block == 0);
+  Workload w;
+  w.name = "matmul";
+  w.description =
+      "blocked f32 matrix multiply C += A*B with register accumulation; "
+      "read-dominated with strong block reuse";
+  Rng rng(p.seed);
+  Float32PairModel values(0.0, 2.0);
+
+  // f32 matrices; accesses are 4-byte.
+  const u64 a_base = kRegionA;
+  const u64 b_base = kRegionB;
+  const u64 c_base = kRegionC;
+  const usize mat_words = p.n * p.n / 2 + 1;  // f32 count / 2 per u64
+  init_segment(w, a_base, mat_words, values, rng);
+  init_segment(w, b_base, mat_words, values, rng);
+  init_zero_segment(w, c_base, p.n * p.n * 4 + 8);
+
+  auto idx = [n = p.n](u64 base, usize r, usize c) {
+    return base + (r * n + c) * 4;
+  };
+  auto f32_value = [&rng, &values]() {
+    return values.sample(rng) & 0xFFFF'FFFFULL;
+  };
+
+  w.trace.set_name(w.name);
+  // k-blocked i-j-k loop with the C element accumulated in a register:
+  // per (kb, i, j) -- load C once, stream A[i, kb..] and B[kb.., j], store
+  // C once. This is how compiled matmul actually touches memory; C traffic
+  // is a small read-dominated fraction, A rows and B columns dominate.
+  for (usize kb = 0; kb < p.n; kb += p.block) {
+    for (usize i = 0; i < p.n; ++i) {
+      for (usize j = 0; j < p.n; ++j) {
+        w.trace.push(MemAccess::read(idx(c_base, i, j), 4));
+        for (usize k = kb; k < kb + p.block; ++k) {
+          w.trace.push(MemAccess::read(idx(a_base, i, k), 4));
+          w.trace.push(MemAccess::read(idx(b_base, k, j), 4));
+        }
+        w.trace.push(MemAccess::write(idx(c_base, i, j), f32_value(), 4));
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

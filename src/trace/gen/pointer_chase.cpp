@@ -1,0 +1,69 @@
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload pointer_chase(const PointerChaseParams& p) {
+  Workload w;
+  w.name = "pointer_chase";
+  w.description =
+      "linked-list traversal with occasional payload updates; ~95% reads, "
+      "pointer-valued data";
+  Rng rng(p.seed);
+  SmallIntModel payload(32, 0.7);
+
+  // Node layout (32 B): [next:8][payload:8][key:8][pad:8].
+  constexpr usize kNodeBytes = 32;
+  const u64 heap = kRegionA;
+
+  // Random permutation cycle so the chase visits every node before
+  // repeating (a classic pointer-chase construction).
+  std::vector<usize> perm(p.nodes);
+  std::iota(perm.begin(), perm.end(), usize{0});
+  for (usize i = p.nodes - 1; i > 0; --i) {
+    const usize j = rng.uniform(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+
+  MemorySegment seg;
+  seg.base = heap;
+  seg.bytes.assign(p.nodes * kNodeBytes, 0);
+  auto put_word = [&seg](usize offset, u64 v) {
+    for (usize b = 0; b < 8; ++b) {
+      seg.bytes[offset + b] = static_cast<u8>(v >> (8 * b));
+    }
+  };
+  for (usize i = 0; i < p.nodes; ++i) {
+    const usize cur = perm[i];
+    const usize nxt = perm[(i + 1) % p.nodes];
+    put_word(cur * kNodeBytes + 0, heap + nxt * kNodeBytes);
+    put_word(cur * kNodeBytes + 8, payload.sample(rng));
+    put_word(cur * kNodeBytes + 16, payload.sample(rng));
+  }
+  w.init.push_back(std::move(seg));
+
+  w.trace.set_name(w.name);
+  w.trace.reserve(p.hops * 2);
+  usize node = perm[0];
+  std::vector<usize> next_of(p.nodes);
+  for (usize i = 0; i < p.nodes; ++i) {
+    next_of[perm[i]] = perm[(i + 1) % p.nodes];
+  }
+  for (usize hop = 0; hop < p.hops; ++hop) {
+    const u64 node_addr = heap + node * kNodeBytes;
+    w.trace.push(MemAccess::read(node_addr));          // load next pointer
+    w.trace.push(MemAccess::read(node_addr + 8));      // load payload
+    if (rng.chance(p.update_prob)) {
+      w.trace.push(MemAccess::write(node_addr + 8, payload.sample(rng)));
+    }
+    node = next_of[node];
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

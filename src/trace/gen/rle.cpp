@@ -1,0 +1,62 @@
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+
+namespace cnt::gen {
+
+Workload rle_compress(const RleParams& p) {
+  Workload w;
+  w.name = "rle_compress";
+  w.description =
+      "run-length compression: byte reads of run-structured input, "
+      "(count, value) pair writes";
+  Rng rng(p.seed);
+
+  const u64 input = kRegionA;
+  const u64 output = kRegionB;
+
+  // Run-structured input: long runs of one byte value, then a switch.
+  MemorySegment seg;
+  seg.base = input;
+  seg.bytes.resize(p.input_bytes);
+  u8 current = static_cast<u8>(rng.next());
+  for (auto& b : seg.bytes) {
+    if (!rng.chance(p.run_continue_prob)) {
+      current = static_cast<u8>(rng.next());
+    }
+    b = current;
+  }
+  const auto input_image = seg.bytes;  // replayed below for exact counts
+  w.init.push_back(std::move(seg));
+  init_zero_segment(w, output, p.input_bytes);  // worst-case output size
+
+  w.trace.set_name(w.name);
+  w.trace.reserve(p.input_bytes + p.input_bytes / 4);
+  u64 out_pos = 0;
+  usize run_len = 0;
+  u8 run_val = input_image[0];
+  auto flush_run = [&](u8 value, usize len) {
+    while (len > 0) {
+      const usize chunk = std::min<usize>(len, 255);
+      w.trace.push(
+          MemAccess::write(output + out_pos, chunk, 1));        // count byte
+      w.trace.push(MemAccess::write(output + out_pos + 1, value, 1));
+      out_pos += 2;
+      len -= chunk;
+    }
+  };
+  for (usize i = 0; i < input_image.size(); ++i) {
+    w.trace.push(MemAccess::read(input + i, 1));
+    if (input_image[i] == run_val) {
+      ++run_len;
+    } else {
+      flush_run(run_val, run_len);
+      run_val = input_image[i];
+      run_len = 1;
+    }
+  }
+  flush_run(run_val, run_len);
+  return w;
+}
+
+}  // namespace cnt::gen

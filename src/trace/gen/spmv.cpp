@@ -1,0 +1,70 @@
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload spmv(const SpmvParams& p) {
+  Workload w;
+  w.name = "spmv";
+  w.description =
+      "CSR sparse matrix-vector product; f64 values, low-density column "
+      "indices, hot x vector, ~95% reads";
+  Rng rng(p.seed);
+  Float64Model vals(0.0, 1.0);
+  Float64Model xvals(1.0, 0.5);
+  SmallIntModel idxm(16, 0.8);
+
+  const usize nnz = p.rows * p.nnz_per_row;
+  const usize ncols = p.rows;  // square matrix
+  const u64 val_base = kRegionA;               // f64[nnz]
+  const u64 col_base = kRegionB;               // u64[nnz] column indices
+  const u64 x_base = kRegionC;                 // f64[ncols]
+  const u64 y_base = kRegionD;                 // f64[rows]
+
+  init_segment(w, val_base, nnz, vals, rng);
+  init_segment(w, x_base, ncols, xvals, rng);
+  init_zero_segment(w, y_base, p.rows * 8);
+
+  // Column indices: clustered around the diagonal (banded sparsity), which
+  // keeps x-vector reuse realistic. Stored as real small integers so the
+  // column-index loads carry low-density values.
+  std::vector<u64> cols(nnz);
+  {
+    MemorySegment seg;
+    seg.base = col_base;
+    seg.bytes.assign(nnz * 8, 0);
+    for (usize r = 0; r < p.rows; ++r) {
+      for (usize k = 0; k < p.nnz_per_row; ++k) {
+        const u64 band = idxm.sample(rng) % 256;
+        const u64 col = (r + band) % ncols;
+        cols[r * p.nnz_per_row + k] = col;
+        const usize off = (r * p.nnz_per_row + k) * 8;
+        for (usize b = 0; b < 8; ++b) {
+          seg.bytes[off + b] = static_cast<u8>(col >> (8 * b));
+        }
+      }
+    }
+    w.init.push_back(std::move(seg));
+  }
+
+  w.trace.set_name(w.name);
+  w.trace.reserve(p.repeats * nnz * 3 + p.repeats * p.rows * 2);
+  for (usize rep = 0; rep < p.repeats; ++rep) {
+    for (usize r = 0; r < p.rows; ++r) {
+      for (usize k = 0; k < p.nnz_per_row; ++k) {
+        const usize e = r * p.nnz_per_row + k;
+        w.trace.push(MemAccess::read(col_base + e * 8));  // column index
+        w.trace.push(MemAccess::read(val_base + e * 8));  // matrix value
+        w.trace.push(MemAccess::read(x_base + cols[e] * 8));  // x gather
+      }
+      w.trace.push(MemAccess::write(y_base + r * 8, vals.sample(rng)));
+    }
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

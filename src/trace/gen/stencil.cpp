@@ -1,0 +1,47 @@
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload stencil2d(const StencilParams& p) {
+  Workload w;
+  w.name = "stencil2d";
+  w.description =
+      "5-point Jacobi sweeps over an f64 temperature grid; ~17% writes, "
+      "high spatial reuse";
+  Rng rng(p.seed);
+  // Temperature field around 300K: the exponent bits are constant across
+  // the grid, which concentrates the bit distribution.
+  Float64Model values(300.0, 5.0);
+
+  const u64 grid = kRegionA;
+  const u64 out = kRegionB;
+  init_segment(w, grid, p.rows * p.cols, values, rng);
+  init_zero_segment(w, out, p.rows * p.cols * 8);
+
+  auto at = [cols = p.cols](u64 base, usize r, usize c) {
+    return base + (r * cols + c) * 8;
+  };
+
+  w.trace.set_name(w.name);
+  for (usize sweep = 0; sweep < p.sweeps; ++sweep) {
+    // Alternate source/destination grids between sweeps (Jacobi ping-pong).
+    const u64 src = (sweep % 2 == 0) ? grid : out;
+    const u64 dst = (sweep % 2 == 0) ? out : grid;
+    for (usize r = 1; r + 1 < p.rows; ++r) {
+      for (usize c = 1; c + 1 < p.cols; ++c) {
+        w.trace.push(MemAccess::read(at(src, r, c)));
+        w.trace.push(MemAccess::read(at(src, r - 1, c)));
+        w.trace.push(MemAccess::read(at(src, r + 1, c)));
+        w.trace.push(MemAccess::read(at(src, r, c - 1)));
+        w.trace.push(MemAccess::read(at(src, r, c + 1)));
+        w.trace.push(MemAccess::write(at(dst, r, c), values.sample(rng)));
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

@@ -1,0 +1,65 @@
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload stream_copy(const StreamCopyParams& p) {
+  Workload w;
+  w.name = "stream_copy";
+  w.description =
+      "sequential signed-integer record copy src->dst; streaming, 50% "
+      "writes, per-word bimodal bit density (positives sparse, negatives "
+      "dense)";
+  Rng rng(p.seed);
+  // Mostly-positive counters/sizes with a significant minority of negative
+  // deltas -- the typical mix in integer record data.
+  SignedIntModel values(40, 0.72, 0.3);
+
+  const u64 src = kRegionA;
+  const u64 dst = kRegionB;
+  init_segment(w, src, p.elements, values, rng);
+  init_zero_segment(w, dst, p.elements * 8);
+
+  w.trace.set_name(w.name);
+  w.trace.reserve(p.elements * p.passes * 2);
+  for (usize pass = 0; pass < p.passes; ++pass) {
+    for (usize i = 0; i < p.elements; ++i) {
+      w.trace.push(MemAccess::read(src + i * 8));
+      // The copied value mirrors the source distribution; we re-sample from
+      // the same model rather than tracking memory contents in the
+      // generator (the simulator's memory image is authoritative).
+      w.trace.push(MemAccess::write(dst + i * 8, values.sample(rng)));
+    }
+  }
+  return w;
+}
+
+Workload stream_scale(const StreamScaleParams& p) {
+  Workload w;
+  w.name = "stream_scale";
+  w.description =
+      "daxpy-style y = a*x + y over packed f32 pairs; streaming, ~33% "
+      "writes, float-typical density";
+  Rng rng(p.seed);
+  Float32PairModel values(0.0, 4.0);
+
+  const u64 x = kRegionA;
+  const u64 y = kRegionB;
+  init_segment(w, x, p.elements, values, rng);
+  init_segment(w, y, p.elements, values, rng);
+
+  w.trace.set_name(w.name);
+  w.trace.reserve(p.elements * p.passes * 3);
+  for (usize pass = 0; pass < p.passes; ++pass) {
+    for (usize i = 0; i < p.elements; ++i) {
+      w.trace.push(MemAccess::read(x + i * 8));
+      w.trace.push(MemAccess::read(y + i * 8));
+      w.trace.push(MemAccess::write(y + i * 8, values.sample(rng)));
+    }
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

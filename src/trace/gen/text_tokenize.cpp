@@ -1,0 +1,39 @@
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload text_tokenize(const TextTokenizeParams& p) {
+  Workload w;
+  w.name = "text_tokenize";
+  w.description =
+      "tokenizer: sequential ASCII reads plus a small hot write-intensive "
+      "counter table";
+  Rng rng(p.seed);
+  AsciiModel text;
+  SmallIntModel counts(24, 0.75);
+
+  const u64 buf = kRegionA;
+  const u64 table = kRegionB;
+  const usize words = p.text_bytes / 8;
+  init_segment(w, buf, words, text, rng);
+  init_zero_segment(w, table, p.table_entries * 8);
+
+  w.trace.set_name(w.name);
+  w.trace.reserve(words * 2);
+  for (usize i = 0; i < words; ++i) {
+    w.trace.push(MemAccess::read(buf + i * 8));
+    // Roughly one token boundary per 8-byte word of English-like text:
+    // bump a histogram slot (read-modify-write).
+    if (rng.chance(0.85)) {
+      const u64 slot = table + rng.uniform(p.table_entries) * 8;
+      w.trace.push(MemAccess::read(slot));
+      w.trace.push(MemAccess::write(slot, counts.sample(rng)));
+    }
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

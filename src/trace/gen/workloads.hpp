@@ -1,0 +1,168 @@
+// Synthetic benchmark-program generators.
+//
+// The paper evaluates CNT-Cache on "a set of benchmark programs" (names not
+// given in the surviving text). We model ten programs whose access patterns
+// AND value statistics span the space that matters for adaptive encoding:
+//
+//   - bit-1 density of the data (encoding profit grows as density leaves
+//     0.5),
+//   - read/write mix per line (decides the preferred encoding direction),
+//   - reuse per line (windows of W accesses must accumulate before the
+//     predictor can act), and
+//   - phase behaviour (read->write transitions exercise direction switches).
+//
+// Every generator is deterministic in its seed and returns a full Workload:
+// the access trace plus initial memory contents for everything read before
+// first write.
+#pragma once
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace cnt::gen {
+
+/// memcpy-style record copy: sequential reads of one integer array,
+/// sequential writes of another. Streaming (little reuse), write fraction
+/// 0.5, low bit-1 density (~0.1).
+struct StreamCopyParams {
+  usize elements = 4096;  ///< 8 B elements per array (32 KiB each)
+  usize passes = 6;
+  u64 seed = 0x5eed0001;
+};
+[[nodiscard]] Workload stream_copy(const StreamCopyParams& p = {});
+
+/// daxpy-style scale: y[i] = a*x[i] + y[i] over packed f32 pairs.
+/// Streaming, write fraction ~0.33, density ~0.45 (float bits).
+struct StreamScaleParams {
+  usize elements = 4096;
+  usize passes = 6;
+  u64 seed = 0x5eed0002;
+};
+[[nodiscard]] Workload stream_scale(const StreamScaleParams& p = {});
+
+/// Blocked dense matrix multiply C += A*B on f32 matrices.
+/// Read-dominated (~85%), strong reuse inside blocks, density ~0.42.
+struct MatmulParams {
+  usize n = 56;           ///< square matrix dimension
+  usize block = 8;        ///< blocking factor (must divide n)
+  u64 seed = 0x5eed0003;
+};
+[[nodiscard]] Workload matmul(const MatmulParams& p = {});
+
+/// 5-point Jacobi stencil over an f64 grid, several sweeps.
+/// Read fraction ~0.83, high spatial reuse, density ~0.4.
+struct StencilParams {
+  usize rows = 64;
+  usize cols = 64;
+  usize sweeps = 4;
+  u64 seed = 0x5eed0004;
+};
+[[nodiscard]] Workload stencil2d(const StencilParams& p = {});
+
+/// Linked-list traversal with occasional payload updates.
+/// Read fraction ~0.95, pointer-valued loads (density ~0.25), strong
+/// temporal reuse across passes.
+struct PointerChaseParams {
+  usize nodes = 2048;       ///< 32 B per node
+  usize hops = 60000;
+  double update_prob = 0.05;
+  u64 seed = 0x5eed0005;
+};
+[[nodiscard]] Workload pointer_chase(const PointerChaseParams& p = {});
+
+/// Key-value store under Zipfian key popularity (GET-heavy).
+/// Hot lines accumulate many accesses -> the predictor's windows fire
+/// often. Low-density integer/pointer records.
+struct ZipfKvParams {
+  usize records = 4096;   ///< 64 B records
+  usize ops = 60000;
+  double get_fraction = 0.75;
+  double zipf_s = 0.9;
+  u64 seed = 0x5eed0006;
+};
+[[nodiscard]] Workload zipf_kv(const ZipfKvParams& p = {});
+
+/// Hash join: write-intensive build phase, then read-intensive probe phase
+/// over the same table -- exercises encoding-direction switches.
+struct HashJoinParams {
+  usize buckets = 2048;   ///< 16 B per bucket
+  usize build_tuples = 12000;
+  usize probe_tuples = 48000;
+  u64 seed = 0x5eed0007;
+};
+[[nodiscard]] Workload hash_join(const HashJoinParams& p = {});
+
+/// Tokenizer: sequential reads of ASCII text (density ~0.42) plus a small,
+/// very hot, write-intensive counter table (density ~0.08).
+struct TextTokenizeParams {
+  usize text_bytes = 96 * 1024;
+  usize table_entries = 256;
+  u64 seed = 0x5eed0008;
+};
+[[nodiscard]] Workload text_tokenize(const TextTokenizeParams& p = {});
+
+/// 3x3 box blur over an 8-bit image: 9 reads per written pixel, dark-ish
+/// pixel values (density ~0.3).
+struct ImageBlurParams {
+  usize width = 128;
+  usize height = 128;
+  u64 seed = 0x5eed0009;
+};
+[[nodiscard]] Workload image_blur(const ImageBlurParams& p = {});
+
+/// Sparse matrix-vector product y = A*x in CSR form: f64 values, low-density
+/// column indices, hot x vector. Read fraction ~0.95.
+struct SpmvParams {
+  usize rows = 2048;
+  usize nnz_per_row = 12;
+  usize repeats = 2;
+  u64 seed = 0x5eed000a;
+};
+[[nodiscard]] Workload spmv(const SpmvParams& p = {});
+
+/// B+-tree point lookups: root-to-leaf descents through 4-level nodes of
+/// sorted keys + child pointers. Upper levels are hot (window-predictor
+/// territory), leaves are cold; data is low-density keys and pointers.
+/// Extra workload (not in the default suite).
+struct BtreeParams {
+  usize fanout = 16;      ///< keys per node (node = fanout keys + ptrs)
+  usize levels = 4;
+  usize lookups = 25000;
+  u64 seed = 0x5eed000c;
+};
+[[nodiscard]] Workload btree_lookup(const BtreeParams& p = {});
+
+/// Run-length compression pass: byte reads of run-structured input,
+/// (count, value) pair writes to the output -- a byte-oriented mixed-
+/// density streaming kernel. Extra workload (not in the default suite).
+struct RleParams {
+  usize input_bytes = 96 * 1024;
+  double run_continue_prob = 0.92;  ///< longer runs -> better compression
+  u64 seed = 0x5eed000d;
+};
+[[nodiscard]] Workload rle_compress(const RleParams& p = {});
+
+/// Synthetic mechanism probe: a resident working set whose data has an
+/// exact Bernoulli bit-1 density, accessed with an exact read/write mix.
+/// Not part of the benchmark suite -- used by the density-sweep experiment
+/// to chart where adaptive encoding wins and where it crosses over.
+struct DensityProbeParams {
+  double bit1_density = 0.1;    ///< P(stored bit == 1) of every data word
+  double write_fraction = 0.2;  ///< P(access is a store)
+  usize lines = 64;             ///< resident 64 B lines (fits any L1)
+  usize accesses = 30000;
+  u64 seed = 0x5eed00d5;
+};
+[[nodiscard]] Workload density_probe(const DensityProbeParams& p = {});
+
+/// Instruction-fetch stream: basic blocks of sequential fetches with
+/// branches between block start addresses (for the I-Cache experiment).
+struct IFetchParams {
+  usize static_blocks = 400;    ///< distinct basic blocks in the binary
+  usize fetches = 120000;
+  double zipf_s = 1.0;          ///< block popularity skew
+  u64 seed = 0x5eed000b;
+};
+[[nodiscard]] Workload ifetch_stream(const IFetchParams& p = {});
+
+}  // namespace cnt::gen

@@ -1,0 +1,65 @@
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+Workload zipf_kv(const ZipfKvParams& p) {
+  Workload w;
+  w.name = "zipf_kv";
+  w.description =
+      "key-value store under Zipfian popularity; GET-heavy, hot records, "
+      "integer/pointer fields";
+  Rng rng(p.seed);
+  SmallIntModel ints(36, 0.72);
+  PointerModel ptrs;
+
+  // Record layout (64 B = one cache line): [key][version][value_ptr][len]
+  // [ts][flags][pad][pad], all 8-byte fields.
+  constexpr usize kRecordBytes = 64;
+  const u64 table = kRegionA;
+
+  MemorySegment seg;
+  seg.base = table;
+  seg.bytes.assign(p.records * kRecordBytes, 0);
+  auto put_word = [&seg](usize offset, u64 v) {
+    for (usize b = 0; b < 8; ++b) {
+      seg.bytes[offset + b] = static_cast<u8>(v >> (8 * b));
+    }
+  };
+  for (usize r = 0; r < p.records; ++r) {
+    const usize base = r * kRecordBytes;
+    put_word(base + 0, ints.sample(rng));   // key
+    put_word(base + 8, 1);                  // version
+    put_word(base + 16, ptrs.sample(rng));  // value pointer
+    put_word(base + 24, ints.sample(rng));  // length
+    put_word(base + 32, ints.sample(rng));  // timestamp
+    put_word(base + 40, 0);                 // flags
+  }
+  w.init.push_back(std::move(seg));
+
+  ZipfSampler zipf(p.records, p.zipf_s);
+
+  w.trace.set_name(w.name);
+  w.trace.reserve(p.ops * 3);
+  for (usize op = 0; op < p.ops; ++op) {
+    const usize r = zipf.sample(rng);
+    const u64 rec = table + r * kRecordBytes;
+    if (rng.chance(p.get_fraction)) {
+      // GET: read key, version, value pointer.
+      w.trace.push(MemAccess::read(rec + 0));
+      w.trace.push(MemAccess::read(rec + 8));
+      w.trace.push(MemAccess::read(rec + 16));
+    } else {
+      // PUT: read key + version (check), write version, ts, value pointer.
+      w.trace.push(MemAccess::read(rec + 0));
+      w.trace.push(MemAccess::read(rec + 8));
+      w.trace.push(MemAccess::write(rec + 8, ints.sample(rng)));
+      w.trace.push(MemAccess::write(rec + 32, ints.sample(rng)));
+    }
+  }
+  return w;
+}
+
+}  // namespace cnt::gen

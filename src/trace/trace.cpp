@@ -1,0 +1,47 @@
+#include "trace/trace.hpp"
+
+#include <bit>
+#include <unordered_set>
+
+namespace cnt {
+
+bool Trace::well_formed() const noexcept {
+  for (const auto& a : accesses_) {
+    if (!a.valid()) return false;
+  }
+  return true;
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.accesses = accesses_.size();
+  std::unordered_set<u64> lines;
+  usize write_bits = 0;
+  usize write_ones = 0;
+  for (const auto& a : accesses_) {
+    switch (a.op) {
+      case MemOp::kRead: ++s.reads; break;
+      case MemOp::kWrite: ++s.writes; break;
+      case MemOp::kIFetch: ++s.ifetches; break;
+    }
+    lines.insert(a.addr / 64);
+    if (a.op == MemOp::kWrite) {
+      const u64 mask = a.size == 8 ? ~0ULL : ((1ULL << (a.size * 8)) - 1);
+      write_bits += static_cast<usize>(a.size) * 8;
+      write_ones += static_cast<usize>(std::popcount(a.value & mask));
+    }
+  }
+  s.unique_lines = lines.size();
+  const usize rw = s.reads + s.writes;
+  s.write_fraction =
+      rw == 0 ? 0.0
+              : static_cast<double>(s.writes) / static_cast<double>(rw);
+  s.footprint_kib = static_cast<double>(s.unique_lines) * 64.0 / 1024.0;
+  s.write_bit1_density =
+      write_bits == 0
+          ? 0.0
+          : static_cast<double>(write_ones) / static_cast<double>(write_bits);
+  return s;
+}
+
+}  // namespace cnt

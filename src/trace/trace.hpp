@@ -1,0 +1,68 @@
+// Trace container and workload description.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/access.hpp"
+
+namespace cnt {
+
+/// Aggregate statistics over a trace, for workload characterization tables.
+struct TraceStats {
+  usize accesses = 0;
+  usize reads = 0;
+  usize writes = 0;
+  usize ifetches = 0;
+  usize unique_lines = 0;     ///< distinct 64 B-aligned lines touched
+  double write_fraction = 0;  ///< writes / (reads + writes)
+  double footprint_kib = 0;   ///< unique_lines * 64 / 1024
+  double write_bit1_density = 0;  ///< mean '1'-bit fraction of write payloads
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  void push(const MemAccess& a) { accesses_.push_back(a); }
+  void reserve(usize n) { accesses_.reserve(n); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  [[nodiscard]] usize size() const noexcept { return accesses_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return accesses_.empty(); }
+  [[nodiscard]] const MemAccess& operator[](usize i) const noexcept {
+    return accesses_[i];
+  }
+  [[nodiscard]] auto begin() const noexcept { return accesses_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return accesses_.end(); }
+
+  /// All accesses are `valid()` per MemAccess::valid().
+  [[nodiscard]] bool well_formed() const noexcept;
+
+  [[nodiscard]] TraceStats stats() const;
+
+ private:
+  std::string name_;
+  std::vector<MemAccess> accesses_;
+};
+
+/// A contiguous pre-initialized memory region (program data segment).
+struct MemorySegment {
+  u64 base = 0;
+  std::vector<u8> bytes;
+};
+
+/// A complete benchmark program as seen by the simulator: its access trace
+/// plus the initial contents of the memory it reads before writing.
+struct Workload {
+  std::string name;
+  std::string description;
+  Trace trace;
+  std::vector<MemorySegment> init;
+};
+
+}  // namespace cnt

@@ -1,0 +1,153 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cnt {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'N', 'T', 'T', 'R', 'C', '0', '1'};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("trace_io: " + what);
+}
+
+MemOp parse_op(char c, usize line_no) {
+  switch (c) {
+    case 'R': return MemOp::kRead;
+    case 'W': return MemOp::kWrite;
+    case 'I': return MemOp::kIFetch;
+    default: break;
+  }
+  fail("bad op '" + std::string(1, c) + "' at line " +
+       std::to_string(line_no));
+}
+
+}  // namespace
+
+void write_text(const Trace& trace, std::ostream& os) {
+  os << "# cnt-cache trace: " << trace.name() << "\n";
+  os << "# records: " << trace.size() << "\n";
+  os << std::hex;
+  for (const auto& a : trace) {
+    os << to_string(a.op) << ' ' << a.addr << ' ' << std::dec
+       << static_cast<u32>(a.size) << std::hex;
+    if (a.op == MemOp::kWrite) os << ' ' << a.value;
+    os << '\n';
+  }
+  os << std::dec;
+}
+
+Trace read_text(std::istream& is, std::string name) {
+  Trace trace(std::move(name));
+  std::string line;
+  usize line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string op_tok;
+    if (!(ls >> op_tok)) continue;
+    if (op_tok.size() != 1) {
+      fail("bad op token at line " + std::to_string(line_no));
+    }
+    MemAccess a;
+    a.op = parse_op(op_tok[0], line_no);
+    u32 size = 0;
+    if (!(ls >> std::hex >> a.addr >> std::dec >> size)) {
+      fail("bad addr/size at line " + std::to_string(line_no));
+    }
+    a.size = static_cast<u8>(size);
+    if (a.op == MemOp::kWrite) {
+      if (!(ls >> std::hex >> a.value)) {
+        fail("missing write value at line " + std::to_string(line_no));
+      }
+    }
+    if (!a.valid()) {
+      fail("invalid access at line " + std::to_string(line_no));
+    }
+    trace.push(a);
+  }
+  return trace;
+}
+
+void write_binary(const Trace& trace, std::ostream& os) {
+  os.write(kMagic, sizeof kMagic);
+  const u64 count = trace.size();
+  os.write(reinterpret_cast<const char*>(&count), 8);
+  for (const auto& a : trace) {
+    std::array<char, 18> rec;
+    std::memcpy(rec.data(), &a.addr, 8);
+    std::memcpy(rec.data() + 8, &a.value, 8);
+    rec[16] = static_cast<char>(a.size);
+    rec[17] = static_cast<char>(a.op);
+    os.write(rec.data(), rec.size());
+  }
+}
+
+Trace read_binary(std::istream& is, std::string name) {
+  char magic[8];
+  if (!is.read(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    fail("bad magic");
+  }
+  u64 count = 0;
+  if (!is.read(reinterpret_cast<char*>(&count), 8)) fail("truncated header");
+  Trace trace(std::move(name));
+  trace.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    std::array<char, 18> rec;
+    if (!is.read(rec.data(), rec.size())) {
+      fail("truncated at record " + std::to_string(i));
+    }
+    MemAccess a;
+    std::memcpy(&a.addr, rec.data(), 8);
+    std::memcpy(&a.value, rec.data() + 8, 8);
+    a.size = static_cast<u8>(rec[16]);
+    const auto op_raw = static_cast<u8>(rec[17]);
+    if (op_raw > static_cast<u8>(MemOp::kIFetch)) {
+      fail("bad op in record " + std::to_string(i));
+    }
+    a.op = static_cast<MemOp>(op_raw);
+    if (!a.valid()) fail("invalid access in record " + std::to_string(i));
+    trace.push(a);
+  }
+  return trace;
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  const bool text = path.size() >= 4 &&
+                    path.compare(path.size() - 4, 4, ".txt") == 0;
+  std::ofstream out(path, text ? std::ios::out
+                               : std::ios::out | std::ios::binary);
+  if (!out) fail("cannot open " + path + " for writing");
+  if (text) {
+    write_text(trace, out);
+  } else {
+    write_binary(trace, out);
+  }
+}
+
+Trace load_trace(const std::string& path) {
+  const bool text = path.size() >= 4 &&
+                    path.compare(path.size() - 4, 4, ".txt") == 0;
+  std::ifstream in(path, text ? std::ios::in
+                              : std::ios::in | std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  // Trace name = file basename.
+  const auto slash = path.find_last_of('/');
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return text ? read_text(in, std::move(name))
+              : read_binary(in, std::move(name));
+}
+
+}  // namespace cnt

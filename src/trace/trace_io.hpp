@@ -1,0 +1,39 @@
+// Trace serialization: a human-readable text format and a compact binary
+// format, so traces can be captured once and replayed across experiments or
+// exchanged with external tools.
+//
+// Text format (one record per line, '#' comments allowed):
+//   R <hex-addr> <size>
+//   W <hex-addr> <size> <hex-value>
+//   I <hex-addr> <size>
+//
+// Binary format: "CNTTRC01" magic, u64 record count, then per record
+// {u64 addr, u64 value, u8 size, u8 op} packed little-endian.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace cnt {
+
+/// Serialize to the text format. Never fails on a well-formed trace.
+void write_text(const Trace& trace, std::ostream& os);
+
+/// Parse the text format. Throws std::runtime_error with a line number on
+/// malformed input.
+[[nodiscard]] Trace read_text(std::istream& is, std::string name = "trace");
+
+/// Serialize to the binary format.
+void write_binary(const Trace& trace, std::ostream& os);
+
+/// Parse the binary format. Throws std::runtime_error on bad magic,
+/// truncation, or invalid records.
+[[nodiscard]] Trace read_binary(std::istream& is, std::string name = "trace");
+
+/// File-path conveniences; format chosen by extension (".txt" vs other).
+void save_trace(const Trace& trace, const std::string& path);
+[[nodiscard]] Trace load_trace(const std::string& path);
+
+}  // namespace cnt

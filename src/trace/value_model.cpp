@@ -1,0 +1,93 @@
+#include "trace/value_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace cnt {
+
+u64 SmallIntModel::sample(Rng& rng) {
+  return rng.geometric_magnitude(max_bits_, decay_);
+}
+
+u64 SignedIntModel::sample(Rng& rng) {
+  const u64 magnitude = inner_.sample(rng);
+  if (rng.chance(neg_prob_)) {
+    return static_cast<u64>(-static_cast<i64>(magnitude) - 1);
+  }
+  return magnitude;
+}
+
+u64 PointerModel::sample(Rng& rng) {
+  const u64 offset = rng.uniform(span_ / 8) * 8;  // 8-byte aligned
+  return base_ + offset;
+}
+
+u64 Float64Model::sample(Rng& rng) {
+  const double v = mu_ + sigma_ * rng.gaussian();
+  u64 bits;
+  std::memcpy(&bits, &v, 8);
+  return bits;
+}
+
+u64 Float32PairModel::sample(Rng& rng) {
+  const float a = static_cast<float>(mu_ + sigma_ * rng.gaussian());
+  const float b = static_cast<float>(mu_ + sigma_ * rng.gaussian());
+  u32 abits, bbits;
+  std::memcpy(&abits, &a, 4);
+  std::memcpy(&bbits, &b, 4);
+  return (static_cast<u64>(bbits) << 32) | abits;
+}
+
+u64 AsciiModel::sample(Rng& rng) {
+  // English-like mix: ~15% spaces, ~70% lowercase, ~8% uppercase, ~7%
+  // digits/punctuation. All printable, so the high bit of each byte is 0.
+  u64 word = 0;
+  for (int i = 0; i < 8; ++i) {
+    const double r = rng.uniform01();
+    u8 ch;
+    if (r < 0.15) {
+      ch = ' ';
+    } else if (r < 0.85) {
+      ch = static_cast<u8>('a' + rng.uniform(26));
+    } else if (r < 0.93) {
+      ch = static_cast<u8>('A' + rng.uniform(26));
+    } else {
+      ch = static_cast<u8>('0' + rng.uniform(10));
+    }
+    word |= static_cast<u64>(ch) << (8 * i);
+  }
+  return word;
+}
+
+u64 PixelModel::sample(Rng& rng) {
+  u64 word = 0;
+  for (int i = 0; i < 8; ++i) {
+    const double v = mean_ + sigma_ * rng.gaussian();
+    const u8 px = static_cast<u8>(std::clamp(v, 0.0, 255.0));
+    word |= static_cast<u64>(px) << (8 * i);
+  }
+  return word;
+}
+
+u64 SparseModel::sample(Rng& rng) {
+  if (!rng.chance(p_)) return 0;
+  return rng.next();
+}
+
+u64 InstructionModel::sample(Rng& rng) {
+  // Two RISC-V-flavoured 32-bit words: 7-bit opcode from a small set,
+  // register fields in [0,32), modest immediates.
+  auto insn = [&rng]() -> u32 {
+    static constexpr u32 kOpcodes[] = {0x33, 0x13, 0x03, 0x23, 0x63, 0x6F};
+    const u32 op = kOpcodes[rng.uniform(std::size(kOpcodes))];
+    const u32 rd = static_cast<u32>(rng.uniform(32)) << 7;
+    const u32 funct3 = static_cast<u32>(rng.uniform(8)) << 12;
+    const u32 rs1 = static_cast<u32>(rng.uniform(32)) << 15;
+    const u32 imm = static_cast<u32>(rng.geometric_magnitude(12, 0.7)) << 20;
+    return op | rd | funct3 | rs1 | imm;
+  };
+  return (static_cast<u64>(insn()) << 32) | insn();
+}
+
+}  // namespace cnt

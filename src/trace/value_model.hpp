@@ -1,0 +1,164 @@
+// Value models: generators of 64-bit data words with the bit statistics of
+// real program data.
+//
+// The adaptive encoder's profit depends entirely on how far stored data
+// sits from 50% bit-1 density and how that interacts with the line's
+// read/write mix. Each model documents its approximate density so workload
+// definitions can mix them deliberately.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cnt {
+
+/// Interface: one sampled 64-bit data word per call.
+class ValueModel {
+ public:
+  virtual ~ValueModel() = default;
+  [[nodiscard]] virtual u64 sample(Rng& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Small unsigned integers with geometric magnitude (counters, lengths,
+/// ids). Density ~0.05-0.15: most bits are leading zeros.
+class SmallIntModel final : public ValueModel {
+ public:
+  explicit SmallIntModel(u32 max_bits = 32, double decay = 0.75)
+      : max_bits_(max_bits), decay_(decay) {}
+  [[nodiscard]] u64 sample(Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "small_int"; }
+
+ private:
+  u32 max_bits_;
+  double decay_;
+};
+
+/// Small *signed* integers in two's complement (deltas, offsets, loop
+/// variables that go negative). Bimodal density: positive values are
+/// mostly-0, negative values mostly-1 (sign extension), so a buffer of
+/// them is globally ~0.5 dense while every individual word is strongly
+/// biased -- the case where per-partition adaptive encoding wins and
+/// whole-buffer static inversion cannot.
+class SignedIntModel final : public ValueModel {
+ public:
+  explicit SignedIntModel(u32 max_bits = 32, double decay = 0.75,
+                          double negative_prob = 0.5)
+      : inner_(max_bits, decay), neg_prob_(negative_prob) {}
+  [[nodiscard]] u64 sample(Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "signed_int"; }
+
+ private:
+  SmallIntModel inner_;
+  double neg_prob_;
+};
+
+/// Heap pointers: base | small offset, 8-byte aligned. Density ~0.2-0.3
+/// (the base contributes a fixed handful of ones).
+class PointerModel final : public ValueModel {
+ public:
+  explicit PointerModel(u64 heap_base = 0x0000'5570'0000'0000ULL,
+                        u64 heap_span = 1ULL << 26)
+      : base_(heap_base), span_(heap_span) {}
+  [[nodiscard]] u64 sample(Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "pointer"; }
+
+ private:
+  u64 base_;
+  u64 span_;
+};
+
+/// IEEE-754 doubles drawn from N(mu, sigma). Density ~0.35-0.5 (exponent
+/// bits cluster, mantissa is near-random).
+class Float64Model final : public ValueModel {
+ public:
+  explicit Float64Model(double mu = 0.0, double sigma = 1.0)
+      : mu_(mu), sigma_(sigma) {}
+  [[nodiscard]] u64 sample(Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "f64"; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Two packed IEEE-754 floats per word, N(mu, sigma) each.
+class Float32PairModel final : public ValueModel {
+ public:
+  explicit Float32PairModel(double mu = 0.0, double sigma = 1.0)
+      : mu_(mu), sigma_(sigma) {}
+  [[nodiscard]] u64 sample(Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "f32x2"; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Eight packed ASCII characters (printable English-like mix).
+/// Density ~0.4: printable ASCII has 3-4 ones per byte.
+class AsciiModel final : public ValueModel {
+ public:
+  [[nodiscard]] u64 sample(Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "ascii"; }
+};
+
+/// Eight packed 8-bit pixels, clamped N(mean, sigma) luminance.
+/// Density depends on `mean`: dark images (~40) give ~0.25.
+class PixelModel final : public ValueModel {
+ public:
+  explicit PixelModel(double mean = 90.0, double sigma = 45.0)
+      : mean_(mean), sigma_(sigma) {}
+  [[nodiscard]] u64 sample(Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "pixel"; }
+
+ private:
+  double mean_;
+  double sigma_;
+};
+
+/// Mostly-zero words with occasional dense payloads (sparse structures,
+/// zero-initialized buffers). Density ~ p_nonzero * 0.5.
+class SparseModel final : public ValueModel {
+ public:
+  explicit SparseModel(double p_nonzero = 0.1) : p_(p_nonzero) {}
+  [[nodiscard]] u64 sample(Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "sparse"; }
+
+ private:
+  double p_;
+};
+
+/// Uniformly random 64-bit words (encrypted / compressed data). Density 0.5:
+/// the adversarial case where whole-line encoding has nothing to gain.
+class RandomModel final : public ValueModel {
+ public:
+  [[nodiscard]] u64 sample(Rng& rng) override { return rng.next(); }
+  [[nodiscard]] std::string name() const override { return "random"; }
+};
+
+/// Bit-1-dense words (e.g. sign-extended negative integers, sentinel
+/// patterns). Density ~0.85: profits from inversion on write-heavy lines.
+class DenseModel final : public ValueModel {
+ public:
+  explicit DenseModel(u32 max_low_bits = 24, double decay = 0.7)
+      : inner_(max_low_bits, decay) {}
+  [[nodiscard]] u64 sample(Rng& rng) override { return ~inner_.sample(rng); }
+  [[nodiscard]] std::string name() const override { return "dense"; }
+
+ private:
+  SmallIntModel inner_;
+};
+
+/// RISC-style 32-bit instruction words, two per 64-bit fetch. Opcode/reg
+/// fields have structured density ~0.35-0.45.
+class InstructionModel final : public ValueModel {
+ public:
+  [[nodiscard]] u64 sample(Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "insn"; }
+};
+
+}  // namespace cnt

@@ -1,0 +1,37 @@
+// The named benchmark suite used by every evaluation experiment.
+//
+// `default_suite()` returns the ten D-Cache workloads of DESIGN.md's
+// experiment index (the reconstruction of the paper's "set of benchmark
+// programs"); individual workloads can also be built by name, with a size
+// scale factor for quick runs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cnt {
+
+struct SuiteEntry {
+  std::string name;
+  /// Build at `scale` (1 = full size) with the generator's seed perturbed
+  /// by `seed_offset` (0 = the canonical deterministic instance).
+  std::function<Workload(double scale, u64 seed_offset)> build;
+};
+
+/// All ten data-side workloads, in canonical report order.
+[[nodiscard]] const std::vector<SuiteEntry>& default_suite();
+
+/// Build one suite workload by name at the given scale; `seed_offset`
+/// perturbs the generator seed for statistical replication.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] Workload build_workload(const std::string& name,
+                                      double scale = 1.0,
+                                      u64 seed_offset = 0);
+
+/// Names in canonical order (for CLI help and report rows).
+[[nodiscard]] std::vector<std::string> suite_names();
+
+}  // namespace cnt

@@ -1,0 +1,91 @@
+#include "energy/array_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnt {
+namespace {
+
+ArrayGeometry typical_geom() {
+  ArrayGeometry g;
+  g.sets = 128;
+  g.ways = 4;
+  g.line_bytes = 64;
+  g.tag_bits = 35;
+  g.meta_bits = 0;
+  return g;
+}
+
+TEST(ArrayGeometry, DerivedCounts) {
+  const auto g = typical_geom();
+  EXPECT_EQ(g.line_bits(), 512u);
+  EXPECT_EQ(g.lines(), 512u);
+  EXPECT_EQ(g.data_cells(), 512u * 512u);
+  EXPECT_EQ(g.tag_cells(), 512u * 37u);
+  EXPECT_EQ(g.capacity_bytes(), 32u * 1024u);
+}
+
+TEST(ArrayModel, DecodeEnergyPositiveAndScalesWithSets) {
+  const auto tech = TechParams::cnfet();
+  ArrayGeometry small = typical_geom();
+  ArrayGeometry big = typical_geom();
+  big.sets = 1024;
+  const ArrayModel m_small(tech, small);
+  const ArrayModel m_big(tech, big);
+  EXPECT_GT(m_small.decode_energy().in_joules(), 0.0);
+  EXPECT_GT(m_big.decode_energy(), m_small.decode_energy());
+}
+
+TEST(ArrayModel, DecodeEnergyGrowsWithMetaBits) {
+  const auto tech = TechParams::cnfet();
+  ArrayGeometry base = typical_geom();
+  ArrayGeometry widened = typical_geom();
+  widened.meta_bits = 16;
+  // The wordline spans the extra H&D columns.
+  EXPECT_GT(ArrayModel(tech, widened).decode_energy(),
+            ArrayModel(tech, base).decode_energy());
+}
+
+TEST(ArrayModel, TagLookupScalesWithBitsAndOnes) {
+  const ArrayModel m(TechParams::cnfet(), typical_geom());
+  const Energy e0 = m.tag_lookup_energy(148, 0);
+  const Energy e_half = m.tag_lookup_energy(148, 74);
+  // With CNFET cells, reading more stored '1's is *cheaper*.
+  EXPECT_LT(e_half, e0);
+  EXPECT_GT(e0.in_joules(), 0.0);
+}
+
+TEST(ArrayModel, TagWriteMoreOnesCostsMore) {
+  const ArrayModel m(TechParams::cnfet(), typical_geom());
+  EXPECT_GT(m.tag_write_energy(37, 30), m.tag_write_energy(37, 2));
+}
+
+TEST(ArrayModel, OutputScalesLinearly) {
+  const ArrayModel m(TechParams::cnfet(), typical_geom());
+  EXPECT_DOUBLE_EQ(m.output_energy(128).in_joules(),
+                   2.0 * m.output_energy(64).in_joules());
+}
+
+TEST(ArrayModel, LeakageAndAreaScaleWithCells) {
+  const auto tech = TechParams::cnfet();
+  ArrayGeometry base = typical_geom();
+  ArrayGeometry widened = typical_geom();
+  widened.meta_bits = 12;
+  const ArrayModel m_base(tech, base);
+  const ArrayModel m_wide(tech, widened);
+  EXPECT_GT(m_base.leakage_watts(), 0.0);
+  EXPECT_GT(m_wide.leakage_watts(), m_base.leakage_watts());
+  EXPECT_GT(m_wide.area_um2(), m_base.area_um2());
+  // The H&D overhead for 12 meta bits on a 512-bit line is ~2.3%.
+  const double overhead = m_wide.area_um2() / m_base.area_um2() - 1.0;
+  EXPECT_GT(overhead, 0.01);
+  EXPECT_LT(overhead, 0.04);
+}
+
+TEST(ArrayModel, CmosPeripheralsCostMore) {
+  const auto g = typical_geom();
+  EXPECT_GT(ArrayModel(TechParams::cmos(), g).decode_energy(),
+            ArrayModel(TechParams::cnfet(), g).decode_energy());
+}
+
+}  // namespace
+}  // namespace cnt

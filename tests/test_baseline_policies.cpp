@@ -1,0 +1,171 @@
+#include "cnt/baseline_policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cnt/cnt_policy.hpp"
+#include "common/rng.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt {
+namespace {
+
+CacheConfig small_cfg() {
+  CacheConfig c;
+  c.size_bytes = 4096;
+  c.ways = 4;
+  c.line_bytes = 64;
+  return c;
+}
+
+using C = EnergyCategory;
+
+struct Rig {
+  MainMemory mem;
+  Cache cache;
+  PlainPolicy plain;
+  StaticInvertPolicy inv;
+  IdealPolicy ideal;
+
+  Rig()
+      : cache(small_cfg(), mem),
+        plain("plain", TechParams::cnfet(), geometry_of(small_cfg())),
+        inv("inv", TechParams::cnfet(), geometry_of(small_cfg())),
+        ideal("ideal", TechParams::cnfet(), geometry_of(small_cfg()), 8) {
+    cache.add_sink(plain);
+    cache.add_sink(inv);
+    cache.add_sink(ideal);
+  }
+};
+
+TEST(PlainPolicy, ChargesLookupOnEveryAccess) {
+  Rig r;
+  r.cache.access(MemAccess::read(0x100));
+  r.cache.access(MemAccess::read(0x100));
+  EXPECT_EQ(r.plain.ledger().count(C::kTagRead), 2u);
+  EXPECT_GT(r.plain.ledger().get(C::kDecode).in_joules(), 0.0);
+}
+
+TEST(PlainPolicy, ReadHitChargesDataRead) {
+  Rig r;
+  r.cache.access(MemAccess::read(0x100));  // miss: fill write
+  const Energy after_miss = r.plain.ledger().get(C::kDataRead);
+  r.cache.access(MemAccess::read(0x100));  // hit: data read
+  EXPECT_GT(r.plain.ledger().get(C::kDataRead), after_miss);
+}
+
+TEST(PlainPolicy, FillChargesDataWriteAndTagWrite) {
+  Rig r;
+  r.cache.access(MemAccess::read(0x100));
+  EXPECT_EQ(r.plain.ledger().count(C::kDataWrite), 1u);
+  EXPECT_EQ(r.plain.ledger().count(C::kTagWrite), 1u);
+}
+
+TEST(PlainPolicy, ZeroLineReadCostsMoreThanOnesLine) {
+  // CNFET: reading '0' is expensive. A line of zeros must cost more to read
+  // than a line of ones under the plain (no-encoding) policy.
+  MainMemory mem;
+  for (usize i = 0; i < 64; ++i) mem.poke(0x1000 + i, 0xFF);
+  Cache cache(small_cfg(), mem);
+  PlainPolicy p("p", TechParams::cnfet(), geometry_of(small_cfg()));
+  cache.add_sink(p);
+
+  cache.access(MemAccess::read(0x0));  // zeros line, fill
+  const Energy zero_read_before = p.ledger().get(C::kDataRead);
+  cache.access(MemAccess::read(0x0));  // read hit on zeros
+  const Energy zero_cost =
+      p.ledger().get(C::kDataRead) - zero_read_before;
+
+  cache.access(MemAccess::read(0x1000));  // ones line, fill
+  const Energy ones_read_before = p.ledger().get(C::kDataRead);
+  cache.access(MemAccess::read(0x1000));  // read hit on ones
+  const Energy ones_cost = p.ledger().get(C::kDataRead) - ones_read_before;
+
+  EXPECT_GT(zero_cost.in_joules(), 5.0 * ones_cost.in_joules());
+}
+
+TEST(StaticInvert, ChargesEncoderLogic) {
+  Rig r;
+  r.cache.access(MemAccess::read(0x100));
+  EXPECT_GT(r.inv.ledger().get(C::kEncoderLogic).in_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(r.plain.ledger().get(C::kEncoderLogic).in_joules(), 0.0);
+}
+
+TEST(StaticInvert, ZeroDataReadsCheapOnesDataReadsDear) {
+  // Static inversion stores zeros as ones: zero-line reads become cheap.
+  MainMemory mem;
+  Cache cache(small_cfg(), mem);
+  StaticInvertPolicy p("inv", TechParams::cnfet(), geometry_of(small_cfg()));
+  cache.add_sink(p);
+  cache.access(MemAccess::read(0x0));
+  const Energy before = p.ledger().get(C::kDataRead);
+  cache.access(MemAccess::read(0x0));
+  const Energy cost = p.ledger().get(C::kDataRead) - before;
+  // 512 stored ones at rd1:
+  const Energy expect = 512.0 * TechParams::cnfet().cell.rd1;
+  EXPECT_NEAR(cost.in_joules(), expect.in_joules(), 1e-24);
+}
+
+TEST(Ideal, NeverWorseThanPlainOrStatic) {
+  Rig r;
+  Rng rng(8);
+  SmallIntModel ints;
+  Float64Model floats;
+  for (int i = 0; i < 5000; ++i) {
+    const u64 addr = rng.uniform(256) * 8;
+    if (rng.chance(0.4)) {
+      const u64 v = rng.chance(0.5) ? ints.sample(rng) : floats.sample(rng);
+      r.cache.access(MemAccess::write(addr, v));
+    } else {
+      r.cache.access(MemAccess::read(addr));
+    }
+  }
+  EXPECT_LE(r.ideal.ledger().total().in_joules(),
+            r.plain.ledger().total().in_joules());
+  EXPECT_LE(r.ideal.ledger().total().in_joules(),
+            r.inv.ledger().total().in_joules());
+}
+
+TEST(Ideal, EqualsPlainPeripheralCharges) {
+  // The ideal policy differs from plain only in data-array categories.
+  Rig r;
+  for (int i = 0; i < 100; ++i) {
+    r.cache.access(MemAccess::read(static_cast<u64>(i) * 8));
+  }
+  for (const auto cat : {C::kDecode, C::kTagRead, C::kTagWrite, C::kOutput}) {
+    EXPECT_DOUBLE_EQ(r.ideal.ledger().get(cat).in_joules(),
+                     r.plain.ledger().get(cat).in_joules());
+  }
+}
+
+TEST(Policies, WriteAroundChargesOnlyLookup) {
+  MainMemory mem;
+  auto cfg = small_cfg();
+  cfg.alloc_policy = AllocPolicy::kNoWriteAllocate;
+  Cache cache(cfg, mem);
+  PlainPolicy p("p", TechParams::cnfet(), geometry_of(cfg));
+  cache.add_sink(p);
+  cache.access(MemAccess::write(0x500, 1));
+  EXPECT_EQ(p.ledger().count(C::kTagRead), 1u);
+  EXPECT_EQ(p.ledger().count(C::kDataRead), 0u);
+  EXPECT_EQ(p.ledger().count(C::kDataWrite), 0u);
+}
+
+TEST(Policies, DirtyEvictionChargesWritebackRead) {
+  MainMemory mem;
+  auto cfg = small_cfg();
+  Cache cache(cfg, mem);
+  PlainPolicy p("p", TechParams::cnfet(), geometry_of(cfg));
+  cache.add_sink(p);
+  cache.access(MemAccess::write(0x0, 1));
+  const u64 stride = cfg.sets() * cfg.line_bytes;
+  for (u64 i = 1; i <= 4; ++i) {
+    cache.access(MemAccess::read(i * stride));
+  }
+  // 5 fills + 1 writeback read: decode charged 5(lookup)+5(fill)+1(wb).
+  EXPECT_EQ(p.ledger().count(C::kDecode), 11u);
+  EXPECT_EQ(p.ledger().count(C::kDataRead), 1u);  // only the writeback
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,274 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cnt {
+namespace {
+
+CacheConfig tiny_config() {
+  CacheConfig c;
+  c.name = "tiny";
+  c.size_bytes = 1024;  // 4 sets x 4 ways x 64 B
+  c.ways = 4;
+  c.line_bytes = 64;
+  c.idle.idle_per_miss = 2;
+  c.idle.hit_idle_period = 0;
+  return c;
+}
+
+/// Records every event for inspection.
+class Recorder final : public AccessSink {
+ public:
+  struct Rec {
+    AccessKind kind;
+    u32 set;
+    u32 way;
+    bool evicted_valid;
+    bool evicted_dirty;
+    u32 idle_slots;
+    std::vector<u8> before;
+    std::vector<u8> after;
+  };
+  void on_access(const AccessEvent& ev) override {
+    Rec r;
+    r.kind = ev.kind;
+    r.set = ev.set;
+    r.way = ev.way;
+    r.evicted_valid = ev.evicted_valid;
+    r.evicted_dirty = ev.evicted_dirty;
+    r.idle_slots = ev.idle_slots;
+    r.before.assign(ev.line_before.begin(), ev.line_before.end());
+    r.after.assign(ev.line_after.begin(), ev.line_after.end());
+    recs.push_back(std::move(r));
+  }
+  std::vector<Rec> recs;
+};
+
+TEST(Cache, ColdMissThenHit) {
+  MainMemory mem;
+  Cache cache(tiny_config(), mem);
+  Recorder rec;
+  cache.add_sink(rec);
+
+  cache.access(MemAccess::read(0x1000));
+  cache.access(MemAccess::read(0x1008));
+  EXPECT_EQ(cache.stats().read_misses, 1u);
+  EXPECT_EQ(cache.stats().read_hits, 1u);
+  ASSERT_EQ(rec.recs.size(), 2u);
+  EXPECT_EQ(rec.recs[0].kind, AccessKind::kReadMissFill);
+  EXPECT_EQ(rec.recs[1].kind, AccessKind::kReadHit);
+}
+
+TEST(Cache, WriteThenReadReturnsValue) {
+  MainMemory mem;
+  Cache cache(tiny_config(), mem);
+  cache.access(MemAccess::write(0x2000, 0xDEADBEEFCAFEF00DULL));
+  EXPECT_EQ(cache.peek_word(0x2000, 8), 0xDEADBEEFCAFEF00DULL);
+  // Write-back: memory must NOT have the value yet.
+  EXPECT_EQ(mem.peek_word(0x2000, 8), 0u);
+  cache.flush();
+  EXPECT_EQ(mem.peek_word(0x2000, 8), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(Cache, FillBringsMemoryContents) {
+  MainMemory mem;
+  mem.write_word(0x3000, 0x1234, 8);
+  Cache cache(tiny_config(), mem);
+  cache.access(MemAccess::read(0x3000));
+  EXPECT_EQ(cache.peek_word(0x3000, 8), 0x1234u);
+}
+
+TEST(Cache, EvictionWritesBackDirtyLine) {
+  MainMemory mem;
+  auto cfg = tiny_config();
+  Cache cache(cfg, mem);
+
+  // Dirty one line in set 0, then stream 4 more lines into set 0.
+  cache.access(MemAccess::write(0x0, 0x42));
+  const u64 stride = cfg.sets() * cfg.line_bytes;  // same set, new tag
+  for (u64 i = 1; i <= 4; ++i) {
+    cache.access(MemAccess::read(i * stride));
+  }
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  EXPECT_EQ(mem.peek_word(0x0, 8), 0x42u);
+}
+
+TEST(Cache, CleanEvictionDoesNotWriteBack) {
+  MainMemory mem;
+  auto cfg = tiny_config();
+  Cache cache(cfg, mem);
+  const u64 stride = cfg.sets() * cfg.line_bytes;
+  for (u64 i = 0; i <= 4; ++i) {
+    cache.access(MemAccess::read(i * stride));
+  }
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, LruVictimSelection) {
+  MainMemory mem;
+  auto cfg = tiny_config();
+  Cache cache(cfg, mem);
+  const u64 stride = cfg.sets() * cfg.line_bytes;
+  // Fill ways with tags 0..3, touch tag 0, then force an eviction.
+  for (u64 i = 0; i < 4; ++i) cache.access(MemAccess::read(i * stride));
+  cache.access(MemAccess::read(0));           // refresh tag 0
+  cache.access(MemAccess::read(4 * stride));  // evicts tag 1 (LRU)
+  EXPECT_TRUE(cache.find_way(0).has_value());
+  EXPECT_FALSE(cache.find_way(stride).has_value());
+  EXPECT_TRUE(cache.find_way(2 * stride).has_value());
+}
+
+TEST(Cache, WriteMissWithWriteAllocateFills) {
+  MainMemory mem;
+  mem.write_word(0x4008, 0x77, 8);
+  Cache cache(tiny_config(), mem);
+  cache.access(MemAccess::write(0x4000, 0x11));
+  EXPECT_EQ(cache.stats().write_misses, 1u);
+  EXPECT_EQ(cache.stats().fills, 1u);
+  // The rest of the line came from memory.
+  EXPECT_EQ(cache.peek_word(0x4008, 8), 0x77u);
+  EXPECT_EQ(cache.peek_word(0x4000, 8), 0x11u);
+}
+
+TEST(Cache, NoWriteAllocateBypasses) {
+  MainMemory mem;
+  auto cfg = tiny_config();
+  cfg.alloc_policy = AllocPolicy::kNoWriteAllocate;
+  Cache cache(cfg, mem);
+  Recorder rec;
+  cache.add_sink(rec);
+  cache.access(MemAccess::write(0x5000, 0xAA));
+  EXPECT_EQ(cache.stats().write_arounds, 1u);
+  EXPECT_EQ(cache.stats().fills, 0u);
+  EXPECT_EQ(mem.peek_word(0x5000, 8), 0xAAu);
+  ASSERT_EQ(rec.recs.size(), 1u);
+  EXPECT_EQ(rec.recs[0].kind, AccessKind::kWriteAround);
+  EXPECT_FALSE(cache.find_way(0x5000).has_value());
+}
+
+TEST(Cache, WriteThroughForwardsImmediately) {
+  MainMemory mem;
+  auto cfg = tiny_config();
+  cfg.write_policy = WritePolicy::kWriteThrough;
+  Cache cache(cfg, mem);
+  cache.access(MemAccess::write(0x6000, 0xBB));
+  EXPECT_EQ(mem.peek_word(0x6000, 8), 0xBBu);
+  // Line is resident but clean: eviction won't write back.
+  const auto way = cache.find_way(0x6000);
+  ASSERT_TRUE(way.has_value());
+  EXPECT_FALSE(cache.line_view(cache.config().set_index(0x6000), *way).dirty);
+}
+
+TEST(Cache, EventSpansCarryLineData) {
+  MainMemory mem;
+  Cache cache(tiny_config(), mem);
+  Recorder rec;
+  cache.add_sink(rec);
+  cache.access(MemAccess::write(0x0, 0xFF, 1));
+  ASSERT_EQ(rec.recs.size(), 1u);
+  const auto& fill = rec.recs[0];
+  EXPECT_EQ(fill.after.size(), 64u);
+  EXPECT_EQ(fill.after[0], 0xFF);
+  // Way was invalid before: line_before is all zeros.
+  for (const u8 b : fill.before) EXPECT_EQ(b, 0);
+}
+
+TEST(Cache, WriteHitEventShowsBeforeAndAfter) {
+  MainMemory mem;
+  Cache cache(tiny_config(), mem);
+  Recorder rec;
+  cache.add_sink(rec);
+  cache.access(MemAccess::write(0x0, 0x01, 1));
+  cache.access(MemAccess::write(0x0, 0x02, 1));
+  ASSERT_EQ(rec.recs.size(), 2u);
+  EXPECT_EQ(rec.recs[1].kind, AccessKind::kWriteHit);
+  EXPECT_EQ(rec.recs[1].before[0], 0x01);
+  EXPECT_EQ(rec.recs[1].after[0], 0x02);
+}
+
+TEST(Cache, IdleSlotsEmittedOnMiss) {
+  MainMemory mem;
+  Cache cache(tiny_config(), mem);
+  Recorder rec;
+  cache.add_sink(rec);
+  cache.access(MemAccess::read(0x0));   // miss
+  cache.access(MemAccess::read(0x8));   // hit
+  EXPECT_EQ(rec.recs[0].idle_slots, 2u);
+  EXPECT_EQ(rec.recs[1].idle_slots, 0u);
+}
+
+TEST(Cache, HitIdlePeriod) {
+  MainMemory mem;
+  auto cfg = tiny_config();
+  cfg.idle.hit_idle_period = 2;
+  Cache cache(cfg, mem);
+  Recorder rec;
+  cache.add_sink(rec);
+  cache.access(MemAccess::read(0x0));  // miss
+  u32 idle_total = 0;
+  for (int i = 0; i < 4; ++i) {
+    cache.access(MemAccess::read(0x8));
+    idle_total += rec.recs.back().idle_slots;
+  }
+  EXPECT_EQ(idle_total, 2u);  // every 2nd hit yields one slot
+}
+
+TEST(Cache, MultiLevelLineTraffic) {
+  MainMemory mem;
+  auto l2_cfg = tiny_config();
+  l2_cfg.name = "L2";
+  l2_cfg.size_bytes = 4096;
+  Cache l2(l2_cfg, mem);
+  Cache l1(tiny_config(), l2);
+
+  l1.access(MemAccess::write(0x7000, 0x99));
+  // Evict through L1 by filling the set.
+  const u64 stride = l1.config().sets() * l1.config().line_bytes;
+  for (u64 i = 1; i <= 4; ++i) {
+    l1.access(MemAccess::read(0x7000 + i * stride));
+  }
+  // The dirty line went to L2, not memory.
+  EXPECT_EQ(l2.peek_word(0x7000, 8), 0x99u);
+  EXPECT_EQ(mem.peek_word(0x7000, 8), 0u);
+  EXPECT_GT(l2.stats().accesses, 0u);
+}
+
+TEST(Cache, IFetchBehavesAsRead) {
+  MainMemory mem;
+  mem.write_word(0x8000, 0xFEED, 8);
+  Cache cache(tiny_config(), mem);
+  cache.access(MemAccess::ifetch(0x8000));
+  EXPECT_EQ(cache.stats().read_misses, 1u);
+  cache.access(MemAccess::ifetch(0x8000));
+  EXPECT_EQ(cache.stats().read_hits, 1u);
+}
+
+TEST(Cache, TagEventFieldsPopulated) {
+  MainMemory mem;
+  Cache cache(tiny_config(), mem);
+
+  struct TagCheck final : AccessSink {
+    void on_access(const AccessEvent& ev) override {
+      EXPECT_GT(ev.tag_bits_read, 0u);
+      EXPECT_LE(ev.tag_ones_read, ev.tag_bits_read);
+      if (ev.is_fill()) {
+        EXPECT_GT(ev.tag_bits_written, 0u);
+        EXPECT_LE(ev.tag_ones_written, ev.tag_bits_written);
+      }
+      ++count;
+    }
+    int count = 0;
+  } check;
+  cache.add_sink(check);
+
+  cache.access(MemAccess::read(0xFF000));
+  cache.access(MemAccess::read(0xFF000));
+  EXPECT_EQ(check.count, 2);
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,104 @@
+#include "cache/cache_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnt {
+namespace {
+
+CacheConfig typical() {
+  CacheConfig c;
+  c.size_bytes = 32 * 1024;
+  c.ways = 4;
+  c.line_bytes = 64;
+  c.addr_bits = 48;
+  return c;
+}
+
+TEST(CacheConfig, DerivedGeometry) {
+  const auto c = typical();
+  EXPECT_EQ(c.sets(), 128u);
+  EXPECT_EQ(c.offset_bits(), 6u);
+  EXPECT_EQ(c.set_bits(), 7u);
+  EXPECT_EQ(c.tag_bits(), 35u);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(CacheConfig, AddressMappingRoundTrip) {
+  const auto c = typical();
+  const u64 addr = 0x0000'1234'5678'9AC0ULL & ((1ULL << 48) - 1);
+  const u64 line = c.line_addr(addr);
+  EXPECT_EQ(line % 64, 0u);
+  const u32 set = c.set_index(addr);
+  const u64 tag = c.tag_of(addr);
+  EXPECT_LT(set, c.sets());
+  EXPECT_EQ(c.addr_of(tag, set), line);
+}
+
+TEST(CacheConfig, OffsetOf) {
+  const auto c = typical();
+  EXPECT_EQ(c.offset_of(0x1000), 0u);
+  EXPECT_EQ(c.offset_of(0x103F), 63u);
+}
+
+TEST(CacheConfig, DistinctLinesSameSetDifferentTags) {
+  const auto c = typical();
+  const u64 a = 0x10000;
+  const u64 b = a + c.sets() * c.line_bytes;  // same set, next tag
+  EXPECT_EQ(c.set_index(a), c.set_index(b));
+  EXPECT_NE(c.tag_of(a), c.tag_of(b));
+}
+
+TEST(CacheConfig, ValidateRejectsBadLineSize) {
+  auto c = typical();
+  c.line_bytes = 48;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.line_bytes = 4;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(CacheConfig, ValidateRejectsZeroWays) {
+  auto c = typical();
+  c.ways = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(CacheConfig, ValidateRejectsNonPow2Sets) {
+  auto c = typical();
+  c.size_bytes = 3 * 16 * 1024;  // 384 sets
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(CacheConfig, ValidateRejectsIndivisibleSize) {
+  auto c = typical();
+  c.size_bytes = 32 * 1024 + 64;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(CacheConfig, ValidateRejectsTreePlruNonPow2Ways) {
+  auto c = typical();
+  c.ways = 3;
+  c.size_bytes = 3 * 64 * 128;
+  c.replacement = ReplKind::kTreePlru;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.replacement = ReplKind::kLru;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(CacheConfig, ToStringCoverage) {
+  EXPECT_STREQ(to_string(WritePolicy::kWriteBack), "write-back");
+  EXPECT_STREQ(to_string(WritePolicy::kWriteThrough), "write-through");
+  EXPECT_STREQ(to_string(AllocPolicy::kWriteAllocate), "write-allocate");
+  EXPECT_STREQ(to_string(AllocPolicy::kNoWriteAllocate), "no-write-allocate");
+  EXPECT_STREQ(to_string(ReplKind::kLru), "LRU");
+  EXPECT_STREQ(to_string(ReplKind::kTreePlru), "tree-PLRU");
+}
+
+TEST(CacheConfig, DirectMappedIsValid) {
+  auto c = typical();
+  c.ways = 1;
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.sets(), 512u);
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,315 @@
+#include "cnt/cnt_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cnt/baseline_policies.hpp"
+#include "common/rng.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt {
+namespace {
+
+using C = EnergyCategory;
+
+CacheConfig small_cfg() {
+  CacheConfig c;
+  c.size_bytes = 4096;
+  c.ways = 4;
+  c.line_bytes = 64;
+  c.idle.idle_per_miss = 8;
+  c.idle.hit_idle_period = 4;
+  return c;
+}
+
+CntConfig default_cnt() {
+  CntConfig c;
+  c.window = 15;
+  c.partitions = 8;
+  c.fifo_depth = 8;
+  return c;
+}
+
+struct Rig {
+  MainMemory mem;
+  Cache cache;
+  CntPolicy cnt;
+  PlainPolicy plain;
+
+  explicit Rig(CntConfig cfg = default_cnt(), CacheConfig ccfg = small_cfg())
+      : cache(ccfg, mem),
+        cnt("cnt", TechParams::cnfet(), geometry_of(ccfg), cfg),
+        plain("plain", TechParams::cnfet(), geometry_of(ccfg)) {
+    cache.add_sink(cnt);
+    cache.add_sink(plain);
+  }
+};
+
+TEST(CntPolicy, MetaBitsMatchPaperFormula) {
+  Rig r;
+  // W=15 -> 2*4 history bits; K=8 direction bits.
+  EXPECT_EQ(r.cnt.meta_bits(), 16u);
+  EXPECT_EQ(r.cnt.array().geometry().meta_bits, 16u);
+}
+
+TEST(CntPolicy, FillChoosesMinWriteDirections) {
+  // A memory line with one dense partition: min-write fill inverts exactly
+  // that partition.
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kMinWriteEnergy;
+  Rig r(cfg);
+  for (usize i = 8; i < 16; ++i) r.mem.poke(0x1000 + i, 0xFF);
+  r.cache.access(MemAccess::read(0x1000));
+  const u32 set = r.cache.config().set_index(0x1000);
+  const u32 way = *r.cache.find_way(0x1000);
+  EXPECT_EQ(r.cnt.directions(set, way), 0b10u);  // partition 1 inverted
+  EXPECT_EQ(r.cnt.stats().fill_inversions, 1u);
+}
+
+TEST(CntPolicy, AsIsFillStoresRaw) {
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kAsIs;
+  Rig r(cfg);
+  for (usize i = 0; i < 64; ++i) r.mem.poke(0x1000 + i, 0xFF);
+  r.cache.access(MemAccess::read(0x1000));
+  const u32 set = r.cache.config().set_index(0x1000);
+  EXPECT_EQ(r.cnt.directions(set, *r.cache.find_way(0x1000)), 0u);
+}
+
+TEST(CntPolicy, ReadOptimizedFillInvertsSparsePartitions) {
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kReadOptimized;
+  Rig r(cfg);
+  // Memory line all zeros: every partition inverts to store ones.
+  r.cache.access(MemAccess::read(0x2000));
+  const u32 set = r.cache.config().set_index(0x2000);
+  EXPECT_EQ(r.cnt.directions(set, *r.cache.find_way(0x2000)), 0xFFu);
+}
+
+TEST(CntPolicy, WindowBoundaryEvaluates) {
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kAsIs;
+  Rig r(cfg);
+  r.cache.access(MemAccess::read(0x0));  // fill; history empty
+  for (int i = 0; i < 14; ++i) r.cache.access(MemAccess::read(0x0));
+  EXPECT_EQ(r.cnt.stats().windows_evaluated, 0u);
+  r.cache.access(MemAccess::read(0x0));  // 15th hit completes the window
+  EXPECT_EQ(r.cnt.stats().windows_evaluated, 1u);
+}
+
+TEST(CntPolicy, ReadHeavyZeroLineGetsReencoded) {
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kAsIs;  // store zeros raw
+  Rig r(cfg);
+  // 0x0 is all-zero memory; hammer it with reads. Window fires at 15
+  // accesses, requests flips, and idle slots from the interleaved misses
+  // drain the FIFO.
+  for (int i = 0; i < 16; ++i) r.cache.access(MemAccess::read(0x0));
+  // Miss to another set provides idle slots (idle_per_miss = 8).
+  r.cache.access(MemAccess::read(0x10000));
+  EXPECT_GE(r.cnt.stats().switch_decisions, 1u);
+  EXPECT_GE(r.cnt.stats().reencodes_applied, 1u);
+  const u32 set = r.cache.config().set_index(0x0);
+  EXPECT_EQ(r.cnt.directions(set, *r.cache.find_way(0x0)), 0xFFu);
+  EXPECT_GT(r.cnt.ledger().get(C::kReencode).in_joules(), 0.0);
+  EXPECT_GT(r.cnt.ledger().get(C::kFifo).in_joules(), 0.0);
+}
+
+TEST(CntPolicy, HitIdleSlotsAloneDrainQueue) {
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kAsIs;
+  auto ccfg = small_cfg();
+  ccfg.idle.hit_idle_period = 2;
+  Rig r(cfg, ccfg);
+  for (int i = 0; i < 20; ++i) r.cache.access(MemAccess::read(0x0));
+  EXPECT_GE(r.cnt.stats().reencodes_applied, 1u);
+}
+
+TEST(CntPolicy, NoIdleSlotsNoDrain) {
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kAsIs;
+  auto ccfg = small_cfg();
+  ccfg.idle.hit_idle_period = 0;
+  ccfg.idle.idle_per_miss = 0;
+  Rig r(cfg, ccfg);
+  for (int i = 0; i < 40; ++i) r.cache.access(MemAccess::read(0x0));
+  EXPECT_GE(r.cnt.stats().switch_decisions, 1u);
+  EXPECT_EQ(r.cnt.stats().reencodes_applied, 0u);
+  EXPECT_GE(r.cnt.queue_stats().pushed, 1u);
+}
+
+TEST(CntPolicy, StaleRequestDroppedOnDrain) {
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kAsIs;
+  auto ccfg = small_cfg();
+  ccfg.idle.hit_idle_period = 0;
+  ccfg.idle.idle_per_miss = 4;
+  Rig r(cfg, ccfg);
+  const u64 stride = r.cache.config().sets() * r.cache.config().line_bytes;
+  // Pre-fill set 0 completely (tags 0..3); fill-time idle slots hit an
+  // empty queue.
+  for (u64 i = 0; i < 4; ++i) r.cache.access(MemAccess::read(i * stride));
+  // Hammer tag 0 into a pending request (hits produce no idle slots here).
+  for (int i = 0; i < 15; ++i) r.cache.access(MemAccess::read(0x0));
+  ASSERT_EQ(r.cnt.queue_stats().pushed, 1u);
+  ASSERT_EQ(r.cnt.queue_stats().drained, 0u);
+  // Make tag 0 the LRU victim, then miss: the eviction bumps the line's
+  // generation *before* the miss's idle slots drain the queue, so the
+  // request must be discarded as stale.
+  for (u64 i = 1; i < 4; ++i) r.cache.access(MemAccess::read(i * stride));
+  r.cache.access(MemAccess::read(4 * stride));
+  ASSERT_FALSE(r.cache.find_way(0x0).has_value());
+  EXPECT_EQ(r.cnt.queue_stats().drained, 1u);
+  EXPECT_EQ(r.cnt.queue_stats().drained_stale, 1u);
+  EXPECT_EQ(r.cnt.stats().reencodes_applied, 0u);
+}
+
+TEST(CntPolicy, FifoFullDropsDecision) {
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kAsIs;
+  cfg.fifo_depth = 1;
+  cfg.window = 2;
+  auto ccfg = small_cfg();
+  ccfg.idle.hit_idle_period = 0;
+  ccfg.idle.idle_per_miss = 0;
+  Rig r(cfg, ccfg);
+  // Two different zero lines, each read-hammered: two switch decisions,
+  // FIFO holds one.
+  for (int i = 0; i < 3; ++i) r.cache.access(MemAccess::read(0x0));
+  for (int i = 0; i < 3; ++i) r.cache.access(MemAccess::read(0x40));
+  EXPECT_GE(r.cnt.queue_stats().dropped_full, 1u);
+}
+
+TEST(CntPolicy, PendingWindowSkipsDuplicate) {
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kAsIs;
+  cfg.window = 4;
+  auto ccfg = small_cfg();
+  ccfg.idle.hit_idle_period = 0;
+  ccfg.idle.idle_per_miss = 0;
+  Rig r(cfg, ccfg);
+  // Two windows complete without any drain: the second decision for the
+  // same line must be skipped, not double-queued. (1 fill + 8 hits ->
+  // windows fire at hits 4 and 8.)
+  for (int i = 0; i < 9; ++i) r.cache.access(MemAccess::read(0x0));
+  EXPECT_EQ(r.cnt.queue_stats().pushed, 1u);
+  EXPECT_GE(r.cnt.stats().skipped_pending, 1u);
+}
+
+TEST(CntPolicy, MetadataChargesAppear) {
+  Rig r;
+  r.cache.access(MemAccess::read(0x0));
+  r.cache.access(MemAccess::read(0x0));
+  EXPECT_GT(r.cnt.ledger().get(C::kMetaRead).in_joules(), 0.0);
+  EXPECT_GT(r.cnt.ledger().get(C::kMetaWrite).in_joules(), 0.0);
+  EXPECT_GT(r.cnt.ledger().get(C::kPredictorLogic).in_joules(), 0.0);
+  EXPECT_GT(r.cnt.ledger().get(C::kEncoderLogic).in_joules(), 0.0);
+}
+
+TEST(CntPolicy, MetadataAccountingCanBeDisabled) {
+  auto cfg = default_cnt();
+  cfg.account_metadata = false;
+  Rig r(cfg);
+  for (int i = 0; i < 20; ++i) r.cache.access(MemAccess::read(0x0));
+  EXPECT_DOUBLE_EQ(r.cnt.ledger().get(C::kMetaRead).in_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(r.cnt.ledger().get(C::kMetaWrite).in_joules(), 0.0);
+}
+
+TEST(CntPolicy, ReadHeavySparseDataBeatsBaseline) {
+  // The headline mechanism: read-dominated low-density data. CNT-Cache
+  // (with min-write fill + adaptive switching) must clearly beat the
+  // baseline.
+  Rig r;
+  Rng rng(12);
+  SmallIntModel ints(32, 0.75);
+  // Populate and then read-hammer a working set that fits the cache.
+  for (u64 a = 0; a < 32; ++a) {
+    r.cache.access(MemAccess::write(a * 64, ints.sample(rng)));
+  }
+  for (int i = 0; i < 4000; ++i) {
+    r.cache.access(MemAccess::read(rng.uniform(32) * 64 + rng.uniform(8) * 8));
+  }
+  const double base = r.plain.ledger().total().in_joules();
+  const double cnt_total = r.cnt.ledger().total().in_joules();
+  EXPECT_LT(cnt_total, 0.75 * base);
+}
+
+TEST(CntPolicy, WriteHeavySparseDataDoesNotRegress) {
+  // Write-dominated zero-ish data: the baseline is already near-optimal
+  // (writing zeros is cheap). CNT-Cache must not lose more than its small
+  // overhead margin.
+  Rig r;
+  Rng rng(13);
+  SmallIntModel ints(24, 0.7);
+  for (int i = 0; i < 4000; ++i) {
+    r.cache.access(
+        MemAccess::write(rng.uniform(32) * 64 + rng.uniform(8) * 8,
+                         ints.sample(rng)));
+  }
+  const double base = r.plain.ledger().total().in_joules();
+  const double cnt_total = r.cnt.ledger().total().in_joules();
+  EXPECT_LT(cnt_total, 1.15 * base);
+}
+
+TEST(CntPolicy, FlipAwareWritesCostLess) {
+  auto cfg = default_cnt();
+  cfg.flip_aware_writes = true;
+  MainMemory mem;
+  Cache cache(small_cfg(), mem);
+  CntPolicy fa("fa", TechParams::cnfet(), geometry_of(small_cfg()), cfg);
+  CntPolicy full("full", TechParams::cnfet(), geometry_of(small_cfg()),
+                 default_cnt());
+  cache.add_sink(fa);
+  cache.add_sink(full);
+  Rng rng(14);
+  for (int i = 0; i < 2000; ++i) {
+    cache.access(MemAccess::write(rng.uniform(16) * 64, rng.next()));
+  }
+  EXPECT_LT(fa.ledger().get(C::kDataWrite).in_joules(),
+            full.ledger().get(C::kDataWrite).in_joules());
+}
+
+TEST(CntPolicy, GenerationGuardsAcrossRefill) {
+  // After an eviction + refill of the same set/way, directions reflect the
+  // new line's fill policy, not stale state.
+  auto cfg = default_cnt();
+  cfg.fill_policy = FillDirectionPolicy::kMinWriteEnergy;
+  Rig r(cfg);
+  for (usize i = 0; i < 64; ++i) r.mem.poke(0x3000 + i, 0xFF);
+  r.cache.access(MemAccess::read(0x3000));
+  const u32 set = r.cache.config().set_index(0x3000);
+  const u32 way = *r.cache.find_way(0x3000);
+  EXPECT_EQ(r.cnt.directions(set, way), 0xFFu);  // dense line inverted
+  EXPECT_EQ(r.cnt.line_state(set, way).hist.a_num, 0u);
+}
+
+TEST(CntPolicy, ByMissTypeFillUsesDemandAccess) {
+  // Default policy: a read miss encodes the sparse line for cheap reads
+  // (inverted); a write miss encodes for cheap writes (raw).
+  Rig r;  // default_cnt() -> kByMissType
+  r.cache.access(MemAccess::read(0x2000));  // sparse (zero) line, read miss
+  const u32 rset = r.cache.config().set_index(0x2000);
+  EXPECT_EQ(r.cnt.directions(rset, *r.cache.find_way(0x2000)), 0xFFu);
+
+  r.cache.access(MemAccess::write(0x4000, 1));  // sparse line, write miss
+  const u32 wset = r.cache.config().set_index(0x4000);
+  EXPECT_EQ(r.cnt.directions(wset, *r.cache.find_way(0x4000)), 0x0u);
+}
+
+TEST(CntPolicy, LedgerTotalsArePositiveAndFinite) {
+  Rig r;
+  Rng rng(15);
+  for (int i = 0; i < 3000; ++i) {
+    if (rng.chance(0.3)) {
+      r.cache.access(MemAccess::write(rng.uniform(512) * 8, rng.next()));
+    } else {
+      r.cache.access(MemAccess::read(rng.uniform(512) * 8));
+    }
+  }
+  const double total = r.cnt.ledger().total().in_joules();
+  EXPECT_GT(total, 0.0);
+  EXPECT_TRUE(std::isfinite(total));
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,74 @@
+// Kitchen-sink composition: every optional feature enabled at once must
+// still satisfy the core invariants (functional correctness is untouched
+// by energy-model options; savings stay sane; stats stay consistent).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "trace/workload_suite.hpp"
+
+namespace cnt {
+namespace {
+
+SimConfig kitchen_sink() {
+  SimConfig cfg;
+  cfg.cache.way_prediction = true;
+  cfg.cache.sector_writeback = true;
+  cfg.cache.replacement = ReplKind::kTreePlru;
+  cfg.cnt.history_scope = HistoryScope::kPerSet;
+  cfg.cnt.zero_line_opt = true;
+  cfg.cnt.delta_t = 0.05;
+  cfg.cnt.partitions = 16;
+  cfg.cnt.window = 31;
+  return cfg;
+}
+
+TEST(Composition, AllFeaturesTogetherRunTheSuite) {
+  const auto results = run_suite(kitchen_sink(), 0.1);
+  ASSERT_EQ(results.size(), 10u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(std::isfinite(r.energy(kPolicyCnt).in_joules())) << r.workload;
+    EXPECT_GT(r.energy(kPolicyCnt).in_joules(), 0.0) << r.workload;
+    // Nothing pathological: savings within a broad sanity band.
+    const double s = r.saving(kPolicyCnt);
+    EXPECT_GT(s, -0.15) << r.workload;
+    EXPECT_LT(s, 0.9) << r.workload;
+  }
+  // The combination should still clearly save on average.
+  EXPECT_GT(mean_saving(results), 0.10);
+}
+
+TEST(Composition, AllFeaturesMatchBaselineFunctionally) {
+  // The same workload through the kitchen-sink config and the default one
+  // must produce identical *functional* cache statistics except where the
+  // configs differ functionally (replacement policy changes hits), so pin
+  // replacement and compare exactly.
+  auto a_cfg = kitchen_sink();
+  a_cfg.cache.replacement = ReplKind::kLru;
+  SimConfig b_cfg;  // defaults, LRU
+
+  const Workload w = build_workload("zipf_kv", 0.1);
+  const auto a = simulate(w, a_cfg);
+  const auto b = simulate(w, b_cfg);
+  EXPECT_EQ(a.cache_stats.hits(), b.cache_stats.hits());
+  EXPECT_EQ(a.cache_stats.misses(), b.cache_stats.misses());
+  EXPECT_EQ(a.cache_stats.writebacks, b.cache_stats.writebacks);
+}
+
+TEST(Composition, IdealStillBoundsEverything) {
+  auto cfg = kitchen_sink();
+  // The zero-line flag can legitimately beat the "ideal" *array* bound
+  // (it skips the array entirely), so compare with it off.
+  cfg.cnt.zero_line_opt = false;
+  for (const char* name : {"zipf_kv", "stream_copy", "matmul"}) {
+    const auto res = simulate(build_workload(name, 0.1), cfg);
+    EXPECT_LE(res.energy(kPolicyIdeal).in_joules(),
+              res.energy(kPolicyCnt).in_joules() * 1.000001)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace cnt

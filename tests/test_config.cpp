@@ -1,0 +1,96 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnt {
+namespace {
+
+TEST(Config, ParsesSectionsAndKeys) {
+  const auto c = Config::parse_string(
+      "top = 1\n[cache]\nsize = 32k\nways=4\n[cnt]\nwindow = 15\n");
+  EXPECT_TRUE(c.has("top"));
+  EXPECT_TRUE(c.has("cache.size"));
+  EXPECT_TRUE(c.has("cnt.window"));
+  EXPECT_FALSE(c.has("cache.window"));
+  EXPECT_EQ(c.get_uint("cache.ways", 0), 4u);
+}
+
+TEST(Config, CommentsAndBlanksIgnored) {
+  const auto c = Config::parse_string(
+      "# full-line comment\n\n[s] ; trailing comment\nk = v # after value\n");
+  EXPECT_EQ(c.get_string("s.k", ""), "v");
+}
+
+TEST(Config, WhitespaceTrimmed) {
+  const auto c = Config::parse_string("[ s ]\n  key   =   spaced value  \n");
+  EXPECT_EQ(c.get_string("s.key", ""), "spaced value");
+}
+
+TEST(Config, TypedGetters) {
+  const auto c = Config::parse_string(
+      "[t]\ni = -5\nu = 7\nd = 2.5\nb1 = yes\nb2 = OFF\ns = text\n");
+  EXPECT_EQ(c.get_int("t.i", 0), -5);
+  EXPECT_EQ(c.get_uint("t.u", 0), 7u);
+  EXPECT_DOUBLE_EQ(c.get_double("t.d", 0), 2.5);
+  EXPECT_TRUE(c.get_bool("t.b1", false));
+  EXPECT_FALSE(c.get_bool("t.b2", true));
+  EXPECT_EQ(c.get_string("t.s", ""), "text");
+}
+
+TEST(Config, FallbacksForMissingKeys) {
+  const Config c;
+  EXPECT_EQ(c.get_int("nope", 42), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("nope", 1.5), 1.5);
+  EXPECT_TRUE(c.get_bool("nope", true));
+  EXPECT_EQ(c.get_size("nope", 99), 99u);
+  EXPECT_EQ(c.get("nope"), std::nullopt);
+}
+
+TEST(Config, SizeSuffixes) {
+  const auto c = Config::parse_string(
+      "[m]\na = 64\nb = 32k\nc = 2m\nd = 1g\nK = 4K\n");
+  EXPECT_EQ(c.get_size("m.a", 0), 64u);
+  EXPECT_EQ(c.get_size("m.b", 0), 32u * 1024);
+  EXPECT_EQ(c.get_size("m.c", 0), 2u * 1024 * 1024);
+  EXPECT_EQ(c.get_size("m.d", 0), 1024ULL * 1024 * 1024);
+  EXPECT_EQ(c.get_size("m.K", 0), 4u * 1024);
+}
+
+TEST(Config, MalformedValuesThrow) {
+  const auto c = Config::parse_string(
+      "[t]\ni = 3x\nd = abc\nb = maybe\nu = -1\nsz = 3q\n");
+  EXPECT_THROW((void)c.get_int("t.i", 0), std::invalid_argument);
+  EXPECT_THROW((void)c.get_double("t.d", 0), std::invalid_argument);
+  EXPECT_THROW((void)c.get_bool("t.b", false), std::invalid_argument);
+  EXPECT_THROW((void)c.get_uint("t.u", 0), std::invalid_argument);
+  EXPECT_THROW((void)c.get_size("t.sz", 0), std::invalid_argument);
+}
+
+TEST(Config, SyntaxErrorsThrowWithLine) {
+  EXPECT_THROW((void)Config::parse_string("[unterminated\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)Config::parse_string("no equals sign\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)Config::parse_string("= novalue-key\n"),
+               std::runtime_error);
+}
+
+TEST(Config, LastValueWins) {
+  const auto c = Config::parse_string("[s]\nk = 1\nk = 2\n");
+  EXPECT_EQ(c.get_int("s.k", 0), 2);
+}
+
+TEST(Config, KeysSorted) {
+  const auto c = Config::parse_string("[b]\nz=1\n[a]\ny=2\n");
+  const auto keys = c.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a.y");
+  EXPECT_EQ(keys[1], "b.z");
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW((void)Config::load("/no/such/config.ini"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cnt

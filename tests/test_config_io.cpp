@@ -1,0 +1,91 @@
+#include "sim/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnt {
+namespace {
+
+TEST(SimConfigIo, EmptyConfigKeepsDefaults) {
+  const SimConfig def;
+  const SimConfig cfg = sim_config_from(Config{});
+  EXPECT_EQ(cfg.cache.size_bytes, def.cache.size_bytes);
+  EXPECT_EQ(cfg.cnt.window, def.cnt.window);
+  EXPECT_EQ(cfg.cnt.partitions, def.cnt.partitions);
+  EXPECT_EQ(cfg.with_cmos, def.with_cmos);
+}
+
+TEST(SimConfigIo, AppliesAllSections) {
+  const auto ini = Config::parse_string(R"(
+[cache]
+size = 64k
+ways = 8
+line = 64
+replacement = plru
+write_policy = wt
+alloc = nwa
+idle_per_miss = 3
+hit_idle_period = 0
+
+[cnt]
+window = 31
+partitions = 16
+fifo_depth = 4
+delta_t = 0.1
+fill = read-optimized
+granularity = line
+history = per-set
+account_metadata = false
+flip_aware = true
+
+[policies]
+cmos = false
+static = false
+ideal = true
+)");
+  const SimConfig cfg = sim_config_from(ini);
+  EXPECT_EQ(cfg.cache.size_bytes, 64u * 1024);
+  EXPECT_EQ(cfg.cache.ways, 8u);
+  EXPECT_EQ(cfg.cache.replacement, ReplKind::kTreePlru);
+  EXPECT_EQ(cfg.cache.write_policy, WritePolicy::kWriteThrough);
+  EXPECT_EQ(cfg.cache.alloc_policy, AllocPolicy::kNoWriteAllocate);
+  EXPECT_EQ(cfg.cache.idle.idle_per_miss, 3u);
+  EXPECT_EQ(cfg.cache.idle.hit_idle_period, 0u);
+  EXPECT_EQ(cfg.cnt.window, 31u);
+  EXPECT_EQ(cfg.cnt.partitions, 16u);
+  EXPECT_EQ(cfg.cnt.fifo_depth, 4u);
+  EXPECT_DOUBLE_EQ(cfg.cnt.delta_t, 0.1);
+  EXPECT_EQ(cfg.cnt.fill_policy, FillDirectionPolicy::kReadOptimized);
+  EXPECT_EQ(cfg.cnt.write_granularity, WriteGranularity::kLine);
+  EXPECT_EQ(cfg.cnt.history_scope, HistoryScope::kPerSet);
+  EXPECT_FALSE(cfg.cnt.account_metadata);
+  EXPECT_TRUE(cfg.cnt.flip_aware_writes);
+  EXPECT_FALSE(cfg.with_cmos);
+  EXPECT_FALSE(cfg.with_static);
+  EXPECT_TRUE(cfg.with_ideal);
+}
+
+TEST(SimConfigIo, UnknownEnumThrows) {
+  EXPECT_THROW(
+      (void)sim_config_from(Config::parse_string("[cnt]\nfill = magic\n")),
+      std::invalid_argument);
+  EXPECT_THROW((void)sim_config_from(
+                   Config::parse_string("[cache]\nreplacement = mru\n")),
+               std::invalid_argument);
+}
+
+TEST(SimConfigIo, InvalidGeometryThrows) {
+  EXPECT_THROW(
+      (void)sim_config_from(Config::parse_string("[cache]\nsize = 1000\n")),
+      std::invalid_argument);
+}
+
+TEST(SimConfigIo, KnownKeysCoverSchema) {
+  const auto keys = known_sim_config_keys();
+  for (const char* k : {"cache.size", "cnt.window", "policies.ideal",
+                        "workload.name"}) {
+    EXPECT_NE(std::find(keys.begin(), keys.end(), k), keys.end()) << k;
+  }
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "device/cell_derivation.hpp"
+#include "device/cnfet_model.hpp"
+#include "device/variation.hpp"
+
+namespace cnt {
+namespace {
+
+TEST(CnfetModel, DefaultsAreSane) {
+  const CnfetDevice d = evaluate(CnfetDeviceParams{});
+  EXPECT_GT(d.vth, 0.1);
+  EXPECT_LT(d.vth, 0.5);
+  EXPECT_GT(d.ion_n, 1e-5);        // > 10 uA for 6 tubes
+  EXPECT_LT(d.ion_p, d.ion_n);     // p-type weaker
+  EXPECT_GT(d.switch_energy, 1e-16);
+  EXPECT_LT(d.switch_energy, 1e-15);
+  EXPECT_GT(d.r_on_p, d.r_on_n);
+}
+
+TEST(CnfetModel, MoreTubesMoreDriveMoreCap) {
+  CnfetDeviceParams few, many;
+  few.tubes_per_device = 2;
+  many.tubes_per_device = 10;
+  const auto d_few = evaluate(few);
+  const auto d_many = evaluate(many);
+  EXPECT_GT(d_many.ion_n, d_few.ion_n);
+  EXPECT_GT(d_many.c_device, d_few.c_device);
+  EXPECT_LT(d_many.r_on_n, d_few.r_on_n);
+}
+
+TEST(CnfetModel, SmallerDiameterHigherThresholdLessDrive) {
+  CnfetDeviceParams thin, thick;
+  thin.diameter_nm = 1.0;
+  thick.diameter_nm = 2.0;
+  const auto d_thin = evaluate(thin);
+  const auto d_thick = evaluate(thick);
+  EXPECT_GT(d_thin.vth, d_thick.vth);
+  EXPECT_LT(d_thin.ion_n, d_thick.ion_n);
+}
+
+TEST(CnfetModel, RejectsNonPhysicalParams) {
+  CnfetDeviceParams p;
+  p.tubes_per_device = 0;
+  EXPECT_THROW((void)evaluate(p), std::invalid_argument);
+  p = {};
+  p.diameter_nm = 0.3;
+  EXPECT_THROW((void)evaluate(p), std::invalid_argument);
+  p = {};
+  p.vdd = 0.2;  // below threshold at 1.5 nm
+  EXPECT_THROW((void)evaluate(p), std::invalid_argument);
+  p = {};
+  p.p_drive_ratio = 0.0;
+  EXPECT_THROW((void)evaluate(p), std::invalid_argument);
+}
+
+TEST(CellDerivation, ReproducesPaperAnchors) {
+  // The derived cell must satisfy the same anchors as the calibrated
+  // table: write asymmetry ~10x, read-0 expensive, deltas comparable.
+  const BitEnergies e = derive_bit_energies(CnfetDeviceParams{});
+  const double wr_ratio = e.wr1 / e.wr0;
+  EXPECT_GT(wr_ratio, 7.0);
+  EXPECT_LT(wr_ratio, 13.0);
+  EXPECT_GT(e.rd0, e.rd1);
+  const double delta_ratio =
+      e.read_delta().in_joules() / e.write_delta().in_joules();
+  EXPECT_GT(delta_ratio, 0.6);
+  EXPECT_LT(delta_ratio, 1.4);
+}
+
+TEST(CellDerivation, CloseToCalibratedTable) {
+  // Structure check against TechParams::cnfet(): every derived energy is
+  // within 40% of the calibrated literature value.
+  const BitEnergies derived = derive_bit_energies(CnfetDeviceParams{});
+  const BitEnergies calib = TechParams::cnfet().cell;
+  const auto close = [](Energy a, Energy b) {
+    return a.in_joules() / b.in_joules();
+  };
+  EXPECT_NEAR(close(derived.rd0, calib.rd0), 1.0, 0.4);
+  EXPECT_NEAR(close(derived.rd1, calib.rd1), 1.0, 0.4);
+  EXPECT_NEAR(close(derived.wr0, calib.wr0), 1.0, 0.4);
+  EXPECT_NEAR(close(derived.wr1, calib.wr1), 1.0, 0.4);
+}
+
+TEST(CellDerivation, DeeperSubarrayCostsMore) {
+  ArrayContext shallow, deep;
+  shallow.rows = 64;
+  deep.rows = 256;
+  const auto e_sh = derive_bit_energies(CnfetDeviceParams{}, shallow);
+  const auto e_dp = derive_bit_energies(CnfetDeviceParams{}, deep);
+  EXPECT_GT(e_dp.rd0, e_sh.rd0);   // longer bitline
+  EXPECT_GT(e_dp.wr1, e_sh.wr1);
+  EXPECT_EQ(e_dp.wr0, e_sh.wr0);   // cell-internal, bitline-independent
+}
+
+TEST(CellDerivation, TechParamsScalesClockWithDevice) {
+  CnfetDeviceParams strong;
+  strong.tubes_per_device = 12;  // more drive, lower RC
+  const TechParams nominal = derive_tech_params(CnfetDeviceParams{});
+  const TechParams fast = derive_tech_params(strong);
+  EXPECT_GT(fast.clock_ghz, nominal.clock_ghz * 0.99);
+  EXPECT_EQ(fast.name, "CNFET-derived");
+}
+
+TEST(Variation, SamplesStayPhysical) {
+  Rng rng(7);
+  VariationParams var;
+  var.tube_count_sigma = 3.0;  // aggressive
+  for (int i = 0; i < 500; ++i) {
+    const auto p = sample_device(CnfetDeviceParams{}, var, rng);
+    EXPECT_GE(p.tubes_per_device, 1u);
+    EXPECT_GE(p.diameter_nm, 0.7);
+    EXPECT_LE(p.diameter_nm, 3.0);
+    EXPECT_NO_THROW((void)evaluate(p));
+  }
+}
+
+TEST(Variation, ZeroSigmaReproducesNominal) {
+  Rng rng(8);
+  VariationParams var;
+  var.tube_count_sigma = 0.0;
+  var.diameter_rel_sigma = 0.0;
+  var.cap_rel_sigma = 0.0;
+  const auto e = sample_bit_energies(CnfetDeviceParams{}, var, rng);
+  const auto nominal = derive_bit_energies(CnfetDeviceParams{});
+  EXPECT_DOUBLE_EQ(e.rd0.in_joules(), nominal.rd0.in_joules());
+  EXPECT_DOUBLE_EQ(e.wr1.in_joules(), nominal.wr1.in_joules());
+}
+
+TEST(Variation, PerturbedCellsKeepAsymmetryStructure) {
+  Rng rng(9);
+  const VariationParams var;
+  for (int i = 0; i < 200; ++i) {
+    const auto e = sample_bit_energies(CnfetDeviceParams{}, var, rng);
+    EXPECT_GT(e.wr1, e.wr0) << "sample " << i;
+    EXPECT_GT(e.rd0, e.rd1) << "sample " << i;
+    EXPECT_GT(e.wr1 / e.wr0, 4.0) << "sample " << i;
+  }
+}
+
+TEST(Variation, SpreadGrowsWithSigma) {
+  Rng rng(10);
+  VariationParams tight, loose;
+  tight.tube_count_sigma = 0.2;
+  tight.diameter_rel_sigma = 0.01;
+  tight.cap_rel_sigma = 0.005;
+  loose.tube_count_sigma = 2.0;
+  loose.diameter_rel_sigma = 0.08;
+  loose.cap_rel_sigma = 0.05;
+  auto spread = [&rng](const VariationParams& v) {
+    double lo = 1e9, hi = 0;
+    for (int i = 0; i < 300; ++i) {
+      const double w =
+          sample_bit_energies(CnfetDeviceParams{}, v, rng).wr1.in_joules();
+      lo = std::min(lo, w);
+      hi = std::max(hi, w);
+    }
+    return hi / lo;
+  };
+  EXPECT_GT(spread(loose), spread(tight));
+}
+
+}  // namespace
+}  // namespace cnt

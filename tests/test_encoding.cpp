@@ -1,0 +1,136 @@
+#include "cnt/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace cnt {
+namespace {
+
+std::vector<u8> random_line(Rng& rng, usize bytes = 64) {
+  std::vector<u8> line(bytes);
+  for (auto& b : line) b = static_cast<u8>(rng.next());
+  return line;
+}
+
+TEST(PartitionScheme, ValidSchemes) {
+  const PartitionScheme ps(64, 8);
+  EXPECT_EQ(ps.partitions(), 8u);
+  EXPECT_EQ(ps.partition_bits(), 64u);
+  EXPECT_EQ(ps.partition_bytes(), 8u);
+  EXPECT_EQ(ps.bit_begin(3), 192u);
+  EXPECT_EQ(ps.bit_end(3), 256u);
+}
+
+TEST(PartitionScheme, WholeLine) {
+  const PartitionScheme ps(64, 1);
+  EXPECT_EQ(ps.partition_bits(), 512u);
+}
+
+TEST(PartitionScheme, RejectsBadK) {
+  EXPECT_THROW(PartitionScheme(64, 0), std::invalid_argument);
+  EXPECT_THROW(PartitionScheme(64, 65), std::invalid_argument);
+  // 64 bytes = 512 bits; K=3 doesn't divide evenly.
+  EXPECT_THROW(PartitionScheme(64, 3), std::invalid_argument);
+  // K=128 would give sub-byte partitions even if it divided.
+  EXPECT_THROW(PartitionScheme(8, 16), std::invalid_argument);
+}
+
+TEST(Encoding, DirectionZeroIsIdentity) {
+  Rng rng(1);
+  const PartitionScheme ps(64, 8);
+  const auto line = random_line(rng);
+  EXPECT_EQ(encode_line(ps, line, 0), line);
+}
+
+TEST(Encoding, AllOnesInvertsEverything) {
+  Rng rng(2);
+  const PartitionScheme ps(64, 8);
+  const auto line = random_line(rng);
+  const auto enc = encode_line(ps, line, 0xFF);
+  EXPECT_EQ(enc, inverted(line));
+}
+
+TEST(Encoding, SelectivePartitions) {
+  Rng rng(3);
+  const PartitionScheme ps(64, 8);
+  const auto line = random_line(rng);
+  const auto enc = encode_line(ps, line, 0b0000'0101);
+  for (usize p = 0; p < 8; ++p) {
+    for (usize i = p * 8; i < (p + 1) * 8; ++i) {
+      if (p == 0 || p == 2) {
+        EXPECT_EQ(enc[i], static_cast<u8>(~line[i]));
+      } else {
+        EXPECT_EQ(enc[i], line[i]);
+      }
+    }
+  }
+}
+
+class EncodingRoundTrip
+    : public ::testing::TestWithParam<std::tuple<usize, u64>> {};
+
+TEST_P(EncodingRoundTrip, EncodeIsInvolutive) {
+  const auto [k, seed] = GetParam();
+  Rng rng(seed);
+  const PartitionScheme ps(64, k);
+  const auto line = random_line(rng);
+  const u64 dirs = rng.next() & ((k == 64 ? ~0ULL : (1ULL << k) - 1));
+  const auto enc = encode_line(ps, line, dirs);
+  const auto back = encode_line(ps, enc, dirs);
+  EXPECT_EQ(back, line);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ks, EncodingRoundTrip,
+    ::testing::Combine(::testing::Values<usize>(1, 2, 4, 8, 16, 32, 64),
+                       ::testing::Values<u64>(11, 22, 33)));
+
+TEST(Encoding, ReencodeFlipsOnlyChangedPartitions) {
+  Rng rng(4);
+  const PartitionScheme ps(64, 8);
+  auto logical = random_line(rng);
+  const u64 old_dirs = 0b0011'0000;
+  const u64 new_dirs = 0b0101'0000;
+  auto stored = encode_line(ps, logical, old_dirs);
+  reencode_line(ps, stored, old_dirs, new_dirs);
+  EXPECT_EQ(stored, encode_line(ps, logical, new_dirs));
+}
+
+TEST(Encoding, StoredPartitionOnes) {
+  const PartitionScheme ps(16, 2);  // two 64-bit partitions
+  std::vector<u8> line(16, 0);
+  line[0] = 0xFF;   // 8 ones in partition 0
+  line[15] = 0x0F;  // 4 ones in partition 1
+  EXPECT_EQ(stored_partition_ones(ps, line, 0, false), 8u);
+  EXPECT_EQ(stored_partition_ones(ps, line, 0, true), 56u);
+  EXPECT_EQ(stored_partition_ones(ps, line, 1, false), 4u);
+  EXPECT_EQ(stored_partition_ones(ps, line, 1, true), 60u);
+}
+
+TEST(Encoding, StoredOnesMatchesMaterializedEncoding) {
+  Rng rng(5);
+  for (const usize k : {1u, 4u, 8u, 16u}) {
+    const PartitionScheme ps(64, k);
+    const auto line = random_line(rng);
+    const u64 dirs = rng.next() & ((1ULL << k) - 1);
+    const auto enc = encode_line(ps, line, dirs);
+    EXPECT_EQ(stored_ones(ps, line, dirs), popcount(enc)) << "K=" << k;
+  }
+}
+
+TEST(Encoding, PartitionOnesSumsToTotal) {
+  Rng rng(6);
+  const PartitionScheme ps(64, 8);
+  const auto line = random_line(rng);
+  const auto ones = partition_ones(ps, line);
+  usize sum = 0;
+  for (const auto o : ones) sum += o;
+  EXPECT_EQ(sum, popcount(line));
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,78 @@
+#include "energy/energy_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnt {
+namespace {
+
+using C = EnergyCategory;
+
+TEST(EnergyLedger, StartsEmpty) {
+  EnergyLedger l;
+  EXPECT_DOUBLE_EQ(l.total().in_joules(), 0.0);
+  EXPECT_EQ(l.count(C::kDataRead), 0u);
+}
+
+TEST(EnergyLedger, ChargeAccumulates) {
+  EnergyLedger l;
+  l.charge(C::kDataRead, pJ(1.0));
+  l.charge(C::kDataRead, pJ(2.0));
+  l.charge(C::kTagRead, pJ(0.5));
+  EXPECT_DOUBLE_EQ(l.get(C::kDataRead).in_picojoules(), 3.0);
+  EXPECT_EQ(l.count(C::kDataRead), 2u);
+  EXPECT_DOUBLE_EQ(l.total().in_picojoules(), 3.5);
+}
+
+TEST(EnergyLedger, TotalIsSumOfAllCategories) {
+  EnergyLedger l;
+  for (usize i = 0; i < static_cast<usize>(C::kCount); ++i) {
+    l.charge(static_cast<C>(i), fJ(1.0));
+  }
+  EXPECT_NEAR(l.total().in_femtojoules(),
+              static_cast<double>(static_cast<usize>(C::kCount)), 1e-9);
+}
+
+TEST(EnergyLedger, ArrayVsOverheadPartition) {
+  EnergyLedger l;
+  l.charge(C::kDataRead, pJ(1.0));
+  l.charge(C::kDecode, pJ(1.0));
+  l.charge(C::kEncoderLogic, pJ(2.0));
+  l.charge(C::kReencode, pJ(3.0));
+  EXPECT_DOUBLE_EQ(l.array_total().in_picojoules(), 2.0);
+  EXPECT_DOUBLE_EQ(l.overhead_total().in_picojoules(), 5.0);
+  EXPECT_DOUBLE_EQ((l.array_total() + l.overhead_total()).in_picojoules(),
+                   l.total().in_picojoules());
+}
+
+TEST(EnergyLedger, MergeAddsBoth) {
+  EnergyLedger a, b;
+  a.charge(C::kDataWrite, pJ(1.0));
+  b.charge(C::kDataWrite, pJ(2.0));
+  b.charge(C::kFifo, pJ(4.0));
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get(C::kDataWrite).in_picojoules(), 3.0);
+  EXPECT_DOUBLE_EQ(a.get(C::kFifo).in_picojoules(), 4.0);
+  EXPECT_EQ(a.count(C::kDataWrite), 2u);
+}
+
+TEST(EnergyLedger, ResetClears) {
+  EnergyLedger l;
+  l.charge(C::kOutput, pJ(1.0));
+  l.reset();
+  EXPECT_DOUBLE_EQ(l.total().in_joules(), 0.0);
+  EXPECT_EQ(l.count(C::kOutput), 0u);
+}
+
+TEST(EnergyLedger, CategoryNamesUniqueAndNonEmpty) {
+  for (usize i = 0; i < static_cast<usize>(C::kCount); ++i) {
+    const auto name = to_string(static_cast<C>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    for (usize j = i + 1; j < static_cast<usize>(C::kCount); ++j) {
+      EXPECT_NE(name, to_string(static_cast<C>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,174 @@
+// AccessEvent contract tests: what the functional cache promises every
+// observer, independent of any energy policy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+
+namespace cnt {
+namespace {
+
+CacheConfig tiny() {
+  CacheConfig c;
+  c.size_bytes = 1024;
+  c.ways = 2;
+  c.line_bytes = 64;
+  return c;
+}
+
+TEST(Events, KindToStringCoverage) {
+  EXPECT_STREQ(to_string(AccessKind::kReadHit), "read_hit");
+  EXPECT_STREQ(to_string(AccessKind::kWriteHit), "write_hit");
+  EXPECT_STREQ(to_string(AccessKind::kReadMissFill), "read_miss");
+  EXPECT_STREQ(to_string(AccessKind::kWriteMissFill), "write_miss");
+  EXPECT_STREQ(to_string(AccessKind::kWriteAround), "write_around");
+}
+
+TEST(Events, HelperPredicates) {
+  AccessEvent ev;
+  ev.kind = AccessKind::kReadMissFill;
+  EXPECT_TRUE(ev.is_fill());
+  EXPECT_FALSE(ev.is_hit());
+  ev.kind = AccessKind::kWriteHit;
+  EXPECT_FALSE(ev.is_fill());
+  EXPECT_TRUE(ev.is_hit());
+  ev.kind = AccessKind::kWriteAround;
+  EXPECT_FALSE(ev.is_fill());
+  EXPECT_FALSE(ev.is_hit());
+}
+
+/// Validates structural invariants on every event.
+class ContractChecker final : public AccessSink {
+ public:
+  explicit ContractChecker(const CacheConfig& cfg) : cfg_(cfg) {}
+
+  void on_access(const AccessEvent& ev) override {
+    ++events;
+    EXPECT_LT(ev.set, cfg_.sets());
+    if (ev.kind != AccessKind::kWriteAround) {
+      EXPECT_LT(ev.way, cfg_.ways);
+      EXPECT_EQ(ev.line_before.size(), cfg_.line_bytes);
+      EXPECT_EQ(ev.line_after.size(), cfg_.line_bytes);
+      EXPECT_EQ(cfg_.set_index(ev.addr), ev.set);
+      EXPECT_EQ(cfg_.tag_of(ev.addr), ev.tag);
+      if (ev.size != 0) {
+        EXPECT_LE(ev.offset + ev.size, cfg_.line_bytes);
+        EXPECT_EQ(ev.offset, cfg_.offset_of(ev.addr));
+      }
+    }
+    EXPECT_EQ(ev.tag_bits_read, (cfg_.tag_bits() + 2) * cfg_.ways);
+    EXPECT_LE(ev.tag_ones_read, ev.tag_bits_read);
+    if (ev.is_fill()) {
+      EXPECT_EQ(ev.tag_bits_written, cfg_.tag_bits() + 2);
+      EXPECT_LE(ev.tag_ones_written, ev.tag_bits_written);
+    } else {
+      EXPECT_EQ(ev.tag_bits_written, 0u);
+    }
+    if (ev.kind == AccessKind::kReadHit) {
+      // Reads leave the line unchanged.
+      EXPECT_TRUE(std::equal(ev.line_before.begin(), ev.line_before.end(),
+                             ev.line_after.begin()));
+    }
+    if (ev.evicted_dirty) {
+      EXPECT_TRUE(ev.evicted_valid);
+    }
+  }
+
+  usize events = 0;
+
+ private:
+  CacheConfig cfg_;
+};
+
+TEST(Events, ContractHoldsUnderRandomTraffic) {
+  const auto cfg = tiny();
+  MainMemory mem;
+  Cache cache(cfg, mem);
+  ContractChecker checker(cfg);
+  cache.add_sink(checker);
+
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const u8 size = static_cast<u8>(1u << rng.uniform(4));
+    const u64 addr = rng.uniform(8192 / size) * size;
+    if (rng.chance(0.4)) {
+      cache.access(MemAccess::write(addr, rng.next(), size));
+    } else {
+      cache.access(MemAccess::read(addr, size));
+    }
+  }
+  EXPECT_EQ(checker.events, 10000u);
+}
+
+TEST(Events, SinksSeeIdenticalStreamInOrder) {
+  struct Recorder final : AccessSink {
+    std::vector<std::pair<AccessKind, u64>> log;
+    void on_access(const AccessEvent& ev) override {
+      log.emplace_back(ev.kind, ev.addr);
+    }
+  };
+  MainMemory mem;
+  Cache cache(tiny(), mem);
+  Recorder a, b;
+  cache.add_sink(a);
+  cache.add_sink(b);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    cache.access(MemAccess::read(rng.uniform(64) * 64));
+  }
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.log.size(), 500u);
+}
+
+TEST(Events, WriteAroundHasEmptySpans) {
+  auto cfg = tiny();
+  cfg.alloc_policy = AllocPolicy::kNoWriteAllocate;
+  MainMemory mem;
+  Cache cache(cfg, mem);
+  struct Check final : AccessSink {
+    void on_access(const AccessEvent& ev) override {
+      ASSERT_EQ(ev.kind, AccessKind::kWriteAround);
+      EXPECT_TRUE(ev.line_before.empty());
+      EXPECT_TRUE(ev.line_after.empty());
+      EXPECT_FALSE(ev.evicted_valid);
+    }
+  } check;
+  cache.add_sink(check);
+  cache.access(MemAccess::write(0x100, 1));
+}
+
+TEST(Events, EvictionFieldsOnConflictMiss) {
+  const auto cfg = tiny();
+  MainMemory mem;
+  Cache cache(cfg, mem);
+  struct Last final : AccessSink {
+    AccessKind kind{};
+    bool evicted_valid = false;
+    bool evicted_dirty = false;
+    u64 evicted_tag = 0;
+    std::vector<u8> before;
+    void on_access(const AccessEvent& ev) override {
+      kind = ev.kind;
+      evicted_valid = ev.evicted_valid;
+      evicted_dirty = ev.evicted_dirty;
+      evicted_tag = ev.evicted_tag;
+      before.assign(ev.line_before.begin(), ev.line_before.end());
+    }
+  } last;
+  cache.add_sink(last);
+
+  const u64 stride = cfg.sets() * cfg.line_bytes;
+  cache.access(MemAccess::write(0x0, 0xAB));  // dirty line, tag 0
+  cache.access(MemAccess::read(stride));      // fills way 1
+  cache.access(MemAccess::read(2 * stride));  // evicts tag 0 (LRU)
+  EXPECT_EQ(last.kind, AccessKind::kReadMissFill);
+  EXPECT_TRUE(last.evicted_valid);
+  EXPECT_TRUE(last.evicted_dirty);
+  EXPECT_EQ(last.evicted_tag, cfg.tag_of(0x0));
+  EXPECT_EQ(last.before[0], 0xAB);  // the victim's data was visible
+}
+
+}  // namespace
+}  // namespace cnt

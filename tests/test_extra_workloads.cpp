@@ -1,0 +1,108 @@
+// Extra (non-suite) workload generators: btree_lookup, rle_compress.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/analysis.hpp"
+#include "sim/runner.hpp"
+#include "trace/gen/workloads.hpp"
+#include "trace/workload_suite.hpp"
+
+namespace cnt {
+namespace {
+
+TEST(Btree, WellFormedAndDeterministic) {
+  const Workload a = build_workload("btree_lookup", 0.2);
+  const Workload b = build_workload("btree_lookup", 0.2);
+  EXPECT_TRUE(a.trace.well_formed());
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_GT(a.trace.size(), 10000u);
+  for (usize i = 0; i < a.trace.size(); i += 211) {
+    EXPECT_EQ(a.trace[i].addr, b.trace[i].addr);
+  }
+}
+
+TEST(Btree, ReadOnly) {
+  const auto s = build_workload("btree_lookup", 0.1).trace.stats();
+  EXPECT_EQ(s.writes, 0u);
+  EXPECT_GT(s.reads, 0u);
+}
+
+TEST(Btree, UpperLevelsAreHot) {
+  // The root node's tenure should absorb many accesses; leaves are cold.
+  CacheConfig cfg;  // default 32K
+  const auto rs =
+      analyze_residency(build_workload("btree_lookup", 0.2), cfg, 15);
+  EXPECT_GT(rs.traffic_in_long_tenures, 0.3);
+  EXPECT_LT(rs.long_tenure_fraction, 0.7);  // but most tenures are cold
+}
+
+TEST(Btree, InitCoversEveryLevel) {
+  gen::BtreeParams p;
+  p.lookups = 10;
+  const Workload w = gen::btree_lookup(p);
+  EXPECT_EQ(w.init.size(), p.levels);
+  // All reads must land inside init segments.
+  for (const auto& a : w.trace) {
+    bool covered = false;
+    for (const auto& seg : w.init) {
+      covered |= a.addr >= seg.base &&
+                 a.addr + a.size <= seg.base + seg.bytes.size();
+    }
+    ASSERT_TRUE(covered) << std::hex << a.addr;
+  }
+}
+
+TEST(Rle, WellFormedWithByteAccesses) {
+  const Workload w = build_workload("rle_compress", 0.2);
+  EXPECT_TRUE(w.trace.well_formed());
+  for (usize i = 0; i < w.trace.size(); i += 97) {
+    EXPECT_EQ(w.trace[i].size, 1u);  // byte-oriented kernel
+  }
+}
+
+TEST(Rle, CompressionRatioReflectsRunLength) {
+  gen::RleParams longruns, shortruns;
+  longruns.input_bytes = 16 * 1024;
+  longruns.run_continue_prob = 0.97;
+  shortruns = longruns;
+  shortruns.run_continue_prob = 0.5;
+  const auto sl = gen::rle_compress(longruns).trace.stats();
+  const auto ss = gen::rle_compress(shortruns).trace.stats();
+  // Short runs produce far more output writes per input byte.
+  EXPECT_LT(sl.write_fraction, ss.write_fraction);
+  EXPECT_LT(sl.write_fraction, 0.2);
+}
+
+TEST(Rle, RunsEncodeInputLength) {
+  gen::RleParams p;
+  p.input_bytes = 8192;
+  const Workload w = gen::rle_compress(p);
+  // Sum of count bytes written must equal the input length.
+  u64 total = 0;
+  const auto& trace = w.trace;
+  for (usize i = 0; i < trace.size(); ++i) {
+    // count bytes are the even-offset output writes (addr parity in the
+    // output region, first of each pair).
+    if (trace[i].op == MemOp::kWrite &&
+        (trace[i].addr - 0x2000'0000) % 2 == 0) {
+      total += trace[i].value & 0xFF;
+    }
+  }
+  EXPECT_EQ(total, p.input_bytes);
+}
+
+TEST(ExtraWorkloads, SimulateEndToEnd) {
+  SimConfig cfg;
+  cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+  for (const char* name : {"btree_lookup", "rle_compress"}) {
+    const auto res = simulate(build_workload(name, 0.1), cfg);
+    EXPECT_GT(res.cache_stats.accesses, 0u) << name;
+    EXPECT_TRUE(std::isfinite(res.saving(kPolicyCnt))) << name;
+    // Both are integer/byte-structured: adaptive encoding should help.
+    EXPECT_GT(res.saving(kPolicyCnt), 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,87 @@
+#include "common/fixed_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cnt {
+namespace {
+
+TEST(FixedQueue, StartsEmpty) {
+  FixedQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(FixedQueue, FifoOrder) {
+  FixedQueue<int> q(3);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(FixedQueue, RejectsWhenFull) {
+  FixedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);  // the rejected push did not disturb order
+}
+
+TEST(FixedQueue, WrapsAround) {
+  FixedQueue<int> q(3);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(q.push(round));
+    EXPECT_EQ(q.pop(), round);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, InterleavedWrap) {
+  FixedQueue<int> q(3);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  EXPECT_EQ(q.pop(), 1);
+  ASSERT_TRUE(q.push(3));
+  ASSERT_TRUE(q.push(4));  // wraps
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 4);
+}
+
+TEST(FixedQueue, FrontPeeksWithoutRemoving) {
+  FixedQueue<std::string> q(2);
+  ASSERT_TRUE(q.push("a"));
+  EXPECT_EQ(q.front(), "a");
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(FixedQueue, ClearEmpties) {
+  FixedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  ASSERT_TRUE(q.push(7));
+  EXPECT_EQ(q.pop(), 7);
+}
+
+TEST(FixedQueue, MoveOnlyTypes) {
+  FixedQueue<std::unique_ptr<int>> q(2);
+  ASSERT_TRUE(q.push(std::make_unique<int>(42)));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+}  // namespace
+}  // namespace cnt

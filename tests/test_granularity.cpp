@@ -1,0 +1,169 @@
+// Write-accounting granularity: word-granular stores must charge exactly
+// the accessed word's stored bits; the line model must reproduce the
+// paper's whole-line charging; and the predictor's write weight must keep
+// table decisions equivalent to the direct energy comparison.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cnt/baseline_policies.hpp"
+#include "cnt/cnt_policy.hpp"
+#include "cnt/threshold.hpp"
+#include "common/rng.hpp"
+
+namespace cnt {
+namespace {
+
+using C = EnergyCategory;
+
+CacheConfig cfg_small() {
+  CacheConfig c;
+  c.size_bytes = 4096;
+  c.ways = 4;
+  c.line_bytes = 64;
+  return c;
+}
+
+TEST(Granularity, PlainWordWriteChargesWordOnly) {
+  MainMemory mem;
+  Cache cache(cfg_small(), mem);
+  PlainPolicy p("p", TechParams::cnfet(), geometry_of(cfg_small()),
+                WriteGranularity::kWord);
+  cache.add_sink(p);
+  cache.access(MemAccess::write(0x100, 0, 8));  // miss+fill
+  const Energy before = p.ledger().get(C::kDataWrite);
+  cache.access(MemAccess::write(0x100, 0xFFFFFFFFFFFFFFFFULL, 8));  // hit
+  const Energy cost = p.ledger().get(C::kDataWrite) - before;
+  // 64 one-bits written.
+  const Energy expect = 64.0 * TechParams::cnfet().cell.wr1;
+  EXPECT_NEAR(cost.in_joules(), expect.in_joules(), 1e-24);
+}
+
+TEST(Granularity, PlainLineWriteChargesWholeLine) {
+  MainMemory mem;
+  Cache cache(cfg_small(), mem);
+  PlainPolicy p("p", TechParams::cnfet(), geometry_of(cfg_small()),
+                WriteGranularity::kLine);
+  cache.add_sink(p);
+  cache.access(MemAccess::write(0x100, 0, 8));
+  const Energy before = p.ledger().get(C::kDataWrite);
+  cache.access(MemAccess::write(0x100, 0xFFFFFFFFFFFFFFFFULL, 8));
+  const Energy cost = p.ledger().get(C::kDataWrite) - before;
+  // 64 ones + 448 zeros written (the paper's L-bit model).
+  const Energy expect = 64.0 * TechParams::cnfet().cell.wr1 +
+                        448.0 * TechParams::cnfet().cell.wr0;
+  EXPECT_NEAR(cost.in_joules(), expect.in_joules(), 1e-24);
+}
+
+TEST(Granularity, SubWordSizesChargeProportionally) {
+  MainMemory mem;
+  Cache cache(cfg_small(), mem);
+  PlainPolicy p("p", TechParams::cnfet(), geometry_of(cfg_small()),
+                WriteGranularity::kWord);
+  cache.add_sink(p);
+  cache.access(MemAccess::read(0x200));  // fill
+  const Energy before = p.ledger().get(C::kDataWrite);
+  cache.access(MemAccess::write(0x200, 0xFF, 1));  // 1-byte store of ones
+  const Energy cost = p.ledger().get(C::kDataWrite) - before;
+  EXPECT_NEAR(cost.in_joules(),
+              (8.0 * TechParams::cnfet().cell.wr1).in_joules(), 1e-24);
+}
+
+TEST(Granularity, WordNeverCostsMoreThanLineAcrossPolicies) {
+  for (int policy = 0; policy < 3; ++policy) {
+    MainMemory mem;
+    Cache cache(cfg_small(), mem);
+    const auto geom = geometry_of(cfg_small());
+    const auto tech = TechParams::cnfet();
+    std::unique_ptr<EnergyPolicyBase> word, line;
+    CntConfig cw, cl;
+    cl.write_granularity = WriteGranularity::kLine;
+    switch (policy) {
+      case 0:
+        word = std::make_unique<PlainPolicy>("w", tech, geom,
+                                             WriteGranularity::kWord);
+        line = std::make_unique<PlainPolicy>("l", tech, geom,
+                                             WriteGranularity::kLine);
+        break;
+      case 1:
+        word = std::make_unique<StaticInvertPolicy>("w", tech, geom,
+                                                    WriteGranularity::kWord);
+        line = std::make_unique<StaticInvertPolicy>("l", tech, geom,
+                                                    WriteGranularity::kLine);
+        break;
+      default:
+        word = std::make_unique<IdealPolicy>("w", tech, geom, 8,
+                                             WriteGranularity::kWord);
+        line = std::make_unique<IdealPolicy>("l", tech, geom, 8,
+                                             WriteGranularity::kLine);
+        break;
+    }
+    cache.add_sink(*word);
+    cache.add_sink(*line);
+    Rng rng(99u + static_cast<u64>(policy));
+    for (int i = 0; i < 3000; ++i) {
+      const u64 addr = rng.uniform(256) * 8;
+      if (rng.chance(0.5)) {
+        cache.access(MemAccess::write(addr, rng.next()));
+      } else {
+        cache.access(MemAccess::read(addr));
+      }
+    }
+    EXPECT_LE(word->ledger().get(C::kDataWrite).in_joules(),
+              line->ledger().get(C::kDataWrite).in_joules() + 1e-30)
+        << "policy " << policy;
+    // Reads are line-wide in both models.
+    EXPECT_DOUBLE_EQ(word->ledger().get(C::kDataRead).in_joules(),
+                     line->ledger().get(C::kDataRead).in_joules())
+        << "policy " << policy;
+  }
+}
+
+TEST(Granularity, ThresholdWriteWeightKeepsTableExact) {
+  // The Eq. 6 table with a write weight must still match the direct
+  // comparison for every (wr_num, n1).
+  const auto cell = TechParams::cnfet().cell;
+  for (const double weight : {0.125, 0.5, 1.0}) {
+    const ThresholdTable t(cell, 15, 64, 0.0, weight);
+    for (usize wr = 0; wr <= 15; ++wr) {
+      for (usize n1 = 0; n1 <= 64; ++n1) {
+        const double profit = (t.window_energy(wr, n1) -
+                               t.window_energy_switched(wr, n1) -
+                               t.encode_cost(n1))
+                                  .in_joules();
+        EXPECT_EQ(t.should_switch(wr, n1), profit > 0.0)
+            << "weight=" << weight << " wr=" << wr << " n1=" << n1;
+      }
+    }
+  }
+}
+
+TEST(Granularity, WriteWeightShiftsClassification) {
+  // With a small write weight, even write-heavy windows are read-dominated
+  // in energy terms.
+  const auto cell = TechParams::cnfet().cell;
+  const ThresholdTable unweighted(cell, 15, 64, 0.0, 1.0);
+  const ThresholdTable weighted(cell, 15, 64, 0.0, 0.125);
+  EXPECT_TRUE(unweighted.is_write_intensive(10));
+  EXPECT_FALSE(weighted.is_write_intensive(10));
+  // All-writes windows stay write-intensive under any positive weight.
+  EXPECT_TRUE(weighted.is_write_intensive(15));
+}
+
+TEST(Granularity, CntPolicyWordChargesAccessedWordInStoredEncoding) {
+  MainMemory mem;
+  Cache cache(cfg_small(), mem);
+  CntConfig cfg;
+  cfg.fill_policy = FillDirectionPolicy::kReadOptimized;  // invert zeros
+  CntPolicy p("cnt", TechParams::cnfet(), geometry_of(cfg_small()), cfg);
+  cache.add_sink(p);
+  cache.access(MemAccess::read(0x300));  // zero line -> stored inverted
+  const Energy before = p.ledger().get(C::kDataWrite);
+  // Writing logical zeros into an inverted partition stores 64 ones.
+  cache.access(MemAccess::write(0x300, 0, 8));
+  const Energy cost = p.ledger().get(C::kDataWrite) - before;
+  EXPECT_NEAR(cost.in_joules(),
+              (64.0 * TechParams::cnfet().cell.wr1).in_joules(), 1e-24);
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,87 @@
+#include "sim/hierarchy_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/workload_suite.hpp"
+
+namespace cnt {
+namespace {
+
+TEST(Interleave, MixesAtRequestedRatio) {
+  Trace code("c"), data("d");
+  for (u64 i = 0; i < 10; ++i) code.push(MemAccess::ifetch(0x1000 + i * 8));
+  for (u64 i = 0; i < 4; ++i) data.push(MemAccess::read(0x2000 + i * 8));
+  const Trace merged = interleave(code, data, 2);
+  EXPECT_EQ(merged.size(), 14u);
+  // Pattern: c c d c c d c c d c c d c c (tail of code appended).
+  EXPECT_EQ(merged[0].op, MemOp::kIFetch);
+  EXPECT_EQ(merged[1].op, MemOp::kIFetch);
+  EXPECT_EQ(merged[2].op, MemOp::kRead);
+  EXPECT_EQ(merged[5].op, MemOp::kRead);
+}
+
+TEST(Interleave, HandlesEmptyStreams) {
+  Trace code("c"), data("d");
+  for (u64 i = 0; i < 3; ++i) code.push(MemAccess::ifetch(i * 8));
+  EXPECT_EQ(interleave(code, Trace{}, 2).size(), 3u);
+  EXPECT_EQ(interleave(Trace{}, code, 2).size(), 3u);
+  EXPECT_EQ(interleave(Trace{}, Trace{}, 2).size(), 0u);
+}
+
+TEST(Interleave, PreservesEveryAccess) {
+  const Workload code = build_workload("ifetch", 0.05);
+  const Workload data = build_workload("zipf_kv", 0.05);
+  const Trace merged = interleave(code.trace, data.trace, 3);
+  EXPECT_EQ(merged.size(), code.trace.size() + data.trace.size());
+  usize fetches = 0;
+  for (const auto& a : merged) fetches += a.op == MemOp::kIFetch;
+  EXPECT_EQ(fetches, code.trace.size());
+}
+
+class HierarchyRunnerTest : public ::testing::Test {
+ protected:
+  static Workload code() { return build_workload("ifetch", 0.1); }
+  static Workload data() { return build_workload("zipf_kv", 0.1); }
+};
+
+TEST_F(HierarchyRunnerTest, ProducesAllLevels) {
+  HierarchyRunConfig cfg;
+  const auto res = run_hierarchy(cfg, code(), data());
+  ASSERT_EQ(res.levels.size(), 3u);
+  EXPECT_EQ(res.levels[0].level, "L1I");
+  EXPECT_EQ(res.levels[1].level, "L1D");
+  EXPECT_EQ(res.levels[2].level, "L2");
+  EXPECT_GT(res.cache_total().in_joules(), 0.0);
+  EXPECT_GT(res.dram_energy.in_joules(), 0.0);
+  EXPECT_GT(res.level("L1I").stats.accesses, 0u);
+  EXPECT_THROW((void)res.level("L3"), std::out_of_range);
+}
+
+TEST_F(HierarchyRunnerTest, AdaptiveL1BeatsBaselineL1) {
+  HierarchyRunConfig on, off;
+  off.cnt_at_l1i = off.cnt_at_l1d = false;
+  const auto with = run_hierarchy(on, code(), data());
+  const auto without = run_hierarchy(off, code(), data());
+  // Same functional behaviour...
+  EXPECT_EQ(with.level("L1D").stats.hits(),
+            without.level("L1D").stats.hits());
+  EXPECT_EQ(with.dram_energy.in_joules(), without.dram_energy.in_joules());
+  // ...lower L1 energy with the adaptive policy.
+  EXPECT_LT(with.level("L1D").ledger.total().in_joules(),
+            without.level("L1D").ledger.total().in_joules());
+  EXPECT_LT(with.level("L1I").ledger.total().in_joules(),
+            without.level("L1I").ledger.total().in_joules());
+  // L2 untouched in both configs.
+  EXPECT_DOUBLE_EQ(with.level("L2").ledger.total().in_joules(),
+                   without.level("L2").ledger.total().in_joules());
+}
+
+TEST_F(HierarchyRunnerTest, DeterministicAcrossRuns) {
+  HierarchyRunConfig cfg;
+  const auto a = run_hierarchy(cfg, code(), data());
+  const auto b = run_hierarchy(cfg, code(), data());
+  EXPECT_DOUBLE_EQ(a.cache_total().in_joules(), b.cache_total().in_joules());
+}
+
+}  // namespace
+}  // namespace cnt

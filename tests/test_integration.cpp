@@ -1,0 +1,131 @@
+// End-to-end integration tests: the full suite at reduced scale must
+// reproduce the paper's qualitative results (shape, not absolute numbers):
+//   - CNT-Cache saves dynamic energy vs. the baseline CNFET cache on
+//     average across the benchmark suite (paper: 22.2%);
+//   - adaptive encoding beats static inversion on average;
+//   - the ideal bound caps every policy;
+//   - W = 15 region is a sensible operating point.
+#include <gtest/gtest.h>
+
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "trace/workload_suite.hpp"
+
+namespace cnt {
+namespace {
+
+// Shared fixture: run the suite once at small scale.
+class SuiteIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimConfig cfg;
+    results_ = new std::vector<SimResult>(run_suite(cfg, 0.2));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+  static std::vector<SimResult>* results_;
+};
+
+std::vector<SimResult>* SuiteIntegration::results_ = nullptr;
+
+TEST_F(SuiteIntegration, AllTenWorkloadsRan) {
+  EXPECT_EQ(results_->size(), 10u);
+}
+
+TEST_F(SuiteIntegration, HeadlineMeanSavingInPaperBallpark) {
+  // Paper: 22.2% average dynamic-power reduction for the D-Cache. At
+  // reduced trace scale we accept a generous band around it; the full-size
+  // number is tracked in EXPERIMENTS.md.
+  const double mean = mean_saving(*results_);
+  EXPECT_GT(mean, 0.10);
+  EXPECT_LT(mean, 0.45);
+}
+
+TEST_F(SuiteIntegration, CntNeverLosesBadlyOnAnyWorkload) {
+  for (const auto& r : *results_) {
+    EXPECT_GT(r.saving(kPolicyCnt), -0.05) << r.workload;
+  }
+}
+
+TEST_F(SuiteIntegration, CntBeatsStaticOnAverage) {
+  double cnt_sum = 0, static_sum = 0;
+  for (const auto& r : *results_) {
+    cnt_sum += r.saving(kPolicyCnt);
+    static_sum += r.saving(kPolicyStatic);
+  }
+  EXPECT_GT(cnt_sum, static_sum);
+}
+
+TEST_F(SuiteIntegration, IdealBoundsEveryPolicy) {
+  for (const auto& r : *results_) {
+    const double ideal = r.energy(kPolicyIdeal).in_joules();
+    EXPECT_LE(ideal, r.energy(kPolicyBaseline).in_joules()) << r.workload;
+    EXPECT_LE(ideal, r.energy(kPolicyStatic).in_joules()) << r.workload;
+    // CNT pays real overheads (meta, logic, re-encode) the ideal does not,
+    // so the data-array savings cannot push it below the bound minus those
+    // overheads; in practice ideal <= cnt holds on all suite workloads.
+    EXPECT_LE(ideal, r.energy(kPolicyCnt).in_joules()) << r.workload;
+  }
+}
+
+TEST_F(SuiteIntegration, CmosWorstEverywhere) {
+  for (const auto& r : *results_) {
+    EXPECT_GT(r.energy(kPolicyCmos).in_joules(),
+              r.energy(kPolicyBaseline).in_joules())
+        << r.workload;
+  }
+}
+
+TEST_F(SuiteIntegration, ReadHeavyLowDensityWorkloadsSaveMost) {
+  // zipf_kv (hot, read-heavy, sparse integer data) must be among the
+  // biggest savers; stream_scale (float data, streaming) among the weakest.
+  double zipf = 0, scale = 0;
+  for (const auto& r : *results_) {
+    if (r.workload == "zipf_kv") zipf = r.saving(kPolicyCnt);
+    if (r.workload == "stream_scale") scale = r.saving(kPolicyCnt);
+  }
+  EXPECT_GT(zipf, scale);
+}
+
+TEST(WindowSweepShape, MidWindowsBeatExtremes) {
+  // E2's qualitative shape: very small windows (switch thrash + bigger
+  // counters-per-access relative benefit) and very large windows (stale
+  // encodings) should not beat the W~15 region dramatically; W=15 must be
+  // within 5 points of the best swept value on the aggregate.
+  SimConfig cfg;
+  cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+  double best = -1.0, at15 = -1.0;
+  for (const usize w : {3u, 7u, 15u, 31u, 63u}) {
+    cfg.cnt.window = w;
+    const auto results = run_suite(cfg, 0.1);
+    const double mean = mean_saving(results);
+    best = std::max(best, mean);
+    if (w == 15) at15 = mean;
+  }
+  EXPECT_GT(at15, best - 0.05);
+}
+
+TEST(PartitionSweepShape, PartitionedBeatsWholeLine) {
+  SimConfig cfg;
+  cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+  cfg.cnt.partitions = 1;
+  const double whole = mean_saving(run_suite(cfg, 0.1));
+  cfg.cnt.partitions = 8;
+  const double part8 = mean_saving(run_suite(cfg, 0.1));
+  EXPECT_GT(part8, whole);
+}
+
+TEST(IcacheShape, IFetchStreamBenefits) {
+  // The I-Cache sees read-only RISC words; adaptive encoding should yield
+  // a clear saving there too (reads dominate).
+  SimConfig cfg;
+  cfg.cache.name = "L1I";
+  cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+  const auto res = simulate(build_workload("ifetch", 0.3), cfg);
+  EXPECT_GT(res.saving(kPolicyCnt), 0.05);
+}
+
+}  // namespace
+}  // namespace cnt

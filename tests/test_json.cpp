@@ -1,0 +1,107 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+namespace cnt {
+namespace {
+
+std::string compact(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter j(os, 0);
+  body(j);
+  return os.str();
+}
+
+TEST(Json, EmptyObjectAndArray) {
+  EXPECT_EQ(compact([](JsonWriter& j) { j.begin_object().end_object(); }),
+            "{}");
+  EXPECT_EQ(compact([](JsonWriter& j) { j.begin_array().end_array(); }),
+            "[]");
+}
+
+TEST(Json, ScalarValues) {
+  EXPECT_EQ(compact([](JsonWriter& j) { j.value("hi"); }), "\"hi\"");
+  EXPECT_EQ(compact([](JsonWriter& j) { j.value(u64{42}); }), "42");
+  EXPECT_EQ(compact([](JsonWriter& j) { j.value(i64{-7}); }), "-7");
+  EXPECT_EQ(compact([](JsonWriter& j) { j.value(true); }), "true");
+  EXPECT_EQ(compact([](JsonWriter& j) { j.value(false); }), "false");
+  EXPECT_EQ(compact([](JsonWriter& j) { j.null(); }), "null");
+  EXPECT_EQ(compact([](JsonWriter& j) { j.value(2.5); }), "2.5");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(compact([](JsonWriter& j) { j.value(std::nan("")); }), "null");
+  EXPECT_EQ(compact([](JsonWriter& j) {
+              j.value(std::numeric_limits<double>::infinity());
+            }),
+            "null");
+}
+
+TEST(Json, ObjectWithKeys) {
+  const std::string s = compact([](JsonWriter& j) {
+    j.begin_object().kv("a", u64{1}).kv("b", "x").end_object();
+  });
+  EXPECT_EQ(s, "{\"a\":1,\"b\":\"x\"}");
+}
+
+TEST(Json, NestedContainers) {
+  const std::string s = compact([](JsonWriter& j) {
+    j.begin_object();
+    j.key("list");
+    j.begin_array().value(u64{1}).value(u64{2}).end_array();
+    j.key("obj");
+    j.begin_object().kv("k", true).end_object();
+    j.end_object();
+  });
+  EXPECT_EQ(s, "{\"list\":[1,2],\"obj\":{\"k\":true}}");
+}
+
+TEST(Json, StringEscaping) {
+  const std::string s = compact([](JsonWriter& j) {
+    j.value("quote\" backslash\\ newline\n tab\t ctrl\x01");
+  });
+  EXPECT_EQ(s, "\"quote\\\" backslash\\\\ newline\\n tab\\t ctrl\\u0001\"");
+}
+
+TEST(Json, DoubleRoundTripPrecision) {
+  const std::string s =
+      compact([](JsonWriter& j) { j.value(0.1234567890123456789); });
+  EXPECT_NEAR(std::stod(s), 0.1234567890123456789, 1e-18);
+}
+
+TEST(Json, PrettyPrintIndents) {
+  std::ostringstream os;
+  {
+    JsonWriter j(os, 2);
+    j.begin_object().kv("a", u64{1}).end_object();
+  }
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, DoneTracksCompletion) {
+  std::ostringstream os;
+  JsonWriter j(os, 0);
+  EXPECT_FALSE(j.done());
+  j.begin_object();
+  EXPECT_FALSE(j.done());
+  j.end_object();
+  EXPECT_TRUE(j.done());
+}
+
+TEST(Json, ArrayOfObjects) {
+  const std::string s = compact([](JsonWriter& j) {
+    j.begin_array();
+    j.begin_object().kv("i", u64{0}).end_object();
+    j.begin_object().kv("i", u64{1}).end_object();
+    j.end_array();
+  });
+  EXPECT_EQ(s, "[{\"i\":0},{\"i\":1}]");
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,98 @@
+#include "cache/main_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace cnt {
+namespace {
+
+TEST(MainMemory, UnwrittenReadsZero) {
+  MainMemory mem;
+  std::array<u8, 64> line{};
+  line.fill(0xAB);
+  mem.read_line(0x1000, line);
+  for (const u8 b : line) EXPECT_EQ(b, 0);
+  EXPECT_EQ(mem.peek(0xDEAD0), 0);
+}
+
+TEST(MainMemory, LineRoundTrip) {
+  MainMemory mem;
+  std::array<u8, 64> out{};
+  std::array<u8, 64> in{};
+  for (usize i = 0; i < in.size(); ++i) in[i] = static_cast<u8>(i * 3);
+  mem.write_line(0x2000, in);
+  mem.read_line(0x2000, out);
+  EXPECT_EQ(in, out);
+}
+
+TEST(MainMemory, LinesAtPageEdges) {
+  MainMemory mem;
+  std::array<u8, 128> in{};
+  for (usize i = 0; i < in.size(); ++i) in[i] = static_cast<u8>(i + 1);
+  // Last aligned 128 B line of page 0 and first line of page 1.
+  mem.write_line(4096 - 128, in);
+  mem.write_line(4096, in);
+  std::array<u8, 128> out{};
+  mem.read_line(4096 - 128, out);
+  EXPECT_EQ(in, out);
+  mem.read_line(4096, out);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(mem.resident_pages(), 2u);
+}
+
+TEST(MainMemory, WordWrites) {
+  MainMemory mem;
+  mem.write_word(0x100, 0x1122334455667788ULL, 8);
+  EXPECT_EQ(mem.peek_word(0x100, 8), 0x1122334455667788ULL);
+  EXPECT_EQ(mem.peek(0x100), 0x88);  // little-endian
+  EXPECT_EQ(mem.peek(0x107), 0x11);
+  mem.write_word(0x100, 0xAB, 1);
+  EXPECT_EQ(mem.peek_word(0x100, 8), 0x11223344556677ABULL);
+}
+
+TEST(MainMemory, LoadSegments) {
+  MainMemory mem;
+  Workload w;
+  MemorySegment seg;
+  seg.base = 0x3000;
+  seg.bytes = {1, 2, 3, 4, 5};
+  w.init.push_back(seg);
+  MemorySegment seg2;
+  seg2.base = 0x8FFE;  // crosses page boundary at 0x9000
+  seg2.bytes = {9, 9, 9, 9};
+  w.init.push_back(seg2);
+  mem.load(w);
+  EXPECT_EQ(mem.peek(0x3000), 1);
+  EXPECT_EQ(mem.peek(0x3004), 5);
+  EXPECT_EQ(mem.peek(0x8FFE), 9);
+  EXPECT_EQ(mem.peek(0x9001), 9);
+}
+
+TEST(MainMemory, TrafficCounters) {
+  MainMemory mem;
+  std::array<u8, 64> buf{};
+  mem.read_line(0, buf);
+  mem.read_line(64, buf);
+  mem.write_line(0, buf);
+  mem.write_word(8, 1, 8);
+  EXPECT_EQ(mem.line_reads(), 2u);
+  EXPECT_EQ(mem.line_writes(), 1u);
+  EXPECT_EQ(mem.word_writes(), 1u);
+}
+
+TEST(MainMemory, PokePeek) {
+  MainMemory mem;
+  mem.poke(0x42, 0x7F);
+  EXPECT_EQ(mem.peek(0x42), 0x7F);
+}
+
+TEST(MainMemory, SparsePages) {
+  MainMemory mem;
+  mem.poke(0, 1);
+  mem.poke(1ULL << 30, 2);
+  EXPECT_EQ(mem.resident_pages(), 2u);
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,76 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "energy/tech_params.hpp"
+
+namespace cnt {
+namespace {
+
+CacheStats stats_with(u64 hits, u64 misses) {
+  CacheStats s;
+  s.accesses = hits + misses;
+  s.read_hits = hits;
+  s.read_misses = misses;
+  return s;
+}
+
+TEST(Timing, CycleFormula) {
+  TimingParams t;
+  t.hit_cycles = 2;
+  t.miss_penalty = 20;
+  const auto s = stats_with(100, 10);
+  EXPECT_EQ(t.cycles(s), 110u * 2 + 10u * 20);
+}
+
+TEST(Timing, SecondsScaleWithClock) {
+  TimingParams fast, slow;
+  fast.clock_ghz = 4.0;
+  slow.clock_ghz = 2.0;
+  const auto s = stats_with(1000, 50);
+  EXPECT_NEAR(slow.seconds(s) / fast.seconds(s), 2.0, 1e-12);
+}
+
+TEST(Timing, ZeroAccesses) {
+  TimingParams t;
+  const CacheStats s;
+  EXPECT_EQ(t.cycles(s), 0u);
+  EXPECT_DOUBLE_EQ(t.seconds(s), 0.0);
+}
+
+TEST(Metrics, EdpProduct) {
+  EXPECT_DOUBLE_EQ(edp(nJ(2.0), 3.0), 6e-9);
+}
+
+TEST(Metrics, LeakageEnergy) {
+  const Energy e = leakage_energy(2e-3, 5.0);
+  EXPECT_DOUBLE_EQ(e.in_joules(), 1e-2);
+}
+
+TEST(Dram, TrafficEnergyCountsAllKinds) {
+  MainMemory mem;
+  std::array<u8, 64> line{};
+  mem.read_line(0, line);
+  mem.read_line(64, line);
+  mem.write_line(0, line);
+  mem.write_word(8, 1, 8);
+
+  DramParams d;
+  const Energy expect = 2.0 * d.per_line_read + 1.0 * d.per_line_write +
+                        1.0 * d.per_word_write;
+  EXPECT_DOUBLE_EQ(d.traffic_energy(mem).in_joules(), expect.in_joules());
+}
+
+TEST(Dram, NoTrafficNoEnergy) {
+  MainMemory mem;
+  EXPECT_DOUBLE_EQ(DramParams{}.traffic_energy(mem).in_joules(), 0.0);
+}
+
+TEST(Tech, CnfetClockFasterThanCmos) {
+  EXPECT_GT(TechParams::cnfet().clock_ghz, TechParams::cmos().clock_ghz);
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,127 @@
+// Cross-policy property tests under randomized traffic: the accounting
+// invariants every energy policy must keep regardless of data or mix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cnt/baseline_policies.hpp"
+#include "cnt/cnt_policy.hpp"
+#include "common/rng.hpp"
+
+namespace cnt {
+namespace {
+
+using C = EnergyCategory;
+
+CacheConfig cfg_small() {
+  CacheConfig c;
+  c.size_bytes = 4096;
+  c.ways = 4;
+  c.line_bytes = 64;
+  return c;
+}
+
+class PolicyInvariants : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PolicyInvariants, HoldUnderRandomTraffic) {
+  MainMemory mem;
+  Cache cache(cfg_small(), mem);
+  const auto geom = geometry_of(cfg_small());
+  const auto tech = TechParams::cnfet();
+
+  PlainPolicy plain("plain", tech, geom);
+  StaticInvertPolicy inv("inv", tech, geom);
+  IdealPolicy ideal("ideal", tech, geom, 8);
+  CntPolicy cnt("cnt", tech, geom, CntConfig{});
+  cache.add_sink(plain);
+  cache.add_sink(inv);
+  cache.add_sink(ideal);
+  cache.add_sink(cnt);
+
+  Rng rng(GetParam());
+  usize accesses = 0;
+  for (int i = 0; i < 6000; ++i) {
+    const u64 addr = rng.uniform(1024) * 8;
+    if (rng.chance(0.35)) {
+      cache.access(MemAccess::write(addr, rng.next()));
+    } else {
+      cache.access(MemAccess::read(addr));
+    }
+    ++accesses;
+  }
+
+  // 1. Every lookup charges the tag array exactly once per access.
+  const std::vector<const EnergyPolicyBase*> all{&plain, &inv, &ideal, &cnt};
+  for (const EnergyPolicyBase* p : all) {
+    EXPECT_EQ(p->ledger().count(C::kTagRead), accesses) << p->name();
+    const double total = p->ledger().total().in_joules();
+    EXPECT_TRUE(std::isfinite(total)) << p->name();
+    EXPECT_GT(total, 0.0) << p->name();
+  }
+
+  // 2. Peripheral categories agree between plain and ideal exactly (same
+  //    decode/tag/output charging paths).
+  for (const auto cat : {C::kDecode, C::kTagRead, C::kTagWrite, C::kOutput}) {
+    EXPECT_DOUBLE_EQ(plain.ledger().get(cat).in_joules(),
+                     ideal.ledger().get(cat).in_joules());
+  }
+
+  // 3. Ideal's data energy is a lower bound for plain and static.
+  const double ideal_data = (ideal.ledger().get(C::kDataRead) +
+                             ideal.ledger().get(C::kDataWrite))
+                                .in_joules();
+  const std::vector<const EnergyPolicyBase*> non_adaptive{&plain, &inv};
+  for (const EnergyPolicyBase* p : non_adaptive) {
+    const double data = (p->ledger().get(C::kDataRead) +
+                         p->ledger().get(C::kDataWrite))
+                            .in_joules();
+    EXPECT_LE(ideal_data, data + 1e-30) << p->name();
+  }
+
+  // 4. CNT bookkeeping consistency.
+  const auto& qs = cnt.queue_stats();
+  const auto& st = cnt.stats();
+  EXPECT_EQ(qs.drained, st.reencodes_applied + qs.drained_stale);
+  EXPECT_LE(st.reencodes_applied, st.switch_decisions);
+  EXPECT_GE(st.partition_flips_requested, st.switch_decisions);
+  EXPECT_EQ(cnt.ledger().count(C::kReencode) > 0,
+            st.reencodes_applied > 0);
+
+  // 5. The ledger's array/overhead split covers the total.
+  const double sum = (cnt.ledger().array_total() +
+                      cnt.ledger().overhead_total())
+                         .in_joules();
+  EXPECT_NEAR(sum, cnt.ledger().total().in_joules(),
+              1e-12 * cnt.ledger().total().in_joules());
+
+  // 6. Plain never charges CNT-only categories.
+  for (const auto cat : {C::kMetaRead, C::kMetaWrite, C::kEncoderLogic,
+                         C::kPredictorLogic, C::kReencode, C::kFifo}) {
+    EXPECT_DOUBLE_EQ(plain.ledger().get(cat).in_joules(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyInvariants,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(PolicyInvariants, ReadOnlySteadyStateNeverWritesData) {
+  MainMemory mem;
+  Cache cache(cfg_small(), mem);
+  PlainPolicy plain("plain", TechParams::cnfet(), geometry_of(cfg_small()));
+  cache.add_sink(plain);
+
+  // Warm a resident working set, then hammer reads.
+  for (u64 a = 0; a < 32; ++a) cache.access(MemAccess::read(a * 64));
+  const u64 writes_before = plain.ledger().count(C::kDataWrite);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    cache.access(MemAccess::read(rng.uniform(32) * 64));
+  }
+  EXPECT_EQ(plain.ledger().count(C::kDataWrite), writes_before);
+}
+
+}  // namespace
+}  // namespace cnt

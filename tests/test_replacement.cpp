@@ -1,0 +1,102 @@
+#include "cache/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cnt {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  auto p = make_replacement(ReplKind::kLru, 4, 4);
+  for (u32 w = 0; w < 4; ++w) p->on_fill(0, w);
+  p->on_access(0, 0);  // 1 is now LRU
+  EXPECT_EQ(p->victim(0), 1u);
+  p->on_access(0, 1);
+  EXPECT_EQ(p->victim(0), 2u);
+}
+
+TEST(Lru, SetsAreIndependent) {
+  auto p = make_replacement(ReplKind::kLru, 2, 2);
+  p->on_fill(0, 0);
+  p->on_fill(1, 1);
+  p->on_fill(0, 1);
+  p->on_fill(1, 0);
+  EXPECT_EQ(p->victim(0), 0u);
+  EXPECT_EQ(p->victim(1), 1u);
+}
+
+TEST(Fifo, IgnoresAccesses) {
+  auto p = make_replacement(ReplKind::kFifo, 1, 3);
+  p->on_fill(0, 0);
+  p->on_fill(0, 1);
+  p->on_fill(0, 2);
+  p->on_access(0, 0);  // must not refresh way 0
+  EXPECT_EQ(p->victim(0), 0u);
+  p->on_fill(0, 0);
+  EXPECT_EQ(p->victim(0), 1u);
+}
+
+TEST(Random, ReturnsValidWays) {
+  auto p = make_replacement(ReplKind::kRandom, 1, 4, 42);
+  std::set<u32> seen;
+  for (int i = 0; i < 200; ++i) {
+    const u32 v = p->victim(0);
+    ASSERT_LT(v, 4u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all ways eventually chosen
+}
+
+TEST(Random, DeterministicPerSeed) {
+  auto a = make_replacement(ReplKind::kRandom, 1, 8, 7);
+  auto b = make_replacement(ReplKind::kRandom, 1, 8, 7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a->victim(0), b->victim(0));
+}
+
+TEST(TreePlru, VictimAvoidsRecentlyTouched) {
+  auto p = make_replacement(ReplKind::kTreePlru, 1, 4);
+  // Touch everything, then re-touch 0..2: victim must be 3? Not guaranteed
+  // by PLRU in general, but the victim must never be the most recently
+  // touched way.
+  for (u32 w = 0; w < 4; ++w) p->on_fill(0, w);
+  for (int round = 0; round < 20; ++round) {
+    const u32 touched = static_cast<u32>(round % 4);
+    p->on_access(0, touched);
+    EXPECT_NE(p->victim(0), touched);
+  }
+}
+
+TEST(TreePlru, FullCycleCoversAllWays) {
+  auto p = make_replacement(ReplKind::kTreePlru, 1, 8);
+  std::set<u32> victims;
+  for (int i = 0; i < 8; ++i) {
+    const u32 v = p->victim(0);
+    victims.insert(v);
+    p->on_fill(0, v);  // filling the victim points the tree away from it
+  }
+  EXPECT_EQ(victims.size(), 8u);
+}
+
+TEST(TreePlru, SingleWay) {
+  auto p = make_replacement(ReplKind::kTreePlru, 2, 1);
+  p->on_fill(0, 0);
+  EXPECT_EQ(p->victim(0), 0u);
+}
+
+TEST(Factory, NamesMatchKinds) {
+  EXPECT_STREQ(make_replacement(ReplKind::kLru, 1, 2)->name(), "LRU");
+  EXPECT_STREQ(make_replacement(ReplKind::kFifo, 1, 2)->name(), "FIFO");
+  EXPECT_STREQ(make_replacement(ReplKind::kRandom, 1, 2)->name(), "random");
+  EXPECT_STREQ(make_replacement(ReplKind::kTreePlru, 1, 2)->name(),
+               "tree-PLRU");
+}
+
+TEST(Lru, SingleWay) {
+  auto p = make_replacement(ReplKind::kLru, 4, 1);
+  p->on_fill(3, 0);
+  EXPECT_EQ(p->victim(3), 0u);
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,142 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cnt {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(99);
+  const u64 first = a.next();
+  (void)a.next();
+  a.reseed(99);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = rng.uniform_range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformOne) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(8);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GeometricMagnitudeRespectsCap) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.geometric_magnitude(12, 0.7), 1ULL << 12);
+  }
+}
+
+TEST(Rng, GeometricMagnitudeIsSkewedSmall) {
+  Rng rng(6);
+  // With decay 0.7 the mean bit-width is ~3.3, so most values are small.
+  int small = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    small += rng.geometric_magnitude(32, 0.7) < 256 ? 1 : 0;
+  }
+  EXPECT_GT(small, n / 2);
+}
+
+TEST(Zipf, UniformWhenSZero) {
+  Rng rng(9);
+  ZipfSampler z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Zipf, SkewFavoursLowRanks) {
+  Rng rng(10);
+  ZipfSampler z(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  Rng rng(12);
+  ZipfSampler z(7, 1.2);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 7u);
+}
+
+TEST(Zipf, SingleElement) {
+  Rng rng(13);
+  ZipfSampler z(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace cnt

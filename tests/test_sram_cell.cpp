@@ -1,0 +1,107 @@
+#include "energy/sram_cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace cnt {
+namespace {
+
+const BitEnergies kCell = TechParams::cnfet().cell;
+
+TEST(SramCell, ReadEnergyCountsFormula) {
+  // 16 bits, 5 ones: 5*rd1 + 11*rd0.
+  const Energy e = read_energy_counts(kCell, 16, 5);
+  const Energy expect = 5.0 * kCell.rd1 + 11.0 * kCell.rd0;
+  EXPECT_DOUBLE_EQ(e.in_joules(), expect.in_joules());
+}
+
+TEST(SramCell, WriteEnergyCountsFormula) {
+  const Energy e = write_energy_counts(kCell, 16, 5);
+  const Energy expect = 5.0 * kCell.wr1 + 11.0 * kCell.wr0;
+  EXPECT_DOUBLE_EQ(e.in_joules(), expect.in_joules());
+}
+
+TEST(SramCell, BufferFormsMatchCountForms) {
+  Rng rng(31);
+  std::vector<u8> buf(64);
+  for (auto& b : buf) b = static_cast<u8>(rng.next());
+  const usize ones = popcount(buf);
+  EXPECT_DOUBLE_EQ(read_energy(kCell, buf).in_joules(),
+                   read_energy_counts(kCell, 512, ones).in_joules());
+  EXPECT_DOUBLE_EQ(write_energy(kCell, buf).in_joules(),
+                   write_energy_counts(kCell, 512, ones).in_joules());
+}
+
+TEST(SramCell, AllZerosVsAllOnes) {
+  const std::array<u8, 8> zeros{};
+  std::array<u8, 8> ones{};
+  ones.fill(0xFF);
+  // Reading zeros is the expensive case; writing ones is the expensive case.
+  EXPECT_GT(read_energy(kCell, zeros), read_energy(kCell, ones));
+  EXPECT_LT(write_energy(kCell, zeros), write_energy(kCell, ones));
+}
+
+TEST(SramCell, ReadPlusInvertedReadIsConstant) {
+  // E(N1) + E(L-N1) depends only on L -- a useful invariant of the model.
+  Rng rng(5);
+  std::vector<u8> buf(32);
+  for (auto& b : buf) b = static_cast<u8>(rng.next());
+  const auto inv = inverted(buf);
+  const Energy sum = read_energy(kCell, buf) + read_energy(kCell, inv);
+  const Energy expect = 256.0 * (kCell.rd0 + kCell.rd1);
+  EXPECT_NEAR(sum.in_joules(), expect.in_joules(), 1e-24);
+}
+
+TEST(SramCell, FlipAwareIdenticalDataIsCheap) {
+  std::array<u8, 8> data{0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0};
+  const Energy full = write_energy(kCell, data);
+  const Energy same = write_energy_flip_aware(kCell, data, data);
+  EXPECT_LT(same.in_joules(), 0.2 * full.in_joules());
+  EXPECT_GT(same.in_joules(), 0.0);
+}
+
+TEST(SramCell, FlipAwareAllChangedApproachesFull) {
+  std::array<u8, 8> old_data{};
+  std::array<u8, 8> new_data{};
+  new_data.fill(0xFF);
+  const Energy fa = write_energy_flip_aware(kCell, old_data, new_data);
+  const Energy full = write_energy(kCell, new_data);
+  // Equal up to floating-point summation order.
+  EXPECT_NEAR(fa.in_joules(), full.in_joules(), 1e-9 * full.in_joules());
+}
+
+TEST(SramCell, FlipAwareNeverExceedsFullModel) {
+  Rng rng(77);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<u8> a(16), b(16);
+    for (auto& x : a) x = static_cast<u8>(rng.next());
+    for (auto& x : b) x = static_cast<u8>(rng.next());
+    EXPECT_LE(write_energy_flip_aware(kCell, a, b).in_joules(),
+              write_energy(kCell, b).in_joules() + 1e-30);
+  }
+}
+
+// Property sweep over every (L, N1): energies are monotone in the expected
+// direction for the CNFET asymmetry.
+class CellMonotone : public ::testing::TestWithParam<usize> {};
+
+TEST_P(CellMonotone, ReadDecreasesWritIncreasesWithOnes) {
+  const usize bits = GetParam();
+  for (usize n1 = 1; n1 <= bits; ++n1) {
+    EXPECT_LT(read_energy_counts(kCell, bits, n1),
+              read_energy_counts(kCell, bits, n1 - 1));
+    EXPECT_GT(write_energy_counts(kCell, bits, n1),
+              write_energy_counts(kCell, bits, n1 - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CellMonotone,
+                         ::testing::Values(1, 8, 64, 512));
+
+}  // namespace
+}  // namespace cnt

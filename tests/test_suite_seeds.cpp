@@ -1,0 +1,83 @@
+// Seed-replication machinery: offset 0 is canonical and deterministic;
+// nonzero offsets produce decorrelated but same-shaped instances.
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+#include "trace/workload_suite.hpp"
+
+namespace cnt {
+namespace {
+
+TEST(SuiteSeeds, OffsetZeroIsCanonical) {
+  const Workload a = build_workload("zipf_kv", 0.1);
+  const Workload b = build_workload("zipf_kv", 0.1, 0);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (usize i = 0; i < a.trace.size(); i += 101) {
+    EXPECT_EQ(a.trace[i].addr, b.trace[i].addr);
+    EXPECT_EQ(a.trace[i].value, b.trace[i].value);
+  }
+}
+
+TEST(SuiteSeeds, DifferentOffsetsDiffer) {
+  const Workload a = build_workload("zipf_kv", 0.1, 1);
+  const Workload b = build_workload("zipf_kv", 0.1, 2);
+  // Operation counts match; trace length may differ slightly (the GET/PUT
+  // mix is itself sampled).
+  const usize n = std::min(a.trace.size(), b.trace.size());
+  ASSERT_GT(n, 1000u);
+  usize diffs = 0;
+  for (usize i = 0; i < n; i += 13) {
+    diffs += (a.trace[i].addr != b.trace[i].addr ||
+              a.trace[i].value != b.trace[i].value);
+  }
+  EXPECT_GT(diffs, n / 13 / 4);
+}
+
+TEST(SuiteSeeds, SameOffsetDeterministic) {
+  const Workload a = build_workload("hash_join", 0.1, 7);
+  const Workload b = build_workload("hash_join", 0.1, 7);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (usize i = 0; i < a.trace.size(); i += 97) {
+    EXPECT_EQ(a.trace[i].addr, b.trace[i].addr);
+  }
+}
+
+TEST(SuiteSeeds, ShapePreservedAcrossSeeds) {
+  // Access counts and read/write mix are structural, not seed-dependent.
+  for (const char* name : {"stream_copy", "pointer_chase", "text_tokenize"}) {
+    const auto s0 = build_workload(name, 0.1, 0).trace.stats();
+    const auto s5 = build_workload(name, 0.1, 5).trace.stats();
+    EXPECT_NEAR(static_cast<double>(s5.accesses),
+                static_cast<double>(s0.accesses),
+                0.1 * static_cast<double>(s0.accesses))
+        << name;
+    EXPECT_NEAR(s5.write_fraction, s0.write_fraction, 0.05) << name;
+  }
+}
+
+TEST(SuiteSeeds, RunSuiteWithSeedProducesSimilarMean) {
+  SimConfig cfg;
+  cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+  const auto r0 = run_suite(cfg, 0.1, 0);
+  const auto r3 = run_suite(cfg, 0.1, 3);
+  double m0 = 0, m3 = 0;
+  for (const auto& r : r0) m0 += r.saving(kPolicyCnt);
+  for (const auto& r : r3) m3 += r.saving(kPolicyCnt);
+  m0 /= static_cast<double>(r0.size());
+  m3 /= static_cast<double>(r3.size());
+  EXPECT_NEAR(m0, m3, 0.05);
+}
+
+TEST(SuiteSeeds, IFetchSupportsSeeds) {
+  const Workload a = build_workload("ifetch", 0.1, 1);
+  const Workload b = build_workload("ifetch", 0.1, 2);
+  usize diffs = 0;
+  const usize n = std::min(a.trace.size(), b.trace.size());
+  for (usize i = 0; i < n; i += 17) {
+    diffs += a.trace[i].addr != b.trace[i].addr;
+  }
+  EXPECT_GT(diffs, 0u);
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,67 @@
+#include "energy/tech_params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnt {
+namespace {
+
+// These tests pin the two quantitative anchors the paper states for the
+// reconstructed Table `tab:rw-analysis` (see tech_params.hpp).
+
+TEST(TechParams, CnfetWriteAsymmetryIsAlmostTenX) {
+  const auto t = TechParams::cnfet();
+  const double ratio = t.cell.wr1 / t.cell.wr0;
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 11.0);
+}
+
+TEST(TechParams, CnfetReadDeltaCloseToWriteDelta) {
+  const auto t = TechParams::cnfet();
+  const double rd = t.cell.read_delta().in_joules();
+  const double wr = t.cell.write_delta().in_joules();
+  ASSERT_GT(rd, 0.0);
+  ASSERT_GT(wr, 0.0);
+  // "quite close": within 20% of each other.
+  EXPECT_NEAR(rd / wr, 1.0, 0.2);
+}
+
+TEST(TechParams, CnfetReadZeroCostsMoreThanReadOne) {
+  const auto t = TechParams::cnfet();
+  EXPECT_GT(t.cell.rd0, t.cell.rd1);
+}
+
+TEST(TechParams, CmosIsNearlySymmetricAndMoreExpensive) {
+  const auto cmos = TechParams::cmos();
+  const auto cnfet = TechParams::cnfet();
+  EXPECT_EQ(cmos.cell.rd0, cmos.cell.rd1);
+  // CMOS writes differ by < 5%.
+  EXPECT_NEAR(cmos.cell.wr1 / cmos.cell.wr0, 1.0, 0.05);
+  // "power-hungry CMOS": average per-bit energy clearly above CNFET's.
+  const auto avg = [](const BitEnergies& e) {
+    return (e.rd0 + e.rd1 + e.wr0 + e.wr1) / 4.0;
+  };
+  EXPECT_GT(avg(cmos.cell) / avg(cnfet.cell), 1.5);
+}
+
+TEST(TechParams, BitEnergiesHelpers) {
+  const auto t = TechParams::cnfet();
+  EXPECT_EQ(t.cell.read(false), t.cell.rd0);
+  EXPECT_EQ(t.cell.read(true), t.cell.rd1);
+  EXPECT_EQ(t.cell.write(false), t.cell.wr0);
+  EXPECT_EQ(t.cell.write(true), t.cell.wr1);
+}
+
+TEST(TechParams, NamesSet) {
+  EXPECT_FALSE(TechParams::cnfet().name.empty());
+  EXPECT_FALSE(TechParams::cmos().name.empty());
+  EXPECT_NE(TechParams::cnfet().name, TechParams::cmos().name);
+}
+
+TEST(TechParams, LeakageOrdering) {
+  // CNFET's selling point includes lower leakage.
+  EXPECT_LT(TechParams::cnfet().periph.leakage_per_cell_w,
+            TechParams::cmos().periph.leakage_per_cell_w);
+}
+
+}  // namespace
+}  // namespace cnt

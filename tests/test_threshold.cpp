@@ -1,0 +1,194 @@
+#include "cnt/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "energy/sram_cell.hpp"
+
+namespace cnt {
+namespace {
+
+const BitEnergies kCnfet = TechParams::cnfet().cell;
+
+TEST(Threshold, ThRdRoughlyHalfWindowForCnfet) {
+  // Paper: "Since E_rd0 - E_rd1 is quite close to E_wr1 - E_wr0, Th_rd is
+  // roughly half of W."
+  const ThresholdTable t(kCnfet, 15, 512);
+  EXPECT_NEAR(t.th_rd(), 7.5, 1.2);
+}
+
+TEST(Threshold, ThRdMatchesEq3) {
+  const ThresholdTable t(kCnfet, 20, 512);
+  const double drd = kCnfet.read_delta().in_joules();
+  const double dwr = kCnfet.write_delta().in_joules();
+  const double expect = 20.0 / (1.0 + drd / dwr);
+  EXPECT_NEAR(t.th_rd(), expect, 1e-9);
+}
+
+TEST(Threshold, WindowEnergyMatchesEq4) {
+  const ThresholdTable t(kCnfet, 15, 512);
+  const usize wr = 5, n1 = 100;
+  const Energy expect = 10.0 * read_energy_counts(kCnfet, 512, n1) +
+                        5.0 * write_energy_counts(kCnfet, 512, n1);
+  EXPECT_NEAR(t.window_energy(wr, n1).in_joules(), expect.in_joules(), 1e-24);
+}
+
+TEST(Threshold, SwitchedEnergyIsEnergyOfComplement) {
+  const ThresholdTable t(kCnfet, 15, 512);
+  EXPECT_DOUBLE_EQ(t.window_energy_switched(4, 100).in_joules(),
+                   t.window_energy(4, 412).in_joules());
+}
+
+TEST(Threshold, EncodeCostMatchesPaperFormula) {
+  // E_encode = N1*E_wr0 + (L-N1)*E_wr1 (the re-encoded data has L-N1 ones).
+  const ThresholdTable t(kCnfet, 15, 512);
+  const usize n1 = 77;
+  const Energy expect = static_cast<double>(n1) * kCnfet.wr0 +
+                        static_cast<double>(512 - n1) * kCnfet.wr1;
+  EXPECT_NEAR(t.encode_cost(n1).in_joules(), expect.in_joules(), 1e-24);
+}
+
+TEST(Threshold, ESaveSignTracksAccessMix) {
+  const ThresholdTable t(kCnfet, 15, 512);
+  EXPECT_GT(t.e_save(0).in_joules(), 0.0);   // all reads
+  EXPECT_LT(t.e_save(15).in_joules(), 0.0);  // all writes
+}
+
+TEST(Threshold, ClassificationMatchesESaveSign) {
+  const ThresholdTable t(kCnfet, 15, 512);
+  for (usize wr = 0; wr <= 15; ++wr) {
+    EXPECT_EQ(t.is_write_intensive(wr), t.e_save(wr).in_joules() < 0.0)
+        << "wr=" << wr;
+  }
+}
+
+// The central correctness property: the hardware table decision (Eq. 6,
+// clamped) must exactly equal the direct energy comparison
+// E > E_bar + E_encode for EVERY (wr_num, bit1num) pair.
+class TableEquivalence : public ::testing::TestWithParam<usize> {};
+
+TEST_P(TableEquivalence, TableMatchesDirectComparison) {
+  const usize window = GetParam();
+  for (const usize unit_bits : {64u, 512u}) {
+    const ThresholdTable t(kCnfet, window, unit_bits);
+    for (usize wr = 0; wr <= window; ++wr) {
+      for (usize n1 = 0; n1 <= unit_bits; n1 += (unit_bits > 64 ? 7 : 1)) {
+        const double profit = (t.window_energy(wr, n1) -
+                               t.window_energy_switched(wr, n1) -
+                               t.encode_cost(n1))
+                                  .in_joules();
+        const bool direct = profit > 0.0;
+        EXPECT_EQ(t.should_switch(wr, n1), direct)
+            << "W=" << window << " L=" << unit_bits << " wr=" << wr
+            << " n1=" << n1 << " profit=" << profit;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, TableEquivalence,
+                         ::testing::Values(1, 2, 3, 7, 8, 15, 16, 31, 63));
+
+TEST(Threshold, CmosSymmetricCellNeverSwitches) {
+  // For a value-symmetric cell, no encoding ever pays: E == E_bar and
+  // E_encode > 0.
+  BitEnergies sym{.rd0 = fJ(4.2), .rd1 = fJ(4.2), .wr0 = fJ(4.8),
+                  .wr1 = fJ(4.8)};
+  const ThresholdTable t(sym, 15, 512);
+  for (usize wr = 0; wr <= 15; ++wr) {
+    for (usize n1 = 0; n1 <= 512; n1 += 64) {
+      EXPECT_FALSE(t.should_switch(wr, n1));
+    }
+  }
+}
+
+TEST(Threshold, ReadIntensiveAllZerosWantsSwitch) {
+  // A read-only window over an all-zeros line: inverting makes every read
+  // cheap; the switch must fire.
+  const ThresholdTable t(kCnfet, 15, 512);
+  EXPECT_TRUE(t.should_switch(0, 0));
+  // ...and an all-ones line is already optimal for reads.
+  EXPECT_FALSE(t.should_switch(0, 512));
+}
+
+TEST(Threshold, WriteIntensiveAllOnesWantsSwitch) {
+  const ThresholdTable t(kCnfet, 15, 512);
+  EXPECT_TRUE(t.should_switch(15, 512));
+  EXPECT_FALSE(t.should_switch(15, 0));
+}
+
+TEST(Threshold, HysteresisSuppressesMarginalSwitches) {
+  const ThresholdTable strict(kCnfet, 15, 512, 0.0);
+  const ThresholdTable lax(kCnfet, 15, 512, 0.5);
+  usize strict_count = 0, lax_count = 0;
+  for (usize wr = 0; wr <= 15; ++wr) {
+    for (usize n1 = 0; n1 <= 512; n1 += 8) {
+      strict_count += strict.should_switch(wr, n1);
+      lax_count += lax.should_switch(wr, n1);
+      // Hysteresis can only remove switches, never add them.
+      if (lax.should_switch(wr, n1)) {
+        EXPECT_TRUE(strict.should_switch(wr, n1));
+      }
+    }
+  }
+  EXPECT_LT(lax_count, strict_count);
+}
+
+TEST(Threshold, DegenerateWindowNeverSwitchesWhenProfitFlat) {
+  // Engineer E_save == (E_wr1-E_wr0)/2 exactly: the profit slope is zero
+  // and profit == L*(G - E_wr1) < 0, so no N1 may switch. W=1, one write:
+  // G = -dwr < 0... instead construct via a read-only window with
+  // rd0-rd1 == dwr/2.
+  BitEnergies cell{.rd0 = fJ(1.5), .rd1 = fJ(0.5), .wr0 = fJ(0.5),
+                   .wr1 = fJ(2.5)};  // drd = 1.0 = dwr/2
+  const ThresholdTable t(cell, 1, 64);
+  for (usize n1 = 0; n1 <= 64; ++n1) {
+    EXPECT_FALSE(t.should_switch(0, n1)) << "n1=" << n1;
+  }
+}
+
+// Randomized-cell property sweep: for arbitrary (but ordered) asymmetric
+// cells, the clamped Eq.-6 table must match the direct comparison at every
+// (wr_num, n1), and the classification must track E_save's sign.
+class RandomCellProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RandomCellProperty, TableExactForRandomCells) {
+  Rng rng(GetParam());
+  // Random cell with the CNFET orderings (rd0 > rd1, wr1 > wr0) but
+  // arbitrary magnitudes and asymmetry ratios.
+  const double rd1 = 0.1 + rng.uniform01() * 2.0;
+  const double rd0 = rd1 + rng.uniform01() * 5.0 + 0.01;
+  const double wr0 = 0.1 + rng.uniform01() * 2.0;
+  const double wr1 = wr0 + rng.uniform01() * 5.0 + 0.01;
+  const BitEnergies cell{.rd0 = fJ(rd0), .rd1 = fJ(rd1), .wr0 = fJ(wr0),
+                         .wr1 = fJ(wr1)};
+
+  const usize window = 3 + GetParam() % 20;
+  const ThresholdTable t(cell, window, 64);
+  for (usize wr = 0; wr <= window; ++wr) {
+    EXPECT_EQ(t.is_write_intensive(wr), t.e_save(wr).in_joules() < 0.0);
+    for (usize n1 = 0; n1 <= 64; ++n1) {
+      const double profit = (t.window_energy(wr, n1) -
+                             t.window_energy_switched(wr, n1) -
+                             t.encode_cost(n1))
+                                .in_joules();
+      EXPECT_EQ(t.should_switch(wr, n1), profit > 0.0)
+          << "seed=" << GetParam() << " W=" << window << " wr=" << wr
+          << " n1=" << n1;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, RandomCellProperty,
+                         ::testing::Range<u64>(100, 125));
+
+TEST(Threshold, ThresholdAccessorInRangeForTypicalCase) {
+  const ThresholdTable t(kCnfet, 15, 512);
+  // Read-only window: breakeven should be an interior value.
+  const double th = t.threshold(0);
+  EXPECT_GT(th, 0.0);
+  EXPECT_LT(th, 512.0);
+}
+
+}  // namespace
+}  // namespace cnt

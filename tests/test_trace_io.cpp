@@ -1,0 +1,114 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace cnt {
+namespace {
+
+Trace sample_trace() {
+  Trace t("sample");
+  Rng rng(55);
+  for (int i = 0; i < 200; ++i) {
+    const u64 addr = rng.uniform(1 << 20) * 8;
+    switch (rng.uniform(3)) {
+      case 0: t.push(MemAccess::read(addr)); break;
+      case 1: t.push(MemAccess::write(addr, rng.next())); break;
+      default: t.push(MemAccess::ifetch(addr)); break;
+    }
+  }
+  t.push(MemAccess::read(0x1001, 1));
+  t.push(MemAccess::write(0x1002, 0xBEEF, 2));
+  t.push(MemAccess::read(0x1004, 4));
+  return t;
+}
+
+void expect_equal(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (usize i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr) << "record " << i;
+    EXPECT_EQ(a[i].size, b[i].size) << "record " << i;
+    EXPECT_EQ(a[i].op, b[i].op) << "record " << i;
+    if (a[i].op == MemOp::kWrite) {
+      EXPECT_EQ(a[i].value, b[i].value) << "record " << i;
+    }
+  }
+}
+
+TEST(TraceIo, TextRoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_text(t, ss);
+  const Trace back = read_text(ss, "back");
+  expect_equal(t, back);
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_binary(t, ss);
+  const Trace back = read_binary(ss, "back");
+  expect_equal(t, back);
+}
+
+TEST(TraceIo, TextSkipsCommentsAndBlanks) {
+  std::stringstream ss;
+  ss << "# a comment\n\nR 40 8\n  # indented comment\nW 80 4 beef\n";
+  const Trace t = read_text(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].addr, 0x40u);
+  EXPECT_EQ(t[1].value, 0xBEEFu);
+  EXPECT_EQ(t[1].size, 4u);
+}
+
+TEST(TraceIo, TextRejectsBadOp) {
+  std::stringstream ss("X 40 8\n");
+  EXPECT_THROW((void)read_text(ss), std::runtime_error);
+}
+
+TEST(TraceIo, TextRejectsMissingWriteValue) {
+  std::stringstream ss("W 40 8\n");
+  EXPECT_THROW((void)read_text(ss), std::runtime_error);
+}
+
+TEST(TraceIo, TextRejectsMisalignedAccess) {
+  std::stringstream ss("R 41 4\n");
+  EXPECT_THROW((void)read_text(ss), std::runtime_error);
+}
+
+TEST(TraceIo, BinaryRejectsBadMagic) {
+  std::stringstream ss("NOTMAGIC........");
+  EXPECT_THROW((void)read_binary(ss), std::runtime_error);
+}
+
+TEST(TraceIo, BinaryRejectsTruncation) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_binary(t, ss);
+  std::string data = ss.str();
+  data.resize(data.size() - 5);
+  std::stringstream cut(data);
+  EXPECT_THROW((void)read_binary(cut), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTripBothFormats) {
+  const Trace t = sample_trace();
+  for (const char* name : {"trace_io_test.txt", "trace_io_test.bin"}) {
+    const std::string path = ::testing::TempDir() + name;
+    save_trace(t, path);
+    const Trace back = load_trace(path);
+    expect_equal(t, back);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/no/such/file.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,65 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnt {
+namespace {
+
+TEST(Energy, FactoriesAndAccessors) {
+  EXPECT_DOUBLE_EQ(fJ(2.5).in_femtojoules(), 2.5);
+  EXPECT_DOUBLE_EQ(pJ(3.0).in_picojoules(), 3.0);
+  EXPECT_DOUBLE_EQ(nJ(1.0).in_joules(), 1e-9);
+  EXPECT_DOUBLE_EQ(Energy::millijoules(2.0).in_joules(), 2e-3);
+}
+
+TEST(Energy, Arithmetic) {
+  const Energy a = pJ(2.0);
+  const Energy b = pJ(3.0);
+  EXPECT_DOUBLE_EQ((a + b).in_picojoules(), 5.0);
+  EXPECT_DOUBLE_EQ((b - a).in_picojoules(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 4.0).in_picojoules(), 8.0);
+  EXPECT_DOUBLE_EQ((4.0 * a).in_picojoules(), 8.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).in_picojoules(), 1.0);
+  EXPECT_DOUBLE_EQ(b / a, 1.5);
+}
+
+TEST(Energy, CompoundAssignment) {
+  Energy e = fJ(1.0);
+  e += fJ(2.0);
+  EXPECT_DOUBLE_EQ(e.in_femtojoules(), 3.0);
+  e -= fJ(0.5);
+  EXPECT_DOUBLE_EQ(e.in_femtojoules(), 2.5);
+  e *= 2.0;
+  EXPECT_DOUBLE_EQ(e.in_femtojoules(), 5.0);
+}
+
+TEST(Energy, Comparison) {
+  EXPECT_LT(fJ(1.0), fJ(2.0));
+  EXPECT_EQ(fJ(2.0), fJ(2.0));
+  EXPECT_NEAR(pJ(1.0).in_joules(), fJ(1000.0).in_joules(), 1e-24);
+  EXPECT_GT(nJ(1.0), pJ(999.0));
+}
+
+TEST(Energy, DefaultIsZero) {
+  Energy e;
+  EXPECT_DOUBLE_EQ(e.in_joules(), 0.0);
+}
+
+TEST(Energy, ToStringPicksPrefix) {
+  EXPECT_EQ(fJ(2.5).to_string(1), "2.5 fJ");
+  EXPECT_EQ(pJ(3.25).to_string(2), "3.25 pJ");
+  EXPECT_EQ(nJ(1.5).to_string(1), "1.5 nJ");
+  EXPECT_EQ(Energy::joules(2.0).to_string(0), "2 J");
+}
+
+TEST(Energy, ToStringZero) {
+  EXPECT_EQ(Energy{}.to_string(1), "0.0 pJ");
+}
+
+TEST(Energy, ToStringNegative) {
+  const std::string s = (fJ(1.0) - fJ(3.0)).to_string(1);
+  EXPECT_EQ(s, "-2.0 fJ");
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,75 @@
+#include "cnt/update_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnt {
+namespace {
+
+ReencodeRequest req(u32 set, u32 way, u32 gen = 0) {
+  ReencodeRequest r;
+  r.set = set;
+  r.way = way;
+  r.generation = gen;
+  r.new_directions = 0xA5;
+  r.write_cost = pJ(1.0);
+  r.partitions_flipped = 3;
+  return r;
+}
+
+TEST(UpdateQueue, PushPopRoundTrip) {
+  UpdateQueue q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.push(req(1, 2, 7)));
+  EXPECT_EQ(q.size(), 1u);
+  const auto r = q.pop();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->set, 1u);
+  EXPECT_EQ(r->way, 2u);
+  EXPECT_EQ(r->generation, 7u);
+  EXPECT_EQ(r->new_directions, 0xA5u);
+  EXPECT_DOUBLE_EQ(r->write_cost.in_picojoules(), 1.0);
+  EXPECT_EQ(r->partitions_flipped, 3u);
+}
+
+TEST(UpdateQueue, DropsWhenFull) {
+  UpdateQueue q(2);
+  EXPECT_TRUE(q.push(req(0, 0)));
+  EXPECT_TRUE(q.push(req(0, 1)));
+  EXPECT_FALSE(q.push(req(0, 2)));
+  EXPECT_EQ(q.stats().pushed, 2u);
+  EXPECT_EQ(q.stats().dropped_full, 1u);
+}
+
+TEST(UpdateQueue, StatsTrackDrainsAndStale) {
+  UpdateQueue q(4);
+  ASSERT_TRUE(q.push(req(0, 0)));
+  ASSERT_TRUE(q.push(req(0, 1)));
+  (void)q.pop();
+  q.note_stale();
+  (void)q.pop();
+  EXPECT_EQ(q.stats().drained, 2u);
+  EXPECT_EQ(q.stats().drained_stale, 1u);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.stats().drained, 2u);  // empty pop doesn't count
+}
+
+TEST(UpdateQueue, MaxOccupancyHighWater) {
+  UpdateQueue q(8);
+  for (u32 i = 0; i < 5; ++i) ASSERT_TRUE(q.push(req(0, i)));
+  for (int i = 0; i < 3; ++i) (void)q.pop();
+  ASSERT_TRUE(q.push(req(1, 0)));
+  EXPECT_EQ(q.stats().max_occupancy, 5u);
+}
+
+TEST(UpdateQueue, FifoOrderPreserved) {
+  UpdateQueue q(4);
+  for (u32 i = 0; i < 4; ++i) ASSERT_TRUE(q.push(req(i, 0)));
+  for (u32 i = 0; i < 4; ++i) {
+    const auto r = q.pop();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->set, i);
+  }
+}
+
+}  // namespace
+}  // namespace cnt

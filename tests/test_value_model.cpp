@@ -1,0 +1,173 @@
+#include "trace/value_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace cnt {
+namespace {
+
+double density_of(ValueModel& m, int samples = 4000) {
+  Rng rng(1234);
+  usize ones = 0;
+  for (int i = 0; i < samples; ++i) {
+    ones += static_cast<usize>(std::popcount(m.sample(rng)));
+  }
+  return static_cast<double>(ones) / (64.0 * samples);
+}
+
+TEST(ValueModel, SmallIntLowDensity) {
+  SmallIntModel m;
+  const double d = density_of(m);
+  EXPECT_GT(d, 0.01);
+  EXPECT_LT(d, 0.2);
+}
+
+TEST(ValueModel, SignedIntBimodalDensity) {
+  // Per-word: positives sparse, negatives dense; aggregate near the
+  // negative_prob-weighted mix.
+  SignedIntModel m(32, 0.75, 0.5);
+  Rng rng(2);
+  usize dense_words = 0, sparse_words = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const int ones = std::popcount(m.sample(rng));
+    if (ones > 40) ++dense_words;
+    if (ones < 24) ++sparse_words;
+  }
+  EXPECT_GT(dense_words, 1500);   // negatives: sign-extended ones
+  EXPECT_GT(sparse_words, 1500);  // positives: leading zeros
+}
+
+TEST(ValueModel, SignedIntNegativeProbabilityZeroMatchesUnsigned) {
+  SignedIntModel m(32, 0.75, 0.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(m.sample(rng), 1ULL << 32);
+  }
+}
+
+TEST(ValueModel, SignedIntNegativesAreSignExtended) {
+  SignedIntModel m(16, 0.7, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const u64 v = m.sample(rng);
+    EXPECT_EQ(v >> 32, 0xFFFFFFFFu) << std::hex << v;
+  }
+}
+
+TEST(ValueModel, PointerModerateDensityAndAligned) {
+  PointerModel m;
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.sample(rng) % 8, 0u);
+  }
+  const double d = density_of(m);
+  EXPECT_GT(d, 0.1);
+  EXPECT_LT(d, 0.4);
+}
+
+TEST(ValueModel, Float64NearHalfDensity) {
+  Float64Model m(0.0, 1.0);
+  const double d = density_of(m);
+  EXPECT_GT(d, 0.3);
+  EXPECT_LT(d, 0.6);
+}
+
+TEST(ValueModel, Float32PairPacksTwoFloats) {
+  Float32PairModel m(1.0, 0.1);
+  Rng rng(3);
+  const u64 v = m.sample(rng);
+  // Both halves should look like floats near 1.0 (exponent 0x7F).
+  const u32 lo = static_cast<u32>(v);
+  const u32 hi = static_cast<u32>(v >> 32);
+  EXPECT_EQ((lo >> 23) & 0xFF, 0x7Fu & ((lo >> 23) & 0xFF));
+  EXPECT_NE(lo, hi);  // two independent samples
+}
+
+TEST(ValueModel, AsciiAllPrintable) {
+  AsciiModel m;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const u64 v = m.sample(rng);
+    for (int b = 0; b < 8; ++b) {
+      const u8 ch = static_cast<u8>(v >> (8 * b));
+      EXPECT_GE(ch, 0x20);
+      EXPECT_LT(ch, 0x7F);
+    }
+  }
+}
+
+TEST(ValueModel, AsciiDensityMidLow) {
+  AsciiModel m;
+  const double d = density_of(m);
+  EXPECT_GT(d, 0.3);
+  EXPECT_LT(d, 0.55);
+}
+
+TEST(ValueModel, PixelClampsToBytes) {
+  PixelModel m(240.0, 60.0);  // pushes against the 255 clamp
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    (void)m.sample(rng);  // would UB on out-of-range cast if unclamped
+  }
+  SUCCEED();
+}
+
+TEST(ValueModel, SparseMostlyZero) {
+  SparseModel m(0.1);
+  Rng rng(6);
+  int zeros = 0;
+  for (int i = 0; i < 2000; ++i) zeros += (m.sample(rng) == 0);
+  EXPECT_GT(zeros, 1600);
+}
+
+TEST(ValueModel, DenseHighDensity) {
+  DenseModel m;
+  const double d = density_of(m);
+  EXPECT_GT(d, 0.7);
+}
+
+TEST(ValueModel, RandomHalfDensity) {
+  RandomModel m;
+  const double d = density_of(m);
+  EXPECT_NEAR(d, 0.5, 0.02);
+}
+
+TEST(ValueModel, InstructionHasValidOpcodes) {
+  InstructionModel m;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const u64 v = m.sample(rng);
+    for (const u32 insn : {static_cast<u32>(v), static_cast<u32>(v >> 32)}) {
+      const u32 opcode = insn & 0x7F;
+      EXPECT_TRUE(opcode == 0x33 || opcode == 0x13 || opcode == 0x03 ||
+                  opcode == 0x23 || opcode == 0x63 || opcode == 0x6F)
+          << std::hex << opcode;
+    }
+  }
+}
+
+TEST(ValueModel, NamesDistinct) {
+  std::vector<std::unique_ptr<ValueModel>> models;
+  models.push_back(std::make_unique<SmallIntModel>());
+  models.push_back(std::make_unique<SignedIntModel>());
+  models.push_back(std::make_unique<PointerModel>());
+  models.push_back(std::make_unique<Float64Model>());
+  models.push_back(std::make_unique<AsciiModel>());
+  models.push_back(std::make_unique<PixelModel>());
+  models.push_back(std::make_unique<SparseModel>());
+  models.push_back(std::make_unique<RandomModel>());
+  models.push_back(std::make_unique<DenseModel>());
+  models.push_back(std::make_unique<InstructionModel>());
+  for (usize i = 0; i < models.size(); ++i) {
+    for (usize j = i + 1; j < models.size(); ++j) {
+      EXPECT_NE(models[i]->name(), models[j]->name());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnt

@@ -1,0 +1,171 @@
+// Zero-line elision extension tests.
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cnt/cnt_policy.hpp"
+#include "common/rng.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+namespace cnt {
+namespace {
+
+using C = EnergyCategory;
+
+CacheConfig cfg_small() {
+  CacheConfig c;
+  c.size_bytes = 4096;
+  c.ways = 4;
+  c.line_bytes = 64;
+  return c;
+}
+
+CntConfig zl_cfg() {
+  CntConfig c;
+  c.zero_line_opt = true;
+  return c;
+}
+
+struct Rig {
+  MainMemory mem;
+  Cache cache;
+  CntPolicy cnt;
+  explicit Rig(CntConfig cfg = zl_cfg())
+      : cache(cfg_small(), mem),
+        cnt("cnt", TechParams::cnfet(), geometry_of(cfg_small()), cfg) {
+    cache.add_sink(cnt);
+  }
+};
+
+TEST(ZeroLine, FlagAddsOneMetaBit) {
+  Rig with;
+  CntConfig off;
+  CntPolicy without("c", TechParams::cnfet(), geometry_of(cfg_small()), off);
+  EXPECT_EQ(with.cnt.array().geometry().meta_bits,
+            without.array().geometry().meta_bits + 1);
+}
+
+TEST(ZeroLine, ZeroFillSkipsDataArray) {
+  Rig r;
+  r.cache.access(MemAccess::read(0x1000));  // memory is zero -> zero fill
+  EXPECT_EQ(r.cnt.stats().zero_fills, 1u);
+  EXPECT_DOUBLE_EQ(r.cnt.ledger().get(C::kDataWrite).in_joules(), 0.0);
+  // Flag state visible.
+  const u32 set = r.cache.config().set_index(0x1000);
+  EXPECT_TRUE(r.cnt.line_state(set, *r.cache.find_way(0x1000)).zero_flag);
+}
+
+TEST(ZeroLine, ZeroReadsSkipDataArray) {
+  Rig r;
+  r.cache.access(MemAccess::read(0x1000));
+  const Energy dr_after_fill = r.cnt.ledger().get(C::kDataRead);
+  for (int i = 0; i < 50; ++i) r.cache.access(MemAccess::read(0x1000));
+  EXPECT_EQ(r.cnt.stats().zero_reads, 50u);
+  EXPECT_DOUBLE_EQ(r.cnt.ledger().get(C::kDataRead).in_joules(),
+                   dr_after_fill.in_joules());
+}
+
+TEST(ZeroLine, NonZeroFillBehavesNormally) {
+  Rig r;
+  r.mem.poke(0x2000, 0xFF);
+  r.cache.access(MemAccess::read(0x2000));
+  EXPECT_EQ(r.cnt.stats().zero_fills, 0u);
+  EXPECT_GT(r.cnt.ledger().get(C::kDataWrite).in_joules(), 0.0);
+  const u32 set = r.cache.config().set_index(0x2000);
+  EXPECT_FALSE(r.cnt.line_state(set, *r.cache.find_way(0x2000)).zero_flag);
+}
+
+TEST(ZeroLine, StoreMaterializesFlaggedLine) {
+  Rig r;
+  r.cache.access(MemAccess::read(0x1000));  // flagged
+  const Energy dw_before = r.cnt.ledger().get(C::kDataWrite);
+  r.cache.access(MemAccess::write(0x1000, 0x1234));
+  EXPECT_EQ(r.cnt.stats().zero_materializations, 1u);
+  EXPECT_GT(r.cnt.ledger().get(C::kDataWrite).in_joules(),
+            dw_before.in_joules());
+  const u32 set = r.cache.config().set_index(0x1000);
+  EXPECT_FALSE(r.cnt.line_state(set, *r.cache.find_way(0x1000)).zero_flag);
+}
+
+TEST(ZeroLine, ZeroStoreToFlaggedLineStaysElided) {
+  Rig r;
+  r.cache.access(MemAccess::read(0x1000));
+  r.cache.access(MemAccess::write(0x1000, 0));  // still all-zero
+  EXPECT_EQ(r.cnt.stats().zero_materializations, 0u);
+  EXPECT_DOUBLE_EQ(r.cnt.ledger().get(C::kDataWrite).in_joules(), 0.0);
+}
+
+TEST(ZeroLine, StoreThatZeroesLineArmsFlag) {
+  Rig r;
+  r.mem.write_word(0x3000, 0xAB, 8);  // only nonzero word in the line
+  r.cache.access(MemAccess::read(0x3000));  // normal fill
+  EXPECT_EQ(r.cnt.stats().zero_fills, 0u);
+  r.cache.access(MemAccess::write(0x3000, 0));  // line becomes all-zero
+  EXPECT_EQ(r.cnt.stats().zero_fills, 1u);
+  const u32 set = r.cache.config().set_index(0x3000);
+  EXPECT_TRUE(r.cnt.line_state(set, *r.cache.find_way(0x3000)).zero_flag);
+}
+
+TEST(ZeroLine, FlaggedVictimWritebackSkipsDataRead) {
+  Rig r;
+  const auto cfg = cfg_small();
+  // Dirty a zero line (write of zero marks dirty functionally).
+  r.cache.access(MemAccess::write(0x0, 0));
+  EXPECT_EQ(r.cnt.stats().zero_fills, 1u);
+  const Energy dr_before = r.cnt.ledger().get(C::kDataRead);
+  // Evict it with 4 conflicting non-zero lines.
+  const u64 stride = cfg.sets() * cfg.line_bytes;
+  for (u64 i = 1; i <= 4; ++i) {
+    r.mem.poke(i * stride, 0x1);
+    r.cache.access(MemAccess::read(i * stride));
+  }
+  ASSERT_FALSE(r.cache.find_way(0x0).has_value());
+  // The writeback of the flagged victim charged no data read; the four
+  // fills charge writes, not reads.
+  EXPECT_DOUBLE_EQ(r.cnt.ledger().get(C::kDataRead).in_joules(),
+                   dr_before.in_joules());
+}
+
+TEST(ZeroLine, DisabledFlagNeverSet) {
+  CntConfig off;
+  Rig r(off);
+  r.cache.access(MemAccess::read(0x1000));
+  EXPECT_EQ(r.cnt.stats().zero_fills, 0u);
+  const u32 set = r.cache.config().set_index(0x1000);
+  EXPECT_FALSE(r.cnt.line_state(set, *r.cache.find_way(0x1000)).zero_flag);
+  EXPECT_GT(r.cnt.ledger().get(C::kDataWrite).in_joules(), 0.0);
+}
+
+TEST(ZeroLine, SuiteSavingImprovesOrHolds) {
+  SimConfig base_cfg;
+  base_cfg.with_cmos = base_cfg.with_static = base_cfg.with_ideal = false;
+  SimConfig zl = base_cfg;
+  zl.cnt.zero_line_opt = true;
+  const double base = mean_saving(run_suite(base_cfg, 0.1));
+  const double with_zl = mean_saving(run_suite(zl, 0.1));
+  EXPECT_GE(with_zl, base - 0.005);
+}
+
+TEST(ZeroLine, FunctionalContentsUnaffected) {
+  // The flag is an energy-model concept; functional data must be exact.
+  Rig r;
+  Rng rng(3);
+  std::unordered_map<u64, u64> golden;
+  for (int i = 0; i < 4000; ++i) {
+    const u64 addr = rng.uniform(512) * 8;
+    if (rng.chance(0.5)) {
+      const u64 v = rng.chance(0.3) ? 0 : rng.next();
+      r.cache.access(MemAccess::write(addr, v));
+      golden[addr] = v;
+    } else {
+      r.cache.access(MemAccess::read(addr));
+    }
+  }
+  r.cache.flush();
+  for (const auto& [addr, v] : golden) {
+    ASSERT_EQ(r.mem.peek_word(addr, 8), v);
+  }
+}
+
+}  // namespace
+}  // namespace cnt
