@@ -4,10 +4,16 @@
 // rd0/rd1 spreads) around the reconstruction and shows the headline saving
 // as a function of it -- the conclusion holds for any meaningfully
 // asymmetric cell and vanishes, as it must, for a symmetric one.
+//
+// Runs on the parallel experiment engine: one job per (x, workload),
+// aggregated per asymmetry factor, with JSONL telemetry beside the CSV.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "exec/engine.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 
@@ -34,26 +40,42 @@ TechParams scaled_asymmetry(double k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("M2", "sensitivity to the cell's read/write asymmetry");
   const double scale = bench::scale_from_env(0.25);
+  const usize jobs = bench::jobs_option(argc, argv);
+
+  const std::vector<double> factors = {0.0, 0.25, 0.5, 0.75, 1.0, 1.2};
+  SimConfig base;
+  base.with_cmos = base.with_static = base.with_ideal = false;
+
+  exec::SweepSpec spec;
+  spec.base(base).scale(scale).suite().axis(
+      "asymmetry", factors,
+      [](SimConfig& cfg, double k) { cfg.tech = scaled_asymmetry(k); });
+
+  exec::ExperimentEngine engine(
+      {.jobs = jobs,
+       .jsonl_path = result_path("fig_asymmetry_sweep.jsonl"),
+       .progress = true});
+  const auto outcomes = engine.run(spec);
+  const auto groups = exec::group_by_tag(outcomes);
 
   Table t({"asymmetry x", "wr1/wr0", "rd0/rd1", "mean saving"});
   const std::string csv_path = result_path("fig_asymmetry_sweep.csv");
   CsvWriter csv(csv_path, {"asymmetry", "wr_ratio", "rd_ratio",
                            "mean_saving"});
 
-  for (const double k : {0.0, 0.25, 0.5, 0.75, 1.0, 1.2}) {
-    SimConfig cfg;
-    cfg.tech = scaled_asymmetry(k);
-    cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
-    const auto results = run_suite(cfg, scale);
+  for (usize i = 0; i < groups.size(); ++i) {
+    const double k = factors[i];
+    const auto results = exec::results_of(groups[i].outcomes);
     const double mean = mean_saving(results);
-    const double wr_ratio = cfg.tech.cell.wr0.in_joules() > 0
-                                ? cfg.tech.cell.wr1 / cfg.tech.cell.wr0
+    const TechParams tech = scaled_asymmetry(k);
+    const double wr_ratio = tech.cell.wr0.in_joules() > 0
+                                ? tech.cell.wr1 / tech.cell.wr0
                                 : 0.0;
-    const double rd_ratio = cfg.tech.cell.rd1.in_joules() > 0
-                                ? cfg.tech.cell.rd0 / cfg.tech.cell.rd1
+    const double rd_ratio = tech.cell.rd1.in_joules() > 0
+                                ? tech.cell.rd0 / tech.cell.rd1
                                 : 0.0;
     t.add_row({Table::num(k, 2), Table::num(wr_ratio, 2),
                Table::num(rd_ratio, 2), Table::pct(mean)});
@@ -64,6 +86,8 @@ int main() {
             << "\nx = 1.0 is the literature-derived reconstruction "
                "(wr1/wr0 ~= 9.7);\nat x = 0 the cell is symmetric and "
                "adaptive encoding can only lose its overhead.\n\ncsv: "
-            << csv_path << " (scale " << scale << ")\n";
+            << csv_path << " (scale " << scale << ", "
+            << engine.worker_count() << " jobs)\njsonl: "
+            << result_path("fig_asymmetry_sweep.jsonl") << "\n";
   return 0;
 }

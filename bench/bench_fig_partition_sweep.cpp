@@ -1,18 +1,40 @@
 // E3 -- encoding granularity: whole-line (K = 1) vs partitioned encoding.
 // Finer partitions capture locally dense/sparse structure (Fig. 2's
 // argument) at the cost of K direction bits per line.
+//
+// Runs on the parallel experiment engine: one job per (K, workload),
+// aggregated per K, with JSONL telemetry beside the CSV.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "exec/engine.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 
 using namespace cnt;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("E3", "partition count K sweep (whole-line vs fine-grained)");
   const double scale = bench::scale_from_env(0.35);
+  const usize jobs = bench::jobs_option(argc, argv);
+
+  const std::vector<usize> partitions = {1, 2, 4, 8, 16, 32};
+  SimConfig base;
+  base.with_cmos = base.with_static = false;
+
+  exec::SweepSpec spec;
+  spec.base(base).scale(scale).suite().axis(
+      "partitions", partitions,
+      [](SimConfig& cfg, usize k) { cfg.cnt.partitions = k; });
+
+  exec::ExperimentEngine engine(
+      {.jobs = jobs,
+       .jsonl_path = result_path("fig_partition_sweep.jsonl"),
+       .progress = true});
+  const auto outcomes = engine.run(spec);
+  const auto groups = exec::group_by_tag(outcomes);
 
   Table t({"K", "partition bits", "D bits/line", "mean saving",
            "vs ideal (captured)"});
@@ -20,15 +42,14 @@ int main() {
   CsvWriter csv(csv_path,
                 {"partitions", "mean_saving", "ideal_saving", "captured"});
 
-  for (const usize k : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    SimConfig cfg;
-    cfg.cnt.partitions = k;
-    cfg.with_cmos = cfg.with_static = false;
-    const auto results = run_suite(cfg, scale);
+  const SimConfig defaults;
+  for (usize i = 0; i < groups.size(); ++i) {
+    const usize k = partitions[i];
+    const auto results = exec::results_of(groups[i].outcomes);
     const double mean = mean_saving(results);
     const double ideal = mean_saving(results, kPolicyIdeal);
     t.add_row({std::to_string(k),
-               std::to_string(cfg.cache.line_bytes * 8 / k),
+               std::to_string(defaults.cache.line_bytes * 8 / k),
                std::to_string(k), Table::pct(mean),
                Table::pct(ideal > 0 ? mean / ideal : 0.0)});
     csv.add_row({std::to_string(k), std::to_string(mean),
@@ -36,6 +57,7 @@ int main() {
                  std::to_string(ideal > 0 ? mean / ideal : 0.0)});
   }
   std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
-            << ")\n";
+            << ", " << engine.worker_count() << " jobs)\njsonl: "
+            << result_path("fig_partition_sweep.jsonl") << "\n";
   return 0;
 }

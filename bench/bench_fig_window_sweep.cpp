@@ -3,19 +3,42 @@
 // accesses"); this sweep shows why mid-size windows win: tiny windows
 // thrash the encoder and large windows react too slowly while the counter
 // width (2*ceil(log2 W) bits/line) keeps growing.
+//
+// Runs on the parallel experiment engine: one job per (W, workload),
+// results aggregated per W in submission order, JSONL telemetry beside
+// the CSV. `--jobs 1` reproduces the serial reference bit-for-bit.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/bits.hpp"
 #include "common/csv.hpp"
+#include "exec/engine.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 
 using namespace cnt;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("E2", "window size W sweep");
   const double scale = bench::scale_from_env(0.35);
+  const usize jobs = bench::jobs_option(argc, argv);
+
+  const std::vector<usize> windows = {3, 5, 7, 11, 15, 21, 31, 47, 63};
+  SimConfig base;
+  base.with_cmos = base.with_static = base.with_ideal = false;
+
+  exec::SweepSpec spec;
+  spec.base(base).scale(scale).suite().axis(
+      "window", windows,
+      [](SimConfig& cfg, usize w) { cfg.cnt.window = w; });
+
+  exec::ExperimentEngine engine(
+      {.jobs = jobs,
+       .jsonl_path = result_path("fig_window_sweep.jsonl"),
+       .progress = true});
+  const auto outcomes = engine.run(spec);
+  const auto groups = exec::group_by_tag(outcomes);
 
   Table t({"W", "history bits/line", "mean saving", "switches applied",
            "FIFO drops"});
@@ -24,11 +47,9 @@ int main() {
                 {"window", "history_bits", "mean_saving", "reencodes",
                  "fifo_drops"});
 
-  for (const usize w : {3u, 5u, 7u, 11u, 15u, 21u, 31u, 47u, 63u}) {
-    SimConfig cfg;
-    cfg.cnt.window = w;
-    cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
-    const auto results = run_suite(cfg, scale);
+  for (usize i = 0; i < groups.size(); ++i) {
+    const usize w = windows[i];
+    const auto results = exec::results_of(groups[i].outcomes);
     const double mean = mean_saving(results);
     u64 reencodes = 0, drops = 0;
     for (const auto& r : results) {
@@ -44,6 +65,7 @@ int main() {
                  std::to_string(drops)});
   }
   std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
-            << ")\n";
+            << ", " << engine.worker_count() << " jobs)\njsonl: "
+            << result_path("fig_window_sweep.jsonl") << "\n";
   return 0;
 }

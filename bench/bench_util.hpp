@@ -5,6 +5,9 @@
 #include <iostream>
 #include <string>
 
+#include "common/types.hpp"
+#include "exec/options.hpp"
+
 namespace cnt::bench {
 
 /// Workload scale factor for this binary: $CNT_BENCH_SCALE overrides the
@@ -18,9 +21,19 @@ inline double scale_from_env(double default_scale) {
   return default_scale;
 }
 
+/// Parallel job count for engine-backed sweeps: `--jobs N` / `--jobs=N` /
+/// `-j N` on the command line, then $CNT_JOBS, then 0 ("unspecified",
+/// which the ExperimentEngine resolves to the hardware thread count).
+inline usize jobs_option(int argc, const char* const* argv) {
+  return cnt::exec::jobs_from_args(argc, argv, 0);
+}
+
 inline void banner(const std::string& experiment, const std::string& what) {
   std::cout << "==============================================================\n"
             << experiment << ": " << what << "\n"
+            << "--------------------------------------------------------------\n"
+            << "knobs: CNT_BENCH_SCALE=<f> workload scale | CNT_JOBS=<n> or\n"
+            << "       --jobs N parallel sim jobs (engine-backed sweeps)\n"
             << "==============================================================\n\n";
 }
 

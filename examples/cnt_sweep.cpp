@@ -1,19 +1,25 @@
-// cnt_sweep: sweep any configuration key without writing a bench binary.
+// cnt_sweep: sweep any configuration key without writing a bench binary,
+// executed in parallel on the experiment engine.
 //
-//   $ ./cnt_sweep <base.ini|-> <config-key> <v1,v2,...> [workload|suite] [scale]
+//   $ ./cnt_sweep <base.ini|-> <config-key> <v1,v2,...> [workload|suite]
+//                 [scale] [--jobs N] [--jsonl path]
 //
 //   $ ./cnt_sweep - cnt.window 3,7,15,31 suite 0.2
-//   $ ./cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5
+//   $ ./cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5 --jobs 8
 //   $ ./cnt_sweep base.ini cnt.fill as-is,min-write,read-optimized,by-miss-type
 //
 // "-" uses the built-in defaults as the base configuration. The key may be
 // any key `sim_config_from` understands (see src/sim/config_io.hpp).
+// Parallelism: --jobs N, else $CNT_JOBS, else all hardware threads;
+// results are deterministic and identical to --jobs 1 regardless.
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "exec/engine.hpp"
+#include "exec/options.hpp"
 #include "sim/config_io.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
@@ -36,62 +42,91 @@ std::vector<std::string> split_csv(const std::string& s) {
 int usage() {
   std::cerr
       << "usage: cnt_sweep <base.ini|-> <config-key> <v1,v2,...> "
-         "[workload|suite] [scale]\n"
+         "[workload|suite] [scale] [--jobs N] [--jsonl path]\n"
          "examples:\n"
          "  cnt_sweep - cnt.window 3,7,15,31 suite 0.2\n"
-         "  cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5\n";
+         "  cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5 --jobs 8\n";
   return 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const std::string base_path = argv[1];
-  const std::string key = argv[2];
-  const auto values = split_csv(argv[3]);
-  const std::string target = argc > 4 ? argv[4] : "suite";
-  const double scale = argc > 5 ? std::atof(argv[5]) : 0.25;
+  // Split flags from positionals so the engine options can go anywhere.
+  std::vector<std::string> pos;
+  std::string jsonl_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" || arg == "-j") {
+      ++i;  // value consumed by jobs_from_args below
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      // handled by jobs_from_args
+    } else if (arg == "--jsonl") {
+      if (i + 1 >= argc) return usage();
+      jsonl_path = argv[++i];
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (pos.size() < 3) return usage();
+  const std::string base_path = pos[0];
+  const std::string key = pos[1];
+  const auto values = split_csv(pos[2]);
+  const std::string target = pos.size() > 3 ? pos[3] : "suite";
+  const double scale = pos.size() > 4 ? std::atof(pos[4].c_str()) : 0.25;
+  const usize jobs = exec::jobs_from_args(argc, argv, 0);
   if (values.empty()) return usage();
 
   try {
     const Config base =
         base_path == "-" ? Config{} : Config::load(base_path);
+    const std::vector<std::string> loads =
+        target == "suite" ? suite_names()
+                          : std::vector<std::string>{target};
 
-    Table t({key, "baseline", "CNT-Cache", "saving"});
+    // One job per (value, workload); tag "key=value" groups them back.
+    std::vector<exec::Job> batch;
     for (const auto& value : values) {
       Config cfg_ini = base;
       cfg_ini.set(key, value);
-      const SimConfig cfg = sim_config_from(cfg_ini);
+      SimConfig cfg = sim_config_from(cfg_ini);
+      cfg.with_cmos = cfg.with_static = cfg.with_ideal = false;
+      for (const auto& w : loads) {
+        exec::Job job;
+        job.workload = w;
+        job.tag = key + "=" + value;
+        job.config = cfg;
+        job.scale = scale;
+        batch.push_back(std::move(job));
+      }
+    }
 
+    exec::ExperimentEngine engine(
+        {.jobs = jobs, .jsonl_path = jsonl_path, .progress = true});
+    const auto outcomes = engine.run(std::move(batch));
+    const auto groups = exec::group_by_tag(outcomes);
+
+    Table t({key, "baseline", "CNT-Cache", "saving"});
+    for (usize i = 0; i < groups.size(); ++i) {
+      const auto results = exec::results_of(groups[i].outcomes);
       double saving = 0;
       Energy base_e{}, cnt_e{};
-      if (target == "suite") {
-        SimConfig quiet = cfg;
-        quiet.with_cmos = quiet.with_static = quiet.with_ideal = false;
-        const auto results = run_suite(quiet, scale);
-        saving = mean_saving(results);
-        for (const auto& r : results) {
-          base_e += r.energy(kPolicyBaseline);
-          cnt_e += r.energy(kPolicyCnt);
-        }
-        base_e = base_e / static_cast<double>(results.size());
-        cnt_e = cnt_e / static_cast<double>(results.size());
-      } else {
-        SimConfig quiet = cfg;
-        quiet.with_cmos = quiet.with_static = quiet.with_ideal = false;
-        const auto res = simulate(build_workload(target, scale), quiet);
-        saving = res.saving(kPolicyCnt);
-        base_e = res.energy(kPolicyBaseline);
-        cnt_e = res.energy(kPolicyCnt);
+      for (const auto& r : results) {
+        base_e += r.energy(kPolicyBaseline);
+        cnt_e += r.energy(kPolicyCnt);
       }
-      t.add_row({value, base_e.to_string(), cnt_e.to_string(),
+      base_e = base_e / static_cast<double>(results.size());
+      cnt_e = cnt_e / static_cast<double>(results.size());
+      saving = target == "suite" ? mean_saving(results)
+                                 : results.front().saving(kPolicyCnt);
+      t.add_row({values[i], base_e.to_string(), cnt_e.to_string(),
                  Table::pct(saving)});
     }
     std::cout << "sweep over " << key << " ("
               << (target == "suite" ? "suite mean" : target) << ", scale "
-              << scale << ")\n\n"
+              << scale << ", " << engine.worker_count() << " jobs)\n\n"
               << t.render();
+    if (!jsonl_path.empty()) std::cout << "\njsonl: " << jsonl_path << "\n";
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,120 @@
+#include "exec/engine.hpp"
+
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/options.hpp"
+#include "exec/progress.hpp"
+#include "exec/thread_pool.hpp"
+#include "trace/workload_suite.hpp"
+
+namespace cnt::exec {
+
+JobOutcome run_job(const Job& job) noexcept {
+  JobOutcome out;
+  out.job = job;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    const Workload w = build_workload(job.workload, job.scale,
+                                      job.seed_offset);
+    out.result = simulate(w, job.config);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown exception";
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
+
+ExperimentEngine::ExperimentEngine(EngineOptions opts)
+    : opts_(std::move(opts)), workers_(resolve_jobs(opts_.jobs)) {}
+
+std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
+  // The engine owns the id space: dense submission-order ids anchor both
+  // the returned vector's order and the sink's reorder guarantee.
+  for (usize i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<u64>(i);
+
+  JsonlSink sink = opts_.jsonl_path.empty()
+                       ? JsonlSink{}
+                       : JsonlSink(opts_.jsonl_path, opts_.jsonl_timing);
+  ProgressMeter meter(jobs.size(), opts_.progress);
+  std::vector<JobOutcome> outcomes(jobs.size());
+
+  if (workers_ <= 1) {
+    // Serial reference path: same code per job, no threads at all.
+    for (usize i = 0; i < jobs.size(); ++i) {
+      outcomes[i] = run_job(jobs[i]);
+      sink.push(outcomes[i]);
+      meter.job_done();
+    }
+  } else {
+    std::mutex done_mu;  // guards outcomes slot writes + sink
+    ThreadPool pool(workers_);
+    for (const Job& job : jobs) {
+      pool.submit([&, job] {
+        JobOutcome out = run_job(job);
+        std::lock_guard lock(done_mu);
+        const usize slot = static_cast<usize>(out.job.id);
+        sink.push(out);
+        outcomes[slot] = std::move(out);
+        meter.job_done();
+      });
+    }
+    pool.wait();
+    pool.shutdown();
+    // run_job is noexcept, so pool-level errors mean an engine bug.
+    if (pool.error_count() != 0) {
+      throw std::logic_error("ExperimentEngine: worker task threw");
+    }
+  }
+
+  sink.finish();
+  meter.finish();
+  if (opts_.progress) {
+    std::cerr << meter.summary() << " [" << workers_ << " worker"
+              << (workers_ == 1 ? "" : "s") << "]\n";
+  }
+  return outcomes;
+}
+
+std::vector<TagGroup> group_by_tag(const std::vector<JobOutcome>& outcomes) {
+  std::vector<TagGroup> groups;
+  for (const auto& o : outcomes) {
+    TagGroup* g = nullptr;
+    for (auto& existing : groups) {
+      if (existing.tag == o.job.tag) {
+        g = &existing;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back(TagGroup{o.job.tag, {}});
+      g = &groups.back();
+    }
+    g->outcomes.push_back(&o);
+  }
+  return groups;
+}
+
+std::vector<SimResult> results_of(
+    const std::vector<const JobOutcome*>& group) {
+  std::vector<SimResult> results;
+  results.reserve(group.size());
+  for (const JobOutcome* o : group) {
+    if (!o->ok) {
+      throw std::runtime_error("job failed (" + o->job.workload +
+                               (o->job.tag.empty() ? "" : ", " + o->job.tag) +
+                               "): " + o->error);
+    }
+    results.push_back(o->result);
+  }
+  return results;
+}
+
+}  // namespace cnt::exec

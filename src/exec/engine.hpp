@@ -1,0 +1,76 @@
+// ExperimentEngine: the facade benches and examples program against.
+//
+// Takes a batch of Jobs (usually from SweepSpec::expand()), executes them
+// on a ThreadPool, and returns outcomes in submission order regardless of
+// completion order. Determinism contract: every job builds its own
+// workload from (name, scale, seed_offset) -- all randomness flows
+// through the per-generator Rng seeds, there is no shared mutable
+// simulation state -- so a parallel run is bit-identical to --jobs 1.
+// A job that throws is captured as a failed JobOutcome; the rest of the
+// batch runs to completion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "exec/result_sink.hpp"
+#include "exec/sweep.hpp"
+
+namespace cnt::exec {
+
+struct EngineOptions {
+  /// Worker threads; 0 resolves via $CNT_JOBS then hardware concurrency.
+  usize jobs = 0;
+  /// JSONL telemetry file; empty disables the sink.
+  std::string jsonl_path;
+  /// Include per-job wall_ms in JSONL rows (disable for byte-exact
+  /// parallel-vs-serial file comparisons).
+  bool jsonl_timing = true;
+  /// Live progress/throughput line on stderr.
+  bool progress = false;
+};
+
+/// Execute one job in the calling thread: build the workload, simulate,
+/// capture any exception. Never throws.
+[[nodiscard]] JobOutcome run_job(const Job& job) noexcept;
+
+class ExperimentEngine {
+ public:
+  explicit ExperimentEngine(EngineOptions opts = {});
+
+  /// Run every job; returns outcomes indexed by submission order (job ids
+  /// are reassigned densely from 0 in vector order). With 1 worker the
+  /// batch runs inline in the calling thread -- the serial reference path.
+  [[nodiscard]] std::vector<JobOutcome> run(std::vector<Job> jobs) const;
+
+  [[nodiscard]] std::vector<JobOutcome> run(const SweepSpec& spec) const {
+    return run(spec.expand());
+  }
+
+  /// The resolved worker count this engine will use.
+  [[nodiscard]] usize worker_count() const noexcept { return workers_; }
+
+ private:
+  EngineOptions opts_;
+  usize workers_;
+};
+
+/// Outcomes of one axis point, in submission (suite) order.
+struct TagGroup {
+  std::string tag;
+  std::vector<const JobOutcome*> outcomes;
+};
+
+/// Group outcomes by Job::tag, preserving first-appearance order (which
+/// equals axis declaration order for SweepSpec batches).
+[[nodiscard]] std::vector<TagGroup> group_by_tag(
+    const std::vector<JobOutcome>& outcomes);
+
+/// Extract the SimResults of a group for the report helpers
+/// (mean_saving, savings_table). Throws std::runtime_error naming the
+/// workload and error if any job in the group failed.
+[[nodiscard]] std::vector<SimResult> results_of(
+    const std::vector<const JobOutcome*>& group);
+
+}  // namespace cnt::exec

@@ -1,0 +1,90 @@
+// Bounded-by-nothing MPMC job queue: the hand-off point between the
+// experiment engine (producer) and the worker threads of a ThreadPool
+// (consumers).
+//
+// Semantics chosen for batch experiment execution rather than generic
+// concurrency: FIFO order (submission order is the determinism anchor for
+// the JSONL sink downstream), blocking pop with a closed-and-drained
+// terminal state (workers exit by observing std::nullopt, so shutdown is
+// graceful -- every job already queued still runs), and push-after-close
+// returning false instead of throwing (a racing producer learns the batch
+// is over without an exception crossing thread boundaries).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace cnt::exec {
+
+template <typename T>
+class JobQueue {
+ public:
+  JobQueue() = default;
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue one item. Returns false (item dropped) once close() was
+  /// called.
+  bool push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue in FIFO order. Returns std::nullopt only when the
+  /// queue is closed *and* fully drained -- the consumer's exit signal.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking dequeue; std::nullopt when currently empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stop accepting work and wake every blocked consumer. Items already
+  /// queued are still handed out; pop() drains before reporting nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] usize size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cnt::exec

@@ -1,0 +1,61 @@
+#include "exec/options.hpp"
+
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+
+namespace cnt::exec {
+
+namespace {
+
+/// Parse a positive integer; 0 on anything else.
+usize parse_positive(std::string_view s) noexcept {
+  if (s.empty()) return 0;
+  usize v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return 0;
+    v = v * 10 + static_cast<usize>(c - '0');
+    if (v > 1'000'000) return 0;  // obviously bogus thread counts
+  }
+  return v;
+}
+
+}  // namespace
+
+usize hardware_jobs() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<usize>(n);
+}
+
+usize jobs_from_env(usize fallback) noexcept {
+  const char* env = std::getenv("CNT_JOBS");
+  if (env == nullptr) return fallback;
+  const usize v = parse_positive(env);
+  return v > 0 ? v : fallback;
+}
+
+usize jobs_from_args(int argc, const char* const* argv,
+                     usize fallback) noexcept {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (arg == "--jobs" || arg == "-j") {
+      if (i + 1 >= argc) continue;
+      value = argv[i + 1];
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      value = arg.substr(7);
+    } else {
+      continue;
+    }
+    const usize v = parse_positive(value);
+    if (v > 0) return v;
+  }
+  return jobs_from_env(fallback);
+}
+
+usize resolve_jobs(usize n) noexcept {
+  if (n > 0) return n;
+  return jobs_from_env(hardware_jobs());
+}
+
+}  // namespace cnt::exec

@@ -1,0 +1,29 @@
+// Uniform parallelism knobs for every CLI in the repo.
+//
+// Precedence, strongest first: an explicit --jobs N / --jobs=N / -j N
+// flag, then the CNT_JOBS environment variable, then the caller's
+// fallback (0 = "unspecified", which the engine resolves to the hardware
+// thread count). All parsers are forgiving: malformed values fall
+// through to the next source rather than aborting a batch run.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cnt::exec {
+
+/// std::thread::hardware_concurrency() clamped to >= 1.
+[[nodiscard]] usize hardware_jobs() noexcept;
+
+/// $CNT_JOBS as a positive integer, else `fallback`.
+[[nodiscard]] usize jobs_from_env(usize fallback = 0) noexcept;
+
+/// Scan argv for --jobs N, --jobs=N or -j N; falls back to $CNT_JOBS and
+/// then `fallback`. Does not mutate argv; unknown flags are ignored.
+[[nodiscard]] usize jobs_from_args(int argc, const char* const* argv,
+                                   usize fallback = 0) noexcept;
+
+/// Resolve an "unspecified" job count: n itself if n > 0, else $CNT_JOBS,
+/// else the hardware thread count.
+[[nodiscard]] usize resolve_jobs(usize n) noexcept;
+
+}  // namespace cnt::exec

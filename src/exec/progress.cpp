@@ -1,0 +1,76 @@
+#include "exec/progress.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+namespace cnt::exec {
+
+namespace {
+constexpr std::chrono::milliseconds kRedrawInterval{100};
+}  // namespace
+
+ProgressMeter::ProgressMeter(usize total, bool enabled)
+    : ProgressMeter(total, enabled, std::cerr) {}
+
+ProgressMeter::ProgressMeter(usize total, bool enabled, std::ostream& os)
+    : total_(total),
+      enabled_(enabled),
+      os_(os),
+      start_(std::chrono::steady_clock::now()),
+      last_draw_(start_ - kRedrawInterval) {}
+
+double ProgressMeter::elapsed_seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double ProgressMeter::rate() const {
+  const double secs = elapsed_seconds();
+  const usize d = done();
+  return secs > 0.0 ? static_cast<double>(d) / secs : 0.0;
+}
+
+void ProgressMeter::job_done() {
+  const usize d = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!enabled_) return;
+  redraw(d);
+}
+
+void ProgressMeter::redraw(usize done_now) {
+  std::lock_guard lock(draw_mu_);
+  if (finished_) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (done_now < total_ && now - last_draw_ < kRedrawInterval) return;
+  last_draw_ = now;
+
+  const double secs = std::chrono::duration<double>(now - start_).count();
+  const double r =
+      secs > 0.0 ? static_cast<double>(done_now) / secs : 0.0;
+  const double eta =
+      r > 0.0 ? static_cast<double>(total_ - done_now) / r : 0.0;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "\r[%zu/%zu] %.1f sims/s eta %.0fs   ",
+                done_now, total_, r, eta);
+  os_ << buf << std::flush;
+  line_open_ = true;
+}
+
+void ProgressMeter::finish() {
+  std::lock_guard lock(draw_mu_);
+  if (finished_) return;
+  finished_ = true;
+  if (line_open_) {
+    os_ << "\r\033[K" << std::flush;
+    line_open_ = false;
+  }
+}
+
+std::string ProgressMeter::summary() const {
+  const double secs = elapsed_seconds();
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%zu sims in %.1f s (%.1f sims/s)", done(),
+                secs, rate());
+  return buf;
+}
+
+}  // namespace cnt::exec

@@ -1,0 +1,58 @@
+// Live progress/throughput reporting for a running batch.
+//
+// Thread-safe: workers call job_done() as they finish; the meter redraws
+// a single status line ("[12/90] 4.1 sims/s eta 19s") on stderr, rate
+// limited so a fast batch does not drown the terminal. The meter never
+// writes to stdout or to the JSONL sink, so enabling it cannot perturb
+// deterministic outputs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cnt::exec {
+
+class ProgressMeter {
+ public:
+  /// `enabled` gates drawing; counters and summary() work either way.
+  explicit ProgressMeter(usize total, bool enabled = true);
+  ProgressMeter(usize total, bool enabled, std::ostream& os);
+
+  /// Record one finished job; may redraw the status line.
+  void job_done();
+
+  /// Erase the status line (if any) and stop drawing. Idempotent.
+  void finish();
+
+  [[nodiscard]] usize done() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] usize total() const noexcept { return total_; }
+  [[nodiscard]] double elapsed_seconds() const;
+
+  /// Mean completed simulations per second so far (0 until one finishes).
+  [[nodiscard]] double rate() const;
+
+  /// One-line batch summary, e.g. "90 sims in 21.4 s (4.2 sims/s)".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void redraw(usize done_now);
+
+  const usize total_;
+  const bool enabled_;
+  std::ostream& os_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<usize> done_{0};
+  std::mutex draw_mu_;
+  std::chrono::steady_clock::time_point last_draw_;
+  bool line_open_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace cnt::exec

@@ -1,0 +1,113 @@
+#include "exec/result_sink.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace cnt::exec {
+
+void write_jsonl_row(const JobOutcome& o, std::ostream& os,
+                     bool include_timing) {
+  JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("schema", "cnt-exec-v1");
+  w.kv("job_id", o.job.id);
+  w.kv("tag", o.job.tag);
+  w.kv("workload", o.job.workload);
+  w.kv("scale", o.job.scale);
+  w.kv("seed_offset", o.job.seed_offset);
+  w.kv("ok", o.ok);
+  if (include_timing) w.kv("wall_ms", o.wall_ms);
+  if (!o.ok) {
+    w.kv("error", o.error);
+    w.end_object();
+    return;
+  }
+
+  const SimResult& r = o.result;
+  w.key("trace").begin_object();
+  w.kv("accesses", static_cast<u64>(r.trace_stats.accesses));
+  w.kv("write_fraction", r.trace_stats.write_fraction);
+  w.kv("footprint_kib", r.trace_stats.footprint_kib);
+  w.end_object();
+
+  w.key("cache").begin_object();
+  w.kv("accesses", r.cache_stats.accesses);
+  w.kv("hits", r.cache_stats.hits());
+  w.kv("misses", r.cache_stats.misses());
+  w.kv("hit_rate", r.cache_stats.hit_rate());
+  w.kv("writebacks", r.cache_stats.writebacks);
+  w.end_object();
+
+  w.key("energy_j").begin_object();
+  for (const auto& p : r.policies) {
+    w.kv(p.name, p.total().in_joules());
+  }
+  w.end_object();
+
+  if (r.find(kPolicyCnt) != nullptr && r.find(kPolicyBaseline) != nullptr) {
+    w.kv("saving", r.saving(kPolicyCnt));
+  }
+  for (const auto& p : r.policies) {
+    if (!p.has_cnt_stats) continue;
+    w.key("cnt").begin_object();
+    w.kv("windows_evaluated", p.cnt_stats.windows_evaluated);
+    w.kv("reencodes_applied", p.cnt_stats.reencodes_applied);
+    w.kv("fill_inversions", p.cnt_stats.fill_inversions);
+    w.kv("fifo_pushed", p.queue_stats.pushed);
+    w.kv("fifo_drops", p.queue_stats.dropped_full);
+    w.end_object();
+    break;
+  }
+  w.end_object();
+}
+
+JsonlSink::JsonlSink(const std::string& path, bool include_timing)
+    : file_(path), include_timing_(include_timing), path_(path) {
+  if (!file_) {
+    throw std::runtime_error("JsonlSink: cannot open " + path);
+  }
+  os_ = &file_;
+}
+
+JsonlSink::JsonlSink(std::ostream& os, bool include_timing)
+    : os_(&os), include_timing_(include_timing) {}
+
+void JsonlSink::emit(const JobOutcome& o) {
+  if (os_ != nullptr) {
+    write_jsonl_row(o, *os_, include_timing_);
+    *os_ << '\n';
+  }
+  ++next_id_;
+}
+
+void JsonlSink::push(JobOutcome outcome) {
+  if (outcome.job.id < next_id_ || pending_.count(outcome.job.id) != 0) {
+    throw std::logic_error("JsonlSink: duplicate job id " +
+                           std::to_string(outcome.job.id));
+  }
+  if (outcome.job.id != next_id_) {
+    pending_.emplace(outcome.job.id, std::move(outcome));
+    return;
+  }
+  emit(outcome);
+  // Flush the contiguous prefix the new row may have completed.
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first == next_id_) {
+    emit(it->second);
+    it = pending_.erase(it);
+  }
+}
+
+void JsonlSink::finish() {
+  if (!pending_.empty()) {
+    throw std::logic_error(
+        "JsonlSink: " + std::to_string(pending_.size()) +
+        " outcome(s) still buffered; first gap at job id " +
+        std::to_string(next_id_));
+  }
+  if (os_ != nullptr) os_->flush();
+}
+
+}  // namespace cnt::exec

@@ -1,0 +1,81 @@
+// Streaming JSONL telemetry for experiment batches.
+//
+// One line per finished job. Workers complete jobs in whatever order the
+// scheduler produces, but rows are emitted strictly in job-submission
+// order (job_id 0, 1, 2, ...): the sink holds out-of-order completions in
+// a reorder buffer and flushes the contiguous prefix as it forms. This is
+// the determinism guarantee external tooling keys on -- a parallel run's
+// JSONL is byte-identical to a serial run's (modulo the wall_ms timing
+// field, which can be disabled for exact comparisons).
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/types.hpp"
+#include "exec/sweep.hpp"
+#include "sim/runner.hpp"
+
+namespace cnt::exec {
+
+/// Everything known about one finished job. `result` is meaningful only
+/// when ok; a failed job carries the exception text instead and the batch
+/// carries on (failure isolation).
+struct JobOutcome {
+  Job job;
+  bool ok = false;
+  std::string error;
+  double wall_ms = 0.0;  ///< wall-clock for this job, telemetry only
+  SimResult result;
+};
+
+/// Serialize one outcome as a single compact JSON line (no trailing
+/// newline). Schema: docs/experiment_engine.md. `include_timing` gates
+/// the wall_ms field so byte-level run comparisons are possible.
+void write_jsonl_row(const JobOutcome& outcome, std::ostream& os,
+                     bool include_timing = true);
+
+class JsonlSink {
+ public:
+  /// Disabled sink: push() only tracks ordering, nothing is written.
+  JsonlSink() = default;
+
+  /// Stream to a file; throws std::runtime_error if it cannot be opened.
+  explicit JsonlSink(const std::string& path, bool include_timing = true);
+
+  /// Stream to a caller-owned ostream (tests, stdout pipelines).
+  explicit JsonlSink(std::ostream& os, bool include_timing = true);
+
+  /// Accept a finished job in any completion order. Rows flush to the
+  /// output in job-id order. Not thread-safe; callers serialize (the
+  /// engine pushes under its completion lock).
+  void push(JobOutcome outcome);
+
+  /// Flush and verify completeness. Throws std::logic_error if ids were
+  /// not dense (a job never arrived) -- that is an engine bug, not an
+  /// experiment failure.
+  void finish();
+
+  /// Rows actually written so far (== the contiguous prefix length).
+  [[nodiscard]] u64 emitted() const noexcept { return next_id_; }
+
+  /// Completions held in the reorder buffer awaiting earlier ids.
+  [[nodiscard]] usize buffered() const noexcept { return pending_.size(); }
+
+  [[nodiscard]] bool enabled() const noexcept { return os_ != nullptr; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void emit(const JobOutcome& outcome);
+
+  std::ofstream file_;
+  std::ostream* os_ = nullptr;
+  bool include_timing_ = true;
+  std::string path_;
+  std::map<u64, JobOutcome> pending_;  // reorder buffer keyed by job id
+  u64 next_id_ = 0;                    // next id to emit
+};
+
+}  // namespace cnt::exec

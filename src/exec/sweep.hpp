@@ -1,0 +1,92 @@
+// Declarative description of a batch of simulations.
+//
+// A SweepSpec is the experiment-side grammar of the engine: a base
+// SimConfig, one or more named parameter axes (each a list of labelled
+// values plus a function that applies a value to the config), a workload
+// list, and optional seed offsets for statistical replication. expand()
+// multiplies it all out into a flat, deterministically-ordered vector of
+// Jobs -- axis values outermost (first axis slowest), then seed offsets,
+// then workloads in canonical suite order -- so a parallel run can be
+// compared row-for-row against any serial loop that nests the same way.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/runner.hpp"
+
+namespace cnt::exec {
+
+/// One simulation to run: a workload name (resolved via
+/// build_workload()), the full SimConfig, a scale factor, a seed offset,
+/// and a human-readable axis tag like "window=15". `id` is the
+/// submission-order index; the engine reassigns it densely from 0, and
+/// the JSONL sink keys its ordering guarantee on it.
+struct Job {
+  u64 id = 0;
+  std::string workload;
+  std::string tag;
+  SimConfig config;
+  double scale = 1.0;
+  u64 seed_offset = 0;
+};
+
+class SweepSpec {
+ public:
+  /// Base configuration every job starts from (default: SimConfig{}).
+  SweepSpec& base(const SimConfig& cfg);
+
+  /// Workload scale factor for every job (default 1.0).
+  SweepSpec& scale(double s);
+
+  /// Append one workload by suite name.
+  SweepSpec& workload(const std::string& name);
+
+  /// Replace the workload list.
+  SweepSpec& workloads(std::vector<std::string> names);
+
+  /// Use the whole default suite (also the fallback when no workload was
+  /// named before expand()).
+  SweepSpec& suite();
+
+  /// Seed offsets to replicate over (default {0}, the canonical traces).
+  SweepSpec& seed_offsets(std::vector<u64> offsets);
+
+  /// Core axis form: `labels[i]` names value i in tags; `apply(cfg, i)`
+  /// mutates the config for value i.
+  SweepSpec& axis(std::string name, std::vector<std::string> labels,
+                  std::function<void(SimConfig&, usize)> apply);
+
+  /// Integer axis: tags as "name=value", apply receives the value.
+  SweepSpec& axis(std::string name, const std::vector<usize>& values,
+                  std::function<void(SimConfig&, usize)> apply);
+
+  /// Real-valued axis: tags as "name=value" with %g formatting.
+  SweepSpec& axis(std::string name, const std::vector<double>& values,
+                  std::function<void(SimConfig&, double)> apply);
+
+  /// Number of jobs expand() will produce.
+  [[nodiscard]] usize job_count() const;
+
+  /// Multiply the grid out into jobs with dense ids 0..job_count()-1.
+  [[nodiscard]] std::vector<Job> expand() const;
+
+ private:
+  struct Axis {
+    std::string name;
+    std::vector<std::string> labels;
+    std::function<void(SimConfig&, usize)> apply;  // by value index
+  };
+
+  [[nodiscard]] std::vector<std::string> effective_workloads() const;
+
+  SimConfig base_{};
+  double scale_ = 1.0;
+  std::vector<std::string> workloads_;
+  std::vector<u64> seed_offsets_{0};
+  std::vector<Axis> axes_;
+};
+
+}  // namespace cnt::exec

@@ -1,0 +1,86 @@
+#include "exec/thread_pool.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace cnt::exec {
+
+usize ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<usize>(n);
+}
+
+ThreadPool::ThreadPool(usize threads) {
+  const usize n = threads == 0 ? hardware_threads() : threads;
+  workers_.reserve(n);
+  for (usize i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    if (shut_down_) {
+      throw std::logic_error("ThreadPool::submit after shutdown");
+    }
+    ++pending_;
+  }
+  if (!queue_.push(std::move(task))) {
+    // close() raced ahead of the shut_down_ flag; undo the accounting.
+    std::lock_guard lock(mu_);
+    --pending_;
+    throw std::logic_error("ThreadPool::submit after shutdown");
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    try {
+      (*task)();
+    } catch (const std::exception& e) {
+      std::lock_guard lock(mu_);
+      errors_.emplace_back(e.what());
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      errors_.emplace_back("unknown exception");
+    }
+    {
+      std::lock_guard lock(mu_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    shut_down_ = true;
+  }
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+usize ThreadPool::error_count() const {
+  std::lock_guard lock(mu_);
+  return errors_.size();
+}
+
+std::vector<std::string> ThreadPool::take_errors() {
+  std::lock_guard lock(mu_);
+  return std::exchange(errors_, {});
+}
+
+}  // namespace cnt::exec

@@ -1,0 +1,74 @@
+// Fixed-size worker pool over a JobQueue.
+//
+// Design constraints (see docs/experiment_engine.md):
+//  - graceful shutdown: close the queue, let workers drain every task
+//    already submitted, then join -- no task is abandoned;
+//  - exception capture: a task that throws never takes down a worker (or
+//    the process); the error text is recorded and retrievable, and the
+//    pool keeps executing the rest of the batch;
+//  - wait() without shutdown: a batch driver can block until the pool is
+//    idle, harvest results, and submit the next batch on the same threads.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "exec/job_queue.hpp"
+
+namespace cnt::exec {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 picks the hardware concurrency (>= 1).
+  explicit ThreadPool(usize threads = 0);
+
+  /// Graceful shutdown (drains queued tasks) and join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Throws std::logic_error after shutdown().
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished (the pool is idle).
+  /// The pool stays usable: more tasks may be submitted afterwards.
+  void wait();
+
+  /// Stop accepting tasks, finish everything already queued, join all
+  /// workers. Idempotent; also run by the destructor.
+  void shutdown();
+
+  [[nodiscard]] usize thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Number of tasks whose exception was captured so far.
+  [[nodiscard]] usize error_count() const;
+
+  /// Return and clear the captured error messages (submission-completion
+  /// order is not guaranteed across workers).
+  [[nodiscard]] std::vector<std::string> take_errors();
+
+  /// Hardware concurrency clamped to at least 1.
+  [[nodiscard]] static usize hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  JobQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;            // guards pending_, errors_
+  std::condition_variable idle_cv_;  // signalled when pending_ hits 0
+  usize pending_ = 0;                // submitted but not yet finished
+  std::vector<std::string> errors_;
+  bool shut_down_ = false;
+};
+
+}  // namespace cnt::exec

@@ -1,0 +1,159 @@
+// ThreadPool + JobQueue: startup/shutdown, FIFO hand-off, the
+// N-jobs-complete invariant under contention, exception capture, and
+// graceful-drain semantics. Labelled `exec` so the TSan preset runs it.
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/job_queue.hpp"
+
+namespace cnt::exec {
+namespace {
+
+TEST(JobQueue, FifoOrder) {
+  JobQueue<int> q;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(JobQueue, CloseDrainsThenSignalsEnd) {
+  JobQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // rejected after close
+  EXPECT_EQ(q.pop(), std::optional<int>(1));
+  EXPECT_EQ(q.pop(), std::optional<int>(2));
+  EXPECT_EQ(q.pop(), std::nullopt);  // drained => terminal
+}
+
+TEST(JobQueue, CloseWakesBlockedConsumer) {
+  JobQueue<int> q;
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    const auto v = q.pop();  // blocks until close()
+    EXPECT_EQ(v, std::nullopt);
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(ThreadPool, StartupShutdown) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  pool.shutdown();
+  EXPECT_EQ(pool.thread_count(), 0u);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, ZeroMeansHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, AllJobsComplete) {
+  constexpr int kJobs = 500;
+  ThreadPool pool(8);
+  std::atomic<int> done{0};
+  for (int i = 0; i < kJobs; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), kJobs);
+  EXPECT_EQ(pool.error_count(), 0u);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&done] { ++done; });
+  pool.wait();
+  EXPECT_EQ(done.load(), 1);
+  pool.submit([&done] { ++done; });
+  pool.submit([&done] { ++done; });
+  pool.wait();
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ThreadPool, ExceptionCaptureDoesNotKillBatch) {
+  ThreadPool pool(4);
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 20; ++i) {
+    if (i % 5 == 0) {
+      pool.submit([i] {
+        throw std::runtime_error("job " + std::to_string(i) + " failed");
+      });
+    } else {
+      pool.submit([&ok] { ++ok; });
+    }
+  }
+  pool.wait();
+  EXPECT_EQ(ok.load(), 16);
+  EXPECT_EQ(pool.error_count(), 4u);
+  const auto errors = pool.take_errors();
+  ASSERT_EQ(errors.size(), 4u);
+  std::set<std::string> unique(errors.begin(), errors.end());
+  EXPECT_EQ(unique.size(), 4u);  // each failed job reported its own text
+  for (const auto& e : errors) {
+    EXPECT_NE(e.find("failed"), std::string::npos);
+  }
+  EXPECT_EQ(pool.error_count(), 0u);  // take_errors() clears
+
+  // Pool still works after failures.
+  pool.submit([&ok] { ++ok; });
+  pool.wait();
+  EXPECT_EQ(ok.load(), 17);
+}
+
+TEST(ThreadPool, NonStdExceptionCaptured) {
+  ThreadPool pool(1);
+  pool.submit([] { throw 42; });  // NOLINT: deliberately not std::exception
+  pool.wait();
+  EXPECT_EQ(pool.error_count(), 1u);
+  EXPECT_EQ(pool.take_errors().front(), "unknown exception");
+}
+
+TEST(ThreadPool, GracefulShutdownDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs shutdown(): every queued job must still execute.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::logic_error);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // no jobs submitted; must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cnt::exec
