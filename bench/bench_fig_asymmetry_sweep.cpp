@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   bench::banner("M2", "sensitivity to the cell's read/write asymmetry");
   const double scale = bench::scale_from_env(0.25);
   const usize jobs = bench::jobs_option(argc, argv);
+  const bool resume = bench::resume_option(argc, argv);
 
   const std::vector<double> factors = {0.0, 0.25, 0.5, 0.75, 1.0, 1.2};
   SimConfig base;
@@ -57,8 +58,15 @@ int main(int argc, char** argv) {
   exec::ExperimentEngine engine(
       {.jobs = jobs,
        .jsonl_path = result_path("fig_asymmetry_sweep.jsonl"),
-       .progress = true});
-  const auto outcomes = engine.run(spec);
+       .progress = true,
+       .resume = resume,
+       .handle_signals = true});
+  std::vector<exec::JobOutcome> outcomes;
+  try {
+    outcomes = engine.run(spec);
+  } catch (const exec::SweepInterrupted& e) {
+    return bench::report_interrupted(e);
+  }
   const auto groups = exec::group_by_tag(outcomes);
 
   Table t({"asymmetry x", "wr1/wr0", "rd0/rd1", "mean saving"});

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   bench::banner("E3", "partition count K sweep (whole-line vs fine-grained)");
   const double scale = bench::scale_from_env(0.35);
   const usize jobs = bench::jobs_option(argc, argv);
+  const bool resume = bench::resume_option(argc, argv);
 
   const std::vector<usize> partitions = {1, 2, 4, 8, 16, 32};
   SimConfig base;
@@ -32,8 +33,15 @@ int main(int argc, char** argv) {
   exec::ExperimentEngine engine(
       {.jobs = jobs,
        .jsonl_path = result_path("fig_partition_sweep.jsonl"),
-       .progress = true});
-  const auto outcomes = engine.run(spec);
+       .progress = true,
+       .resume = resume,
+       .handle_signals = true});
+  std::vector<exec::JobOutcome> outcomes;
+  try {
+    outcomes = engine.run(spec);
+  } catch (const exec::SweepInterrupted& e) {
+    return bench::report_interrupted(e);
+  }
   const auto groups = exec::group_by_tag(outcomes);
 
   Table t({"K", "partition bits", "D bits/line", "mean saving",

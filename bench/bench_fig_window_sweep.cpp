@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   bench::banner("E2", "window size W sweep");
   const double scale = bench::scale_from_env(0.35);
   const usize jobs = bench::jobs_option(argc, argv);
+  const bool resume = bench::resume_option(argc, argv);
 
   const std::vector<usize> windows = {3, 5, 7, 11, 15, 21, 31, 47, 63};
   SimConfig base;
@@ -36,8 +37,15 @@ int main(int argc, char** argv) {
   exec::ExperimentEngine engine(
       {.jobs = jobs,
        .jsonl_path = result_path("fig_window_sweep.jsonl"),
-       .progress = true});
-  const auto outcomes = engine.run(spec);
+       .progress = true,
+       .resume = resume,
+       .handle_signals = true});
+  std::vector<exec::JobOutcome> outcomes;
+  try {
+    outcomes = engine.run(spec);
+  } catch (const exec::SweepInterrupted& e) {
+    return bench::report_interrupted(e);
+  }
   const auto groups = exec::group_by_tag(outcomes);
 
   Table t({"W", "history bits/line", "mean saving", "switches applied",

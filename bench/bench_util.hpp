@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "exec/engine.hpp"
 #include "exec/options.hpp"
 
 namespace cnt::bench {
@@ -28,12 +29,30 @@ inline usize jobs_option(int argc, const char* const* argv) {
   return cnt::exec::jobs_from_args(argc, argv, 0);
 }
 
+/// Resume switch for engine-backed sweeps: `--resume` / `--no-resume` on
+/// the command line, then $CNT_RESUME, then off.
+inline bool resume_option(int argc, const char* const* argv) {
+  return cnt::exec::resume_from_args(argc, argv, false);
+}
+
+/// Uniform reporting for an interrupted engine sweep (Ctrl-C / SIGTERM):
+/// tell the user where the journal is and how to pick the sweep back up,
+/// and return the conventional 128+SIGINT exit status for main().
+inline int report_interrupted(const cnt::exec::SweepInterrupted& e) {
+  std::cerr << "\ninterrupted after " << e.completed() << "/" << e.total()
+            << " jobs; journal flushed to " << e.journal_path()
+            << "\nrerun with --resume to finish the remaining jobs\n";
+  return 130;
+}
+
 inline void banner(const std::string& experiment, const std::string& what) {
   std::cout << "==============================================================\n"
             << experiment << ": " << what << "\n"
             << "--------------------------------------------------------------\n"
             << "knobs: CNT_BENCH_SCALE=<f> workload scale | CNT_JOBS=<n> or\n"
-            << "       --jobs N parallel sim jobs (engine-backed sweeps)\n"
+            << "       --jobs N parallel sim jobs (engine-backed sweeps) |\n"
+            << "       --resume or CNT_RESUME=1 resume a killed sweep from\n"
+            << "       its journal (engine-backed sweeps)\n"
             << "==============================================================\n\n";
 }
 

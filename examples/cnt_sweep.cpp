@@ -2,7 +2,7 @@
 // executed in parallel on the experiment engine.
 //
 //   $ ./cnt_sweep <base.ini|-> <config-key> <v1,v2,...> [workload|suite]
-//                 [scale] [--jobs N] [--jsonl path]
+//                 [scale] [--jobs N] [--jsonl path] [--resume]
 //
 //   $ ./cnt_sweep - cnt.window 3,7,15,31 suite 0.2
 //   $ ./cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5 --jobs 8
@@ -12,6 +12,8 @@
 // any key `sim_config_from` understands (see src/sim/config_io.hpp).
 // Parallelism: --jobs N, else $CNT_JOBS, else all hardware threads;
 // results are deterministic and identical to --jobs 1 regardless.
+// Ctrl-C stops the sweep gracefully; with --jsonl the flushed journal can
+// be picked up by rerunning with --resume (docs/resumable_sweeps.md).
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -42,10 +44,12 @@ std::vector<std::string> split_csv(const std::string& s) {
 int usage() {
   std::cerr
       << "usage: cnt_sweep <base.ini|-> <config-key> <v1,v2,...> "
-         "[workload|suite] [scale] [--jobs N] [--jsonl path]\n"
+         "[workload|suite] [scale] [--jobs N] [--jsonl path] [--resume]\n"
          "examples:\n"
          "  cnt_sweep - cnt.window 3,7,15,31 suite 0.2\n"
-         "  cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5 --jobs 8\n";
+         "  cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5 --jobs 8\n"
+         "  cnt_sweep - cnt.window 3,7,15 suite 0.2 --jsonl sweep.jsonl "
+         "--resume\n";
   return 1;
 }
 
@@ -61,6 +65,8 @@ int main(int argc, char** argv) {
       ++i;  // value consumed by jobs_from_args below
     } else if (arg.rfind("--jobs=", 0) == 0) {
       // handled by jobs_from_args
+    } else if (arg == "--resume" || arg == "--no-resume") {
+      // handled by resume_from_args
     } else if (arg == "--jsonl") {
       if (i + 1 >= argc) return usage();
       jsonl_path = argv[++i];
@@ -75,7 +81,12 @@ int main(int argc, char** argv) {
   const std::string target = pos.size() > 3 ? pos[3] : "suite";
   const double scale = pos.size() > 4 ? std::atof(pos[4].c_str()) : 0.25;
   const usize jobs = exec::jobs_from_args(argc, argv, 0);
+  const bool resume = exec::resume_from_args(argc, argv, false);
   if (values.empty()) return usage();
+  if (resume && jsonl_path.empty()) {
+    std::cerr << "error: --resume needs a journal; pass --jsonl <path>\n";
+    return 1;
+  }
 
   try {
     const Config base =
@@ -101,9 +112,21 @@ int main(int argc, char** argv) {
       }
     }
 
-    exec::ExperimentEngine engine(
-        {.jobs = jobs, .jsonl_path = jsonl_path, .progress = true});
-    const auto outcomes = engine.run(std::move(batch));
+    exec::ExperimentEngine engine({.jobs = jobs,
+                                   .jsonl_path = jsonl_path,
+                                   .progress = true,
+                                   .resume = resume,
+                                   .handle_signals = true});
+    std::vector<exec::JobOutcome> outcomes;
+    try {
+      outcomes = engine.run(std::move(batch));
+    } catch (const exec::SweepInterrupted& e) {
+      std::cerr << "\ninterrupted after " << e.completed() << "/"
+                << e.total() << " jobs; journal flushed to "
+                << e.journal_path()
+                << "\nrerun with --resume to finish the remaining jobs\n";
+      return 130;
+    }
     const auto groups = exec::group_by_tag(outcomes);
 
     Table t({key, "baseline", "CNT-Cache", "saving"});

@@ -1,0 +1,121 @@
+#include "common/hash.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace cnt {
+
+namespace {
+
+constexpr std::array<u32, 256> make_crc32_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<u32, 256> kCrc32Table = make_crc32_table();
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Fnv1a64& Fnv1a64::update_bytes(const void* data, usize n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (usize i = 0; i < n; ++i) {
+    h_ ^= p[i];
+    h_ *= kFnv64Prime;
+  }
+  return *this;
+}
+
+Fnv1a64& Fnv1a64::update(std::string_view s) noexcept {
+  update(static_cast<u64>(s.size()));
+  return update_bytes(s.data(), s.size());
+}
+
+Fnv1a64& Fnv1a64::update(u64 v) noexcept {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  return update_bytes(bytes, 8);
+}
+
+Fnv1a64& Fnv1a64::update(double v) noexcept {
+  return update(std::bit_cast<u64>(v));
+}
+
+u64 fnv1a64(std::string_view s) noexcept {
+  u64 h = kFnv64Offset;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+u32 crc32(std::string_view s) noexcept {
+  u32 c = 0xFFFFFFFFu;
+  for (const char ch : s) {
+    c = kCrc32Table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string hex_u64(u64 v) {
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<usize>(i)] = kHexDigits[v & 0xFu];
+    v >>= 4;
+  }
+  return s;
+}
+
+std::string hex_u32(u32 v) {
+  std::string s(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    s[static_cast<usize>(i)] = kHexDigits[v & 0xFu];
+    v >>= 4;
+  }
+  return s;
+}
+
+bool parse_hex_u64(std::string_view s, u64& out) noexcept {
+  if (s.size() != 16) return false;
+  u64 v = 0;
+  for (const char c : s) {
+    const int d = hex_digit(c);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<u64>(d);
+  }
+  out = v;
+  return true;
+}
+
+bool parse_hex_u32(std::string_view s, u32& out) noexcept {
+  if (s.size() != 8) return false;
+  u32 v = 0;
+  for (const char c : s) {
+    const int d = hex_digit(c);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<u32>(d);
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace cnt

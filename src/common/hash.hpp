@@ -1,0 +1,57 @@
+// Hashing and checksum helpers for stable identifiers and on-disk
+// integrity checks.
+//
+// FNV-1a (64-bit) builds *stable job keys and fingerprints*: it is simple,
+// dependency-free, and -- unlike std::hash -- guaranteed identical across
+// platforms, standard libraries and process restarts, which is exactly
+// what a resumable journal needs to match rows written by a previous run.
+// CRC-32 (IEEE, reflected) guards *individual journal lines* against torn
+// writes and bit rot; it is the conventional choice for short-record
+// integrity and its 8-hex-digit rendering keeps rows compact.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+inline constexpr u64 kFnv64Offset = 14695981039346656037ull;
+inline constexpr u64 kFnv64Prime = 1099511628211ull;
+
+/// Incremental FNV-1a 64-bit hasher with typed feeders. Strings are
+/// length-prefixed so `("ab","c")` and `("a","bc")` hash differently;
+/// integers feed as 8 little-endian bytes and doubles as their IEEE-754
+/// bit pattern, so the stream is unambiguous and platform-stable.
+class Fnv1a64 {
+ public:
+  Fnv1a64& update_bytes(const void* data, usize n) noexcept;
+  Fnv1a64& update(std::string_view s) noexcept;
+  Fnv1a64& update(u64 v) noexcept;
+  Fnv1a64& update(i64 v) noexcept { return update(static_cast<u64>(v)); }
+  Fnv1a64& update(double v) noexcept;
+  Fnv1a64& update(bool v) noexcept { return update(static_cast<u64>(v)); }
+
+  [[nodiscard]] u64 digest() const noexcept { return h_; }
+
+ private:
+  u64 h_ = kFnv64Offset;
+};
+
+/// One-shot FNV-1a 64 of a byte string (no length prefix).
+[[nodiscard]] u64 fnv1a64(std::string_view s) noexcept;
+
+/// CRC-32 (IEEE 802.3, reflected, init/final xor 0xFFFFFFFF) of `s`.
+[[nodiscard]] u32 crc32(std::string_view s) noexcept;
+
+/// Fixed-width lowercase hex: 16 digits for u64, 8 for u32.
+[[nodiscard]] std::string hex_u64(u64 v);
+[[nodiscard]] std::string hex_u32(u32 v);
+
+/// Parse a fixed-width lowercase/uppercase hex string (no 0x prefix).
+/// Returns false on wrong length or a non-hex digit.
+[[nodiscard]] bool parse_hex_u64(std::string_view s, u64& out) noexcept;
+[[nodiscard]] bool parse_hex_u32(std::string_view s, u32& out) noexcept;
+
+}  // namespace cnt

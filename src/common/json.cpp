@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace cnt {
 
@@ -147,6 +149,351 @@ JsonWriter& JsonWriter::null() {
   before_value();
   os_ << "null";
   return *this;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::runtime_error("JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::runtime_error("JsonValue: not a number");
+  }
+  if (!is_integer_) return num_;
+  const double mag = static_cast<double>(int_);
+  return negative_ ? -mag : mag;
+}
+
+u64 JsonValue::as_u64() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::runtime_error("JsonValue: not a number");
+  }
+  if (is_integer_) {
+    if (negative_) throw std::runtime_error("JsonValue: negative integer");
+    return int_;
+  }
+  if (num_ < 0.0) throw std::runtime_error("JsonValue: negative number");
+  return static_cast<u64>(num_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) {
+    throw std::runtime_error("JsonValue: not a string");
+  }
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) {
+    throw std::runtime_error("JsonValue: not an array");
+  }
+  return arr_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_object()
+    const {
+  if (kind_ != Kind::kObject) {
+    throw std::runtime_error("JsonValue: not an object");
+  }
+  return obj_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("JsonValue: missing key \"" + std::string(key) +
+                             "\"");
+  }
+  return *v;
+}
+
+JsonValue JsonValue::make_bool(bool v) noexcept {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_integer(u64 v, bool negative) noexcept {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.is_integer_ = true;
+  j.negative_ = negative;
+  j.int_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_double(double v) noexcept {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_string(std::string s) noexcept {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+JsonValue JsonValue::make_array() noexcept {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+JsonValue JsonValue::make_object() noexcept {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view. No allocation beyond
+/// the resulting tree; errors carry the byte offset for torn-line
+/// diagnostics.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    skip_ws();
+    JsonValue v = parse_value(/*depth=*/0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr usize kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_ws() noexcept {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (at_end() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) noexcept {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(usize depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (at_end()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::make_bool(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::make_bool(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::make_null();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(usize depth) {
+    expect('{');
+    JsonValue obj = JsonValue::make_object();
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.mutable_object().emplace_back(std::move(key),
+                                        parse_value(depth + 1));
+      skip_ws();
+      if (at_end()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parse_array(usize depth) {
+    expect('[');
+    JsonValue arr = JsonValue::make_array();
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      skip_ws();
+      arr.mutable_array().push_back(parse_value(depth + 1));
+      skip_ws();
+      if (at_end()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (at_end()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    u32 cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<u32>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<u32>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<u32>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    // Encode the BMP code point as UTF-8 (surrogate pairs are not produced
+    // by JsonWriter, which only escapes control characters).
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const usize start = pos_;
+    bool negative = false;
+    bool integral = true;
+    if (!at_end() && peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (at_end() || peek() < '0' || peek() > '9') fail("invalid number");
+    while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (!at_end() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("digit required after decimal point");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("digit required in exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      // Build the magnitude directly so u64-range values survive exactly.
+      u64 mag = 0;
+      bool overflow = false;
+      for (const char c : token) {
+        if (c == '-') continue;
+        const u64 digit = static_cast<u64>(c - '0');
+        if (mag > (~0ull - digit) / 10) {
+          overflow = true;
+          break;
+        }
+        mag = mag * 10 + digit;
+      }
+      if (!overflow) return JsonValue::make_integer(mag, negative);
+    }
+    // strtod of a %.17g rendering reproduces the original double exactly.
+    return JsonValue::make_double(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  usize pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse();
 }
 
 void JsonWriter::write_escaped(std::string_view s) {

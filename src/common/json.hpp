@@ -1,15 +1,22 @@
-// Minimal streaming JSON writer for machine-readable experiment output.
+// Minimal streaming JSON writer + recursive-descent reader for
+// machine-readable experiment output.
 //
-// Correct-by-construction nesting via an explicit context stack: commas
-// and colons are inserted automatically, misuse (value without a key
-// inside an object, end_object inside an array, ...) asserts. Doubles are
-// emitted with enough digits to round-trip; non-finite doubles become
+// Writer: correct-by-construction nesting via an explicit context stack:
+// commas and colons are inserted automatically, misuse (value without a
+// key inside an object, end_object inside an array, ...) asserts. Doubles
+// are emitted with enough digits to round-trip; non-finite doubles become
 // null (JSON has no NaN/Inf).
+//
+// Reader: parse_json() builds a JsonValue tree. Numbers written by the
+// writer round-trip exactly -- integers are kept as integers and doubles
+// are parsed from the writer's %.17g rendering, so a value read back from
+// a journal compares bit-equal to the value that produced it.
 #pragma once
 
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -65,5 +72,72 @@ class JsonWriter {
   std::vector<bool> has_items_;
   bool top_written_ = false;
 };
+
+/// One parsed JSON value. Objects preserve member order (JSONL rows are
+/// order-sensitive for byte-identical re-emission); duplicate keys keep
+/// the first occurrence on lookup.
+class JsonValue {
+ public:
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind_ == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] u64 as_u64() const;  ///< also accepts a non-negative double
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  as_object() const;
+
+  /// Object member by key; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  /// Object member by key; throws std::runtime_error naming the key when
+  /// absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+  [[nodiscard]] static JsonValue make_null() noexcept { return {}; }
+  [[nodiscard]] static JsonValue make_bool(bool v) noexcept;
+  [[nodiscard]] static JsonValue make_integer(u64 v, bool negative) noexcept;
+  [[nodiscard]] static JsonValue make_double(double v) noexcept;
+  [[nodiscard]] static JsonValue make_string(std::string s) noexcept;
+  [[nodiscard]] static JsonValue make_array() noexcept;
+  [[nodiscard]] static JsonValue make_object() noexcept;
+
+  std::vector<JsonValue>& mutable_array() noexcept { return arr_; }
+  std::vector<std::pair<std::string, JsonValue>>& mutable_object() noexcept {
+    return obj_;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  bool is_integer_ = false;  ///< number was written without '.'/exponent
+  bool negative_ = false;
+  u64 int_ = 0;       ///< magnitude when is_integer_
+  double num_ = 0.0;  ///< value when !is_integer_
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Parse exactly one JSON value (leading/trailing whitespace allowed).
+/// Throws std::runtime_error with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace cnt

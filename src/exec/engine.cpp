@@ -1,17 +1,32 @@
 #include "exec/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "common/hash.hpp"
+#include "exec/interrupt.hpp"
+#include "exec/journal.hpp"
 #include "exec/options.hpp"
 #include "exec/progress.hpp"
 #include "exec/thread_pool.hpp"
 #include "trace/workload_suite.hpp"
 
 namespace cnt::exec {
+
+SweepInterrupted::SweepInterrupted(usize completed, usize total,
+                                   std::string journal_path)
+    : std::runtime_error("sweep interrupted after " +
+                         std::to_string(completed) + "/" +
+                         std::to_string(total) + " jobs"),
+      completed_(completed),
+      total_(total),
+      journal_path_(std::move(journal_path)) {}
 
 JobOutcome run_job(const Job& job) noexcept {
   JobOutcome out;
@@ -32,33 +47,123 @@ JobOutcome run_job(const Job& job) noexcept {
   return out;
 }
 
+JobOutcome run_job_with_retry(const Job& job, u32 max_retries, u32 backoff_ms,
+                              const JobRunner& runner) {
+  JobOutcome out = runner(job);
+  out.attempts = 1;
+  for (u32 retry = 1; retry <= max_retries && !out.ok; ++retry) {
+    // A pending interrupt outranks the retry budget: return the failure
+    // now so the engine can drain and flush.
+    if (interrupt_requested()) break;
+    if (backoff_ms > 0) {
+      const u64 delay = std::min<u64>(
+          static_cast<u64>(backoff_ms) << (retry - 1), u64{5000});
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    out = runner(job);
+    out.attempts = retry + 1;
+  }
+  return out;
+}
+
 ExperimentEngine::ExperimentEngine(EngineOptions opts)
-    : opts_(std::move(opts)), workers_(resolve_jobs(opts_.jobs)) {}
+    : opts_(std::move(opts)),
+      workers_(resolve_jobs(opts_.jobs)),
+      retries_(resolve_retries(opts_.max_retries)) {}
 
 std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
   // The engine owns the id space: dense submission-order ids anchor both
   // the returned vector's order and the sink's reorder guarantee.
   for (usize i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<u64>(i);
+  const u64 fp = sweep_fingerprint(jobs);
+
+  // Load the prior journal (if resuming) BEFORE the sink truncates
+  // <path>.partial.
+  std::unordered_map<u64, const JournalRow*> replayable;
+  JournalData journal;
+  if (opts_.resume && !opts_.jsonl_path.empty()) {
+    journal = load_journal(opts_.jsonl_path);
+    if (journal.header_ok && journal.fingerprint != fp) {
+      throw std::runtime_error(
+          "--resume: journal " + journal.source_path + " records sweep " +
+          hex_u64(journal.fingerprint) + " but this sweep is " + hex_u64(fp) +
+          "; delete the stale journal or rerun without --resume");
+    }
+    if (journal.header_ok) {
+      for (const JournalRow& row : journal.rows) {
+        // Only completed rows of a still-matching job are replayable;
+        // failed rows get a fresh attempt.
+        if (!row.ok || row.job_id >= jobs.size()) continue;
+        if (row.key != job_key(jobs[row.job_id])) continue;
+        replayable[row.job_id] = &row;
+      }
+    }
+  }
+
+  if (opts_.handle_signals) install_signal_handlers();
+  const auto cancelled = [this]() -> bool {
+    if (opts_.handle_signals && interrupt_requested()) return true;
+    return opts_.cancel_check && opts_.cancel_check();
+  };
 
   JsonlSink sink = opts_.jsonl_path.empty()
                        ? JsonlSink{}
                        : JsonlSink(opts_.jsonl_path, opts_.jsonl_timing);
+  sink.write_header(fp, jobs.size());
   ProgressMeter meter(jobs.size(), opts_.progress);
   std::vector<JobOutcome> outcomes(jobs.size());
+  std::vector<char> replayed(jobs.size(), 0);
 
+  // Replay journaled rows first (byte-for-byte, per-row flushed) so a
+  // second kill re-loses as little as possible; resume is idempotent
+  // either way because row content is deterministic.
+  for (usize i = 0; i < jobs.size(); ++i) {
+    const auto it = replayable.find(i);
+    if (it == replayable.end()) continue;
+    try {
+      outcomes[i] = outcome_from_row(*it->second, jobs[i]);
+    } catch (const std::exception&) {
+      continue;  // malformed row: fall through to re-simulation
+    }
+    sink.push_replayed(i, it->second->text);
+    meter.job_resumed();
+    replayed[i] = 1;
+  }
+
+  bool interrupted = false;
   if (workers_ <= 1) {
     // Serial reference path: same code per job, no threads at all.
     for (usize i = 0; i < jobs.size(); ++i) {
-      outcomes[i] = run_job(jobs[i]);
+      if (replayed[i] != 0) continue;
+      if (cancelled()) {
+        interrupted = true;
+        break;
+      }
+      outcomes[i] = run_job_with_retry(jobs[i], retries_,
+                                       opts_.retry_backoff_ms);
       sink.push(outcomes[i]);
       meter.job_done();
     }
   } else {
-    std::mutex done_mu;  // guards outcomes slot writes + sink
+    std::mutex done_mu;  // guards outcomes slot writes + sink + flags
+    bool stop = false;
     ThreadPool pool(workers_);
     for (const Job& job : jobs) {
+      if (replayed[static_cast<usize>(job.id)] != 0) continue;
       pool.submit([&, job] {
-        JobOutcome out = run_job(job);
+        {
+          // Poll under the lock so cancel_check needs no thread safety
+          // of its own and every worker agrees on the stop decision.
+          std::lock_guard lock(done_mu);
+          if (stop || cancelled()) {
+            stop = true;
+            return;
+          }
+        }
+        JobOutcome out = run_job_with_retry(job, retries_,
+                                            opts_.retry_backoff_ms);
+        // In-flight jobs drain even after a stop request: their rows
+        // still reach the journal before the interrupt propagates.
         std::lock_guard lock(done_mu);
         const usize slot = static_cast<usize>(out.job.id);
         sink.push(out);
@@ -72,6 +177,15 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
     if (pool.error_count() != 0) {
       throw std::logic_error("ExperimentEngine: worker task threw");
     }
+    interrupted = stop;
+  }
+
+  if (interrupted) {
+    sink.close_interrupted();
+    meter.finish();
+    const std::string partial =
+        opts_.jsonl_path.empty() ? "" : opts_.jsonl_path + ".partial";
+    throw SweepInterrupted(meter.done(), jobs.size(), partial);
   }
 
   sink.finish();

@@ -8,8 +8,20 @@
 // simulation state -- so a parallel run is bit-identical to --jobs 1.
 // A job that throws is captured as a failed JobOutcome; the rest of the
 // batch runs to completion.
+//
+// Crash safety (docs/resumable_sweeps.md): with a jsonl_path the engine
+// writes a journal -- sealed header + checksummed rows streamed into
+// `<path>.partial`, renamed onto `<path>` on success. With resume=true a
+// partial journal from a killed run is loaded, its torn tail truncated,
+// and every journaled ok row is replayed verbatim instead of
+// re-simulated, so the final file is byte-identical to an uninterrupted
+// run. SIGINT/SIGTERM (when handle_signals) or a cancel_check hook stop
+// the sweep gracefully: in-flight jobs drain, the journal flushes, and
+// run() throws SweepInterrupted.
 #pragma once
 
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -29,11 +41,57 @@ struct EngineOptions {
   bool jsonl_timing = true;
   /// Live progress/throughput line on stderr.
   bool progress = false;
+  /// Load `<jsonl_path>.partial` (or the final file) and skip jobs whose
+  /// ok rows are already journaled. No-op without a jsonl_path.
+  bool resume = false;
+  /// Extra attempts per failed job; 0 resolves via $CNT_RETRIES (default:
+  /// fail on the first error, the historical behaviour).
+  u32 max_retries = 0;
+  /// Base delay before the first retry; doubles per attempt, capped at
+  /// 5 s. Only consulted when a retry actually happens.
+  u32 retry_backoff_ms = 100;
+  /// Install SIGINT/SIGTERM handlers for graceful interruption. A second
+  /// signal restores the default disposition (immediate death).
+  bool handle_signals = false;
+  /// Test hook polled between jobs alongside the signal flag; returning
+  /// true cancels the sweep at a deterministic point.
+  std::function<bool()> cancel_check;
+};
+
+/// Thrown by ExperimentEngine::run() when the sweep is cancelled by a
+/// signal or cancel_check. The journal (if any) has been flushed; rerun
+/// with resume=true to pick up where this run stopped.
+class SweepInterrupted : public std::runtime_error {
+ public:
+  SweepInterrupted(usize completed, usize total, std::string journal_path);
+
+  [[nodiscard]] usize completed() const noexcept { return completed_; }
+  [[nodiscard]] usize total() const noexcept { return total_; }
+  /// The `<path>.partial` file holding the flushed rows ("" if no sink).
+  [[nodiscard]] const std::string& journal_path() const noexcept {
+    return journal_path_;
+  }
+
+ private:
+  usize completed_;
+  usize total_;
+  std::string journal_path_;
 };
 
 /// Execute one job in the calling thread: build the workload, simulate,
 /// capture any exception. Never throws.
 [[nodiscard]] JobOutcome run_job(const Job& job) noexcept;
+
+/// A pluggable job executor (tests inject failure-then-success fakes).
+using JobRunner = std::function<JobOutcome(const Job&)>;
+
+/// Run `job` up to 1 + max_retries times, sleeping backoff_ms * 2^attempt
+/// (capped at 5 s) between attempts. Returns the first ok outcome -- with
+/// `attempts` recording how many tries it took -- or the last failure once
+/// the budget is spent. An interrupt request aborts the retry loop early.
+[[nodiscard]] JobOutcome run_job_with_retry(const Job& job, u32 max_retries,
+                                            u32 backoff_ms,
+                                            const JobRunner& runner = run_job);
 
 class ExperimentEngine {
  public:
@@ -42,6 +100,8 @@ class ExperimentEngine {
   /// Run every job; returns outcomes indexed by submission order (job ids
   /// are reassigned densely from 0 in vector order). With 1 worker the
   /// batch runs inline in the calling thread -- the serial reference path.
+  /// Throws SweepInterrupted on cancellation and std::runtime_error when
+  /// resume=true meets a journal for a different sweep.
   [[nodiscard]] std::vector<JobOutcome> run(std::vector<Job> jobs) const;
 
   [[nodiscard]] std::vector<JobOutcome> run(const SweepSpec& spec) const {
@@ -51,9 +111,13 @@ class ExperimentEngine {
   /// The resolved worker count this engine will use.
   [[nodiscard]] usize worker_count() const noexcept { return workers_; }
 
+  /// The resolved retry budget (max_retries, then $CNT_RETRIES, then 0).
+  [[nodiscard]] u32 retry_budget() const noexcept { return retries_; }
+
  private:
   EngineOptions opts_;
   usize workers_;
+  u32 retries_;
 };
 
 /// Outcomes of one axis point, in submission (suite) order.

@@ -1,0 +1,41 @@
+#include "exec/interrupt.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace cnt::exec {
+
+namespace {
+
+// Lock-free atomic: safe to set from a signal handler and to poll from
+// worker threads (volatile sig_atomic_t alone would race under TSan).
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void on_interrupt_signal(int sig) {
+  if (g_interrupted.exchange(true, std::memory_order_relaxed)) {
+    // Second signal: give up on graceful drain, die the default way.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
+}
+
+}  // namespace
+
+void install_signal_handlers() noexcept {
+  std::signal(SIGINT, on_interrupt_signal);
+  std::signal(SIGTERM, on_interrupt_signal);
+}
+
+bool interrupt_requested() noexcept {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void request_interrupt() noexcept {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+void reset_interrupt() noexcept {
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace cnt::exec

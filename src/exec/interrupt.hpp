@@ -1,0 +1,28 @@
+// Cooperative interrupt flag for graceful sweep shutdown.
+//
+// install_signal_handlers() routes SIGINT/SIGTERM to a process-wide
+// atomic flag. The engine polls the flag between jobs: on the first
+// signal it stops dequeuing new work, drains jobs already in flight, and
+// flushes the journal before unwinding (SweepInterrupted), so a Ctrl-C'd
+// sweep loses nothing it finished and can be relaunched with --resume. A
+// second signal restores the default disposition and re-raises, so an
+// impatient operator can still hard-kill a wedged run.
+#pragma once
+
+namespace cnt::exec {
+
+/// Install the SIGINT/SIGTERM -> interrupt-flag handlers. Idempotent;
+/// called by the engine when EngineOptions::handle_signals is set.
+void install_signal_handlers() noexcept;
+
+/// True once a signal arrived (or request_interrupt() was called).
+[[nodiscard]] bool interrupt_requested() noexcept;
+
+/// Set the flag programmatically (tests, embedding applications).
+void request_interrupt() noexcept;
+
+/// Clear the flag (tests; also lets a driver run several sweeps after a
+/// handled interrupt).
+void reset_interrupt() noexcept;
+
+}  // namespace cnt::exec

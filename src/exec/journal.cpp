@@ -1,0 +1,252 @@
+#include "exec/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace cnt::exec {
+
+namespace {
+
+void feed_tech(Fnv1a64& h, const TechParams& t) noexcept {
+  h.update(t.name);
+  h.update(t.cell.rd0.in_joules());
+  h.update(t.cell.rd1.in_joules());
+  h.update(t.cell.wr0.in_joules());
+  h.update(t.cell.wr1.in_joules());
+  h.update(t.periph.decoder_per_addr_bit.in_joules());
+  h.update(t.periph.wordline_per_cell.in_joules());
+  h.update(t.periph.tag_compare_per_bit.in_joules());
+  h.update(t.periph.output_per_bit.in_joules());
+  h.update(t.periph.encoder_per_bit.in_joules());
+  h.update(t.periph.predictor_update.in_joules());
+  h.update(t.periph.predictor_eval_per_bit.in_joules());
+  h.update(t.periph.fifo_per_byte.in_joules());
+  h.update(t.periph.leakage_per_cell_w);
+  h.update(t.clock_ghz);
+}
+
+// The sealed-line suffix is `,"crc":"xxxxxxxx"}` -- 18 bytes.
+constexpr usize kSealSuffixLen = 18;
+
+}  // namespace
+
+u64 config_fingerprint(const SimConfig& cfg) noexcept {
+  Fnv1a64 h;
+  h.update(std::string_view("cnt-config-v1"));
+
+  const CacheConfig& c = cfg.cache;
+  h.update(c.name);
+  h.update(static_cast<u64>(c.size_bytes));
+  h.update(static_cast<u64>(c.ways));
+  h.update(static_cast<u64>(c.line_bytes));
+  h.update(static_cast<u64>(c.addr_bits));
+  h.update(static_cast<u64>(c.write_policy));
+  h.update(static_cast<u64>(c.alloc_policy));
+  h.update(static_cast<u64>(c.replacement));
+  h.update(static_cast<u64>(c.idle.idle_per_miss));
+  h.update(static_cast<u64>(c.idle.hit_idle_period));
+  h.update(c.replacement_seed);
+  h.update(c.way_prediction);
+  h.update(c.sector_writeback);
+
+  feed_tech(h, cfg.tech);
+  feed_tech(h, cfg.cmos_tech);
+
+  const CntConfig& n = cfg.cnt;
+  h.update(static_cast<u64>(n.window));
+  h.update(static_cast<u64>(n.partitions));
+  h.update(static_cast<u64>(n.fifo_depth));
+  h.update(n.delta_t);
+  h.update(static_cast<u64>(n.fill_policy));
+  h.update(static_cast<u64>(n.write_granularity));
+  h.update(static_cast<u64>(n.history_scope));
+  h.update(n.account_metadata);
+  h.update(n.flip_aware_writes);
+  h.update(n.zero_line_opt);
+
+  h.update(cfg.with_cmos);
+  h.update(cfg.with_static);
+  h.update(cfg.with_ideal);
+  return h.digest();
+}
+
+u64 job_key(const Job& job) noexcept {
+  Fnv1a64 h;
+  h.update(std::string_view("cnt-job-key-v1"));
+  h.update(job.workload);
+  h.update(job.tag);
+  h.update(job.scale);
+  h.update(job.seed_offset);
+  h.update(config_fingerprint(job.config));
+  return h.digest();
+}
+
+u64 sweep_fingerprint(const std::vector<Job>& jobs) noexcept {
+  Fnv1a64 h;
+  h.update(std::string_view("cnt-sweep-v1"));
+  h.update(static_cast<u64>(jobs.size()));
+  for (const Job& job : jobs) h.update(job_key(job));
+  return h.digest();
+}
+
+std::string seal_line(std::string payload) {
+  if (payload.size() < 3 || payload.front() != '{' ||
+      payload.back() != '}') {
+    throw std::logic_error("seal_line: payload is not a JSON object");
+  }
+  payload.pop_back();  // the CRC covers every byte before its own field
+  const u32 c = crc32(payload);
+  payload += ",\"crc\":\"" + hex_u32(c) + "\"}";
+  return payload;
+}
+
+bool check_sealed_line(std::string_view line) noexcept {
+  if (line.size() < kSealSuffixLen + 2) return false;
+  const usize cut = line.size() - kSealSuffixLen;
+  if (line.substr(cut, 8) != ",\"crc\":\"") return false;
+  if (line.substr(line.size() - 2) != "\"}") return false;
+  u32 stored = 0;
+  if (!parse_hex_u32(line.substr(cut + 8, 8), stored)) return false;
+  return crc32(line.substr(0, cut)) == stored;
+}
+
+std::string make_header_line(u64 fingerprint, u64 jobs) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os, /*indent=*/0);
+    w.begin_object();
+    w.kv("schema", kHeaderSchema);
+    w.kv("fingerprint", hex_u64(fingerprint));
+    w.kv("jobs", jobs);
+    w.end_object();
+  }
+  return seal_line(os.str());
+}
+
+namespace {
+
+/// Strip the seal suffix so the remaining text parses as the original
+/// payload plus the crc field (the sealed line is itself valid JSON, so
+/// we can just parse the whole line).
+bool parse_header(const std::string& line, JournalData& out) {
+  if (!check_sealed_line(line)) return false;
+  try {
+    const JsonValue v = parse_json(line);
+    if (v.at("schema").as_string() != kHeaderSchema) return false;
+    if (!parse_hex_u64(v.at("fingerprint").as_string(), out.fingerprint)) {
+      return false;
+    }
+    out.jobs_declared = v.at("jobs").as_u64();
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool parse_row(std::string line, JournalRow& row) {
+  if (!check_sealed_line(line)) return false;
+  try {
+    JsonValue v = parse_json(line);
+    if (v.at("schema").as_string() != kRowSchema) return false;
+    row.job_id = v.at("job_id").as_u64();
+    if (!parse_hex_u64(v.at("key").as_string(), row.key)) return false;
+    row.ok = v.at("ok").as_bool();
+    row.fields = std::move(v);
+  } catch (const std::exception&) {
+    return false;
+  }
+  row.text = std::move(line);
+  return true;
+}
+
+bool load_from(const std::string& path, JournalData& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  if (!parse_header(line, out)) return false;
+  out.header_ok = true;
+  out.source_path = path;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JournalRow row;
+    if (!parse_row(std::move(line), row)) {
+      // Torn or corrupt tail: discard this line and everything after it.
+      ++out.dropped_lines;
+      while (std::getline(in, line)) ++out.dropped_lines;
+      break;
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace
+
+JournalData load_journal(const std::string& jsonl_path) {
+  JournalData data;
+  if (load_from(jsonl_path + ".partial", data)) return data;
+  data = JournalData{};
+  (void)load_from(jsonl_path, data);
+  return data;
+}
+
+JobOutcome outcome_from_row(const JournalRow& row, const Job& job) {
+  JobOutcome out;
+  out.job = job;
+  out.resumed = true;
+  const JsonValue& v = row.fields;
+  out.ok = v.at("ok").as_bool();
+  if (const JsonValue* wall = v.find("wall_ms")) {
+    out.wall_ms = wall->as_double();
+  }
+  if (!out.ok) {
+    out.error = v.at("error").as_string();
+    return out;
+  }
+
+  SimResult& r = out.result;
+  r.workload = job.workload;
+  const JsonValue& trace = v.at("trace");
+  r.trace_stats.accesses = static_cast<usize>(trace.at("accesses").as_u64());
+  r.trace_stats.write_fraction = trace.at("write_fraction").as_double();
+  r.trace_stats.footprint_kib = trace.at("footprint_kib").as_double();
+
+  // The row stores hit/miss aggregates; folding them into the read-side
+  // counters preserves hits()/misses()/hit_rate() exactly.
+  const JsonValue& cache = v.at("cache");
+  r.cache_stats.accesses = cache.at("accesses").as_u64();
+  r.cache_stats.read_hits = cache.at("hits").as_u64();
+  r.cache_stats.read_misses = cache.at("misses").as_u64();
+  r.cache_stats.writebacks = cache.at("writebacks").as_u64();
+
+  // One ledger category per policy holding the journaled total: totals,
+  // savings and CSV aggregates are bit-identical; per-category breakdowns
+  // are not reconstructible from a journal.
+  for (const auto& [name, joules] : v.at("energy_j").as_object()) {
+    PolicyResult pr;
+    pr.name = name;
+    pr.ledger.charge(EnergyCategory::kDataRead,
+                     Energy::joules(joules.as_double()));
+    r.policies.push_back(std::move(pr));
+  }
+
+  if (const JsonValue* cnt = v.find("cnt")) {
+    for (auto& pr : r.policies) {
+      if (pr.name != kPolicyCnt) continue;
+      pr.has_cnt_stats = true;
+      pr.cnt_stats.windows_evaluated = cnt->at("windows_evaluated").as_u64();
+      pr.cnt_stats.reencodes_applied = cnt->at("reencodes_applied").as_u64();
+      pr.cnt_stats.fill_inversions = cnt->at("fill_inversions").as_u64();
+      pr.queue_stats.pushed = cnt->at("fifo_pushed").as_u64();
+      pr.queue_stats.dropped_full = cnt->at("fifo_drops").as_u64();
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cnt::exec

@@ -58,4 +58,38 @@ usize resolve_jobs(usize n) noexcept {
   return jobs_from_env(hardware_jobs());
 }
 
+bool resume_from_env(bool fallback) noexcept {
+  const char* env = std::getenv("CNT_RESUME");
+  if (env == nullptr) return fallback;
+  const std::string_view v = env;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+bool resume_from_args(int argc, const char* const* argv,
+                      bool fallback) noexcept {
+  bool value = resume_from_env(fallback);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--resume") value = true;
+    if (arg == "--no-resume") value = false;
+  }
+  return value;
+}
+
+u32 retries_from_env(u32 fallback) noexcept {
+  const char* env = std::getenv("CNT_RETRIES");
+  if (env == nullptr) return fallback;
+  const std::string_view v = env;
+  if (v == "0") return 0;
+  const usize parsed = parse_positive(v);
+  return parsed > 0 ? static_cast<u32>(parsed) : fallback;
+}
+
+u32 resolve_retries(u32 n) noexcept {
+  if (n > 0) return n;
+  return retries_from_env(0);
+}
+
 }  // namespace cnt::exec

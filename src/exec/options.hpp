@@ -1,10 +1,12 @@
-// Uniform parallelism knobs for every CLI in the repo.
+// Uniform parallelism / resumability knobs for every CLI in the repo.
 //
-// Precedence, strongest first: an explicit --jobs N / --jobs=N / -j N
-// flag, then the CNT_JOBS environment variable, then the caller's
-// fallback (0 = "unspecified", which the engine resolves to the hardware
-// thread count). All parsers are forgiving: malformed values fall
-// through to the next source rather than aborting a batch run.
+// Precedence, strongest first: an explicit command-line flag (--jobs N /
+// --jobs=N / -j N, --resume / --no-resume), then the environment
+// (CNT_JOBS, CNT_RESUME, CNT_RETRIES), then the caller's fallback (0 =
+// "unspecified", which the engine resolves to the hardware thread count
+// for jobs and to "no retries" for retries). All parsers are forgiving:
+// malformed values fall through to the next source rather than aborting
+// a batch run.
 #pragma once
 
 #include "common/types.hpp"
@@ -25,5 +27,23 @@ namespace cnt::exec {
 /// Resolve an "unspecified" job count: n itself if n > 0, else $CNT_JOBS,
 /// else the hardware thread count.
 [[nodiscard]] usize resolve_jobs(usize n) noexcept;
+
+/// $CNT_RESUME as a boolean ("1"/"true"/"yes"/"on", case-sensitive),
+/// else `fallback`.
+[[nodiscard]] bool resume_from_env(bool fallback = false) noexcept;
+
+/// Scan argv for --resume / --no-resume (last one wins); falls back to
+/// $CNT_RESUME and then `fallback`. Does not mutate argv.
+[[nodiscard]] bool resume_from_args(int argc, const char* const* argv,
+                                    bool fallback = false) noexcept;
+
+/// $CNT_RETRIES as a non-negative integer (extra attempts per failed
+/// job), else `fallback`.
+[[nodiscard]] u32 retries_from_env(u32 fallback = 0) noexcept;
+
+/// Resolve an "unspecified" retry budget: n itself if n > 0, else
+/// $CNT_RETRIES, else 0 (fail on the first error, the historical
+/// behaviour).
+[[nodiscard]] u32 resolve_retries(u32 n) noexcept;
 
 }  // namespace cnt::exec

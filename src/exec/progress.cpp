@@ -26,7 +26,7 @@ double ProgressMeter::elapsed_seconds() const {
 
 double ProgressMeter::rate() const {
   const double secs = elapsed_seconds();
-  const usize d = done();
+  const usize d = done() - resumed();
   return secs > 0.0 ? static_cast<double>(d) / secs : 0.0;
 }
 
@@ -34,6 +34,11 @@ void ProgressMeter::job_done() {
   const usize d = done_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (!enabled_) return;
   redraw(d);
+}
+
+void ProgressMeter::job_resumed() {
+  resumed_.fetch_add(1, std::memory_order_relaxed);
+  job_done();
 }
 
 void ProgressMeter::redraw(usize done_now) {
@@ -67,9 +72,16 @@ void ProgressMeter::finish() {
 
 std::string ProgressMeter::summary() const {
   const double secs = elapsed_seconds();
+  const usize r = resumed();
   char buf[128];
-  std::snprintf(buf, sizeof buf, "%zu sims in %.1f s (%.1f sims/s)", done(),
-                secs, rate());
+  if (r > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "%zu sims in %.1f s (%zu resumed, %.1f sims/s)", done(),
+                  secs, r, rate());
+  } else {
+    std::snprintf(buf, sizeof buf, "%zu sims in %.1f s (%.1f sims/s)",
+                  done(), secs, rate());
+  }
   return buf;
 }
 

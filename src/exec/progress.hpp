@@ -26,19 +26,29 @@ class ProgressMeter {
   /// Record one finished job; may redraw the status line.
   void job_done();
 
+  /// Record one job skipped via --resume (its journal row was replayed,
+  /// not re-simulated). Counts toward done(), tracked separately so the
+  /// summary can report how much work the resume saved.
+  void job_resumed();
+
   /// Erase the status line (if any) and stop drawing. Idempotent.
   void finish();
 
   [[nodiscard]] usize done() const noexcept {
     return done_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] usize resumed() const noexcept {
+    return resumed_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] usize total() const noexcept { return total_; }
   [[nodiscard]] double elapsed_seconds() const;
 
-  /// Mean completed simulations per second so far (0 until one finishes).
+  /// Mean completed simulations per second so far (0 until one finishes;
+  /// resumed jobs are excluded -- they cost no simulation time).
   [[nodiscard]] double rate() const;
 
-  /// One-line batch summary, e.g. "90 sims in 21.4 s (4.2 sims/s)".
+  /// One-line batch summary, e.g. "90 sims in 21.4 s (4.2 sims/s)" or
+  /// "90 sims in 3.1 s (60 resumed, 9.7 sims/s)".
   [[nodiscard]] std::string summary() const;
 
  private:
@@ -49,6 +59,7 @@ class ProgressMeter {
   std::ostream& os_;
   const std::chrono::steady_clock::time_point start_;
   std::atomic<usize> done_{0};
+  std::atomic<usize> resumed_{0};
   std::mutex draw_mu_;
   std::chrono::steady_clock::time_point last_draw_;
   bool line_open_ = false;

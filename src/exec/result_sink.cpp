@@ -1,18 +1,25 @@
 #include "exec/result_sink.hpp"
 
+#include <cstdio>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "common/hash.hpp"
 #include "common/json.hpp"
+#include "exec/journal.hpp"
 
 namespace cnt::exec {
 
-void write_jsonl_row(const JobOutcome& o, std::ostream& os,
-                     bool include_timing) {
+namespace {
+
+void write_row_payload(const JobOutcome& o, std::ostream& os,
+                       bool include_timing) {
   JsonWriter w(os, /*indent=*/0);
   w.begin_object();
-  w.kv("schema", "cnt-exec-v1");
+  w.kv("schema", kRowSchema);
   w.kv("job_id", o.job.id);
+  w.kv("key", hex_u64(job_key(o.job)));
   w.kv("tag", o.job.tag);
   w.kv("workload", o.job.workload);
   w.kv("scale", o.job.scale);
@@ -63,10 +70,22 @@ void write_jsonl_row(const JobOutcome& o, std::ostream& os,
   w.end_object();
 }
 
+}  // namespace
+
+void write_jsonl_row(const JobOutcome& o, std::ostream& os,
+                     bool include_timing) {
+  std::ostringstream payload;
+  write_row_payload(o, payload, include_timing);
+  os << seal_line(payload.str());
+}
+
 JsonlSink::JsonlSink(const std::string& path, bool include_timing)
-    : file_(path), include_timing_(include_timing), path_(path) {
+    : include_timing_(include_timing),
+      path_(path),
+      partial_path_(path + ".partial") {
+  file_.open(partial_path_, std::ios::trunc);
   if (!file_) {
-    throw std::runtime_error("JsonlSink: cannot open " + path);
+    throw std::runtime_error("JsonlSink: cannot open " + partial_path_);
   }
   os_ = &file_;
 }
@@ -74,30 +93,60 @@ JsonlSink::JsonlSink(const std::string& path, bool include_timing)
 JsonlSink::JsonlSink(std::ostream& os, bool include_timing)
     : os_(&os), include_timing_(include_timing) {}
 
-void JsonlSink::emit(const JobOutcome& o) {
+void JsonlSink::write_header(u64 fingerprint, u64 jobs) {
+  if (header_written_ || next_id_ != 0 || !pending_.empty()) {
+    throw std::logic_error("JsonlSink: header must precede every row");
+  }
+  header_written_ = true;
+  if (os_ == nullptr) return;
+  *os_ << make_header_line(fingerprint, jobs) << '\n';
+  os_->flush();
+}
+
+void JsonlSink::emit(const Entry& entry) {
   if (os_ != nullptr) {
-    write_jsonl_row(o, *os_, include_timing_);
+    if (entry.replay) {
+      *os_ << entry.raw;
+    } else {
+      write_jsonl_row(entry.outcome, *os_, include_timing_);
+    }
     *os_ << '\n';
+    // Per-row flush: a killed sweep keeps every completed row on disk.
+    os_->flush();
   }
   ++next_id_;
 }
 
-void JsonlSink::push(JobOutcome outcome) {
-  if (outcome.job.id < next_id_ || pending_.count(outcome.job.id) != 0) {
+void JsonlSink::enqueue(u64 id, Entry entry) {
+  if (id < next_id_ || pending_.count(id) != 0) {
     throw std::logic_error("JsonlSink: duplicate job id " +
-                           std::to_string(outcome.job.id));
+                           std::to_string(id));
   }
-  if (outcome.job.id != next_id_) {
-    pending_.emplace(outcome.job.id, std::move(outcome));
+  if (id != next_id_) {
+    pending_.emplace(id, std::move(entry));
     return;
   }
-  emit(outcome);
+  emit(entry);
   // Flush the contiguous prefix the new row may have completed.
   auto it = pending_.begin();
   while (it != pending_.end() && it->first == next_id_) {
     emit(it->second);
     it = pending_.erase(it);
   }
+}
+
+void JsonlSink::push(JobOutcome outcome) {
+  const u64 id = outcome.job.id;
+  Entry entry;
+  entry.outcome = std::move(outcome);
+  enqueue(id, std::move(entry));
+}
+
+void JsonlSink::push_replayed(u64 id, std::string sealed_row) {
+  Entry entry;
+  entry.replay = true;
+  entry.raw = std::move(sealed_row);
+  enqueue(id, std::move(entry));
 }
 
 void JsonlSink::finish() {
@@ -108,6 +157,29 @@ void JsonlSink::finish() {
         std::to_string(next_id_));
   }
   if (os_ != nullptr) os_->flush();
+  if (!path_.empty()) {
+    file_.close();
+    // Atomic publish: readers of path_ see the old file or the complete
+    // new one, never a torn intermediate.
+    if (std::rename(partial_path_.c_str(), path_.c_str()) != 0) {
+      throw std::runtime_error("JsonlSink: cannot rename " + partial_path_ +
+                               " to " + path_);
+    }
+    os_ = nullptr;
+  }
+}
+
+void JsonlSink::close_interrupted() {
+  // Rows stuck behind a gap are still valid journal entries: resume
+  // matches rows by (job_id, key), not by file position, so emit them
+  // out of order rather than losing finished work.
+  for (auto& [id, entry] : pending_) emit(entry);
+  pending_.clear();
+  if (os_ != nullptr) os_->flush();
+  if (!path_.empty()) {
+    file_.close();  // keep <path>.partial for --resume
+    os_ = nullptr;
+  }
 }
 
 }  // namespace cnt::exec

@@ -1,4 +1,4 @@
-// Streaming JSONL telemetry for experiment batches.
+// Streaming JSONL telemetry / journal sink for experiment batches.
 //
 // One line per finished job. Workers complete jobs in whatever order the
 // scheduler produces, but rows are emitted strictly in job-submission
@@ -7,6 +7,13 @@
 // the determinism guarantee external tooling keys on -- a parallel run's
 // JSONL is byte-identical to a serial run's (modulo the wall_ms timing
 // field, which can be disabled for exact comparisons).
+//
+// File sinks double as crash-safe journals (docs/resumable_sweeps.md):
+// rows carry a stable job key and a CRC-32 seal, every row is flushed as
+// it is written, the stream goes to `<path>.partial`, and only finish()
+// atomically renames it onto `<path>`. A killed sweep therefore leaves
+// every completed row in the partial file for `--resume` to pick up,
+// while readers of `<path>` never observe a torn journal.
 #pragma once
 
 #include <fstream>
@@ -28,12 +35,15 @@ struct JobOutcome {
   bool ok = false;
   std::string error;
   double wall_ms = 0.0;  ///< wall-clock for this job, telemetry only
+  u32 attempts = 1;      ///< executions incl. retries (telemetry only)
+  bool resumed = false;  ///< reconstructed from a journal, not re-simulated
   SimResult result;
 };
 
-/// Serialize one outcome as a single compact JSON line (no trailing
-/// newline). Schema: docs/experiment_engine.md. `include_timing` gates
-/// the wall_ms field so byte-level run comparisons are possible.
+/// Serialize one outcome as a single sealed JSON line (no trailing
+/// newline): schema cnt-exec-v2 with a stable `key` and a trailing `crc`
+/// field (docs/resumable_sweeps.md). `include_timing` gates the wall_ms
+/// field so byte-level run comparisons are possible.
 void write_jsonl_row(const JobOutcome& outcome, std::ostream& os,
                      bool include_timing = true);
 
@@ -42,21 +52,38 @@ class JsonlSink {
   /// Disabled sink: push() only tracks ordering, nothing is written.
   JsonlSink() = default;
 
-  /// Stream to a file; throws std::runtime_error if it cannot be opened.
+  /// Journal-file sink: streams sealed rows to `path + ".partial"`,
+  /// flushing after every row; finish() renames the partial onto `path`.
+  /// Throws std::runtime_error if the partial cannot be opened.
   explicit JsonlSink(const std::string& path, bool include_timing = true);
 
-  /// Stream to a caller-owned ostream (tests, stdout pipelines).
+  /// Stream to a caller-owned ostream (tests, stdout pipelines). No
+  /// header, no rename -- but rows are still sealed.
   explicit JsonlSink(std::ostream& os, bool include_timing = true);
+
+  /// Write the sealed journal header (sweep fingerprint + job count).
+  /// Must precede every row; throws std::logic_error otherwise.
+  void write_header(u64 fingerprint, u64 jobs);
 
   /// Accept a finished job in any completion order. Rows flush to the
   /// output in job-id order. Not thread-safe; callers serialize (the
   /// engine pushes under its completion lock).
   void push(JobOutcome outcome);
 
-  /// Flush and verify completeness. Throws std::logic_error if ids were
-  /// not dense (a job never arrived) -- that is an engine bug, not an
-  /// experiment failure.
+  /// Accept a journaled row for job `id` verbatim (resume replay). The
+  /// line participates in the same submission-order emission as push().
+  void push_replayed(u64 id, std::string sealed_row);
+
+  /// Flush and verify completeness, then atomically publish the journal
+  /// (rename `<path>.partial` -> `<path>`). Throws std::logic_error if
+  /// ids were not dense (a job never arrived) -- that is an engine bug,
+  /// not an experiment failure.
   void finish();
+
+  /// Interrupted shutdown: flush rows held in the reorder buffer (beyond
+  /// any gap, ascending id order -- resume matches rows by key, not file
+  /// position) and close, leaving `<path>.partial` in place for --resume.
+  void close_interrupted();
 
   /// Rows actually written so far (== the contiguous prefix length).
   [[nodiscard]] u64 emitted() const noexcept { return next_id_; }
@@ -68,14 +95,23 @@ class JsonlSink {
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
-  void emit(const JobOutcome& outcome);
+  struct Entry {
+    bool replay = false;
+    JobOutcome outcome;  ///< when !replay
+    std::string raw;     ///< sealed line when replay
+  };
+
+  void enqueue(u64 id, Entry entry);
+  void emit(const Entry& entry);
 
   std::ofstream file_;
   std::ostream* os_ = nullptr;
   bool include_timing_ = true;
-  std::string path_;
-  std::map<u64, JobOutcome> pending_;  // reorder buffer keyed by job id
-  u64 next_id_ = 0;                    // next id to emit
+  std::string path_;          // final journal path ("" for ostream mode)
+  std::string partial_path_;  // staging file while the sweep runs
+  bool header_written_ = false;
+  std::map<u64, Entry> pending_;  // reorder buffer keyed by job id
+  u64 next_id_ = 0;               // next id to emit
 };
 
 }  // namespace cnt::exec

@@ -103,5 +103,69 @@ TEST(Json, ArrayOfObjects) {
   EXPECT_EQ(s, "[{\"i\":0},{\"i\":1}]");
 }
 
+// ---- reader ---------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_EQ(parse_json("42").as_u64(), 42u);
+  EXPECT_EQ(parse_json("-7").as_double(), -7.0);
+  EXPECT_EQ(parse_json("2.5").as_double(), 2.5);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, PreservesU64Exactly) {
+  // Values above 2^53 are not representable as doubles; the parser must
+  // keep them as integers (job keys and fingerprints depend on this).
+  EXPECT_EQ(parse_json("18446744073709551615").as_u64(),
+            18446744073709551615ull);
+  EXPECT_EQ(parse_json("9007199254740993").as_u64(), 9007199254740993ull);
+}
+
+TEST(JsonParse, WriterReaderDoubleRoundTripIsBitExact) {
+  const double values[] = {0.1234567890123456789, 1e-300, 3.0e21,
+                           -0.000123456, 2.5};
+  for (const double v : values) {
+    const std::string s = compact([v](JsonWriter& j) { j.value(v); });
+    EXPECT_EQ(parse_json(s).as_double(), v) << s;
+  }
+}
+
+TEST(JsonParse, ObjectPreservesOrderAndSupportsLookup) {
+  const JsonValue v = parse_json("{\"b\":1,\"a\":{\"x\":[1,2,3]},\"c\":true}");
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "b");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(v.at("a").at("x").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").at("x").as_array()[2].as_u64(), 3u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), std::runtime_error);
+}
+
+TEST(JsonParse, StringEscapesRoundTrip) {
+  const std::string original = "quote\" backslash\\ newline\n tab\t";
+  const std::string s = compact([&](JsonWriter& j) { j.value(original); });
+  EXPECT_EQ(parse_json(s).as_string(), original);
+  EXPECT_EQ(parse_json("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json(""), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"a\":1"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("[1,2,]"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW((void)parse_json("nul"), std::runtime_error);
+}
+
+TEST(JsonParse, TypeMismatchThrows) {
+  const JsonValue v = parse_json("{\"s\":\"x\"}");
+  EXPECT_THROW((void)v.at("s").as_u64(), std::runtime_error);
+  EXPECT_THROW((void)v.at("s").as_bool(), std::runtime_error);
+  EXPECT_THROW((void)v.as_array(), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace cnt

@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <random>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "exec/journal.hpp"
 
 namespace cnt::exec {
 namespace {
@@ -98,8 +102,10 @@ TEST(JsonlSink, RowShape) {
   for (const auto& line : lines) {
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
-    EXPECT_NE(line.find("\"schema\":\"cnt-exec-v1\""), std::string::npos);
+    EXPECT_NE(line.find("\"schema\":\"cnt-exec-v2\""), std::string::npos);
     EXPECT_NE(line.find("\"workload\":\"stream_copy\""), std::string::npos);
+    EXPECT_NE(line.find("\"key\":\""), std::string::npos);
+    EXPECT_TRUE(check_sealed_line(line)) << line;
   }
   EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
   EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos);
@@ -174,6 +180,57 @@ TEST(JsonlSink, FileSinkWrites) {
   std::string line;
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_NE(line.find("\"job_id\":0"), std::string::npos);
+}
+
+// The journal staging contract: rows stream into <path>.partial and only
+// finish() publishes <path> via rename.
+TEST(JsonlSink, FileSinkStagesInPartialUntilFinish) {
+  const std::string path = ::testing::TempDir() + "cnt_sink_stage.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".partial").c_str());
+  {
+    JsonlSink sink(path);
+    sink.write_header(/*fingerprint=*/0xabcdu, /*jobs=*/1);
+    sink.push(make_outcome(0));
+    EXPECT_FALSE(std::ifstream(path).good());  // not published yet
+    EXPECT_TRUE(std::ifstream(path + ".partial").good());
+    sink.finish();
+  }
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".partial").good());  // renamed away
+}
+
+TEST(JsonlSink, CloseInterruptedKeepsPartialAndFlushesBufferedRows) {
+  const std::string path = ::testing::TempDir() + "cnt_sink_interrupt.jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".partial").c_str());
+  {
+    JsonlSink sink(path);
+    sink.write_header(/*fingerprint=*/1u, /*jobs=*/4);
+    sink.push(make_outcome(0));
+    sink.push(make_outcome(3));  // stuck behind the gap at id 1
+    EXPECT_EQ(sink.buffered(), 1u);
+    sink.close_interrupted();
+  }
+  EXPECT_FALSE(std::ifstream(path).good());  // never published
+  std::ifstream in(path + ".partial");
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  // Header + row 0 + the out-of-order row 3: finished work survives.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"schema\":\"cnt-exec-journal-v1\""),
+            std::string::npos);
+  EXPECT_EQ(job_id_of(lines[1]), 0u);
+  EXPECT_EQ(job_id_of(lines[2]), 3u);
+}
+
+TEST(JsonlSink, HeaderAfterRowThrows) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  sink.push(make_outcome(0));
+  EXPECT_THROW(sink.write_header(0, 1), std::logic_error);
 }
 
 }  // namespace
