@@ -35,6 +35,15 @@ inline bool resume_option(int argc, const char* const* argv) {
   return cnt::exec::resume_from_args(argc, argv, false);
 }
 
+/// Named integer knob for statistical benches: `<flag> N` / `<flag>=N` on
+/// the command line (pass the full spelling, e.g. "--samples"), then
+/// $CNT_<NAME>, then `fallback`. Used for --samples (Monte Carlo sample
+/// counts) and --seed (RNG seeds).
+inline u64 u64_option(int argc, const char* const* argv, const char* flag,
+                      u64 fallback) {
+  return cnt::exec::u64_from_args(argc, argv, flag, fallback);
+}
+
 /// Uniform reporting for an interrupted engine sweep (Ctrl-C / SIGTERM):
 /// tell the user where the journal is and how to pick the sweep back up,
 /// and return the conventional 128+SIGINT exit status for main().

@@ -100,6 +100,11 @@ void Cache::access_impl(u64 addr, MemOp op, u32 offset, u8 size, u64 value,
     if (!l.valid || l.tag != tag) continue;
 
     // --- Hit ---
+    if (fault_hook_ != nullptr && !is_write) {
+      // The demand read senses the array: faults manifest here, and
+      // whatever the protection scheme misses is what the CPU gets.
+      ev.fault.add(fault_hook_->on_read(set, w, l.data));
+    }
     std::memcpy(scratch_before_.data(), l.data.data(), cfg_.line_bytes);
     if (is_write) {
       if (!full_line_data.empty()) {
@@ -156,6 +161,12 @@ void Cache::access_impl(u64 addr, MemOp op, u32 offset, u8 size, u64 value,
 
   // Previous occupant -> line_before / eviction bookkeeping.
   if (l.valid) {
+    if (fault_hook_ != nullptr && l.dirty &&
+        cfg_.write_policy == WritePolicy::kWriteBack) {
+      // The writeback reads the victim out of the array; silent
+      // corruption rides down the hierarchy with it.
+      ev.fault.add(fault_hook_->on_read(set, victim, l.data));
+    }
     std::memcpy(scratch_before_.data(), l.data.data(), cfg_.line_bytes);
     ev.evicted_valid = true;
     ev.evicted_dirty = l.dirty;
@@ -202,6 +213,9 @@ void Cache::access_impl(u64 addr, MemOp op, u32 offset, u8 size, u64 value,
   } else {
     ++stats_.read_misses;
     ev.kind = AccessKind::kReadMissFill;
+  }
+  if (fault_hook_ != nullptr) {
+    fault_hook_->on_fill(set, victim, l.data);
   }
   ++stats_.fills;
   repl_->on_fill(set, victim);

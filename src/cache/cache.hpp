@@ -16,6 +16,7 @@
 #include "cache/cache_config.hpp"
 #include "cache/cache_stats.hpp"
 #include "cache/events.hpp"
+#include "cache/fault_hook.hpp"
 #include "cache/main_memory.hpp"
 #include "cache/replacement.hpp"
 #include "trace/access.hpp"
@@ -32,6 +33,15 @@ class Cache final : public MemoryLevel {
 
   /// Register an observer (not owned; must outlive the cache).
   void add_sink(AccessSink& sink);
+
+  /// Install a fault-injection hook (not owned; must outlive the cache).
+  /// nullptr (the default) keeps the cache bit-identical to a fault-free
+  /// build. The hook fires on line fill, on the array read behind a read
+  /// hit, and on the victim read feeding a dirty writeback; see
+  /// cache/fault_hook.hpp for the contract. The demand word of a miss is
+  /// served critical-word-first from the fill path, so fills do not incur
+  /// an array read.
+  void set_fault_hook(LineFaultHook* hook) noexcept { fault_hook_ = hook; }
 
   /// CPU-side access. Precondition: a.valid() and the word lies within one
   /// line.
@@ -99,6 +109,7 @@ class Cache final : public MemoryLevel {
   std::vector<Line> lines_;
   std::unique_ptr<ReplacementPolicy> repl_;
   std::vector<AccessSink*> sinks_;
+  LineFaultHook* fault_hook_ = nullptr;
   CacheStats stats_;
   u64 hit_counter_ = 0;  // for IdleModel.hit_idle_period
   std::vector<u32> mru_way_;  // per-set MRU way (way prediction)

@@ -27,6 +27,25 @@ enum class AccessKind : u8 {
   kWriteAround,    ///< write miss with no-write-allocate (bypasses array)
 };
 
+/// Per-array-read fault tally produced by a LineFaultHook (src/cache/
+/// fault_hook.hpp) and carried on the event so energy policies can charge
+/// protection work. `flips` counts raw upsets seen by the read;
+/// `corrected` / `detected` / `silent` partition them by protection
+/// outcome (silent bits remain in the returned data -- real SDC).
+struct LineFaultReport {
+  u32 flips = 0;
+  u32 corrected = 0;
+  u32 detected = 0;  ///< detection events (recovered by refetch)
+  u32 silent = 0;
+
+  void add(const LineFaultReport& o) noexcept {
+    flips += o.flips;
+    corrected += o.corrected;
+    detected += o.detected;
+    silent += o.silent;
+  }
+};
+
 [[nodiscard]] constexpr const char* to_string(AccessKind k) noexcept {
   switch (k) {
     case AccessKind::kReadHit: return "read_hit";
@@ -77,6 +96,12 @@ struct AccessEvent {
   /// Idle array slots following this access (see IdleModel); the
   /// CNT-Cache deferred-update FIFOs drain during these.
   u32 idle_slots = 0;
+
+  /// Fault-campaign outcome of the array reads behind this access (the
+  /// demand read and, on fills, the victim writeback read). All-zero when
+  /// no fault hook is installed, so policies can charge correction energy
+  /// unconditionally from these counters.
+  LineFaultReport fault;
 
   [[nodiscard]] bool is_fill() const noexcept {
     return kind == AccessKind::kReadMissFill ||

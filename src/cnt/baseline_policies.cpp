@@ -10,6 +10,7 @@ namespace cnt {
 void PlainPolicy::on_access(const AccessEvent& ev) {
   charge_decode();
   charge_tag_lookup(ev);
+  charge_ecc(ev);
 
   switch (ev.kind) {
     case AccessKind::kReadHit:
@@ -62,6 +63,7 @@ void PlainPolicy::on_access(const AccessEvent& ev) {
 void StaticInvertPolicy::on_access(const AccessEvent& ev) {
   charge_decode();
   charge_tag_lookup(ev);
+  charge_ecc(ev);
 
   const usize line_bits = array_.geometry().line_bits();
   const auto& cell = tech_.cell;
@@ -162,6 +164,7 @@ Energy IdealPolicy::best_write(std::span<const u8> line, usize bit_lo,
 void IdealPolicy::on_access(const AccessEvent& ev) {
   charge_decode();
   charge_tag_lookup(ev);
+  charge_ecc(ev);
 
   switch (ev.kind) {
     case AccessKind::kReadHit:

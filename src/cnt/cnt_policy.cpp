@@ -5,6 +5,7 @@
 
 #include "common/bits.hpp"
 #include "energy/sram_cell.hpp"
+#include "fault/campaign.hpp"
 
 namespace cnt {
 
@@ -35,8 +36,10 @@ ArrayGeometry geometry_of(const CacheConfig& cfg) {
 
 namespace {
 
+// Adds on top of any meta bits already in the base geometry (e.g.
+// protection check bits sized by the runner).
 ArrayGeometry with_meta(ArrayGeometry g, usize meta_bits) {
-  g.meta_bits = meta_bits;
+  g.meta_bits += meta_bits;
   return g;
 }
 
@@ -103,6 +106,7 @@ const LineState& CntPolicy::line_state(u32 set, u32 way) const {
 void CntPolicy::on_access(const AccessEvent& ev) {
   charge_decode();
   charge_tag_lookup(ev);
+  charge_ecc(ev);
 
   switch (ev.kind) {
     case AccessKind::kReadHit:
@@ -126,8 +130,10 @@ void CntPolicy::handle_hit(const AccessEvent& ev, bool is_write) {
   LineState& st = state(ev.set, ev.way);
 
   // The H&D field is read with the line: the encoder needs the direction
-  // bits and the predictor needs the counters.
+  // bits and the predictor needs the counters. Under a fault campaign the
+  // mask the encoder gets may differ from the policy's intent.
   charge_meta_read(history_of(ev.set, st), st.directions);
+  const u64 dirs = effective_directions(ev.set, ev.way, st.directions);
 
   if (cfg_.zero_line_opt && handle_zero_line(ev, st, is_write)) return;
 
@@ -136,16 +142,16 @@ void CntPolicy::handle_hit(const AccessEvent& ev, bool is_write) {
     if (cfg_.flip_aware_writes) {
       ledger_.charge(EnergyCategory::kDataWrite,
                      flip_aware_write_cost(ev.line_before, ev.line_after,
-                                           st.directions, bit_lo, bit_hi));
+                                           dirs, bit_lo, bit_hi));
     } else {
       const usize ones = stored_ones_range(predictor_.scheme(), ev.line_after,
-                                           st.directions, bit_lo, bit_hi);
+                                           dirs, bit_lo, bit_hi);
       ledger_.charge(EnergyCategory::kDataWrite,
                      write_energy_counts(tech_.cell, bit_hi - bit_lo, ones));
     }
   } else {
     ledger_.charge(EnergyCategory::kDataRead,
-                   stored_read_cost(ev.line_after, st.directions));
+                   stored_read_cost(ev.line_after, dirs));
   }
   charge_encoder_pass();
   charge_output(transfer_bits(ev));
@@ -163,6 +169,7 @@ void CntPolicy::handle_fill(const AccessEvent& ev) {
   if (ev.evicted_valid && ev.evicted_dirty) {
     charge_decode();
     charge_meta_read(history_of(ev.set, st), st.directions);
+    const u64 dirs = effective_directions(ev.set, ev.way, st.directions);
     if (!(cfg_.zero_line_opt && st.zero_flag)) {
       Energy rd{};
       usize dirty_bits = 0;
@@ -170,7 +177,7 @@ void CntPolicy::handle_fill(const AccessEvent& ev) {
         rd += read_energy_counts(
             tech_.cell, hi - lo,
             stored_ones_range(predictor_.scheme(), ev.line_before,
-                              st.directions, lo, hi));
+                              dirs, lo, hi));
         dirty_bits += hi - lo;
       });
       ledger_.charge(EnergyCategory::kDataRead, rd);
@@ -197,6 +204,7 @@ void CntPolicy::handle_fill(const AccessEvent& ev) {
     // Zero-line elision: the flag is authoritative; skip the array write.
     ++stats_.zero_fills;
     st.directions = 0;
+    note_directions_written(ev.set, ev.way, st.directions);
     charge_meta_full_write(history_of(ev.set, st), st.directions);
     charge_tag_write(ev);
     charge_output(array_.geometry().line_bits());
@@ -205,6 +213,7 @@ void CntPolicy::handle_fill(const AccessEvent& ev) {
 
   st.directions = choose_fill_directions(
       ev.line_after, ev.kind == AccessKind::kWriteMissFill);
+  note_directions_written(ev.set, ev.way, st.directions);
 
   charge_decode();
   ledger_.charge(EnergyCategory::kDataWrite,
@@ -249,6 +258,7 @@ bool CntPolicy::handle_zero_line(const AccessEvent& ev, LineState& st,
   st.zero_flag = false;
   ++stats_.zero_materializations;
   st.directions = choose_fill_directions(ev.line_after, st.write_filled);
+  note_directions_written(ev.set, ev.way, st.directions);
   charge_decode();
   ledger_.charge(EnergyCategory::kDataWrite,
                  stored_write_cost(ev.line_after, st.directions));
@@ -428,6 +438,17 @@ Energy CntPolicy::flip_aware_write_cost(std::span<const u8> before,
       std::span<const u8>(scratch_b_).subspan(byte_lo, byte_hi - byte_lo));
 }
 
+u64 CntPolicy::effective_directions(u32 set, u32 way, u64 logical) {
+  if (campaign_ == nullptr) return logical;
+  const FaultCampaign::DirRead dr = campaign_->read_directions(set, way);
+  charge_ecc_events(dr.report);
+  return dr.effective;
+}
+
+void CntPolicy::note_directions_written(u32 set, u32 way, u64 dirs) {
+  if (campaign_ != nullptr) campaign_->write_directions(set, way, dirs);
+}
+
 void CntPolicy::drain(u32 slots) {
   for (u32 i = 0; i < slots && !queue_.empty(); ++i) {
     const auto req = queue_.pop();
@@ -453,6 +474,10 @@ void CntPolicy::drain(u32 slots) {
                                          stored_dir_ones(req->new_directions)));
     }
     st.directions = req->new_directions;
+    note_directions_written(req->set, req->way, st.directions);
+    // A re-encode rewrites flipped partitions, so the protection check
+    // bits are regenerated and rewritten with them.
+    charge_ecc_write();
     st.pending = false;
     ++stats_.reencodes_applied;
     stats_.partition_flips_applied += req->partitions_flipped;

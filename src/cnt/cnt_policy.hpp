@@ -20,6 +20,8 @@
 
 namespace cnt {
 
+class FaultCampaign;
+
 /// Initial encoding direction chosen when a line is filled. The paper
 /// leaves the fill policy unspecified. The library default, kByMissType,
 /// uses the demand access that caused the fill as a one-shot pattern
@@ -87,12 +89,21 @@ struct CntPolicyStats {
 
 class CntPolicy final : public EnergyPolicyBase {
  public:
-  /// `geom` must describe the *base* array (meta_bits is overwritten with
-  /// this policy's H&D width).
+  /// `geom` describes the base array; this policy's H&D width is *added*
+  /// to geom.meta_bits (which may already carry protection check bits).
   CntPolicy(std::string name, const TechParams& tech, ArrayGeometry geom,
             const CntConfig& cfg);
 
   void on_access(const AccessEvent& ev) override;
+
+  /// Route direction-bit storage through a fault campaign (not owned; may
+  /// be nullptr). Masks the policy writes pass through the campaign's
+  /// stuck cells; masks it reads back may differ -- silent corruption
+  /// makes the decoder use the flipped mask, inverting whole partitions'
+  /// read-out. The policy keeps its logical intent in LineState.
+  void attach_fault_campaign(FaultCampaign* campaign) noexcept {
+    campaign_ = campaign;
+  }
 
   [[nodiscard]] const CntConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const CntPolicyStats& stats() const noexcept { return stats_; }
@@ -146,9 +157,17 @@ class CntPolicy final : public EnergyPolicyBase {
   /// History counters for this access's line under the configured scope.
   [[nodiscard]] HistoryCounters& history_of(u32 set, LineState& st);
 
+  /// Direction mask the decoder sees for (set, way): the logical mask, or
+  /// the campaign's (possibly corrupted, possibly corrected) read-out.
+  /// Charges the correction events the metadata read incurs.
+  [[nodiscard]] u64 effective_directions(u32 set, u32 way, u64 logical);
+  /// Mirror a direction-mask write into the campaign's stored cells.
+  void note_directions_written(u32 set, u32 way, u64 dirs);
+
   CntConfig cfg_;
   Predictor predictor_;
   UpdateQueue queue_;
+  FaultCampaign* campaign_ = nullptr;
   usize ways_;
   std::vector<LineState> states_;
   std::vector<HistoryCounters> set_hist_;  ///< used when kPerSet

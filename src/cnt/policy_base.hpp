@@ -15,6 +15,7 @@
 #include "energy/array_model.hpp"
 #include "energy/energy_ledger.hpp"
 #include "energy/tech_params.hpp"
+#include "fault/protection.hpp"
 
 namespace cnt {
 
@@ -43,6 +44,16 @@ class EnergyPolicyBase : public AccessSink {
   [[nodiscard]] const TechParams& tech() const noexcept { return tech_; }
   [[nodiscard]] WriteGranularity write_granularity() const noexcept {
     return write_gran_;
+  }
+
+  /// Configure the protection scheme this policy's array carries (default:
+  /// none, zero cost). The runner sizes the spec per policy -- baseline
+  /// arrays cover the data line, the CNT array also covers its direction
+  /// bits -- and widens the array geometry's meta_bits by spec.check_bits
+  /// so decode and leakage see the wider rows.
+  void set_protection(const ProtectionSpec& spec) noexcept { prot_ = spec; }
+  [[nodiscard]] const ProtectionSpec& protection() const noexcept {
+    return prot_;
   }
 
  protected:
@@ -99,6 +110,72 @@ class EnergyPolicyBase : public AccessSink {
                         : array_.geometry().line_bits();
   }
 
+  // --- Protection (parity/SECDED) costs -------------------------------
+  // Check-bit storage traffic is priced at the cell's value-averaged
+  // per-bit energies (check-bit contents are not tracked; their 0/1 mix
+  // averages out), and checker logic at ecc_check_per_bit per covered
+  // payload bit: the syndrome/parity tree sees the whole codeword on
+  // every protected operation, including partial-word writes (RMW of the
+  // check field).
+
+  /// Checker pass + check-bit read for one protected array read.
+  void charge_ecc_read() {
+    if (!prot_.enabled()) return;
+    ledger_.charge(EnergyCategory::kEccStorage,
+                   (tech_.cell.rd0 + tech_.cell.rd1) *
+                       (0.5 * static_cast<double>(prot_.check_bits)));
+    ledger_.charge(EnergyCategory::kEccLogic,
+                   tech_.periph.ecc_check_per_bit *
+                       static_cast<double>(prot_.covered_bits));
+  }
+
+  /// Check-bit regeneration + write for one protected array write.
+  void charge_ecc_write() {
+    if (!prot_.enabled()) return;
+    ledger_.charge(EnergyCategory::kEccStorage,
+                   (tech_.cell.wr0 + tech_.cell.wr1) *
+                       (0.5 * static_cast<double>(prot_.check_bits)));
+    ledger_.charge(EnergyCategory::kEccLogic,
+                   tech_.periph.ecc_check_per_bit *
+                       static_cast<double>(prot_.covered_bits));
+  }
+
+  /// Correction-path events reported by the fault campaign for this
+  /// access (corrected bits + detections both drive the syndrome decoder).
+  void charge_ecc_events(const LineFaultReport& rep) {
+    if (!prot_.enabled()) return;
+    const u32 events = rep.corrected + rep.detected;
+    if (events == 0) return;
+    ledger_.charge(EnergyCategory::kEccLogic,
+                   tech_.periph.ecc_correct_per_event *
+                       static_cast<double>(events));
+  }
+
+  /// Full per-access protection accounting: one checker pass per array
+  /// operation this event implies (demand read/write, victim writeback
+  /// read, fill write) plus the campaign's correction events. Policies
+  /// whose extra array operations are not visible on the event (CNT
+  /// re-encodes, FIFO drains) charge those separately.
+  void charge_ecc(const AccessEvent& ev) {
+    if (!prot_.enabled()) return;
+    switch (ev.kind) {
+      case AccessKind::kReadHit:
+        charge_ecc_read();
+        break;
+      case AccessKind::kWriteHit:
+        charge_ecc_write();
+        break;
+      case AccessKind::kReadMissFill:
+      case AccessKind::kWriteMissFill:
+        if (ev.evicted_valid && ev.evicted_dirty) charge_ecc_read();
+        charge_ecc_write();
+        break;
+      case AccessKind::kWriteAround:
+        return;
+    }
+    charge_ecc_events(ev.fault);
+  }
+
   /// Invoke fn(bit_lo, bit_hi) for every dirty 8-byte word of the evicted
   /// victim (sectored writebacks narrow the mask; otherwise it covers the
   /// whole line). Returns the number of dirty words visited.
@@ -120,6 +197,7 @@ class EnergyPolicyBase : public AccessSink {
   ArrayModel array_;
   EnergyLedger ledger_;
   WriteGranularity write_gran_;
+  ProtectionSpec prot_{};
 };
 
 }  // namespace cnt

@@ -7,6 +7,21 @@
 
 namespace cnt {
 
+namespace {
+
+/// Floor on every multiplicative variation factor. A Gaussian draw at
+/// high sigma can push `1 + sigma*g` to zero or below, which would hand
+/// the cell derivation a non-physical (zero or negative) capacitance;
+/// clamping the factor keeps every sampled capacitance -- and with it
+/// every derived energy -- strictly positive.
+constexpr double kMinScale = 0.01;
+
+double positive_scale(double rel_sigma, Rng& rng) {
+  return std::max(kMinScale, 1.0 + rel_sigma * rng.gaussian());
+}
+
+}  // namespace
+
 CnfetDeviceParams sample_device(const CnfetDeviceParams& nominal,
                                 const VariationParams& var, Rng& rng) {
   CnfetDeviceParams p = nominal;
@@ -20,9 +35,9 @@ CnfetDeviceParams sample_device(const CnfetDeviceParams& nominal,
   p.diameter_nm = std::clamp(d, 0.7, 3.0);
 
   p.cgate_per_tube_af =
-      nominal.cgate_per_tube_af * (1.0 + var.cap_rel_sigma * rng.gaussian());
+      nominal.cgate_per_tube_af * positive_scale(var.cap_rel_sigma, rng);
   p.cparasitic_af =
-      nominal.cparasitic_af * (1.0 + var.cap_rel_sigma * rng.gaussian());
+      nominal.cparasitic_af * positive_scale(var.cap_rel_sigma, rng);
   return p;
 }
 
@@ -30,7 +45,7 @@ BitEnergies sample_bit_energies(const CnfetDeviceParams& nominal,
                                 const VariationParams& var, Rng& rng) {
   const CnfetDeviceParams dev = sample_device(nominal, var, rng);
   ArrayContext arr;
-  arr.cbl_per_cell_af *= 1.0 + var.cap_rel_sigma * rng.gaussian();
+  arr.cbl_per_cell_af *= positive_scale(var.cap_rel_sigma, rng);
   return derive_bit_energies(dev, arr);
 }
 

@@ -16,6 +16,8 @@ std::string_view to_string(EnergyCategory c) noexcept {
     case EnergyCategory::kPredictorLogic: return "predictor_logic";
     case EnergyCategory::kReencode: return "reencode";
     case EnergyCategory::kFifo: return "fifo";
+    case EnergyCategory::kEccStorage: return "ecc_storage";
+    case EnergyCategory::kEccLogic: return "ecc_logic";
     case EnergyCategory::kCount: break;
   }
   return "?";
@@ -30,7 +32,8 @@ Energy EnergyLedger::total() const noexcept {
 Energy EnergyLedger::array_total() const noexcept {
   using C = EnergyCategory;
   return get(C::kDataRead) + get(C::kDataWrite) + get(C::kTagRead) +
-         get(C::kTagWrite) + get(C::kDecode) + get(C::kOutput);
+         get(C::kTagWrite) + get(C::kDecode) + get(C::kOutput) +
+         get(C::kEccStorage) + get(C::kEccLogic);
 }
 
 Energy EnergyLedger::overhead_total() const noexcept {

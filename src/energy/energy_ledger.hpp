@@ -27,6 +27,8 @@ enum class EnergyCategory : u8 {
   kPredictorLogic, ///< counter updates + window-boundary evaluations
   kReencode,       ///< deferred re-encoding line rewrites (E_encode)
   kFifo,           ///< deferred-update FIFO traffic
+  kEccStorage,     ///< check-bit column reads/writes (parity/SECDED)
+  kEccLogic,       ///< syndrome computation + correction events
   kCount
 };
 
@@ -48,7 +50,8 @@ class EnergyLedger {
   }
 
   /// Sum of the categories that exist in a conventional cache (array +
-  /// peripherals), i.e. everything except the CNT-Cache additions.
+  /// peripherals, and ECC protection when enabled), i.e. everything except
+  /// the CNT-Cache additions.
   [[nodiscard]] Energy array_total() const noexcept;
 
   /// Sum of the CNT-Cache-specific overhead categories (meta, encoder,

@@ -73,6 +73,13 @@ struct PeripheralParams {
   Energy predictor_eval_per_bit = fJ(0.01);
   /// FIFO push/pop energy per byte moved through the deferred-update queue.
   Energy fifo_per_byte = fJ(0.4);
+  /// ECC syndrome/parity XOR-tree energy per covered payload bit, charged
+  /// on every protected array read and write (the checker sees the whole
+  /// codeword either way).
+  Energy ecc_check_per_bit = fJ(0.004);
+  /// Correction-path energy per corrected/detected event (syndrome decode
+  /// + flip mux), on top of the per-bit check cost.
+  Energy ecc_correct_per_event = fJ(30.0);
   /// Static leakage power per cell, in watts (used by the leakage report;
   /// dynamic-energy experiments follow the paper and exclude it).
   double leakage_per_cell_w = 2.0e-12;

@@ -70,6 +70,19 @@ u64 config_fingerprint(const SimConfig& cfg) noexcept {
   h.update(cfg.with_cmos);
   h.update(cfg.with_static);
   h.update(cfg.with_ideal);
+
+  // Fault fields are hashed only when the campaign is active, so every
+  // fingerprint minted before the fault subsystem existed -- and every
+  // fault-free sweep journal -- stays byte-identical.
+  if (cfg.fault.enabled()) {
+    h.update(std::string_view("fault"));
+    h.update(cfg.fault.stuck_per_mbit);
+    h.update(cfg.fault.stuck_at1_fraction);
+    h.update(cfg.fault.transient_per_read);
+    h.update(static_cast<u64>(cfg.fault.protection));
+    h.update(cfg.fault.protect_directions);
+    h.update(cfg.fault.seed);
+  }
   return h.digest();
 }
 
@@ -232,6 +245,23 @@ JobOutcome outcome_from_row(const JournalRow& row, const Job& job) {
     pr.ledger.charge(EnergyCategory::kDataRead,
                      Energy::joules(joules.as_double()));
     r.policies.push_back(std::move(pr));
+  }
+
+  if (const JsonValue* fault = v.find("fault")) {
+    r.has_fault = true;
+    FaultStats& fs = r.fault_stats;
+    fs.stuck_data_cells = fault->at("stuck_data_cells").as_u64();
+    fs.stuck_dir_cells = fault->at("stuck_dir_cells").as_u64();
+    fs.transient_data_flips = fault->at("transient_data_flips").as_u64();
+    fs.transient_dir_flips = fault->at("transient_dir_flips").as_u64();
+    fs.faulty_reads = fault->at("faulty_reads").as_u64();
+    fs.corrected_bits = fault->at("corrected_bits").as_u64();
+    fs.detected_events = fault->at("detected_events").as_u64();
+    fs.silent_bits = fault->at("silent_bits").as_u64();
+    fs.dir_flips = fault->at("dir_flips").as_u64();
+    fs.dir_corrected_bits = fault->at("dir_corrected_bits").as_u64();
+    fs.dir_detected_events = fault->at("dir_detected_events").as_u64();
+    fs.dir_silent_bits = fault->at("dir_silent_bits").as_u64();
   }
 
   if (const JsonValue* cnt = v.find("cnt")) {

@@ -1,6 +1,8 @@
 #include "exec/options.hpp"
 
+#include <cctype>
 #include <cstdlib>
+#include <string>
 #include <string_view>
 #include <thread>
 
@@ -90,6 +92,51 @@ u32 retries_from_env(u32 fallback) noexcept {
 u32 resolve_retries(u32 n) noexcept {
   if (n > 0) return n;
   return retries_from_env(0);
+}
+
+namespace {
+
+/// Parse a positive u64 (no bogus-value ceiling -- seeds are arbitrary);
+/// 0 on anything else.
+u64 parse_positive_u64(std::string_view s) noexcept {
+  if (s.empty() || s.size() > 20) return 0;
+  u64 v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return 0;
+    v = v * 10 + static_cast<u64>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+u64 u64_from_args(int argc, const char* const* argv, const char* flag,
+                  u64 fallback) noexcept {
+  const std::string_view spelled = flag;
+  const std::string flag_eq = std::string(spelled) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (arg == spelled) {
+      if (i + 1 >= argc) continue;
+      value = argv[i + 1];
+    } else if (arg.rfind(flag_eq, 0) == 0) {
+      value = arg.substr(flag_eq.size());
+    } else {
+      continue;
+    }
+    const u64 v = parse_positive_u64(value);
+    if (v > 0) return v;
+  }
+  std::string env_name = "CNT_";
+  for (char c : spelled.substr(spelled.find_first_not_of('-'))) {
+    env_name += c == '-' ? '_' : static_cast<char>(std::toupper(c));
+  }
+  if (const char* env = std::getenv(env_name.c_str())) {
+    const u64 v = parse_positive_u64(env);
+    if (v > 0) return v;
+  }
+  return fallback;
 }
 
 }  // namespace cnt::exec

@@ -46,4 +46,13 @@ namespace cnt::exec {
 /// behaviour).
 [[nodiscard]] u32 resolve_retries(u32 n) noexcept;
 
+/// Generic positive-integer flag: scan argv for `<flag> N` / `<flag>=N`
+/// (pass the full spelling, e.g. "--samples"), then $CNT_<NAME> (the flag
+/// name without dashes, uppercased, '-' -> '_'), then `fallback`. Zero
+/// and malformed values fall through to the next source. Used for bench
+/// knobs like --samples and --seed, whose values (sample counts, RNG
+/// seeds) need the full u64 range.
+[[nodiscard]] u64 u64_from_args(int argc, const char* const* argv,
+                                const char* flag, u64 fallback) noexcept;
+
 }  // namespace cnt::exec

@@ -56,6 +56,23 @@ void write_row_payload(const JobOutcome& o, std::ostream& os,
   if (r.find(kPolicyCnt) != nullptr && r.find(kPolicyBaseline) != nullptr) {
     w.kv("saving", r.saving(kPolicyCnt));
   }
+  if (r.has_fault) {
+    const FaultStats& fs = r.fault_stats;
+    w.key("fault").begin_object();
+    w.kv("stuck_data_cells", fs.stuck_data_cells);
+    w.kv("stuck_dir_cells", fs.stuck_dir_cells);
+    w.kv("transient_data_flips", fs.transient_data_flips);
+    w.kv("transient_dir_flips", fs.transient_dir_flips);
+    w.kv("faulty_reads", fs.faulty_reads);
+    w.kv("corrected_bits", fs.corrected_bits);
+    w.kv("detected_events", fs.detected_events);
+    w.kv("silent_bits", fs.silent_bits);
+    w.kv("dir_flips", fs.dir_flips);
+    w.kv("dir_corrected_bits", fs.dir_corrected_bits);
+    w.kv("dir_detected_events", fs.dir_detected_events);
+    w.kv("dir_silent_bits", fs.dir_silent_bits);
+    w.end_object();
+  }
   for (const auto& p : r.policies) {
     if (!p.has_cnt_stats) continue;
     w.key("cnt").begin_object();

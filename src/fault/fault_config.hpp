@@ -1,0 +1,63 @@
+// Fault-campaign configuration: the reliability knobs of the simulator.
+//
+// CNFET arrays are defect-prone by construction -- metallic tubes that
+// survive removal and missing tubes leave cells stuck at a value, and the
+// reduced noise margins raise transient upset rates. A FaultConfig
+// describes one deterministic campaign: where permanent stuck-at cells
+// land (seeded placement from a defect density), how often transient
+// read-disturb/retention flips strike, and which protection scheme the
+// array pays for. All-zero knobs (the default) disable the subsystem
+// entirely; the hot paths then never touch it.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+/// Array protection scheme. Parity is per *partition* (one check bit per
+/// encoding partition, so a detected flip also names the partition whose
+/// direction bit may be wrong); SECDED is one Hamming+parity codeword per
+/// line covering the data bits and, for CNT-Cache, the direction bits.
+enum class ProtectionScheme : u8 {
+  kNone,    ///< unprotected: every flip is silent data corruption
+  kParity,  ///< detects odd flip counts per partition; cannot correct
+  kSecded,  ///< corrects 1 flip, detects 2, miscorrects >= 3 per codeword
+};
+
+[[nodiscard]] constexpr const char* to_string(ProtectionScheme s) noexcept {
+  switch (s) {
+    case ProtectionScheme::kNone: return "none";
+    case ProtectionScheme::kParity: return "parity";
+    case ProtectionScheme::kSecded: return "secded";
+  }
+  return "?";
+}
+
+struct FaultConfig {
+  /// Expected permanent stuck-at cells per 2^20 array bits (data and
+  /// direction-bit arrays are seeded independently at the same density).
+  /// The realized count is round(expected) -- deterministic in the seed.
+  double stuck_per_mbit = 0.0;
+  /// Fraction of stuck cells stuck at '1' (the rest stick at '0').
+  double stuck_at1_fraction = 0.5;
+  /// Per-bit probability of a transient flip on each array read of the
+  /// bit (read disturb / retention upsets surfacing at read time).
+  double transient_per_read = 0.0;
+  /// Protection scheme charged to every policy's ledger.
+  ProtectionScheme protection = ProtectionScheme::kNone;
+  /// Extend the line codeword over the per-partition direction bits
+  /// (CNT-Cache only; the baseline array has no direction bits).
+  bool protect_directions = true;
+  /// Campaign seed: stuck-cell placement and transient arrival times.
+  u64 seed = 0xFA013;
+
+  /// True when any fault machinery must be active. The disabled default
+  /// keeps every simulation bit-identical to a build without the fault
+  /// subsystem (no hooks installed, no energy charged, no RNG consumed).
+  [[nodiscard]] bool enabled() const noexcept {
+    return stuck_per_mbit > 0.0 || transient_per_read > 0.0 ||
+           protection != ProtectionScheme::kNone;
+  }
+};
+
+}  // namespace cnt

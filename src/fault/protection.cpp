@@ -1,0 +1,26 @@
+#include "fault/protection.hpp"
+
+namespace cnt {
+
+usize secded_check_bits(usize payload_bits) noexcept {
+  if (payload_bits == 0) return 0;
+  usize r = 1;
+  while ((usize{1} << r) < payload_bits + r + 1) ++r;
+  return r + 1;  // + overall parity bit (the "DED" extension)
+}
+
+ProtectionSpec make_protection_spec(ProtectionScheme scheme, usize line_bits,
+                                    usize partitions,
+                                    bool include_directions) {
+  ProtectionSpec spec;
+  spec.scheme = scheme;
+  if (scheme == ProtectionScheme::kNone) return spec;
+  const usize extra = include_directions ? partitions : 0;
+  spec.covered_bits = line_bits + extra;
+  spec.check_bits = scheme == ProtectionScheme::kParity
+                        ? parity_check_bits(partitions)
+                        : secded_check_bits(line_bits + extra);
+  return spec;
+}
+
+}  // namespace cnt

@@ -1,0 +1,88 @@
+// Array protection codes: geometry and outcome classification.
+//
+// Two schemes are modeled exactly at the level the energy accounting and
+// the campaign need:
+//   * per-partition parity -- one check bit per encoding partition.
+//     An odd number of flips inside a partition group is detected (the
+//     controller refetches a clean copy); an even number cancels in the
+//     parity sum and passes silently.
+//   * per-line SECDED -- an extended Hamming code (r check bits with
+//     2^r >= payload + r + 1, plus one overall parity bit) over the whole
+//     line payload. One flip per codeword read is corrected, two are
+//     detected, three or more alias to a wrong syndrome and pass as a
+//     (possibly miscorrected) silent error.
+//
+// ProtectionSpec packages the per-line geometry so energy policies can
+// charge check-bit storage traffic and checker logic without knowing the
+// code internals.
+#pragma once
+
+#include "common/types.hpp"
+#include "fault/fault_config.hpp"
+
+namespace cnt {
+
+/// What the protection logic concluded about one array read.
+enum class FaultOutcome : u8 {
+  kClean,      ///< no flips in the codeword
+  kCorrected,  ///< flips repaired in the read-out data (SECDED single)
+  kDetected,   ///< flagged but not correctable; recovered by refetch
+  kSilent,     ///< escaped the code: silent data corruption (SDC)
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultOutcome o) noexcept {
+  switch (o) {
+    case FaultOutcome::kClean: return "clean";
+    case FaultOutcome::kCorrected: return "corrected";
+    case FaultOutcome::kDetected: return "detected";
+    case FaultOutcome::kSilent: return "silent";
+  }
+  return "?";
+}
+
+/// Check bits of a SECDED (extended Hamming) code over `payload_bits`:
+/// the smallest r with 2^r >= payload_bits + r + 1, plus the overall
+/// parity bit. 64 -> 8, 512 -> 11, 520 -> 11.
+[[nodiscard]] usize secded_check_bits(usize payload_bits) noexcept;
+
+/// Check bits of per-partition parity: one per partition.
+[[nodiscard]] constexpr usize parity_check_bits(usize partitions) noexcept {
+  return partitions;
+}
+
+/// Classify `flips` simultaneous upsets in one SECDED codeword read.
+[[nodiscard]] constexpr FaultOutcome classify_secded(usize flips) noexcept {
+  if (flips == 0) return FaultOutcome::kClean;
+  if (flips == 1) return FaultOutcome::kCorrected;
+  if (flips == 2) return FaultOutcome::kDetected;
+  return FaultOutcome::kSilent;
+}
+
+/// Classify `flips` simultaneous upsets in one parity group read.
+[[nodiscard]] constexpr FaultOutcome classify_parity(usize flips) noexcept {
+  if (flips == 0) return FaultOutcome::kClean;
+  return (flips % 2 == 1) ? FaultOutcome::kDetected : FaultOutcome::kSilent;
+}
+
+/// Per-line protection geometry for one policy's array.
+struct ProtectionSpec {
+  ProtectionScheme scheme = ProtectionScheme::kNone;
+  usize covered_bits = 0;  ///< payload bits per line (data [+ direction bits])
+  usize check_bits = 0;    ///< stored check bits per line
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return scheme != ProtectionScheme::kNone;
+  }
+};
+
+/// Build the spec for a line of `line_bits` data bits under `scheme`.
+/// `partitions` sizes the parity groups; when `include_directions` is set
+/// (CNT-Cache) the codeword also covers the K direction bits -- parity
+/// folds direction bit p into partition p's group, SECDED widens the
+/// codeword payload.
+[[nodiscard]] ProtectionSpec make_protection_spec(ProtectionScheme scheme,
+                                                  usize line_bits,
+                                                  usize partitions,
+                                                  bool include_directions);
+
+}  // namespace cnt

@@ -1,0 +1,52 @@
+// Deterministic placement of permanent stuck-at cells across one array.
+//
+// The map is a sorted list of (bit index, stuck value) pairs sampled once
+// at campaign construction: the realized count is round(total_bits *
+// density / 2^20) and the positions are drawn without replacement from a
+// seeded Rng, so the same (seed, geometry, density) always yields the
+// same defect pattern -- fault sweeps are replayable and resumable like
+// every other experiment in the repo. Per-line queries binary-search the
+// sorted list, so the per-access cost is O(log defects + hits).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+class StuckMap {
+ public:
+  StuckMap() = default;
+  /// Sample round(total_bits * per_mbit / 2^20) distinct stuck cells;
+  /// each sticks at '1' with probability `at1_fraction`.
+  StuckMap(u64 seed, u64 total_bits, double per_mbit, double at1_fraction);
+
+  [[nodiscard]] usize size() const noexcept { return cells_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cells_.empty(); }
+
+  /// Visit every stuck cell with bit index in [base, base + count):
+  /// fn(offset_within_range, stuck_value).
+  template <typename Fn>
+  void for_range(u64 base, u64 count, Fn&& fn) const {
+    auto it = std::lower_bound(
+        cells_.begin(), cells_.end(), base,
+        [](const Cell& c, u64 b) { return c.bit < b; });
+    for (; it != cells_.end() && it->bit < base + count; ++it) {
+      fn(static_cast<usize>(it->bit - base), it->value);
+    }
+  }
+
+  /// Number of stuck cells in [base, base + count).
+  [[nodiscard]] usize count_in(u64 base, u64 count) const noexcept;
+
+ private:
+  struct Cell {
+    u64 bit;
+    bool value;
+  };
+  std::vector<Cell> cells_;  // sorted by bit index
+};
+
+}  // namespace cnt

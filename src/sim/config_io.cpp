@@ -54,6 +54,14 @@ HistoryScope parse_history(const std::string& key, const std::string& v) {
   bad_enum(key, v);
 }
 
+ProtectionScheme parse_protection(const std::string& key,
+                                  const std::string& v) {
+  if (v == "none") return ProtectionScheme::kNone;
+  if (v == "parity") return ProtectionScheme::kParity;
+  if (v == "secded") return ProtectionScheme::kSecded;
+  bad_enum(key, v);
+}
+
 }  // namespace
 
 SimConfig sim_config_from(const Config& cfg) {
@@ -102,6 +110,19 @@ SimConfig sim_config_from(const Config& cfg) {
   sim.cnt.zero_line_opt =
       cfg.get_bool("cnt.zero_line", sim.cnt.zero_line_opt);
 
+  sim.fault.stuck_per_mbit =
+      cfg.get_double("fault.stuck_per_mbit", sim.fault.stuck_per_mbit);
+  sim.fault.stuck_at1_fraction =
+      cfg.get_double("fault.stuck_at1", sim.fault.stuck_at1_fraction);
+  sim.fault.transient_per_read =
+      cfg.get_double("fault.transient_per_read", sim.fault.transient_per_read);
+  if (const auto v = cfg.get("fault.protection")) {
+    sim.fault.protection = parse_protection("fault.protection", *v);
+  }
+  sim.fault.protect_directions =
+      cfg.get_bool("fault.protect_directions", sim.fault.protect_directions);
+  sim.fault.seed = cfg.get_uint("fault.seed", sim.fault.seed);
+
   sim.with_cmos = cfg.get_bool("policies.cmos", sim.with_cmos);
   sim.with_static = cfg.get_bool("policies.static", sim.with_static);
   sim.with_ideal = cfg.get_bool("policies.ideal", sim.with_ideal);
@@ -121,6 +142,8 @@ std::vector<std::string> known_sim_config_keys() {
       "cnt.delta_t",       "cnt.fill",          "cnt.granularity",
       "cnt.history",       "cnt.account_metadata", "cnt.flip_aware",
       "cnt.zero_line",
+      "fault.stuck_per_mbit", "fault.stuck_at1", "fault.transient_per_read",
+      "fault.protection",  "fault.protect_directions", "fault.seed",
       "policies.cmos",     "policies.static",   "policies.ideal",
       "workload.name",     "workload.scale",
   };

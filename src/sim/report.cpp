@@ -61,6 +61,26 @@ std::string breakdown_table(const SimResult& result) {
   return t.render();
 }
 
+std::string fault_table(const std::vector<SimResult>& results) {
+  Table t({"workload", "stuck", "flips", "corrected", "detected", "SDC bits",
+           "dir flips", "dir SDC", "saving"});
+  for (const auto& r : results) {
+    if (!r.has_fault) continue;
+    const FaultStats& fs = r.fault_stats;
+    t.add_row({r.workload,
+               std::to_string(fs.stuck_data_cells + fs.stuck_dir_cells),
+               std::to_string(fs.transient_data_flips +
+                              fs.transient_dir_flips),
+               std::to_string(fs.corrected_bits + fs.dir_corrected_bits),
+               std::to_string(fs.detected_events + fs.dir_detected_events),
+               std::to_string(fs.silent_bits),
+               std::to_string(fs.dir_flips),
+               std::to_string(fs.dir_silent_bits),
+               Table::pct(r.saving(kPolicyCnt))});
+  }
+  return t.render();
+}
+
 void write_savings_csv(const std::vector<SimResult>& results,
                        const std::string& path) {
   CsvWriter csv(path,

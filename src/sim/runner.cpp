@@ -46,14 +46,42 @@ SimResult simulate(const Workload& w, const SimConfig& cfg) {
   Cache cache(cfg.cache, memory);
   const ArrayGeometry geom = geometry_of(cfg.cache);
 
+  // Fault campaign: one shared corruption substrate for the functional
+  // run (the data array is policy-agnostic), plus the CNT policy's
+  // direction-bit domain. Disabled => no hook, no check bits, and results
+  // byte-identical to a fault-free build.
+  std::unique_ptr<FaultCampaign> campaign;
+  if (cfg.fault.enabled()) {
+    campaign = std::make_unique<FaultCampaign>(
+        cfg.fault, cfg.cache.sets(), cfg.cache.ways, cfg.cache.line_bytes,
+        cfg.cnt.partitions);
+    cache.set_fault_hook(campaign.get());
+  }
+  // Baseline-family arrays protect the data line; the CNT array's codeword
+  // additionally covers its K direction bits. Check bits widen the row
+  // (meta_bits), so decode and leakage see the protected geometry.
+  const ProtectionSpec data_prot =
+      make_protection_spec(cfg.fault.protection, geom.line_bits(),
+                           cfg.cnt.partitions, /*include_directions=*/false);
+  const ProtectionSpec cnt_prot = make_protection_spec(
+      cfg.fault.protection, geom.line_bits(), cfg.cnt.partitions,
+      cfg.fault.protect_directions);
+  ArrayGeometry data_geom = geom;
+  data_geom.meta_bits += data_prot.check_bits;
+  ArrayGeometry cnt_geom = geom;
+  cnt_geom.meta_bits += cnt_prot.check_bits;
+
   // Every policy uses the same write-accounting granularity so the
   // comparison isolates the encoding scheme.
   const WriteGranularity wg = cfg.cnt.write_granularity;
 
   auto baseline = std::make_unique<PlainPolicy>(std::string(kPolicyBaseline),
-                                                cfg.tech, geom, wg);
+                                                cfg.tech, data_geom, wg);
   auto cnt_policy = std::make_unique<CntPolicy>(std::string(kPolicyCnt),
-                                                cfg.tech, geom, cfg.cnt);
+                                                cfg.tech, cnt_geom, cfg.cnt);
+  baseline->set_protection(data_prot);
+  cnt_policy->set_protection(cnt_prot);
+  cnt_policy->attach_fault_campaign(campaign.get());
   cache.add_sink(*baseline);
   cache.add_sink(*cnt_policy);
 
@@ -62,17 +90,20 @@ SimResult simulate(const Workload& w, const SimConfig& cfg) {
   std::unique_ptr<IdealPolicy> ideal;
   if (cfg.with_cmos) {
     cmos = std::make_unique<PlainPolicy>(std::string(kPolicyCmos),
-                                         cfg.cmos_tech, geom, wg);
+                                         cfg.cmos_tech, data_geom, wg);
+    cmos->set_protection(data_prot);
     cache.add_sink(*cmos);
   }
   if (cfg.with_static) {
     static_inv = std::make_unique<StaticInvertPolicy>(
-        std::string(kPolicyStatic), cfg.tech, geom, wg);
+        std::string(kPolicyStatic), cfg.tech, data_geom, wg);
+    static_inv->set_protection(data_prot);
     cache.add_sink(*static_inv);
   }
   if (cfg.with_ideal) {
     ideal = std::make_unique<IdealPolicy>(std::string(kPolicyIdeal), cfg.tech,
-                                          geom, cfg.cnt.partitions, wg);
+                                          data_geom, cfg.cnt.partitions, wg);
+    ideal->set_protection(data_prot);
     cache.add_sink(*ideal);
   }
 
@@ -87,6 +118,10 @@ SimResult simulate(const Workload& w, const SimConfig& cfg) {
   res.workload = w.name;
   res.trace_stats = w.trace.stats();
   res.cache_stats = cache.stats();
+  if (campaign) {
+    res.has_fault = true;
+    res.fault_stats = campaign->stats();
+  }
 
   auto take = [&res](const EnergyPolicyBase& p) {
     PolicyResult pr;

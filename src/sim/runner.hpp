@@ -17,6 +17,8 @@
 #include "cnt/cnt_policy.hpp"
 #include "energy/energy_ledger.hpp"
 #include "energy/tech_params.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault_config.hpp"
 #include "trace/trace.hpp"
 
 namespace cnt {
@@ -33,6 +35,11 @@ struct SimConfig {
   TechParams tech;              ///< CNFET parameters for all CNFET policies
   TechParams cmos_tech;         ///< CMOS parameters for the CMOS reference
   CntConfig cnt;                ///< CNT-Cache configuration
+  /// Fault-injection campaign (default: disabled, zero cost, byte-identical
+  /// results to a fault-free build). Baseline-family arrays protect the
+  /// data line; the CNT array's codeword also covers its direction bits
+  /// when fault.protect_directions is set.
+  FaultConfig fault;
   bool with_cmos = true;
   bool with_static = true;
   bool with_ideal = true;
@@ -55,6 +62,8 @@ struct SimResult {
   TraceStats trace_stats;
   CacheStats cache_stats;
   std::vector<PolicyResult> policies;
+  bool has_fault = false;   ///< a fault campaign ran for this workload
+  FaultStats fault_stats;   ///< campaign tallies (valid when has_fault)
 
   [[nodiscard]] const PolicyResult* find(std::string_view name) const;
   /// Energy of a policy; throws std::out_of_range if absent.

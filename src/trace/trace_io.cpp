@@ -65,6 +65,12 @@ Trace read_text(std::istream& is, std::string name) {
     if (!(ls >> std::hex >> a.addr >> std::dec >> size)) {
       fail("bad addr/size at line " + std::to_string(line_no));
     }
+    // Validate before narrowing to u8: a size like 264 would otherwise
+    // truncate to 8 and pass valid() silently.
+    if (size < 1 || size > 255) {
+      fail("size " + std::to_string(size) + " out of range [1, 255] at line " +
+           std::to_string(line_no));
+    }
     a.size = static_cast<u8>(size);
     if (a.op == MemOp::kWrite) {
       if (!(ls >> std::hex >> a.value)) {

@@ -115,6 +115,25 @@ TEST(Variation, SamplesStayPhysical) {
   }
 }
 
+TEST(Variation, HighSigmaSamplesStayStrictlyPositive) {
+  // At cap_rel_sigma well above anything physical, 1 + sigma*g regularly
+  // goes negative; the sampler must clamp so no capacitance -- and no
+  // derived energy -- ever comes out zero or negative.
+  Rng rng(11);
+  VariationParams var;
+  var.cap_rel_sigma = 1.5;
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = sample_device(CnfetDeviceParams{}, var, rng);
+    EXPECT_GT(p.cgate_per_tube_af, 0.0);
+    EXPECT_GT(p.cparasitic_af, 0.0);
+    const auto e = sample_bit_energies(CnfetDeviceParams{}, var, rng);
+    EXPECT_GT(e.rd0.in_joules(), 0.0);
+    EXPECT_GT(e.rd1.in_joules(), 0.0);
+    EXPECT_GT(e.wr0.in_joules(), 0.0);
+    EXPECT_GT(e.wr1.in_joules(), 0.0);
+  }
+}
+
 TEST(Variation, ZeroSigmaReproducesNominal) {
   Rng rng(8);
   VariationParams var;

@@ -1,0 +1,226 @@
+#include "fault/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "fault/fault_config.hpp"
+
+namespace cnt {
+namespace {
+
+constexpr usize kSets = 64;
+constexpr usize kWays = 4;
+constexpr usize kLineBytes = 64;
+constexpr usize kPartitions = 8;
+
+FaultConfig stuck_config(double per_mbit, ProtectionScheme scheme) {
+  FaultConfig cfg;
+  cfg.stuck_per_mbit = per_mbit;
+  cfg.stuck_at1_fraction = 1.0;  // all stuck-at-1: all-zero data conflicts
+  cfg.transient_per_read = 0.0;
+  cfg.protection = scheme;
+  cfg.seed = 0xFA013;
+  return cfg;
+}
+
+// The acceptance matrix for permanent data faults: fill every line with
+// all-zeros (conflicting with every stuck-at-1 cell), read it back, and
+// check the protection outcome against the per-line defect count.
+TEST(FaultCampaign, SecdedCorrectsEverySingleBitDataFault) {
+  FaultCampaign c(stuck_config(480.0, ProtectionScheme::kSecded), kSets,
+                  kWays, kLineBytes, kPartitions);
+  ASSERT_GT(c.stats().stuck_data_cells, 0u);
+
+  usize singles = 0;
+  for (u32 set = 0; set < kSets; ++set) {
+    for (u32 way = 0; way < kWays; ++way) {
+      std::vector<u8> line(kLineBytes, 0);
+      c.on_fill(set, way, line);
+      const usize stuck = c.stuck_in_line(set, way);
+      const auto rep = c.on_read(set, way, line);
+      EXPECT_EQ(rep.flips, stuck);
+      if (stuck == 1) {
+        ++singles;
+        EXPECT_EQ(rep.corrected, 1u);
+        EXPECT_EQ(rep.detected, 0u);
+        EXPECT_EQ(rep.silent, 0u);
+        // The read-out value was repaired back to the fill image.
+        for (const u8 b : line) EXPECT_EQ(b, 0u);
+        // The cell is still stuck: the next read pays the correction again.
+        const auto again = c.on_read(set, way, line);
+        EXPECT_EQ(again.corrected, 1u);
+      } else if (stuck == 2) {
+        EXPECT_EQ(rep.detected, 1u);  // refetch recovery
+        for (const u8 b : line) EXPECT_EQ(b, 0u);
+      }
+    }
+  }
+  EXPECT_GT(singles, 10u) << "density too low to exercise the single-bit case";
+  EXPECT_GT(c.stats().corrected_bits, 0u);
+}
+
+TEST(FaultCampaign, ParityDetectsButNeverCorrects) {
+  FaultCampaign c(stuck_config(480.0, ProtectionScheme::kParity), kSets,
+                  kWays, kLineBytes, kPartitions);
+  u64 detected = 0;
+  for (u32 set = 0; set < kSets; ++set) {
+    for (u32 way = 0; way < kWays; ++way) {
+      std::vector<u8> line(kLineBytes, 0);
+      c.on_fill(set, way, line);
+      const auto rep = c.on_read(set, way, line);
+      EXPECT_EQ(rep.corrected, 0u);   // parity has no correction capability
+      EXPECT_EQ(rep.silent % 2, 0u);  // only even-weight groups escape
+      detected += rep.detected;
+    }
+  }
+  EXPECT_GT(detected, 0u);
+  EXPECT_EQ(c.stats().corrected_bits, 0u);
+}
+
+TEST(FaultCampaign, UnprotectedStuckFaultsAreSilent) {
+  FaultCampaign c(stuck_config(480.0, ProtectionScheme::kNone), kSets, kWays,
+                  kLineBytes, kPartitions);
+  u64 silent_bits = 0;
+  for (u32 set = 0; set < kSets; ++set) {
+    for (u32 way = 0; way < kWays; ++way) {
+      std::vector<u8> line(kLineBytes, 0);
+      c.on_fill(set, way, line);
+      const auto rep = c.on_read(set, way, line);
+      EXPECT_EQ(rep.corrected, 0u);
+      EXPECT_EQ(rep.detected, 0u);
+      EXPECT_EQ(rep.silent, rep.flips);
+      silent_bits += rep.silent;
+      // Silent corruption really is served: stuck-at-1 bits read as 1.
+      usize ones = 0;
+      for (const u8 b : line) ones += static_cast<usize>(std::popcount(b));
+      EXPECT_EQ(ones, c.stuck_in_line(set, way));
+    }
+  }
+  EXPECT_GT(silent_bits, 0u);
+  EXPECT_EQ(c.stats().silent_bits, silent_bits);
+}
+
+TEST(FaultCampaign, TransientReadsFollowSecdedClassification) {
+  FaultConfig cfg;
+  cfg.transient_per_read = 0.005;
+  cfg.protection = ProtectionScheme::kSecded;
+  cfg.seed = 77;
+  FaultCampaign c(cfg, kSets, kWays, kLineBytes, kPartitions);
+
+  u64 flips = 0;
+  for (int pass = 0; pass < 20; ++pass) {
+    for (u32 set = 0; set < kSets; ++set) {
+      std::vector<u8> line(kLineBytes, 0);
+      c.on_fill(set, 0, line);
+      const auto rep = c.on_read(set, 0, line);
+      flips += rep.flips;
+      if (rep.flips == 1) {
+        EXPECT_EQ(rep.corrected, 1u);
+      } else if (rep.flips == 2) {
+        EXPECT_EQ(rep.detected, 1u);
+      } else if (rep.flips >= 3) {
+        EXPECT_EQ(rep.silent, rep.flips);
+      }
+    }
+  }
+  EXPECT_GT(flips, 0u);
+  EXPECT_EQ(c.stats().transient_data_flips, flips);
+}
+
+TEST(FaultCampaign, SecdedCorrectsEverySingleDirectionBitFault) {
+  // High density so the small direction-bit array (sets*ways*K cells)
+  // receives defects at all.
+  FaultCampaign c(stuck_config(20000.0, ProtectionScheme::kSecded), kSets,
+                  kWays, kLineBytes, kPartitions);
+  ASSERT_GT(c.stats().stuck_dir_cells, 0u);
+
+  usize singles = 0;
+  for (u32 set = 0; set < kSets; ++set) {
+    for (u32 way = 0; way < kWays; ++way) {
+      const auto [mask, values] = c.stuck_directions(set, way);
+      if (std::popcount(mask) != 1) continue;
+      ++singles;
+      // Write the opposite of the stuck value so the cell really diverges.
+      c.write_directions(set, way, 0);  // stuck-at-1 cells flip to 1
+      const auto dr = c.read_directions(set, way);
+      EXPECT_EQ(dr.report.flips, 1u);
+      EXPECT_EQ(dr.report.corrected, 1u);
+      EXPECT_EQ(dr.effective, 0u) << "decoder must see the written mask";
+      // Still stuck: the next read corrects it again.
+      const auto again = c.read_directions(set, way);
+      EXPECT_EQ(again.report.corrected, 1u);
+      EXPECT_EQ(again.effective, 0u);
+    }
+  }
+  EXPECT_GT(singles, 0u);
+  EXPECT_EQ(c.stats().dir_silent_bits, 0u);
+}
+
+TEST(FaultCampaign, ParityDetectsEveryDirectionBitFault) {
+  FaultCampaign c(stuck_config(20000.0, ProtectionScheme::kParity), kSets,
+                  kWays, kLineBytes, kPartitions);
+  for (u32 set = 0; set < kSets; ++set) {
+    for (u32 way = 0; way < kWays; ++way) {
+      const auto [mask, values] = c.stuck_directions(set, way);
+      if (mask == 0) continue;
+      c.write_directions(set, way, ~values & mask);
+      const auto dr = c.read_directions(set, way);
+      // Each flipped direction bit makes its partition group odd: always
+      // detected, never corrected, never silent.
+      EXPECT_EQ(dr.report.detected, dr.report.flips);
+      EXPECT_EQ(dr.report.corrected, 0u);
+      EXPECT_EQ(dr.report.silent, 0u);
+      EXPECT_EQ(dr.effective, ~values & mask);
+    }
+  }
+  EXPECT_EQ(c.stats().dir_silent_bits, 0u);
+}
+
+TEST(FaultCampaign, UnprotectedDirectionFaultDecodesFlippedMask) {
+  FaultCampaign c(stuck_config(20000.0, ProtectionScheme::kNone), kSets,
+                  kWays, kLineBytes, kPartitions);
+  u64 silent = 0;
+  for (u32 set = 0; set < kSets; ++set) {
+    for (u32 way = 0; way < kWays; ++way) {
+      const auto [mask, values] = c.stuck_directions(set, way);
+      if (mask == 0) continue;
+      c.write_directions(set, way, 0);
+      const auto dr = c.read_directions(set, way);
+      // The decoder runs with the corrupted mask: whole partitions invert.
+      EXPECT_EQ(dr.effective, values);
+      EXPECT_EQ(dr.report.silent, dr.report.flips);
+      silent += dr.report.silent;
+    }
+  }
+  EXPECT_GT(silent, 0u);
+  EXPECT_EQ(c.stats().dir_silent_bits, silent);
+}
+
+TEST(FaultCampaign, DeterministicForSeed) {
+  const FaultConfig cfg = [] {
+    FaultConfig f;
+    f.stuck_per_mbit = 200.0;
+    f.transient_per_read = 0.002;
+    f.protection = ProtectionScheme::kSecded;
+    f.seed = 1234;
+    return f;
+  }();
+  FaultCampaign a(cfg, kSets, kWays, kLineBytes, kPartitions);
+  FaultCampaign b(cfg, kSets, kWays, kLineBytes, kPartitions);
+  for (u32 set = 0; set < kSets; ++set) {
+    std::vector<u8> la(kLineBytes, 0xA5), lb(kLineBytes, 0xA5);
+    a.on_fill(set, 1, la);
+    b.on_fill(set, 1, lb);
+    const auto ra = a.on_read(set, 1, la);
+    const auto rb = b.on_read(set, 1, lb);
+    EXPECT_EQ(ra.flips, rb.flips);
+    EXPECT_EQ(la, lb);
+  }
+  EXPECT_EQ(a.stats().transient_data_flips, b.stats().transient_data_flips);
+  EXPECT_EQ(a.stats().silent_bits, b.stats().silent_bits);
+}
+
+}  // namespace
+}  // namespace cnt

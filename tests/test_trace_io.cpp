@@ -80,6 +80,22 @@ TEST(TraceIo, TextRejectsMisalignedAccess) {
   EXPECT_THROW((void)read_text(ss), std::runtime_error);
 }
 
+TEST(TraceIo, TextRejectsOutOfRangeSize) {
+  // A size of 300 used to narrow to u8 (300 & 0xFF = 44) before
+  // validation, and 264 would even alias to a perfectly valid 8 and load
+  // silently. Both must fail, and the error must name the line.
+  for (const char* bad : {"R 40 300", "R 40 264", "R 40 0"}) {
+    std::stringstream ss(std::string(bad) + "\n");
+    try {
+      (void)read_text(ss);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(TraceIo, BinaryRejectsBadMagic) {
   std::stringstream ss("NOTMAGIC........");
   EXPECT_THROW((void)read_binary(ss), std::runtime_error);
