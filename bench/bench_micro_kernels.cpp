@@ -24,7 +24,7 @@ using namespace cnt;
 std::vector<u8> random_line(u64 seed, usize bytes = 64) {
   Rng rng(seed);
   std::vector<u8> line(bytes);
-  for (auto& b : line) b = static_cast<u8>(rng.next());
+  for (auto& b : line) b = rng.next_byte();
   return line;
 }
 

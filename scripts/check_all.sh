@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# One-stop local quality gate: documentation drift, cnt-lint static
+# analysis, and the results regression check, in that order.
+#
+#   scripts/check_all.sh [build_dir] [results.json]
+#
+# build_dir defaults to `build` and must contain the compiled tree
+# (tools/cnt-lint/cnt-lint and examples/cnt_sim). When no results.json
+# is given, a smoke run of cnt_sim against a generated minimal config
+# feeds check_regression.py instead.
+#
+# Every missing prerequisite is a loud exit-2 failure -- this script
+# never skips a leg silently.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+build_dir=${1:-build}
+results_json=${2:-}
+fail=0
+
+say() { echo "check_all: $1"; }
+die() {
+  echo "check_all: $1" >&2
+  exit 2
+}
+
+[ -d "$build_dir" ] || die "build directory not found: $build_dir (run: cmake --preset default && cmake --build --preset default)"
+
+# --- leg 1: documentation drift -------------------------------------------
+say "[1/3] scripts/check_docs.sh"
+scripts/check_docs.sh || fail=1
+
+# --- leg 2: cnt-lint over the whole tree ----------------------------------
+lint_bin="$build_dir/tools/cnt-lint/cnt-lint"
+[ -x "$lint_bin" ] || die "cnt-lint binary not found: $lint_bin (build the default preset first)"
+say "[2/3] cnt-lint src bench examples tests tools"
+"$lint_bin" src bench examples tests tools --exclude=tests/lint/fixtures || fail=1
+
+# --- leg 3: results regression gate ---------------------------------------
+say "[3/3] scripts/check_regression.py"
+if [ -n "$results_json" ]; then
+  [ -e "$results_json" ] || die "results file not found: $results_json"
+  python3 scripts/check_regression.py "$results_json" || fail=1
+else
+  sim_bin="$build_dir/examples/cnt_sim"
+  [ -x "$sim_bin" ] || die "cnt_sim binary not found: $sim_bin (build the default preset first)"
+  tmpdir=$(mktemp -d) || die "mktemp failed"
+  trap 'rm -rf "$tmpdir"' EXIT
+  cat >"$tmpdir/smoke.ini" <<EOF
+[workload]
+name = zipf_kv
+scale = 0.1
+[output]
+json = $tmpdir/smoke.json
+EOF
+  say "smoke run: cnt_sim (zipf_kv, scale 0.1)"
+  "$sim_bin" "$tmpdir/smoke.ini" >/dev/null || die "cnt_sim smoke run failed"
+  python3 scripts/check_regression.py "$tmpdir/smoke.json" || fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_all: FAILED" >&2
+  exit 1
+fi
+say "OK (docs, lint, regression all green)"

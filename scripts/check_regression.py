@@ -7,7 +7,10 @@ Usage:
 
 Checks the invariants a healthy run must satisfy (finite positive
 energies, savings within sane bounds, baseline policy present) and,
-optionally, a minimum CNT-Cache saving. Exit code 0 = pass.
+optionally, a minimum CNT-Cache saving.
+
+Exit codes: 0 = pass, 1 = invariant violated, 2 = prerequisite missing
+(file absent/unreadable, malformed JSON, missing schema tag).
 """
 
 import argparse
@@ -59,14 +62,37 @@ def main():
                     help="fail if any workload's cnt_cache saving is below")
     args = ap.parse_args()
 
-    with open(args.json_file) as fh:
-        doc = json.load(fh)
+    # Prerequisite problems exit 2 loudly instead of tracebacking (or,
+    # worse, passing vacuously on an empty/absent input).
+    try:
+        with open(args.json_file) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        fail(f"cannot read {args.json_file}: {exc}")
+        return 2
+    except json.JSONDecodeError as exc:
+        fail(f"malformed JSON in {args.json_file}: {exc}")
+        return 2
+    if not isinstance(doc, dict):
+        fail(f"{args.json_file}: top-level JSON value is not an object")
+        return 2
 
-    results = doc.get("results", [doc] if "workload" in doc else [])
+    # stats_dump stamps multi-result files with a schema tag; a
+    # single-result dump is recognised by its top-level "workload" key.
+    # Anything else is not a results file at all -- refuse it rather
+    # than defaulting the schema to the happy path.
+    if "workload" in doc:
+        results = [doc]
+    elif "schema" not in doc:
+        fail(f"{args.json_file}: missing schema tag "
+             "(expected cnt-cache-results-v1)")
+        return 2
+    elif doc["schema"] != "cnt-cache-results-v1":
+        return fail(f"unknown schema {doc['schema']}")
+    else:
+        results = doc.get("results", [])
     if not results:
         return fail("no results found in the JSON document")
-    if doc.get("schema", "cnt-cache-results-v1") != "cnt-cache-results-v1":
-        return fail(f"unknown schema {doc.get('schema')}")
 
     rc = 0
     for r in results:

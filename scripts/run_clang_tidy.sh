@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# clang-tidy leg of the static-analysis wall (ctest name: clang_tidy,
+# label: lint). Runs the curated .clang-tidy checks over src/ using the
+# compile_commands.json of the given build dir. Degrades to a ctest SKIP
+# (exit 77) when clang-tidy is not installed, so `ctest -L lint` stays
+# green on toolchains without it.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+build_dir=${1:-build}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found -- SKIP"
+  exit 77
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing" \
+       "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 1
+fi
+
+fail=0
+# Translation units only; headers are covered through their includers via
+# the HeaderFilterRegex in .clang-tidy.
+while IFS= read -r tu; do
+  echo "tidy: $tu"
+  clang-tidy --quiet -p "$build_dir" "$tu" || fail=1
+done < <(find src tools -name '*.cpp' | sort)
+
+if [ "$fail" -ne 0 ]; then
+  echo "run_clang_tidy: FAILED" >&2
+  exit 1
+fi
+echo "run_clang_tidy: OK"

@@ -31,7 +31,7 @@ class LruPolicy final : public ReplacementPolicy {
     return best;
   }
 
-  const char* name() const noexcept override { return "LRU"; }
+  [[nodiscard]] const char* name() const noexcept override { return "LRU"; }
 
  private:
   [[nodiscard]] usize idx(u32 set, u32 way) const noexcept {
@@ -63,7 +63,7 @@ class FifoPolicy final : public ReplacementPolicy {
     return best;
   }
 
-  const char* name() const noexcept override { return "FIFO"; }
+  [[nodiscard]] const char* name() const noexcept override { return "FIFO"; }
 
  private:
   [[nodiscard]] usize idx(u32 set, u32 way) const noexcept {
@@ -81,7 +81,7 @@ class RandomPolicy final : public ReplacementPolicy {
   void on_access(u32, u32) override {}
   void on_fill(u32, u32) override {}
   u32 victim(u32) override { return static_cast<u32>(rng_.uniform(ways_)); }
-  const char* name() const noexcept override { return "random"; }
+  [[nodiscard]] const char* name() const noexcept override { return "random"; }
 
  private:
   usize ways_;
@@ -114,7 +114,7 @@ class TreePlruPolicy final : public ReplacementPolicy {
     return way;
   }
 
-  const char* name() const noexcept override { return "tree-PLRU"; }
+  [[nodiscard]] const char* name() const noexcept override { return "tree-PLRU"; }
 
  private:
   void touch(u32 set, u32 way) {

@@ -180,6 +180,7 @@ class EnergyPolicyBase : public AccessSink {
   /// victim (sectored writebacks narrow the mask; otherwise it covers the
   /// whole line). Returns the number of dirty words visited.
   template <typename Fn>
+  // cnt-lint: nodiscard-ok -- the visited count is auxiliary telemetry
   usize for_each_dirty_word(const AccessEvent& ev, Fn&& fn) const {
     const usize words = array_.geometry().line_bytes / 8;
     usize visited = 0;

@@ -58,12 +58,14 @@ class Predictor {
   /// boundary, evaluates every partition's stored image and returns the
   /// decision; the caller applies direction changes via its deferred-update
   /// queue. Counters are reset at the boundary per Algorithm 1.
-  PredictorDecision on_access(HistoryCounters& hist, u64 directions,
+  [[nodiscard]] PredictorDecision on_access(HistoryCounters& hist,
+                                            u64 directions,
                               bool is_write,
                               std::span<const u8> logical) const;
 
   /// Convenience overload for per-line history (the paper's design).
-  PredictorDecision on_access(LineState& state, bool is_write,
+  [[nodiscard]] PredictorDecision on_access(LineState& state,
+                                            bool is_write,
                               std::span<const u8> logical) const {
     return on_access(state.hist, state.directions, is_write, logical);
   }

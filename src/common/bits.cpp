@@ -11,7 +11,7 @@ namespace {
 constexpr u8 byte_mask(usize lo, usize hi) noexcept {
   const u32 width = static_cast<u32>(hi - lo);
   const u32 base = width >= 8 ? 0xFFu : ((1u << width) - 1u);
-  return static_cast<u8>(base << lo);
+  return static_cast<u8>((base << lo) & 0xFFu);
 }
 
 }  // namespace

@@ -19,7 +19,10 @@ std::string trim(const std::string& s) {
 
 std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+                 [](unsigned char c) {
+                   // cnt-lint: narrow-ok -- tolower(uchar) fits in char
+                   return static_cast<char>(std::tolower(c));
+                 });
   return s;
 }
 

@@ -27,6 +27,13 @@ class Rng {
   /// Next raw 64-bit value.
   [[nodiscard]] u64 next() noexcept;
 
+  /// Low byte of the next raw value: one draw, uniform in [0, 255].
+  /// The idiomatic way to fill byte buffers (replaces ad-hoc
+  /// `static_cast<u8>(next())` truncation at call sites).
+  [[nodiscard]] u8 next_byte() noexcept {
+    return static_cast<u8>(next() & 0xffU);
+  }
+
   /// Uniform in [0, bound). Precondition: bound > 0.
   [[nodiscard]] u64 uniform(u64 bound) noexcept;
 

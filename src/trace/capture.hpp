@@ -143,7 +143,7 @@ class TraceCapture {
   template <detail::CapturableScalar T>
   void store(u64 addr, T value) {
     const u64 word = detail::to_word(value);
-    workload_.trace.push(
+    workload_.trace.push(  // cnt-lint: narrow-ok -- sizeof scalar <= 8
         MemAccess::write(addr, word, static_cast<u8>(sizeof(T))));
     write_image(addr, sizeof(T), reinterpret_cast<const u8*>(&word));
   }

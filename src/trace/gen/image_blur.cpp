@@ -33,7 +33,7 @@ Workload image_blur(const ImageBlurParams& p) {
           w.trace.push(MemAccess::read(at(img, r + dr - 1, c + dc - 1), 1));
         }
       }
-      const u8 px = static_cast<u8>(pixels.sample(rng));
+      const u8 px = static_cast<u8>(pixels.sample(rng) & 0xffU);
       w.trace.push(MemAccess::write(at(out, r, c), px, 1));
     }
   }

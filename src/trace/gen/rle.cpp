@@ -19,10 +19,10 @@ Workload rle_compress(const RleParams& p) {
   MemorySegment seg;
   seg.base = input;
   seg.bytes.resize(p.input_bytes);
-  u8 current = static_cast<u8>(rng.next());
+  u8 current = rng.next_byte();
   for (auto& b : seg.bytes) {
     if (!rng.chance(p.run_continue_prob)) {
-      current = static_cast<u8>(rng.next());
+      current = rng.next_byte();
     }
     b = current;
   }

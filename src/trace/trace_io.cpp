@@ -93,8 +93,8 @@ void write_binary(const Trace& trace, std::ostream& os) {
     std::array<char, 18> rec;
     std::memcpy(rec.data(), &a.addr, 8);
     std::memcpy(rec.data() + 8, &a.value, 8);
-    rec[16] = static_cast<char>(a.size);
-    rec[17] = static_cast<char>(a.op);
+    rec[16] = static_cast<char>(a.size);  // cnt-lint: narrow-ok 8-bit field
+    rec[17] = static_cast<char>(a.op);    // cnt-lint: narrow-ok 8-bit field
     os.write(rec.data(), rec.size());
   }
 }
@@ -117,7 +117,7 @@ Trace read_binary(std::istream& is, std::string name) {
     MemAccess a;
     std::memcpy(&a.addr, rec.data(), 8);
     std::memcpy(&a.value, rec.data() + 8, 8);
-    a.size = static_cast<u8>(rec[16]);
+    a.size = static_cast<u8>(rec[16]);  // cnt-lint: narrow-ok same width
     const auto op_raw = static_cast<u8>(rec[17]);
     if (op_raw > static_cast<u8>(MemOp::kIFetch)) {
       fail("bad op in record " + std::to_string(i));

@@ -1,0 +1,18 @@
+// cnt-lint fixture: rule R1 (nondeterminism primitives).
+// Exactly ONE unsuppressed violation plus one suppressed twin; consumed
+// by tests/lint/test_lint_rules.cpp. NOT part of the main build.
+#include <cstdlib>
+
+int entropy() {
+  return rand();  // <- the one R1 violation
+}
+
+int whitelisted_telemetry() {
+  return rand();  // cnt-lint: nondet-ok -- suppressed twin
+}
+
+// Near-misses that must NOT trigger:
+// a comment mentioning rand() and std::chrono::system_clock is fine;
+const char* kMessage = "strings naming rand() or time(0) are fine";
+int time_budget_ms = 7;  // identifier merely containing 'time'
+int runtime(int x) { return x; }  // 'runtime' is not 'time'

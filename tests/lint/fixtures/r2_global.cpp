@@ -1,0 +1,17 @@
+// cnt-lint fixture: rule R2 (mutable static/global state).
+// Exactly ONE unsuppressed violation plus one suppressed twin.
+// NOT part of the main build.
+
+static int g_hit_counter = 0;  // <- the one R2 violation
+
+// cnt-lint: global-ok -- suppressed twin (registry guarded elsewhere)
+static int g_registry_size = 0;
+
+// Must NOT trigger:
+static const int kLimit = 8;
+static constexpr double kScale = 1.5;
+inline constexpr int kInlineConst = 2;
+static int pure_function() { return kLimit; }
+static void also_a_function();
+
+int consume() { return g_hit_counter + g_registry_size + pure_function(); }

@@ -1,0 +1,29 @@
+// cnt-lint fixture: rule R3 ([[nodiscard]] on const accessors).
+// Exactly ONE unsuppressed violation plus one suppressed twin.
+// NOT part of the main build.
+#pragma once
+
+class LedgerLike {
+ public:
+  double total() const noexcept { return joules_; }  // <- the one R3 violation
+
+  // cnt-lint: nodiscard-ok -- suppressed twin (auxiliary count)
+  double auxiliary() const noexcept { return joules_; }
+
+  // Must NOT trigger:
+  [[nodiscard]] double annotated() const noexcept { return joules_; }
+  void validate() const {}                       // void result
+  bool operator==(const LedgerLike& o) const {   // operators exempt
+    return joules_ == o.joules_;
+  }
+
+ private:
+  double joules_ = 0.0;
+};
+
+// Out-of-class definitions never need the attribute repeated:
+class Decl {
+ public:
+  [[nodiscard]] double value() const;
+};
+inline double Decl::value() const { return 1.0; }

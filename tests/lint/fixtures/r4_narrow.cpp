@@ -1,0 +1,27 @@
+// cnt-lint fixture: rule R4 (narrowing casts without a range guard).
+// Exactly ONE unsuppressed violation plus one suppressed twin.
+// Layout note: the suppressed twin sits FIRST so no guard token from a
+// later function leaks into its 6-line lookback window.
+// NOT part of the main build.
+using u8 = unsigned char;
+
+u8 annotated(unsigned long long v) {
+  return static_cast<u8>(v);  // cnt-lint: narrow-ok -- suppressed twin
+}
+
+u8 truncate(unsigned long long v) {
+  return static_cast<u8>(v);  // <- the one R4 violation
+}
+
+u8 masked(unsigned long long v) {
+  return static_cast<u8>(v & 0xff);  // mask guard: not flagged
+}
+
+u8 literal() {
+  return static_cast<u8>(42);  // literal argument: not flagged
+}
+
+u8 range_checked(unsigned long long v) {
+  if (v > 255) v = 255;
+  return static_cast<u8>(v);  // branch guard within window: not flagged
+}

@@ -1,0 +1,32 @@
+// cnt-lint fixture: rule R5 (unordered-container iteration feeding
+// output). Exactly ONE unsuppressed violation plus one suppressed twin.
+// NOT part of the main build.
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+void dump_stats(const std::unordered_map<int, long>& stats_by_set) {
+  for (const auto& kv : stats_by_set) {  // <- the one R5 violation
+    std::printf("%d,%ld\n", kv.first, kv.second);
+  }
+}
+
+void dump_unsorted(const std::unordered_map<int, long>& histogram) {
+  // cnt-lint: unordered-ok -- suppressed twin (rows sorted downstream)
+  for (const auto& kv : histogram) {
+    std::printf("%d,%ld\n", kv.first, kv.second);
+  }
+}
+
+// Must NOT trigger:
+long accumulate(const std::unordered_map<int, long>& counts) {
+  long sum = 0;
+  for (const auto& kv : counts) sum += kv.second;  // commutative, no output
+  return sum;
+}
+
+void ordered_is_fine(const std::map<int, long>& ordered) {
+  for (const auto& kv : ordered) {
+    std::printf("%d,%ld\n", kv.first, kv.second);
+  }
+}

@@ -33,7 +33,7 @@ TEST(Bits, PopcountCrossesWordBoundary) {
 TEST(Bits, PopcountRangeMatchesNaive) {
   Rng rng(42);
   std::array<u8, 16> buf{};
-  for (auto& b : buf) b = static_cast<u8>(rng.next());
+  for (auto& b : buf) b = rng.next_byte();
   for (usize lo = 0; lo <= 128; lo += 7) {
     for (usize hi = lo; hi <= 128; hi += 11) {
       usize naive = 0;
@@ -47,11 +47,11 @@ TEST(Bits, PopcountRangeMatchesNaive) {
 TEST(Bits, InvertIsInvolutive) {
   Rng rng(7);
   std::array<u8, 32> buf{};
-  for (auto& b : buf) b = static_cast<u8>(rng.next());
+  for (auto& b : buf) b = rng.next_byte();
   const auto orig = buf;
   invert(buf);
   for (usize i = 0; i < buf.size(); ++i) {
-    EXPECT_EQ(buf[i], static_cast<u8>(~orig[i]));
+    EXPECT_EQ(buf[i], static_cast<u8>(~orig[i] & 0xff));
   }
   invert(buf);
   EXPECT_EQ(buf, orig);
@@ -142,7 +142,7 @@ class BitsRangeProperty : public ::testing::TestWithParam<usize> {};
 TEST_P(BitsRangeProperty, FullRangeEqualsPopcount) {
   Rng rng(GetParam());
   std::vector<u8> buf(GetParam() % 67 + 1);
-  for (auto& b : buf) b = static_cast<u8>(rng.next());
+  for (auto& b : buf) b = rng.next_byte();
   EXPECT_EQ(popcount_range(buf, 0, buf.size() * 8), popcount(buf));
 }
 

@@ -44,6 +44,7 @@ TEST_P(CacheGolden, MatchesFlatMemory) {
   constexpr u64 kAddrSpace = 16 * 1024;  // 8x the cache: heavy conflict
 
   for (int i = 0; i < 20000; ++i) {
+    // cnt-lint: narrow-ok -- 1 << k with k < 4
     const u8 size = static_cast<u8>(1u << rng.uniform(4));
     const u64 addr = rng.uniform(kAddrSpace / size) * size;
     if (rng.chance(0.45)) {

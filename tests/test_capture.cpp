@@ -58,7 +58,9 @@ TEST(Capture, SmallScalarTypes) {
   auto shorts = tc.array<u16>(0x6000, 4);
   bytes[2] = 0xAB;
   shorts[1] = 0xBEEF;
+  // cnt-lint: narrow-ok -- explicit proxy loads of u8/u16 elements
   EXPECT_EQ(static_cast<u8>(bytes[2]), 0xAB);
+  // cnt-lint: narrow-ok
   EXPECT_EQ(static_cast<u16>(shorts[1]), 0xBEEF);
   const Workload w = tc.take();
   EXPECT_EQ(w.trace[0].size, 1u);

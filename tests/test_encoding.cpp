@@ -12,7 +12,7 @@ namespace {
 
 std::vector<u8> random_line(Rng& rng, usize bytes = 64) {
   std::vector<u8> line(bytes);
-  for (auto& b : line) b = static_cast<u8>(rng.next());
+  for (auto& b : line) b = rng.next_byte();
   return line;
 }
 

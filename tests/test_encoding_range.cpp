@@ -17,7 +17,7 @@ TEST_P(StoredOnesRange, MatchesMaterializedEncoding) {
   Rng rng(k * 977 + 5);
   const PartitionScheme ps(64, k);
   std::vector<u8> line(64);
-  for (auto& b : line) b = static_cast<u8>(rng.next());
+  for (auto& b : line) b = rng.next_byte();
   const u64 dirs = rng.next() & (k == 64 ? ~0ULL : (1ULL << k) - 1);
   const auto enc = encode_line(ps, line, dirs);
 
@@ -43,7 +43,7 @@ TEST(StoredOnesRangeEdge, FullRangeEqualsStoredOnes) {
   Rng rng(3);
   const PartitionScheme ps(64, 8);
   std::vector<u8> line(64);
-  for (auto& b : line) b = static_cast<u8>(rng.next());
+  for (auto& b : line) b = rng.next_byte();
   for (const u64 dirs : {0ULL, 0xFFULL, 0xA5ULL}) {
     EXPECT_EQ(stored_ones_range(ps, line, dirs, 0, 512),
               stored_ones(ps, line, dirs));

@@ -91,6 +91,7 @@ TEST(Events, ContractHoldsUnderRandomTraffic) {
 
   Rng rng(123);
   for (int i = 0; i < 10000; ++i) {
+    // cnt-lint: narrow-ok -- 1 << k with k < 4
     const u8 size = static_cast<u8>(1u << rng.uniform(4));
     const u64 addr = rng.uniform(8192 / size) * size;
     if (rng.chance(0.4)) {

@@ -12,7 +12,7 @@ namespace {
 
 std::vector<u8> random_line(Rng& rng, usize bytes) {
   std::vector<u8> line(bytes);
-  for (auto& b : line) b = static_cast<u8>(rng.uniform(256));
+  for (auto& b : line) b = static_cast<u8>(rng.uniform(256) & 0xffU);
   return line;
 }
 

@@ -25,6 +25,7 @@ class SuiteIntegration : public ::testing::Test {
     delete results_;
     results_ = nullptr;
   }
+  // cnt-lint: global-ok -- per-suite fixture, written once in SetUp
   static std::vector<SimResult>* results_;
 };
 

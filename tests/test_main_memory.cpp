@@ -20,7 +20,7 @@ TEST(MainMemory, LineRoundTrip) {
   MainMemory mem;
   std::array<u8, 64> out{};
   std::array<u8, 64> in{};
-  for (usize i = 0; i < in.size(); ++i) in[i] = static_cast<u8>(i * 3);
+  for (usize i = 0; i < in.size(); ++i) in[i] = static_cast<u8>((i * 3) & 0xffU);
   mem.write_line(0x2000, in);
   mem.read_line(0x2000, out);
   EXPECT_EQ(in, out);
@@ -29,7 +29,7 @@ TEST(MainMemory, LineRoundTrip) {
 TEST(MainMemory, LinesAtPageEdges) {
   MainMemory mem;
   std::array<u8, 128> in{};
-  for (usize i = 0; i < in.size(); ++i) in[i] = static_cast<u8>(i + 1);
+  for (usize i = 0; i < in.size(); ++i) in[i] = static_cast<u8>((i + 1) & 0xffU);
   // Last aligned 128 B line of page 0 and first line of page 1.
   mem.write_line(4096 - 128, in);
   mem.write_line(4096, in);

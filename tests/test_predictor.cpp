@@ -139,7 +139,7 @@ TEST(Predictor, DeterministicAcrossIdenticalRuns) {
   const auto p = make_predictor(15, 8);
   Rng rng(5);
   std::vector<u8> line(64);
-  for (auto& b : line) b = static_cast<u8>(rng.next());
+  for (auto& b : line) b = rng.next_byte();
 
   LineState a, b2;
   for (int i = 0; i < 45; ++i) {

@@ -29,7 +29,7 @@ TEST(SramCell, WriteEnergyCountsFormula) {
 TEST(SramCell, BufferFormsMatchCountForms) {
   Rng rng(31);
   std::vector<u8> buf(64);
-  for (auto& b : buf) b = static_cast<u8>(rng.next());
+  for (auto& b : buf) b = rng.next_byte();
   const usize ones = popcount(buf);
   EXPECT_DOUBLE_EQ(read_energy(kCell, buf).in_joules(),
                    read_energy_counts(kCell, 512, ones).in_joules());
@@ -50,7 +50,7 @@ TEST(SramCell, ReadPlusInvertedReadIsConstant) {
   // E(N1) + E(L-N1) depends only on L -- a useful invariant of the model.
   Rng rng(5);
   std::vector<u8> buf(32);
-  for (auto& b : buf) b = static_cast<u8>(rng.next());
+  for (auto& b : buf) b = rng.next_byte();
   const auto inv = inverted(buf);
   const Energy sum = read_energy(kCell, buf) + read_energy(kCell, inv);
   const Energy expect = 256.0 * (kCell.rd0 + kCell.rd1);
@@ -79,8 +79,8 @@ TEST(SramCell, FlipAwareNeverExceedsFullModel) {
   Rng rng(77);
   for (int iter = 0; iter < 50; ++iter) {
     std::vector<u8> a(16), b(16);
-    for (auto& x : a) x = static_cast<u8>(rng.next());
-    for (auto& x : b) x = static_cast<u8>(rng.next());
+    for (auto& x : a) x = rng.next_byte();
+    for (auto& x : b) x = rng.next_byte();
     EXPECT_LE(write_energy_flip_aware(kCell, a, b).in_joules(),
               write_energy(kCell, b).in_joules() + 1e-30);
   }

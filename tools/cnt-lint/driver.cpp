@@ -1,0 +1,159 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace cnt::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[nodiscard]] bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.empty() || name[0] == '.' || name.rfind("build", 0) == 0;
+}
+
+[[nodiscard]] bool excluded(const std::string& path,
+                            const std::vector<std::string>& excludes) {
+  for (const auto& e : excludes) {
+    if (!e.empty() && path.find(e) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void lint_one(const std::string& path, const LintOptions& opts,
+              LintReport& report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    report.errors.push_back("cannot read " + path);
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const SourceFile file = lex_file(path, buf.str());
+  run_rules(file, opts.rules, report.findings);
+  ++report.files_scanned;
+}
+
+void json_escape(std::string_view s, std::ostream& os) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* kHex = "0123456789abcdef";
+          os << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool lintable_file(const std::string& path) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = path.substr(dot);
+  for (const char* e : {".hpp", ".cpp", ".h", ".cc", ".cxx", ".hh", ".ipp"}) {
+    if (ext == e) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> lint_buffer(std::string path, std::string_view content,
+                                 const std::vector<std::string>& rules) {
+  const SourceFile file = lex_file(std::move(path), content);
+  std::vector<Finding> out;
+  run_rules(file, rules, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LintReport run_lint(const LintOptions& opts) {
+  LintReport report;
+  for (const auto& root : opts.paths) {
+    std::error_code ec;
+    const fs::file_status st = fs::status(root, ec);
+    if (ec || st.type() == fs::file_type::not_found) {
+      report.errors.push_back("no such path: " + root);
+      continue;
+    }
+    if (fs::is_regular_file(st)) {
+      if (!excluded(root, opts.excludes)) lint_one(root, opts, report);
+      continue;
+    }
+    fs::recursive_directory_iterator it(
+        root, fs::directory_options::skip_permission_denied, ec);
+    if (ec) {
+      report.errors.push_back("cannot walk " + root + ": " + ec.message());
+      continue;
+    }
+    for (const auto end = fs::recursive_directory_iterator(); it != end;
+         it.increment(ec)) {
+      if (ec) {
+        report.errors.push_back("walk error under " + root + ": " +
+                                ec.message());
+        break;
+      }
+      const fs::path& p = it->path();
+      if (it->is_directory()) {
+        if (skip_dir(p) || excluded(p.string(), opts.excludes)) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string s = p.string();
+      if (!lintable_file(s) || excluded(s, opts.excludes)) continue;
+      lint_one(s, opts, report);
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end());
+  return report;
+}
+
+void write_text(const LintReport& report, std::ostream& os) {
+  for (const auto& f : report.findings) {
+    os << f.path << ":" << f.line << ": " << f.rule << ": " << f.message
+       << "\n";
+  }
+  for (const auto& e : report.errors) {
+    os << "cnt-lint: error: " << e << "\n";
+  }
+  os << "cnt-lint: " << report.findings.size() << " finding(s) in "
+     << report.files_scanned << " file(s)\n";
+}
+
+void write_json(const LintReport& report, std::ostream& os) {
+  os << "{\"schema\":\"cnt-lint-v1\",\"files_scanned\":" << report.files_scanned
+     << ",\"count\":" << report.findings.size() << ",\"findings\":[";
+  bool first = true;
+  for (const auto& f : report.findings) {
+    os << (first ? "" : ",") << "{\"file\":\"";
+    json_escape(f.path, os);
+    os << "\",\"line\":" << f.line << ",\"rule\":\"" << f.rule
+       << "\",\"name\":\"" << f.name << "\",\"message\":\"";
+    json_escape(f.message, os);
+    os << "\"}";
+    first = false;
+  }
+  os << "],\"errors\":[";
+  first = true;
+  for (const auto& e : report.errors) {
+    os << (first ? "" : ",") << "\"";
+    json_escape(e, os);
+    os << "\"";
+    first = false;
+  }
+  os << "]}\n";
+}
+
+}  // namespace cnt::lint

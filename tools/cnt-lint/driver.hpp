@@ -1,0 +1,43 @@
+// cnt-lint driver: file discovery, rule execution, report formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace cnt::lint {
+
+struct LintOptions {
+  std::vector<std::string> paths;     ///< files or directories to scan
+  std::vector<std::string> excludes;  ///< skip paths containing any substring
+  std::vector<std::string> rules;     ///< enabled rule ids; empty = all
+};
+
+struct LintReport {
+  std::vector<Finding> findings;  ///< sorted by (path, line, rule)
+  std::size_t files_scanned = 0;
+  std::vector<std::string> errors;  ///< unreadable paths etc.
+};
+
+/// True for the extensions cnt-lint understands (.hpp/.cpp/.h/.cc/...).
+[[nodiscard]] bool lintable_file(const std::string& path);
+
+/// Lint one in-memory buffer (tests use this to avoid disk fixtures).
+[[nodiscard]] std::vector<Finding> lint_buffer(
+    std::string path, std::string_view content,
+    const std::vector<std::string>& rules = {});
+
+/// Walk `opts.paths`, lint every source file found, return the sorted
+/// report. Directories are scanned recursively; hidden and build*
+/// directories are skipped.
+[[nodiscard]] LintReport run_lint(const LintOptions& opts);
+
+/// `file:line: RULE: message` per finding plus a trailing summary line.
+void write_text(const LintReport& report, std::ostream& os);
+
+/// Machine-readable: {"schema":"cnt-lint-v1","count":N,"findings":[...]}.
+void write_json(const LintReport& report, std::ostream& os);
+
+}  // namespace cnt::lint

@@ -1,0 +1,232 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace cnt::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Characters that may continue a numeric literal once one has started:
+/// digits, hex/bin letters, exponents with sign handled separately,
+/// digit separators and length/size suffixes.
+[[nodiscard]] bool number_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '\'' || c == '.';
+}
+
+void split_raw_lines(std::string_view content, std::vector<std::string>& out) {
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) {
+      out.emplace_back(content.substr(start));
+      break;
+    }
+    out.emplace_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+}
+
+/// Parse suppression tags out of one comment body: every
+/// `[A-Za-z0-9-]+` word after the `cnt-lint:` marker, stopping at the
+/// first word that is not tag-shaped (so trailing prose is allowed:
+/// `// cnt-lint: narrow-ok checked two lines up`).
+void collect_tags(std::string_view comment, std::uint32_t line,
+                  SourceFile& file) {
+  const std::size_t marker = comment.find("cnt-lint:");
+  if (marker == std::string_view::npos) return;
+  std::size_t i = marker + 9;
+  auto& tags = file.suppressions[line];
+  while (i < comment.size()) {
+    while (i < comment.size() &&
+           (comment[i] == ' ' || comment[i] == ',' || comment[i] == '\t')) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < comment.size() &&
+           (std::isalnum(static_cast<unsigned char>(comment[j])) ||
+            comment[j] == '-')) {
+      ++j;
+    }
+    if (j == i) break;  // not tag-shaped: rest of the comment is prose
+    tags.emplace_back(comment.substr(i, j - i));
+    i = j;
+  }
+}
+
+}  // namespace
+
+bool SourceFile::suppressed(std::uint32_t line,
+                            std::string_view tag) const noexcept {
+  for (const std::uint32_t l : {line, line > 0 ? line - 1 : 0}) {
+    const auto it = suppressions.find(l);
+    if (it == suppressions.end()) continue;
+    for (const auto& t : it->second) {
+      if (t == tag) return true;
+    }
+  }
+  return false;
+}
+
+SourceFile lex_file(std::string path, std::string_view content) {
+  SourceFile file;
+  file.path = std::move(path);
+  split_raw_lines(content, file.raw_lines);
+
+  std::uint32_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+
+  auto push = [&](TokKind kind, std::string_view text) {
+    file.tokens.push_back(Token{kind, std::string(text), line});
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: consume to end of line, honoring `\` splices.
+    // Directives carry no tokens (rules target the compiled code).
+    if (c == '#') {
+      while (i < n && content[i] != '\n') {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+
+    // Line comment (suppression tags live here).
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const std::size_t eol = content.find('\n', i);
+      const std::size_t end = (eol == std::string_view::npos) ? n : eol;
+      collect_tags(content.substr(i, end - i), line, file);
+      i = end;
+      continue;
+    }
+
+    // Block comment; may span lines, tags attach to the line they sit on.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      std::size_t j = i + 2;
+      std::size_t seg_start = i;
+      while (j < n && !(content[j] == '*' && j + 1 < n && content[j + 1] == '/')) {
+        if (content[j] == '\n') {
+          collect_tags(content.substr(seg_start, j - seg_start), line, file);
+          ++line;
+          seg_start = j + 1;
+        }
+        ++j;
+      }
+      const std::size_t end = (j < n) ? j + 2 : n;
+      collect_tags(content.substr(seg_start, end - seg_start), line, file);
+      i = end;
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(' && content[j] != '\n' &&
+             delim.size() < 16) {
+        delim += content[j++];
+      }
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t close = content.find(closer, j);
+      const std::size_t end =
+          (close == std::string_view::npos) ? n : close + closer.size();
+      for (std::size_t k = i; k < end; ++k) {
+        if (content[k] == '\n') ++line;
+      }
+      push(TokKind::kString, "");
+      i = end;
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && content[j] != '"' && content[j] != '\n') {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      push(TokKind::kString, content.substr(i + 1, j - i - 1));
+      i = (j < n && content[j] == '"') ? j + 1 : j;
+      continue;
+    }
+
+    // Character literal. A `'` directly inside a number (digit
+    // separator) never reaches here: numbers consume their separators.
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && content[j] != '\'' && content[j] != '\n') {
+        if (content[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      push(TokKind::kCharLit, content.substr(i + 1, j - i - 1));
+      i = (j < n && content[j] == '\'') ? j + 1 : j;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(content[j])) ++j;
+      push(TokKind::kIdent, content.substr(i, j - i));
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && number_char(content[j])) {
+        // Exponent sign: 1.5e-3 / 0x1p+4.
+        if ((content[j] == 'e' || content[j] == 'E' || content[j] == 'p' ||
+             content[j] == 'P') &&
+            j + 1 < n && (content[j + 1] == '+' || content[j + 1] == '-')) {
+          j += 2;
+          continue;
+        }
+        ++j;
+      }
+      push(TokKind::kNumber, content.substr(i, j - i));
+      i = j;
+      continue;
+    }
+
+    // Multi-char punctuation the rules care about.
+    const std::string_view rest = content.substr(i);
+    bool matched = false;
+    for (const std::string_view mc : {"::", "[[", "]]", "->", "<<", ">>"}) {
+      if (rest.substr(0, mc.size()) == mc) {
+        push(TokKind::kPunct, mc);
+        i += mc.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      push(TokKind::kPunct, content.substr(i, 1));
+      ++i;
+    }
+  }
+  return file;
+}
+
+}  // namespace cnt::lint

@@ -1,0 +1,58 @@
+// Minimal C++ lexer for cnt-lint.
+//
+// Produces a comment- and string-stripped token stream plus the raw
+// source lines and the per-line suppression tags parsed from
+// `// cnt-lint: <tag>` comments. Deliberately NOT a full C++ grammar:
+// the rule engine (rules.hpp) works on token patterns, which is enough
+// for the determinism/invariant checks R1-R5 and keeps the tool free of
+// a libclang dependency so it builds everywhere the project does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cnt::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,    ///< identifier or keyword
+  kNumber,   ///< numeric literal (incl. digit separators and suffixes)
+  kString,   ///< string literal (text holds the quoted content)
+  kCharLit,  ///< character literal
+  kPunct,    ///< punctuation; multi-char: :: [[ ]] -> << >>
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::uint32_t line = 0;  ///< 1-based source line
+
+  [[nodiscard]] bool is_ident(std::string_view s) const noexcept {
+    return kind == TokKind::kIdent && text == s;
+  }
+  [[nodiscard]] bool is_punct(std::string_view s) const noexcept {
+    return kind == TokKind::kPunct && text == s;
+  }
+};
+
+/// One lexed translation unit.
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw_lines;  ///< raw_lines[0] is line 1
+  std::vector<Token> tokens;
+  /// line -> suppression tags seen in a `cnt-lint:` comment on that line.
+  std::unordered_map<std::uint32_t, std::vector<std::string>> suppressions;
+
+  /// True if `tag` is suppressed at `line`: a `// cnt-lint: <tag>`
+  /// comment sits on the same line or on the line directly above.
+  [[nodiscard]] bool suppressed(std::uint32_t line,
+                                std::string_view tag) const noexcept;
+};
+
+/// Lex `content` (the bytes of the file at `path`). Never throws on
+/// malformed input: unterminated literals simply run to end of line/file.
+[[nodiscard]] SourceFile lex_file(std::string path, std::string_view content);
+
+}  // namespace cnt::lint

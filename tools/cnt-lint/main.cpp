@@ -1,0 +1,92 @@
+// cnt-lint: in-tree determinism/invariant static analyzer.
+//
+//   cnt-lint [options] <path>...
+//
+//   --format=text|json   report format (default text)
+//   --rule=RN            run only rule RN (repeatable; default all)
+//   --exclude=SUBSTR     skip paths containing SUBSTR (repeatable)
+//   --list-rules         print the rule catalog and exit
+//
+// Exit codes: 0 clean, 1 findings (or unreadable inputs), 2 usage error.
+// Rule catalog and suppression syntax: docs/static_analysis.md.
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "driver.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: cnt-lint [--format=text|json] [--rule=RN]... "
+        "[--exclude=SUBSTR]... [--list-rules] <path>...\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cnt::lint::LintOptions opts;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& r : cnt::lint::rule_catalog()) {
+        std::cout << r.id << "  " << r.name << "  (suppress: // cnt-lint: "
+                  << r.suppression << ")\n    " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      const std::string_view fmt = arg.substr(9);
+      if (fmt == "json") {
+        json = true;
+      } else if (fmt == "text") {
+        json = false;
+      } else {
+        std::cerr << "cnt-lint: unknown format '" << fmt << "'\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--rule=", 0) == 0) {
+      opts.rules.emplace_back(arg.substr(7));
+      continue;
+    }
+    if (arg.rfind("--exclude=", 0) == 0) {
+      opts.excludes.emplace_back(arg.substr(10));
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "cnt-lint: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+    opts.paths.emplace_back(arg);
+  }
+  if (opts.paths.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+  for (const auto& r : opts.rules) {
+    bool known = false;
+    for (const auto& info : cnt::lint::rule_catalog()) {
+      if (r == info.id) known = true;
+    }
+    if (!known) {
+      std::cerr << "cnt-lint: unknown rule '" << r << "' (see --list-rules)\n";
+      return 2;
+    }
+  }
+
+  const cnt::lint::LintReport report = cnt::lint::run_lint(opts);
+  if (json) {
+    cnt::lint::write_json(report, std::cout);
+  } else {
+    cnt::lint::write_text(report, std::cout);
+  }
+  return (report.findings.empty() && report.errors.empty()) ? 0 : 1;
+}

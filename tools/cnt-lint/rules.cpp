@@ -1,0 +1,492 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+#include <unordered_set>
+
+namespace cnt::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+/// Index of the punct matching `open` at `i` (must point at `open`),
+/// or tokens.size() when unbalanced. Angle matching (`<`/`>`) counts a
+/// `>>` token as two closers.
+std::size_t match_forward(const Tokens& toks, std::size_t i,
+                          std::string_view open, std::string_view close) {
+  int depth = 0;
+  const bool angles = (open == "<");
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.is_punct(open)) {
+      ++depth;
+    } else if (t.is_punct(close)) {
+      if (--depth == 0) return j;
+    } else if (angles && t.is_punct(">>")) {
+      depth -= 2;
+      if (depth <= 0) return j;
+    } else if (angles && (t.is_punct(";") || t.is_punct("{"))) {
+      return toks.size();  // not a template argument list after all
+    }
+  }
+  return toks.size();
+}
+
+/// Index of the `(` matching the `)` at `i`, scanning backwards;
+/// tokens.size() when unbalanced.
+std::size_t match_backward(const Tokens& toks, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i + 1; j-- > 0;) {
+    if (toks[j].is_punct(")")) {
+      ++depth;
+    } else if (toks[j].is_punct("(")) {
+      if (--depth == 0) return j;
+    }
+  }
+  return toks.size();
+}
+
+bool any_ident(const Tokens& toks, std::size_t lo, std::size_t hi,
+               std::string_view name) {
+  for (std::size_t j = lo; j < hi && j < toks.size(); ++j) {
+    if (toks[j].is_ident(name)) return true;
+  }
+  return false;
+}
+
+void report(const SourceFile& file, std::uint32_t line, const RuleInfo& rule,
+            std::string message, std::vector<Finding>& out) {
+  if (file.suppressed(line, rule.suppression)) return;
+  out.push_back(
+      Finding{file.path, line, rule.id, rule.name, std::move(message)});
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"R1", "nondeterminism", "nondet-ok",
+       "nondeterminism primitive outside src/common/rng.*"},
+      {"R2", "global-state", "global-ok",
+       "mutable namespace-scope or static state"},
+      {"R3", "nodiscard", "nodiscard-ok",
+       "const accessor returning non-void lacks [[nodiscard]]"},
+      {"R4", "narrowing", "narrow-ok",
+       "narrowing cast to a <=16-bit integer without a nearby range guard"},
+      {"R5", "unordered-order", "unordered-ok",
+       "iteration over an unordered container feeds output"},
+  };
+  return kCatalog;
+}
+
+// --- R1: nondeterminism primitives ----------------------------------------
+//
+// Raw entropy / wall-clock primitives make sweeps non-reproducible; all
+// simulator randomness must flow through cnt::Rng (seeded xoshiro256**).
+// `src/common/rng.*` itself is exempt, telemetry call sites annotate
+// with `// cnt-lint: nondet-ok`.
+void check_r1_nondeterminism(const SourceFile& file,
+                             std::vector<Finding>& out) {
+  if (file.path.find("common/rng.") != std::string::npos) return;
+  static const std::unordered_set<std::string_view> kBanned = {
+      "rand",          "srand",        "rand_r", "drand48",
+      "lrand48",       "random_device", "system_clock"};
+  const RuleInfo& rule = rule_catalog()[0];
+  const Tokens& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    const bool call_like =
+        i + 1 < toks.size() && toks[i + 1].is_punct("(");
+    if (kBanned.count(t.text) != 0 || (t.text == "time" && call_like)) {
+      report(file, t.line, rule,
+             "nondeterminism primitive '" + t.text +
+                 "' (route randomness through cnt::Rng / src/common/rng.*; "
+                 "suppress telemetry sites with // cnt-lint: nondet-ok)",
+             out);
+    }
+  }
+}
+
+// --- R2: mutable static / namespace-scope state ---------------------------
+//
+// Mutable globals are shared across ThreadPool workers and break the
+// bit-identical `--jobs N` == `--jobs 1` guarantee. Triggers on
+// `static` / `inline` declarations that reach a variable terminator
+// without a constness keyword. Intentional globals (e.g. registries
+// guarded by a mutex) annotate with `// cnt-lint: global-ok`.
+void check_r2_global_state(const SourceFile& file, std::vector<Finding>& out) {
+  static const std::unordered_set<std::string_view> kConstish = {
+      "const", "constexpr", "constinit"};
+  static const std::unordered_set<std::string_view> kNotAVariable = {
+      "namespace", "using", "typedef", "friend", "struct", "class",
+      "enum",      "union", "operator", "template", "thread_local"};
+  const RuleInfo& rule = rule_catalog()[1];
+  const Tokens& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    const bool trigger = t.is_ident("static") || t.is_ident("inline");
+    if (!trigger) continue;
+    // `static inline ...` / `inline static ...`: handle the pair once.
+    if (i > 0 &&
+        (toks[i - 1].is_ident("static") || toks[i - 1].is_ident("inline"))) {
+      continue;
+    }
+    bool constish = false;
+    bool not_a_variable = false;
+    std::size_t end = toks.size();
+    std::string last_ident;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      const Token& u = toks[j];
+      if (u.is_punct("(")) {
+        // Function declaration/definition (or paren-init; heuristic).
+        not_a_variable = true;
+        break;
+      }
+      if (u.is_punct(";") || u.is_punct("{") || u.is_punct("=")) {
+        end = j;
+        break;
+      }
+      if (u.kind == TokKind::kIdent) {
+        if (kConstish.count(u.text) != 0) constish = true;
+        if (kNotAVariable.count(u.text) != 0) not_a_variable = true;
+        last_ident = u.text;
+      }
+    }
+    if (constish || not_a_variable || end == toks.size()) continue;
+    report(file, t.line, rule,
+           "mutable static/global '" +
+               (last_ident.empty() ? std::string("<unnamed>") : last_ident) +
+               "' (thread-pool race hazard; make it const/constexpr, pass it "
+               "explicitly, or annotate // cnt-lint: global-ok)",
+           out);
+  }
+}
+
+// --- R3: [[nodiscard]] on const accessors ---------------------------------
+//
+// Energy-ledger / journal invariants rely on read APIs whose results are
+// never silently dropped: [[nodiscard]] here plus -Wunused-result at call
+// sites closes the loop. Flags const-qualified member functions with a
+// non-void result that lack the attribute.
+void check_r3_nodiscard(const SourceFile& file, std::vector<Finding>& out) {
+  const RuleInfo& rule = rule_catalog()[2];
+  const Tokens& toks = file.tokens;
+  static const std::unordered_set<std::string_view> kAfterConst = {
+      ";", "{", "&", "&&", "=", "->"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_punct(")") || !toks[i + 1].is_ident("const")) continue;
+    // The token after `const` must continue a member-function declarator.
+    if (i + 2 >= toks.size()) continue;
+    const Token& after = toks[i + 2];
+    const bool declarator_tail =
+        after.is_ident("noexcept") || after.is_ident("override") ||
+        after.is_ident("final") ||
+        (after.kind == TokKind::kPunct && kAfterConst.count(after.text) != 0);
+    if (!declarator_tail) continue;
+
+    const std::size_t open = match_backward(toks, i);
+    if (open == toks.size() || open == 0) continue;
+    const Token& name = toks[open - 1];
+    if (name.kind != TokKind::kIdent) {
+      // `operator()(..)` / pointer-to-member types: skip unless a plain
+      // operator, which is exempt anyway.
+      continue;
+    }
+    // Conversion/overloaded operators are exempt (comparators etc.).
+    bool is_operator = false;
+    for (std::size_t back = 1; back <= 3 && back < open; ++back) {
+      if (toks[open - 1 - back].is_ident("operator")) is_operator = true;
+    }
+    if (is_operator || name.text == "operator") continue;
+    // Out-of-class definition: the in-class declaration carries the
+    // attribute.
+    if (open >= 2 && toks[open - 2].is_punct("::")) continue;
+
+    // Return-type region: walk back to the previous declaration boundary.
+    std::size_t decl_start = 0;
+    bool boundary_found = false;
+    for (std::size_t j = open - 1; j-- > 0;) {
+      const Token& u = toks[j];
+      if (u.is_punct(";") || u.is_punct("{") || u.is_punct("}") ||
+          u.is_punct(":")) {
+        decl_start = j + 1;
+        boundary_found = true;
+        break;
+      }
+    }
+    if (!boundary_found) decl_start = 0;
+    const std::size_t region_len = (open - 1) - decl_start;
+    if (region_len == 0) continue;  // no return type: not an accessor
+    if (any_ident(toks, decl_start, open - 1, "nodiscard")) continue;
+    if (any_ident(toks, decl_start, open - 1, "using") ||
+        any_ident(toks, decl_start, open - 1, "typedef") ||
+        any_ident(toks, decl_start, open - 1, "friend")) {
+      continue;
+    }
+    // `void get() const` -- nothing to discard (unless it returns void*).
+    if (any_ident(toks, decl_start, open - 1, "void")) {
+      bool pointer = false;
+      for (std::size_t j = decl_start; j < open - 1; ++j) {
+        if (toks[j].is_punct("*")) pointer = true;
+      }
+      if (!pointer) continue;
+    }
+    // `auto f() const -> void` -- trailing void return.
+    if (after.is_punct("->") ||
+        (i + 3 < toks.size() && after.is_ident("noexcept") &&
+         toks[i + 3].is_punct("->"))) {
+      const std::size_t arrow = after.is_punct("->") ? i + 2 : i + 3;
+      if (arrow + 1 < toks.size() && toks[arrow + 1].is_ident("void")) {
+        continue;
+      }
+    }
+    report(file, name.line, rule,
+           "const accessor '" + name.text +
+               "' returns a value but is not [[nodiscard]] (annotate it, or "
+               "suppress with // cnt-lint: nodiscard-ok)",
+           out);
+  }
+}
+
+// --- R4: narrowing casts on energy/count types ----------------------------
+//
+// Silent truncation to u8/u16 corrupted trace sizes once (trace_io, PR 3);
+// C-style and functional narrowing casts are banned outright, and a
+// static_cast to a <=16-bit integer must sit within a few lines of a
+// visible range guard (assert/clamp/min/mask/branch) or carry
+// `// cnt-lint: narrow-ok`.
+void check_r4_narrowing(const SourceFile& file, std::vector<Finding>& out) {
+  static const std::unordered_set<std::string_view> kNarrow = {
+      "u8",     "u16",     "i8",      "i16",    "int8_t", "uint8_t",
+      "int16_t", "uint16_t", "char",   "short"};
+  static const std::unordered_set<std::string_view> kGuardIdent = {
+      "assert", "clamp",  "min",   "max",    "if",     "throw",
+      "abort",  "CHECK",  "DCHECK", "Expects", "Ensures"};
+  constexpr std::uint32_t kGuardWindow = 6;  // lines above the cast
+  const RuleInfo& rule = rule_catalog()[3];
+  const Tokens& toks = file.tokens;
+
+  auto guarded_near = [&](std::uint32_t line) {
+    const std::uint32_t lo = line > kGuardWindow ? line - kGuardWindow : 1;
+    for (std::size_t j = 0; j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      if (t.line < lo) continue;
+      if (t.line > line) break;
+      if (t.kind == TokKind::kIdent && kGuardIdent.count(t.text) != 0) {
+        return true;
+      }
+      if (t.is_punct("%") || t.is_punct(">>")) return true;
+      if (t.is_punct("&") && j + 1 < toks.size() &&
+          toks[j + 1].kind == TokKind::kNumber) {
+        return true;  // mask, e.g. `x & 0xff`
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    // static_cast<NARROW>( ... ) without a nearby guard.
+    if (t.is_ident("static_cast") && i + 4 < toks.size() &&
+        toks[i + 1].is_punct("<") && toks[i + 2].kind == TokKind::kIdent &&
+        kNarrow.count(toks[i + 2].text) != 0 && toks[i + 3].is_punct(">") &&
+        toks[i + 4].is_punct("(")) {
+      // A sole literal argument cannot overflow at runtime:
+      // static_cast<u8>(0) needs no guard.
+      const bool literal_arg = i + 6 < toks.size() &&
+                               toks[i + 5].kind == TokKind::kNumber &&
+                               toks[i + 6].is_punct(")");
+      if (!literal_arg && !guarded_near(t.line)) {
+        report(file, t.line, rule,
+               "static_cast to '" + toks[i + 2].text +
+                   "' with no visible range guard within " +
+                   std::to_string(kGuardWindow) +
+                   " lines (add an assert/clamp/mask, or annotate "
+                   "// cnt-lint: narrow-ok)",
+               out);
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || kNarrow.count(t.text) == 0) continue;
+    const bool prev_is_angle = i > 0 && toks[i - 1].is_punct("<");
+    // Functional cast `u8(expr)`; the template-argument position
+    // (`static_cast<u8>(..)`, `vector<u8>`) is excluded above/below.
+    if (!prev_is_angle && i + 1 < toks.size() && toks[i + 1].is_punct("(")) {
+      report(file, t.line, rule,
+             "functional-style narrowing cast '" + t.text +
+                 "(...)' (use static_cast with a range guard, or brace-init "
+                 "which rejects narrowing)",
+             out);
+      continue;
+    }
+    // C-style cast `(u8)expr` / `(unsigned char)expr`.
+    const std::size_t type_start =
+        (i > 0 && (toks[i - 1].is_ident("unsigned") ||
+                   toks[i - 1].is_ident("signed")))
+            ? i - 1
+            : i;
+    if (type_start > 0 && toks[type_start - 1].is_punct("(") &&
+        i + 1 < toks.size() && toks[i + 1].is_punct(")") &&
+        i + 2 < toks.size()) {
+      const Token& v = toks[i + 2];
+      const bool value_like = v.kind == TokKind::kIdent ||
+                              v.kind == TokKind::kNumber ||
+                              v.kind == TokKind::kString || v.is_punct("(");
+      // `sizeof(u8)`, `alignof(u8)`: type traits, not casts.
+      const bool trait = type_start >= 2 &&
+                         (toks[type_start - 2].is_ident("sizeof") ||
+                          toks[type_start - 2].is_ident("alignof"));
+      if (value_like && !trait &&
+          !(v.kind == TokKind::kIdent &&
+            (v.is_ident("unsigned") || v.is_ident("signed")))) {
+        report(file, t.line, rule,
+               "C-style narrowing cast to '" + t.text +
+                   "' (use static_cast with a range guard)",
+               out);
+      }
+    }
+  }
+}
+
+// --- R5: unordered-container iteration feeding output ---------------------
+//
+// unordered_{map,set} iteration order is implementation-defined; feeding
+// it into CSV/JSONL/table output silently breaks byte-identical runs.
+// Tracks variables (and `using` aliases) of unordered types declared in
+// the same file and flags range-/iterator-for loops over them whose body
+// writes output.
+void check_r5_unordered_output(const SourceFile& file,
+                               std::vector<Finding>& out) {
+  static const std::unordered_set<std::string_view> kUnorderedTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  static const std::unordered_set<std::string_view> kOutputIdent = {
+      "add_row", "write",  "print", "printf", "fprintf",
+      "emit",    "append", "dump",  "push_line"};
+  const RuleInfo& rule = rule_catalog()[4];
+  const Tokens& toks = file.tokens;
+
+  // Pass 1: unordered type names (std ones + file-local aliases) and
+  // variables declared with them.
+  std::unordered_set<std::string> type_names;
+  for (const std::string_view t : kUnorderedTypes) {
+    type_names.emplace(t);
+  }
+  std::unordered_set<std::string> vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].is_ident("using") && i + 2 < toks.size() &&
+        toks[i + 1].kind == TokKind::kIdent && toks[i + 2].is_punct("=")) {
+      for (std::size_t j = i + 3; j < toks.size() && !toks[j].is_punct(";");
+           ++j) {
+        if (toks[j].kind == TokKind::kIdent &&
+            type_names.count(toks[j].text) != 0) {
+          type_names.insert(toks[i + 1].text);
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        type_names.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t after = i + 1;
+    if (after < toks.size() && toks[after].is_punct("<")) {
+      const std::size_t close = match_forward(toks, after, "<", ">");
+      if (close == toks.size()) continue;
+      after = close + 1;
+    }
+    while (after < toks.size() &&
+           (toks[after].is_punct("&") || toks[after].is_punct("*") ||
+            toks[after].is_ident("const"))) {
+      ++after;
+    }
+    if (after < toks.size() && toks[after].kind == TokKind::kIdent &&
+        !toks[after].is_ident("const")) {
+      vars.insert(toks[after].text);
+    }
+  }
+  if (vars.empty()) return;
+
+  // Pass 2: for-loops over those variables whose body emits output.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_ident("for") || !toks[i + 1].is_punct("(")) continue;
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close == toks.size()) continue;
+
+    std::string iterated;
+    // Range-for: `for (decl : expr)` with `:` at depth 1.
+    int depth = 0;
+    std::size_t colon = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (toks[j].is_punct("(")) ++depth;
+      if (toks[j].is_punct(")")) --depth;
+      if (depth == 1 && toks[j].is_punct(":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon != 0) {
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind == TokKind::kIdent && vars.count(toks[j].text) != 0) {
+          iterated = toks[j].text;
+          break;
+        }
+      }
+    } else {
+      // Iterator-for: `for (auto it = m.begin(); ...)`.
+      for (std::size_t j = i + 2; j + 2 < close; ++j) {
+        if (toks[j].kind == TokKind::kIdent && vars.count(toks[j].text) != 0 &&
+            toks[j + 1].is_punct(".") && toks[j + 2].is_ident("begin")) {
+          iterated = toks[j].text;
+          break;
+        }
+      }
+    }
+    if (iterated.empty()) continue;
+
+    std::size_t body_end;
+    if (close + 1 < toks.size() && toks[close + 1].is_punct("{")) {
+      body_end = match_forward(toks, close + 1, "{", "}");
+    } else {
+      body_end = close + 1;
+      while (body_end < toks.size() && !toks[body_end].is_punct(";")) {
+        ++body_end;
+      }
+    }
+    bool writes_output = false;
+    for (std::size_t j = close + 1; j < body_end && j < toks.size(); ++j) {
+      if (toks[j].is_punct("<<") ||
+          (toks[j].kind == TokKind::kIdent &&
+           kOutputIdent.count(toks[j].text) != 0)) {
+        writes_output = true;
+        break;
+      }
+    }
+    if (!writes_output) continue;
+    report(file, toks[i].line, rule,
+           "iteration over unordered container '" + iterated +
+               "' feeds output; order is unspecified -- collect and sort "
+               "keys first (or annotate // cnt-lint: unordered-ok)",
+           out);
+  }
+}
+
+void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
+               std::vector<Finding>& out) {
+  auto on = [&](std::string_view id) {
+    return enabled.empty() ||
+           std::find(enabled.begin(), enabled.end(), id) != enabled.end();
+  };
+  if (on("R1")) check_r1_nondeterminism(file, out);
+  if (on("R2")) check_r2_global_state(file, out);
+  if (on("R3")) check_r3_nodiscard(file, out);
+  if (on("R4")) check_r4_narrowing(file, out);
+  if (on("R5")) check_r5_unordered_output(file, out);
+}
+
+}  // namespace cnt::lint

@@ -1,0 +1,64 @@
+// cnt-lint rule engine: domain rules R1-R5 over a lexed SourceFile.
+//
+// Rule catalog (rationale + examples: docs/static_analysis.md):
+//   R1 nondeterminism primitives (rand, srand, random_device, time(,
+//      system_clock) outside src/common/rng.*         [nondet-ok]
+//   R2 mutable namespace-scope / static state          [global-ok]
+//   R3 const accessors returning non-void without [[nodiscard]]
+//                                                      [nodiscard-ok]
+//   R4 narrowing casts to <=16-bit integer types: C-style/functional
+//      casts are banned outright; static_cast needs a range guard
+//      within the preceding lines                      [narrow-ok]
+//   R5 iteration over unordered containers feeding output (CSV, JSONL,
+//      tables, streams)                                [unordered-ok]
+//
+// A finding on line L is silenced by `// cnt-lint: <tag>` on line L or
+// line L-1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace cnt::lint {
+
+struct Finding {
+  std::string path;
+  std::uint32_t line = 0;
+  std::string rule;     ///< "R1".."R5"
+  std::string name;     ///< short rule name, e.g. "nondeterminism"
+  std::string message;
+
+  [[nodiscard]] bool operator<(const Finding& o) const noexcept {
+    if (path != o.path) return path < o.path;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  const char* suppression;  ///< tag that silences it
+  const char* summary;
+};
+
+/// Static catalog, ordered R1..R5.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// Run the selected rules over one file, appending findings.
+/// `enabled` holds rule ids ("R1".."R5"); empty means all rules.
+void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
+               std::vector<Finding>& out);
+
+// Individual rules, exposed for targeted tests.
+void check_r1_nondeterminism(const SourceFile& file, std::vector<Finding>& out);
+void check_r2_global_state(const SourceFile& file, std::vector<Finding>& out);
+void check_r3_nodiscard(const SourceFile& file, std::vector<Finding>& out);
+void check_r4_narrowing(const SourceFile& file, std::vector<Finding>& out);
+void check_r5_unordered_output(const SourceFile& file,
+                               std::vector<Finding>& out);
+
+}  // namespace cnt::lint
