@@ -64,6 +64,8 @@ int main(int argc, char** argv) {
     outcomes = engine.run(spec);
   } catch (const exec::SweepInterrupted& e) {
     return bench::report_interrupted(e);
+  } catch (const std::exception& e) {
+    return bench::report_error(e);
   }
   const auto groups = exec::group_by_tag(outcomes);
 

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "exec/engine.hpp"
 #include "exec/options.hpp"
@@ -52,6 +53,15 @@ inline int report_interrupted(const cnt::exec::SweepInterrupted& e) {
             << " jobs; journal flushed to " << e.journal_path()
             << "\nrerun with --resume to finish the remaining jobs\n";
   return 130;
+}
+
+/// Uniform reporting for a failed engine sweep (stale --resume journal,
+/// mid-file journal corruption, unwritable results directory, ...):
+/// print the structured what/where/hint rendering and return a plain
+/// failure status for main().
+inline int report_error(const std::exception& e) {
+  std::cerr << "error: " << cnt::format_error(e) << "\n";
+  return 1;
 }
 
 inline void banner(const std::string& experiment, const std::string& what) {

@@ -7,7 +7,6 @@
 // name/scale select the stimulus, [output] json = <path> additionally
 // dumps the machine-readable result. Unknown keys produce warnings rather
 // than silent ignores.
-#include <algorithm>
 #include <iostream>
 
 #include "common/config.hpp"
@@ -30,13 +29,16 @@ int main(int argc, char** argv) {
   try {
     const cnt::Config ini = cnt::Config::load(argv[1]);
 
-    // Warn about keys the reader does not understand (typos).
+    // Warn about keys the reader does not understand (typos), with a
+    // nearest-match suggestion when one is close enough.
     auto known = cnt::known_sim_config_keys();
     known.push_back("output.json");
-    for (const auto& key : ini.keys()) {
-      if (std::find(known.begin(), known.end(), key) == known.end()) {
-        std::cerr << "warning: unknown config key '" << key << "'\n";
+    for (const auto& [key, suggestion] : ini.unknown_keys(known)) {
+      std::cerr << "warning: unknown config key '" << key << "'";
+      if (!suggestion.empty()) {
+        std::cerr << " (did you mean '" << suggestion << "'?)";
       }
+      std::cerr << "\n";
     }
 
     const cnt::SimConfig cfg = cnt::sim_config_from(ini);
@@ -72,7 +74,7 @@ int main(int argc, char** argv) {
       std::cout << "json: " << *json_path << "\n";
     }
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "error: " << cnt::format_error(e) << "\n";
     return 1;
   }
   return 0;

@@ -151,7 +151,7 @@ int main(int argc, char** argv) {
               << t.render();
     if (!jsonl_path.empty()) std::cout << "\njsonl: " << jsonl_path << "\n";
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "error: " << cnt::format_error(e) << "\n";
     return 1;
   }
   return 0;

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
@@ -80,7 +81,7 @@ int main(int argc, char** argv) {
       return usage();
     }
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "error: " << cnt::format_error(e) << "\n";
     return 1;
   }
   return 0;

@@ -7,17 +7,26 @@
 //
 // Keys are addressed as "section.key" (keys before any section header live
 // in the "" section and are addressed by bare name). Values keep their raw
-// text; typed getters parse on demand and throw std::invalid_argument with
-// the key name on malformed values, so configuration errors are caught
-// loudly rather than silently defaulted.
+// text; typed getters parse on demand and throw cnt::ValueError (derived
+// from std::invalid_argument) naming the key on malformed values, so
+// configuration errors are caught loudly rather than silently defaulted.
+//
+// Strict parsing (docs/error_handling.md): every syntax error is a
+// cnt::Error carrying the config *path*, the 1-based line number and a
+// fix-it hint; a key defined twice within the same section is rejected
+// (Errc::kDuplicateKey) instead of silently last-wins; and line length /
+// key count are bounded by ParseLimits so a hostile file cannot trigger
+// unbounded memory growth.
 #pragma once
 
 #include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace cnt {
@@ -26,13 +35,24 @@ class Config {
  public:
   Config() = default;
 
-  /// Parse from a stream. Throws std::runtime_error with a line number on
-  /// syntax errors (unterminated section, missing '=').
-  [[nodiscard]] static Config parse(std::istream& is);
-  /// Parse a file; std::runtime_error if it cannot be opened.
+  /// Parse from a stream. `source` names the input in error messages
+  /// (pass the file path when you have one). Throws cnt::Error on syntax
+  /// errors, duplicate keys, or exceeded limits.
+  [[nodiscard]] static Config parse(std::istream& is,
+                                    std::string source = "<stream>",
+                                    const ParseLimits& limits =
+                                        kDefaultLimits);
+  /// Parse a file; cnt::Error (Errc::kIo) if it cannot be opened. The
+  /// path appears in every subsequent parse error.
   [[nodiscard]] static Config load(const std::string& path);
   /// Parse from a string (tests, inline configs).
   [[nodiscard]] static Config parse_string(const std::string& text);
+
+  /// Non-throwing variants for callers that prefer branching (CLIs, the
+  /// fuzz wall). Any thrown cnt::Error is returned instead.
+  [[nodiscard]] static Result<Config> try_load(const std::string& path);
+  [[nodiscard]] static Result<Config> try_parse_string(
+      const std::string& text, std::string source = "<string>");
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
@@ -51,6 +71,12 @@ class Config {
 
   /// All keys, sorted (diagnostics; lets a CLI warn about unknown keys).
   [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Keys not present in `known`, each paired with the nearest known key
+  /// by edit distance ("" when nothing is close) for "did you mean"
+  /// diagnostics.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  unknown_keys(const std::vector<std::string>& known) const;
 
   void set(const std::string& key, std::string value);
 

@@ -1,7 +1,8 @@
 #include "common/csv.hpp"
 
 #include <cassert>
-#include <stdexcept>
+
+#include "common/error.hpp"
 
 namespace cnt {
 
@@ -23,7 +24,9 @@ std::string escape(const std::string& cell) {
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
     : path_(path), out_(path), columns_(headers.size()) {
   if (!out_) {
-    throw std::runtime_error("CsvWriter: cannot open " + path);
+    throw Error(Errc::kIo, "CsvWriter: cannot open output file")
+        .at(path)
+        .hint("check that the directory exists and is writable");
   }
   emit(headers);
 }

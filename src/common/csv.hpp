@@ -13,7 +13,7 @@ namespace cnt {
 class CsvWriter {
  public:
   /// Opens `path` for writing and emits the header row.
-  /// Throws std::runtime_error if the file cannot be opened.
+  /// Throws cnt::Error (Errc::kIo) if the file cannot be opened.
   CsvWriter(const std::string& path, std::vector<std::string> headers);
 
   /// Append a data row; must have exactly as many cells as the header.

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
+#include <utility>
 
 namespace cnt {
 
@@ -152,50 +152,46 @@ JsonWriter& JsonWriter::null() {
 }
 
 bool JsonValue::as_bool() const {
-  if (kind_ != Kind::kBool) throw std::runtime_error("JsonValue: not a bool");
+  if (kind_ != Kind::kBool) throw kind_error("bool");
   return bool_;
 }
 
 double JsonValue::as_double() const {
-  if (kind_ != Kind::kNumber) {
-    throw std::runtime_error("JsonValue: not a number");
-  }
+  if (kind_ != Kind::kNumber) throw kind_error("number");
   if (!is_integer_) return num_;
   const double mag = static_cast<double>(int_);
   return negative_ ? -mag : mag;
 }
 
 u64 JsonValue::as_u64() const {
-  if (kind_ != Kind::kNumber) {
-    throw std::runtime_error("JsonValue: not a number");
-  }
+  if (kind_ != Kind::kNumber) throw kind_error("number");
   if (is_integer_) {
-    if (negative_) throw std::runtime_error("JsonValue: negative integer");
+    if (negative_) {
+      throw Error(Errc::kRange, "JsonValue: negative integer read as u64")
+          .hint("the field must be non-negative");
+    }
     return int_;
   }
-  if (num_ < 0.0) throw std::runtime_error("JsonValue: negative number");
+  if (num_ < 0.0) {
+    throw Error(Errc::kRange, "JsonValue: negative number read as u64")
+        .hint("the field must be non-negative");
+  }
   return static_cast<u64>(num_);
 }
 
 const std::string& JsonValue::as_string() const {
-  if (kind_ != Kind::kString) {
-    throw std::runtime_error("JsonValue: not a string");
-  }
+  if (kind_ != Kind::kString) throw kind_error("string");
   return str_;
 }
 
 const std::vector<JsonValue>& JsonValue::as_array() const {
-  if (kind_ != Kind::kArray) {
-    throw std::runtime_error("JsonValue: not an array");
-  }
+  if (kind_ != Kind::kArray) throw kind_error("array");
   return arr_;
 }
 
 const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_object()
     const {
-  if (kind_ != Kind::kObject) {
-    throw std::runtime_error("JsonValue: not an object");
-  }
+  if (kind_ != Kind::kObject) throw kind_error("object");
   return obj_;
 }
 
@@ -210,8 +206,9 @@ const JsonValue* JsonValue::find(std::string_view key) const noexcept {
 const JsonValue& JsonValue::at(std::string_view key) const {
   const JsonValue* v = find(key);
   if (v == nullptr) {
-    throw std::runtime_error("JsonValue: missing key \"" + std::string(key) +
-                             "\"");
+    throw Error(Errc::kSchema,
+                "JsonValue: missing key \"" + std::string(key) + "\"")
+        .hint("the input is valid JSON but lacks a required field");
   }
   return *v;
 }
@@ -258,14 +255,25 @@ JsonValue JsonValue::make_object() noexcept {
   return j;
 }
 
+Error JsonValue::kind_error(const char* want) const {
+  static constexpr const char* kKindNames[] = {"null",   "bool",  "number",
+                                               "string", "array", "object"};
+  return Error(Errc::kValue,
+               std::string("JsonValue: not a ") + want + " (value is " +
+                   kKindNames[static_cast<usize>(kind_)] + ")")
+      .hint("the field exists but holds the wrong JSON type");
+}
+
 namespace {
 
 /// Recursive-descent JSON parser over a string_view. No allocation beyond
-/// the resulting tree; errors carry the byte offset for torn-line
-/// diagnostics.
+/// the resulting tree; errors carry the source name and byte offset for
+/// torn-line diagnostics, and nesting depth is bounded by ParseLimits.
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  JsonParser(std::string_view text, std::string source,
+             const ParseLimits& limits)
+      : text_(text), source_(std::move(source)), limits_(limits) {}
 
   JsonValue parse() {
     skip_ws();
@@ -276,11 +284,11 @@ class JsonParser {
   }
 
  private:
-  static constexpr usize kMaxDepth = 64;
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON parse error at byte " +
-                             std::to_string(pos_) + ": " + what);
+  [[noreturn]] void fail(const std::string& what,
+                         Errc code = Errc::kSyntax) const {
+    throw Error(code, what)
+        .at_byte(source_, pos_)
+        .hint("the input is not well-formed JSON");
   }
 
   [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
@@ -308,7 +316,11 @@ class JsonParser {
   }
 
   JsonValue parse_value(usize depth) {
-    if (depth > kMaxDepth) fail("nesting too deep");
+    if (depth > limits_.max_depth) {
+      fail("nesting deeper than the strict-parse cap of " +
+               std::to_string(limits_.max_depth),
+           Errc::kLimit);
+    }
     if (at_end()) fail("unexpected end of input");
     switch (peek()) {
       case '{': return parse_object(depth);
@@ -487,13 +499,25 @@ class JsonParser {
   }
 
   std::string_view text_;
+  std::string source_;
+  const ParseLimits& limits_;
   usize pos_ = 0;
 };
 
 }  // namespace
 
-JsonValue parse_json(std::string_view text) {
-  return JsonParser(text).parse();
+JsonValue parse_json(std::string_view text, std::string source,
+                     const ParseLimits& limits) {
+  return JsonParser(text, std::move(source), limits).parse();
+}
+
+Result<JsonValue> try_parse_json(std::string_view text, std::string source,
+                                 const ParseLimits& limits) {
+  try {
+    return parse_json(text, std::move(source), limits);
+  } catch (Error& e) {
+    return std::move(e);
+  }
 }
 
 void JsonWriter::write_escaped(std::string_view s) {

@@ -10,7 +10,9 @@
 // Reader: parse_json() builds a JsonValue tree. Numbers written by the
 // writer round-trip exactly -- integers are kept as integers and doubles
 // are parsed from the writer's %.17g rendering, so a value read back from
-// a journal compares bit-equal to the value that produced it.
+// a journal compares bit-equal to the value that produced it. Malformed
+// input throws cnt::Error (Errc::kSyntax/kLimit) carrying the source name
+// and byte offset; nesting depth is bounded by ParseLimits.
 #pragma once
 
 #include <ostream>
@@ -19,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace cnt {
@@ -96,7 +99,8 @@ class JsonValue {
     return kind_ == Kind::kObject;
   }
 
-  /// Typed accessors; throw std::runtime_error on a kind mismatch.
+  /// Typed accessors; throw cnt::Error (Errc::kValue) on a kind mismatch
+  /// and Errc::kRange on sign violations.
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] double as_double() const;
   [[nodiscard]] u64 as_u64() const;  ///< also accepts a non-negative double
@@ -107,8 +111,8 @@ class JsonValue {
 
   /// Object member by key; nullptr when absent (or not an object).
   [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
-  /// Object member by key; throws std::runtime_error naming the key when
-  /// absent.
+  /// Object member by key; throws cnt::Error (Errc::kSchema) naming the
+  /// key when absent.
   [[nodiscard]] const JsonValue& at(std::string_view key) const;
 
   [[nodiscard]] static JsonValue make_null() noexcept { return {}; }
@@ -134,10 +138,21 @@ class JsonValue {
   std::string str_;
   std::vector<JsonValue> arr_;
   std::vector<std::pair<std::string, JsonValue>> obj_;
+
+  [[nodiscard]] Error kind_error(const char* want) const;
 };
 
 /// Parse exactly one JSON value (leading/trailing whitespace allowed).
-/// Throws std::runtime_error with a byte offset on malformed input.
-[[nodiscard]] JsonValue parse_json(std::string_view text);
+/// Throws cnt::Error with the source name and byte offset on malformed
+/// input; `source` names the input in diagnostics (file path, "<json>").
+[[nodiscard]] JsonValue parse_json(std::string_view text,
+                                   std::string source = "<json>",
+                                   const ParseLimits& limits =
+                                       kDefaultLimits);
+
+/// Non-throwing variant: the thrown cnt::Error is returned instead.
+[[nodiscard]] Result<JsonValue> try_parse_json(
+    std::string_view text, std::string source = "<json>",
+    const ParseLimits& limits = kDefaultLimits);
 
 }  // namespace cnt

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/error.hpp"
 #include "common/hash.hpp"
 #include "exec/interrupt.hpp"
 #include "exec/journal.hpp"
@@ -84,10 +85,19 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
   if (opts_.resume && !opts_.jsonl_path.empty()) {
     journal = load_journal(opts_.jsonl_path);
     if (journal.header_ok && journal.fingerprint != fp) {
-      throw std::runtime_error(
-          "--resume: journal " + journal.source_path + " records sweep " +
-          hex_u64(journal.fingerprint) + " but this sweep is " + hex_u64(fp) +
-          "; delete the stale journal or rerun without --resume");
+      throw Error(Errc::kSchema,
+                  "--resume: journal " + journal.source_path +
+                      " records sweep " + hex_u64(journal.fingerprint) +
+                      " but this sweep is " + hex_u64(fp))
+          .at(journal.source_path)
+          .hint("delete the stale journal or rerun without --resume");
+    }
+    // A torn tail is the normal crash signature and resume truncates it;
+    // a row that fails its CRC *with intact rows after it* means the file
+    // was damaged in place, and replaying around the hole would silently
+    // drop results -- refuse instead.
+    if (auto corrupt = journal_corruption_error(journal)) {
+      throw std::move(*corrupt).context("--resume");
     }
     if (journal.header_ok) {
       for (const JournalRow& row : journal.rows) {
@@ -222,9 +232,12 @@ std::vector<SimResult> results_of(
   results.reserve(group.size());
   for (const JobOutcome* o : group) {
     if (!o->ok) {
-      throw std::runtime_error("job failed (" + o->job.workload +
-                               (o->job.tag.empty() ? "" : ", " + o->job.tag) +
-                               "): " + o->error);
+      throw Error(Errc::kInternal,
+                  "job failed (" + o->job.workload +
+                      (o->job.tag.empty() ? "" : ", " + o->job.tag) +
+                      "): " + o->error)
+          .hint("inspect the job's error above; aggregate reports need "
+                "every job in the group to have succeeded");
     }
     results.push_back(o->result);
   }

@@ -2,8 +2,8 @@
 
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
+#include "common/error.hpp"
 #include "common/hash.hpp"
 
 namespace cnt::exec {
@@ -108,7 +108,8 @@ u64 sweep_fingerprint(const std::vector<Job>& jobs) noexcept {
 std::string seal_line(std::string payload) {
   if (payload.size() < 3 || payload.front() != '{' ||
       payload.back() != '}') {
-    throw std::logic_error("seal_line: payload is not a JSON object");
+    throw Error(Errc::kInternal, "seal_line: payload is not a JSON object")
+        .hint("seal_line seals exactly one serialized '{...}' object");
   }
   payload.pop_back();  // the CRC covers every byte before its own field
   const u32 c = crc32(payload);
@@ -178,18 +179,48 @@ bool parse_row(std::string line, JournalRow& row) {
 bool load_from(const std::string& path, JournalData& out) {
   std::ifstream in(path);
   if (!in) return false;
+  if (!read_journal(in, path, out)) return false;
+  out.source_path = path;
+  return true;
+}
+
+}  // namespace
+
+bool read_journal(std::istream& is, const std::string& source,
+                  JournalData& out, const ParseLimits& limits) {
   std::string line;
-  if (!std::getline(in, line)) return false;
+  if (bounded_getline(is, line, limits.max_line_bytes) != LineStatus::kOk) {
+    return false;
+  }
   if (!parse_header(line, out)) return false;
   out.header_ok = true;
-  out.source_path = path;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
+  out.source_path = source;
+  u64 line_no = 1;  // the header was line 1
+  for (;;) {
+    const LineStatus status =
+        bounded_getline(is, line, limits.max_line_bytes);
+    if (status == LineStatus::kEof) break;
+    ++line_no;
+    if (status == LineStatus::kOk && line.empty()) continue;
+    const bool over_limit = status == LineStatus::kTooLong ||
+                            out.rows.size() >= limits.max_records;
     JournalRow row;
-    if (!parse_row(std::move(line), row)) {
-      // Torn or corrupt tail: discard this line and everything after it.
+    if (over_limit || !parse_row(std::move(line), row)) {
+      // First bad line. A torn tail (crash mid-append) is recoverable by
+      // truncation; a bad row *followed by more sealed rows* is mid-file
+      // corruption -- the prefix beyond it must not be replayed.
+      out.corrupt_line = line_no;
+      out.corrupt_row_index = out.rows.size();
       ++out.dropped_lines;
-      while (std::getline(in, line)) ++out.dropped_lines;
+      for (;;) {
+        const LineStatus rest =
+            bounded_getline(is, line, limits.max_line_bytes);
+        if (rest == LineStatus::kEof) break;
+        ++out.dropped_lines;
+        if (rest == LineStatus::kOk && check_sealed_line(line)) {
+          out.mid_file_corruption = true;
+        }
+      }
       break;
     }
     out.rows.push_back(std::move(row));
@@ -197,14 +228,25 @@ bool load_from(const std::string& path, JournalData& out) {
   return true;
 }
 
-}  // namespace
-
 JournalData load_journal(const std::string& jsonl_path) {
   JournalData data;
   if (load_from(jsonl_path + ".partial", data)) return data;
   data = JournalData{};
   (void)load_from(jsonl_path, data);
   return data;
+}
+
+std::optional<Error> journal_corruption_error(const JournalData& journal) {
+  if (!journal.header_ok || !journal.mid_file_corruption) {
+    return std::nullopt;
+  }
+  return Error(Errc::kChecksum,
+               "journal row " + std::to_string(journal.corrupt_row_index) +
+                   " fails its CRC seal with intact rows after it "
+                   "(mid-file corruption, not a torn tail)")
+      .at(journal.source_path, journal.corrupt_line)
+      .hint("refusing to replay a journal with a damaged interior; delete "
+            "it (or restore it from backup) and rerun without --resume");
 }
 
 JobOutcome outcome_from_row(const JournalRow& row, const Job& job) {

@@ -20,9 +20,12 @@
 // docs/resumable_sweeps.md.
 #pragma once
 
+#include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/types.hpp"
 #include "exec/result_sink.hpp"
@@ -71,21 +74,44 @@ struct JournalRow {
 
 /// A journal read back from disk. `rows` holds the valid prefix; loading
 /// stops at the first line that fails its checksum or does not parse
-/// (torn-tail truncation) and counts the discarded lines.
+/// (torn-tail truncation) and counts the discarded lines. If any *later*
+/// line still carries a valid seal, the bad line is not a torn tail but
+/// damage inside the file: `mid_file_corruption` is set along with the
+/// 0-based row index and 1-based line number of the first bad line, and
+/// resume must refuse (see journal_corruption_error()).
 struct JournalData {
   bool header_ok = false;
   u64 fingerprint = 0;
   u64 jobs_declared = 0;
   std::vector<JournalRow> rows;
   usize dropped_lines = 0;
+  bool mid_file_corruption = false;
+  usize corrupt_row_index = 0;  ///< 0-based row index of the first bad line
+  u64 corrupt_line = 0;         ///< 1-based line number of the first bad line
   std::string source_path;  ///< the file actually read ("" if none found)
 };
+
+/// Read a journal from an open stream. Returns false when the first line
+/// is missing or is not a valid sealed header (out is then unspecified).
+/// Never throws on corrupt content -- corruption only shrinks the usable
+/// prefix and sets the corruption fields. Lines longer than
+/// `limits.max_line_bytes` and rows beyond `limits.max_records` are
+/// treated as corruption at that point.
+bool read_journal(std::istream& is, const std::string& source,
+                  JournalData& out,
+                  const ParseLimits& limits = kDefaultLimits);
 
 /// Load `<jsonl_path>.partial` if it holds a valid header, else
 /// `<jsonl_path>` itself, else an empty JournalData (header_ok = false).
 /// Never throws on corrupt content -- corruption only shrinks the usable
 /// prefix.
 [[nodiscard]] JournalData load_journal(const std::string& jsonl_path);
+
+/// The structured error a resume must raise for a mid-file-corrupt
+/// journal (Errc::kChecksum, row index + line number + path + hint), or
+/// nullopt when the journal is clean or merely torn at the tail.
+[[nodiscard]] std::optional<Error> journal_corruption_error(
+    const JournalData& journal);
 
 /// Reconstruct the outcome of a journaled `ok` row for `job`. The result
 /// carries exact per-policy energy totals, cache/trace counters and CNT

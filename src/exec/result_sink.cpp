@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/error.hpp"
 #include "common/hash.hpp"
 #include "common/json.hpp"
 #include "exec/journal.hpp"
@@ -102,7 +103,9 @@ JsonlSink::JsonlSink(const std::string& path, bool include_timing)
       partial_path_(path + ".partial") {
   file_.open(partial_path_, std::ios::trunc);
   if (!file_) {
-    throw std::runtime_error("JsonlSink: cannot open " + partial_path_);
+    throw Error(Errc::kIo, "JsonlSink: cannot open output file")
+        .at(partial_path_)
+        .hint("check that the directory exists and is writable");
   }
   os_ = &file_;
 }
@@ -179,8 +182,11 @@ void JsonlSink::finish() {
     // Atomic publish: readers of path_ see the old file or the complete
     // new one, never a torn intermediate.
     if (std::rename(partial_path_.c_str(), path_.c_str()) != 0) {
-      throw std::runtime_error("JsonlSink: cannot rename " + partial_path_ +
-                               " to " + path_);
+      throw Error(Errc::kIo,
+                  "JsonlSink: cannot rename partial journal onto " + path_)
+          .at(partial_path_)
+          .hint("the partial file with every completed row is still on "
+                "disk; check permissions on the destination");
     }
     os_ = nullptr;
   }

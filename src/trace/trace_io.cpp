@@ -1,32 +1,49 @@
 #include "trace/trace_io.hpp"
 
 #include <array>
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 
 namespace cnt {
 
 namespace {
 
-constexpr char kMagic[8] = {'C', 'N', 'T', 'T', 'R', 'C', '0', '1'};
+// Binary header: 6-byte format magic + 2-digit version. Splitting the
+// two lets diagnostics distinguish "not a CNT trace at all" (kMagic)
+// from "a CNT trace from an incompatible tool version" (kVersion).
+constexpr char kMagicPrefix[6] = {'C', 'N', 'T', 'T', 'R', 'C'};
+constexpr char kFormatVersion[2] = {'0', '1'};
 
-[[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error("trace_io: " + what);
+std::string printable(const char* bytes, usize n) {
+  std::string out;
+  for (usize i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(bytes[i]);
+    if (std::isprint(c) != 0) {
+      out += bytes[i];
+    } else {
+      constexpr char kHex[] = "0123456789abcdef";
+      out += "\\x";
+      out += kHex[c >> 4];
+      out += kHex[c & 0xf];
+    }
+  }
+  return out;
 }
 
-MemOp parse_op(char c, usize line_no) {
+MemOp parse_op(char c, const std::string& source, usize line_no) {
   switch (c) {
     case 'R': return MemOp::kRead;
     case 'W': return MemOp::kWrite;
     case 'I': return MemOp::kIFetch;
     default: break;
   }
-  fail("bad op '" + std::string(1, c) + "' at line " +
-       std::to_string(line_no));
+  throw Error(Errc::kSyntax, "bad op '" + std::string(1, c) + "'")
+      .at(source, line_no)
+      .hint("each record starts with R (read), W (write) or I (ifetch)");
 }
 
 }  // namespace
@@ -44,12 +61,25 @@ void write_text(const Trace& trace, std::ostream& os) {
   os << std::dec;
 }
 
-Trace read_text(std::istream& is, std::string name) {
-  Trace trace(std::move(name));
+Trace read_text(std::istream& is, std::string name,
+                const ParseLimits& limits) {
+  Trace trace(name);
+  const std::string& source = name;
   std::string line;
   usize line_no = 0;
-  while (std::getline(is, line)) {
+  for (;;) {
+    const LineStatus status = bounded_getline(is, line, limits.max_line_bytes);
+    if (status == LineStatus::kEof) break;
     ++line_no;
+    if (status == LineStatus::kTooLong) {
+      throw Error(Errc::kLimit,
+                  "line exceeds the " +
+                      std::to_string(limits.max_line_bytes) +
+                      "-byte strict-parse cap")
+          .at(source, line_no)
+          .hint("text trace records are short; this is not a CNT text "
+                "trace");
+    }
     // Strip comments and blank lines.
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
@@ -57,28 +87,47 @@ Trace read_text(std::istream& is, std::string name) {
     std::string op_tok;
     if (!(ls >> op_tok)) continue;
     if (op_tok.size() != 1) {
-      fail("bad op token at line " + std::to_string(line_no));
+      throw Error(Errc::kSyntax, "bad op token '" + op_tok + "'")
+          .at(source, line_no)
+          .hint("each record starts with R (read), W (write) or I (ifetch)");
     }
     MemAccess a;
-    a.op = parse_op(op_tok[0], line_no);
+    a.op = parse_op(op_tok[0], source, line_no);
     u32 size = 0;
     if (!(ls >> std::hex >> a.addr >> std::dec >> size)) {
-      fail("bad addr/size at line " + std::to_string(line_no));
+      throw Error(Errc::kSyntax, "bad addr/size fields")
+          .at(source, line_no)
+          .hint("records are '<op> <hex-addr> <decimal-size> [hex-value]'");
     }
     // Validate before narrowing to u8: a size like 264 would otherwise
     // truncate to 8 and pass valid() silently.
     if (size < 1 || size > 255) {
-      fail("size " + std::to_string(size) + " out of range [1, 255] at line " +
-           std::to_string(line_no));
+      throw Error(Errc::kRange,
+                  "size " + std::to_string(size) + " out of range [1, 255]")
+          .at(source, line_no)
+          .hint("access sizes are bytes per access and fit in 8 bits");
     }
     a.size = static_cast<u8>(size);
     if (a.op == MemOp::kWrite) {
       if (!(ls >> std::hex >> a.value)) {
-        fail("missing write value at line " + std::to_string(line_no));
+        throw Error(Errc::kSyntax, "missing write value")
+            .at(source, line_no)
+            .hint("W records are 'W <hex-addr> <size> <hex-value>'");
       }
     }
     if (!a.valid()) {
-      fail("invalid access at line " + std::to_string(line_no));
+      throw Error(Errc::kRange, "invalid access (size must be 1/2/4/8 and "
+                                "the address size-aligned)")
+          .at(source, line_no)
+          .hint("capture traces with the in-tree tools to get aligned "
+                "power-of-two accesses");
+    }
+    if (trace.size() >= limits.max_records) {
+      throw Error(Errc::kLimit,
+                  "more than " + std::to_string(limits.max_records) +
+                      " records (strict-parse cap)")
+          .at(source, line_no)
+          .hint("raise ParseLimits::max_records if this is a real trace");
     }
     trace.push(a);
   }
@@ -86,7 +135,8 @@ Trace read_text(std::istream& is, std::string name) {
 }
 
 void write_binary(const Trace& trace, std::ostream& os) {
-  os.write(kMagic, sizeof kMagic);
+  os.write(kMagicPrefix, sizeof kMagicPrefix);
+  os.write(kFormatVersion, sizeof kFormatVersion);
   const u64 count = trace.size();
   os.write(reinterpret_cast<const char*>(&count), 8);
   for (const auto& a : trace) {
@@ -99,20 +149,63 @@ void write_binary(const Trace& trace, std::ostream& os) {
   }
 }
 
-Trace read_binary(std::istream& is, std::string name) {
-  char magic[8];
-  if (!is.read(magic, sizeof magic) ||
-      std::memcmp(magic, kMagic, sizeof magic) != 0) {
-    fail("bad magic");
+Trace read_binary(std::istream& is, std::string name,
+                  const ParseLimits& limits) {
+  const std::string& source = name;
+  char header[8];
+  if (!is.read(header, sizeof header)) {
+    throw Error(Errc::kTruncated, "input ends inside the 8-byte header")
+        .at(source)
+        .hint("the file is empty or truncated; not a usable CNT trace");
+  }
+  if (std::memcmp(header, kMagicPrefix, sizeof kMagicPrefix) != 0) {
+    throw Error(Errc::kMagic,
+                "not a CNT trace (magic is '" +
+                    printable(header, sizeof kMagicPrefix) +
+                    "', expected 'CNTTRC')")
+        .at(source)
+        .hint("binary traces start with the 6-byte magic 'CNTTRC'; for "
+              "text traces use the .txt extension");
+  }
+  const char* version = header + sizeof kMagicPrefix;
+  if (std::memcmp(version, kFormatVersion, sizeof kFormatVersion) != 0) {
+    throw Error(Errc::kVersion,
+                "unsupported trace format version '" +
+                    printable(version, sizeof kFormatVersion) +
+                    "' (this build reads version 01)")
+        .at(source)
+        .hint("regenerate the trace with this build's save_trace(), or "
+              "convert it via the text format");
   }
   u64 count = 0;
-  if (!is.read(reinterpret_cast<char*>(&count), 8)) fail("truncated header");
+  if (!is.read(reinterpret_cast<char*>(&count), 8)) {
+    throw Error(Errc::kTruncated, "input ends inside the record count")
+        .at(source)
+        .hint("the header is incomplete; the file was likely cut short");
+  }
+  if (count > limits.max_records) {
+    throw Error(Errc::kLimit,
+                "header declares " + std::to_string(count) +
+                    " records, above the strict-parse cap of " +
+                    std::to_string(limits.max_records))
+        .at(source)
+        .hint("a corrupt count would otherwise drive unbounded reads; "
+              "raise ParseLimits::max_records if this is a real trace");
+  }
   Trace trace(std::move(name));
-  trace.reserve(count);
+  // Pre-reserve from the declared count, but never more than the
+  // allocation cap: a corrupted count must not OOM the process. Larger
+  // traces still load; the vector then grows with actual records.
+  constexpr usize kRecordMem = sizeof(MemAccess);
+  trace.reserve(std::min<u64>(count, limits.max_reserve_bytes / kRecordMem));
   for (u64 i = 0; i < count; ++i) {
     std::array<char, 18> rec;
     if (!is.read(rec.data(), rec.size())) {
-      fail("truncated at record " + std::to_string(i));
+      throw Error(Errc::kTruncated,
+                  "input ends at record " + std::to_string(i) + " of " +
+                      std::to_string(count))
+          .at(source)
+          .hint("the file was cut short; re-capture or re-copy the trace");
     }
     MemAccess a;
     std::memcpy(&a.addr, rec.data(), 8);
@@ -120,10 +213,22 @@ Trace read_binary(std::istream& is, std::string name) {
     a.size = static_cast<u8>(rec[16]);  // cnt-lint: narrow-ok same width
     const auto op_raw = static_cast<u8>(rec[17]);
     if (op_raw > static_cast<u8>(MemOp::kIFetch)) {
-      fail("bad op in record " + std::to_string(i));
+      throw Error(Errc::kRange,
+                  "bad op byte " + std::to_string(op_raw) + " in record " +
+                      std::to_string(i))
+          .at(source)
+          .hint("op bytes are 0 (read), 1 (write) or 2 (ifetch)");
     }
     a.op = static_cast<MemOp>(op_raw);
-    if (!a.valid()) fail("invalid access in record " + std::to_string(i));
+    if (!a.valid()) {
+      throw Error(Errc::kRange,
+                  "invalid access in record " + std::to_string(i) +
+                      " (size must be 1/2/4/8 and the address "
+                      "size-aligned)")
+          .at(source)
+          .hint("capture traces with the in-tree tools to get aligned "
+                "power-of-two accesses");
+    }
     trace.push(a);
   }
   return trace;
@@ -134,7 +239,11 @@ void save_trace(const Trace& trace, const std::string& path) {
                     path.compare(path.size() - 4, 4, ".txt") == 0;
   std::ofstream out(path, text ? std::ios::out
                                : std::ios::out | std::ios::binary);
-  if (!out) fail("cannot open " + path + " for writing");
+  if (!out) {
+    throw Error(Errc::kIo, "cannot open trace file for writing")
+        .at(path)
+        .hint("check that the directory exists and is writable");
+  }
   if (text) {
     write_text(trace, out);
   } else {
@@ -147,13 +256,25 @@ Trace load_trace(const std::string& path) {
                     path.compare(path.size() - 4, 4, ".txt") == 0;
   std::ifstream in(path, text ? std::ios::in
                               : std::ios::in | std::ios::binary);
-  if (!in) fail("cannot open " + path);
+  if (!in) {
+    throw Error(Errc::kIo, "cannot open trace file")
+        .at(path)
+        .hint("check the path and permissions");
+  }
   // Trace name = file basename.
   const auto slash = path.find_last_of('/');
   std::string name =
       slash == std::string::npos ? path : path.substr(slash + 1);
   return text ? read_text(in, std::move(name))
               : read_binary(in, std::move(name));
+}
+
+Result<Trace> try_load_trace(const std::string& path) {
+  try {
+    return load_trace(path);
+  } catch (Error& e) {
+    return std::move(e);
+  }
 }
 
 }  // namespace cnt

@@ -7,13 +7,23 @@
 //   W <hex-addr> <size> <hex-value>
 //   I <hex-addr> <size>
 //
-// Binary format: "CNTTRC01" magic, u64 record count, then per record
-// {u64 addr, u64 value, u8 size, u8 op} packed little-endian.
+// Binary format: 6-byte magic "CNTTRC" + 2-digit format version "01",
+// u64 record count, then per record {u64 addr, u64 value, u8 size, u8 op}
+// packed little-endian. (The byte stream is identical to the historical
+// single "CNTTRC01" magic, so every existing trace still loads.)
+//
+// All readers are strict (docs/error_handling.md): failures throw
+// cnt::Error carrying the source name, a line number or record index and
+// a fix-it hint; a wrong magic (Errc::kMagic, "not a CNT trace") is
+// distinguished from an unsupported version (Errc::kVersion); and
+// ParseLimits bound line lengths, record counts and the preallocation a
+// corrupted header can trigger.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "common/error.hpp"
 #include "trace/trace.hpp"
 
 namespace cnt {
@@ -21,19 +31,24 @@ namespace cnt {
 /// Serialize to the text format. Never fails on a well-formed trace.
 void write_text(const Trace& trace, std::ostream& os);
 
-/// Parse the text format. Throws std::runtime_error with a line number on
-/// malformed input.
-[[nodiscard]] Trace read_text(std::istream& is, std::string name = "trace");
+/// Parse the text format. Throws cnt::Error naming `name` and the line
+/// number on malformed input.
+[[nodiscard]] Trace read_text(std::istream& is, std::string name = "trace",
+                              const ParseLimits& limits = kDefaultLimits);
 
 /// Serialize to the binary format.
 void write_binary(const Trace& trace, std::ostream& os);
 
-/// Parse the binary format. Throws std::runtime_error on bad magic,
-/// truncation, or invalid records.
-[[nodiscard]] Trace read_binary(std::istream& is, std::string name = "trace");
+/// Parse the binary format. Throws cnt::Error on bad magic, unsupported
+/// version, truncation, limit violations, or invalid records.
+[[nodiscard]] Trace read_binary(std::istream& is, std::string name = "trace",
+                                const ParseLimits& limits = kDefaultLimits);
 
 /// File-path conveniences; format chosen by extension (".txt" vs other).
 void save_trace(const Trace& trace, const std::string& path);
 [[nodiscard]] Trace load_trace(const std::string& path);
+
+/// Non-throwing variant of load_trace for CLIs and the fuzz wall.
+[[nodiscard]] Result<Trace> try_load_trace(const std::string& path);
 
 }  // namespace cnt

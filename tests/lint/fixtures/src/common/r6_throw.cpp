@@ -1,0 +1,29 @@
+// cnt-lint fixture: rule R6 (bare std::runtime_error in taxonomy-migrated
+// subsystems). Lives under fixtures/src/common/ so its path matches the
+// rule's scope. Exactly ONE unsuppressed violation plus one suppressed
+// twin; consumed by tests/lint/test_lint_rules.cpp. NOT part of the main
+// build.
+#include <stdexcept>
+
+void reject_input() {
+  throw std::runtime_error("parse failed");  // <- the one R6 violation
+}
+
+void deliberate_plain_throw() {
+  // cnt-lint: throw-ok -- suppressed twin
+  throw std::runtime_error("intentionally untyped");
+}
+
+// Near-misses that must NOT trigger:
+struct Error {
+  explicit Error(const char*) {}
+};
+void taxonomy_throw() { throw Error("structured errors are the point"); }
+void rethrow() { throw; }  // bare rethrow is fine
+void catcher() {
+  try {
+    taxonomy_throw();
+  } catch (const std::runtime_error&) {  // naming the type is fine
+  }
+}
+const char* kDoc = "docs may say throw std::runtime_error( freely";

@@ -75,9 +75,20 @@ TEST(Config, SyntaxErrorsThrowWithLine) {
                std::runtime_error);
 }
 
-TEST(Config, LastValueWins) {
-  const auto c = Config::parse_string("[s]\nk = 1\nk = 2\n");
-  EXPECT_EQ(c.get_int("s.k", 0), 2);
+TEST(Config, DuplicateKeyRejected) {
+  // Silent last-wins hid config typos; a duplicate full key is an error.
+  try {
+    const auto c = Config::parse_string("[s]\nk = 1\nk = 2\n");
+    FAIL() << "duplicate key must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::kDuplicateKey);
+    EXPECT_NE(std::string(e.what()).find("s.k"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+  // The same bare key in different sections is two distinct keys.
+  const auto c = Config::parse_string("[a]\nk = 1\n[b]\nk = 2\n");
+  EXPECT_EQ(c.get_int("a.k", 0), 1);
+  EXPECT_EQ(c.get_int("b.k", 0), 2);
 }
 
 TEST(Config, KeysSorted) {

@@ -197,6 +197,10 @@ TEST(Journal, TornTailIsTruncated) {
   ASSERT_EQ(data.rows.size(), 1u);
   EXPECT_EQ(data.rows[0].job_id, 0u);
   EXPECT_EQ(data.dropped_lines, 1u);
+  // A torn tail is recoverable; it must NOT be classified as mid-file
+  // corruption and must not produce a refusal error.
+  EXPECT_FALSE(data.mid_file_corruption);
+  EXPECT_FALSE(journal_corruption_error(data).has_value());
 }
 
 TEST(Journal, CorruptionStopsTheUsablePrefix) {
@@ -220,6 +224,36 @@ TEST(Journal, CorruptionStopsTheUsablePrefix) {
   // is discarded so resume re-runs it rather than trusting the tail.
   ASSERT_EQ(data.rows.size(), 1u);
   EXPECT_EQ(data.dropped_lines, 2u);
+  // The sealed row AFTER the bad one proves this is damage inside the
+  // file, not a torn tail: the loader flags it with the exact location.
+  EXPECT_TRUE(data.mid_file_corruption);
+  EXPECT_EQ(data.corrupt_row_index, 1u);  // 0-based: the second row
+  EXPECT_EQ(data.corrupt_line, 3u);       // 1-based: header, row0, bad
+}
+
+TEST(Journal, MidFileCorruptionYieldsRefusalError) {
+  const std::string path = temp_path("cnt_journal_refusal.jsonl");
+  std::ostringstream row0, row1;
+  write_jsonl_row(run_job(make_job(0)), row0, false);
+  write_jsonl_row(run_job(make_job(1, "zipf_kv")), row1, false);
+  std::string bad = row0.str();
+  bad[bad.find("job_id")] = 'X';  // bit rot inside row 0
+  {
+    std::ofstream out(path);
+    out << make_header_line(1, 2) << '\n'
+        << bad << '\n'
+        << row1.str() << '\n';
+  }
+  const JournalData data = load_journal(path);
+  ASSERT_TRUE(data.header_ok);
+  ASSERT_TRUE(data.mid_file_corruption);
+  const auto err = journal_corruption_error(data);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->info().code, Errc::kChecksum);
+  EXPECT_EQ(err->info().source, path);
+  EXPECT_EQ(err->info().line, 2u);
+  EXPECT_NE(err->info().message.find("row 0"), std::string::npos);
+  EXPECT_NE(err->info().hint.find("--resume"), std::string::npos);
 }
 
 TEST(Journal, PartialIsPreferredOverFinal) {

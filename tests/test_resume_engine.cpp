@@ -173,6 +173,38 @@ TEST(ResumeEngine, CorruptTailIsRecomputed) {
   EXPECT_FALSE(outcomes[3].resumed);  // its row was torn -> re-simulated
 }
 
+TEST(ResumeEngine, MidFileCorruptionRefusesToResume) {
+  const std::string path = temp_path("cnt_resume_midfile.jsonl");
+  (void)reference_run(path);
+
+  // Damage a row in the MIDDLE of the journal (sealed rows follow it):
+  // unlike a torn tail this is not a crash signature, and silently
+  // replaying around the hole would drop results -- resume must refuse.
+  std::string text = slurp(path);
+  std::remove(path.c_str());
+  text[text.find("job_id", text.find('\n') + 1)] = 'X';
+  {
+    std::ofstream out(path + ".partial");
+    out << text;
+  }
+
+  EngineOptions opts;
+  opts.jobs = 1;
+  opts.jsonl_path = path;
+  opts.jsonl_timing = false;
+  opts.resume = true;
+  try {
+    (void)ExperimentEngine(opts).run(small_spec());
+    FAIL() << "mid-file-corrupt journal was accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.info().code, Errc::kChecksum);
+    // The row index and the refusal rationale must reach the user.
+    EXPECT_NE(e.info().message.find("row 0"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--resume"), std::string::npos);
+    EXPECT_NE(e.info().source.find(".partial"), std::string::npos);
+  }
+}
+
 TEST(ResumeEngine, MismatchedSweepFingerprintThrows) {
   const std::string path = temp_path("cnt_resume_mismatch.jsonl");
   (void)reference_run(path);

@@ -1,0 +1,31 @@
+// Optional libFuzzer entry point (built only under -DCNT_LIBFUZZER=ON
+// with Clang). One binary covers all five targets: the first input byte
+// selects the parser (modulo the target count), the rest is the payload.
+// This keeps a single growing coverage corpus able to explore every
+// format while the deterministic wall (cnt-fuzz / ctest label `fuzz`)
+// stays the repeatable CI gate.
+//
+// Run:  cnt_fuzz_libfuzzer -max_len=4096 tests/fuzz/corpus/ini ...
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cnt-fuzz/fuzzer.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  constexpr std::size_t kTargets =
+      sizeof(cnt::fuzz::kAllTargets) / sizeof(cnt::fuzz::kAllTargets[0]);
+  const cnt::fuzz::FuzzTarget target =
+      cnt::fuzz::kAllTargets[data[0] % kTargets];
+  const std::string input(reinterpret_cast<const char*>(data + 1), size - 1);
+  // classify() swallows structured rejections; anything it reports as a
+  // crash escaped the taxonomy, which is exactly what libFuzzer should
+  // flag -- so re-run the parser raw and let the exception propagate.
+  if (cnt::fuzz::classify(target, input).cls ==
+      cnt::fuzz::FuzzOutcome::Cls::kCrashed) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -77,6 +77,8 @@ const std::vector<RuleInfo>& rule_catalog() {
        "narrowing cast to a <=16-bit integer without a nearby range guard"},
       {"R5", "unordered-order", "unordered-ok",
        "iteration over an unordered container feeds output"},
+      {"R6", "bare-throw", "throw-ok",
+       "bare throw of std::runtime_error where cnt::Error is mandatory"},
   };
   return kCatalog;
 }
@@ -476,6 +478,40 @@ void check_r5_unordered_output(const SourceFile& file,
   }
 }
 
+// --- R6: bare std::runtime_error in taxonomy-migrated subsystems ----------
+//
+// src/common, src/trace and src/exec report failures through the
+// structured taxonomy (cnt::Error / cnt::ValueError, common/error.hpp)
+// so every message carries what/where/hint. A bare
+// `throw std::runtime_error(...)` there loses all three fields and
+// regresses docs/error_handling.md; deliberate exceptions annotate with
+// `// cnt-lint: throw-ok`. Other directories (examples, benches, tests)
+// are out of scope.
+void check_r6_bare_throw(const SourceFile& file, std::vector<Finding>& out) {
+  const bool in_scope = file.path.find("src/common") != std::string::npos ||
+                        file.path.find("src/trace") != std::string::npos ||
+                        file.path.find("src/exec") != std::string::npos;
+  if (!in_scope) return;
+  const RuleInfo& rule = rule_catalog()[5];
+  const Tokens& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_ident("throw")) continue;
+    std::size_t j = i + 1;
+    if (j + 1 < toks.size() && toks[j].is_ident("std") &&
+        toks[j + 1].is_punct("::")) {
+      j += 2;
+    }
+    if (j + 1 < toks.size() && toks[j].is_ident("runtime_error") &&
+        toks[j + 1].is_punct("(")) {
+      report(file, toks[i].line, rule,
+             "bare 'throw std::runtime_error' in a taxonomy-migrated "
+             "subsystem; throw cnt::Error with .at()/.hint() instead "
+             "(common/error.hpp), or annotate // cnt-lint: throw-ok",
+             out);
+    }
+  }
+}
+
 void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
                std::vector<Finding>& out) {
   auto on = [&](std::string_view id) {
@@ -487,6 +523,7 @@ void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
   if (on("R3")) check_r3_nodiscard(file, out);
   if (on("R4")) check_r4_narrowing(file, out);
   if (on("R5")) check_r5_unordered_output(file, out);
+  if (on("R6")) check_r6_bare_throw(file, out);
 }
 
 }  // namespace cnt::lint

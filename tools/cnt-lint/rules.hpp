@@ -11,6 +11,8 @@
 //      within the preceding lines                      [narrow-ok]
 //   R5 iteration over unordered containers feeding output (CSV, JSONL,
 //      tables, streams)                                [unordered-ok]
+//   R6 bare `throw std::runtime_error(...)` inside the taxonomy-migrated
+//      subsystems (src/common, src/trace, src/exec)    [throw-ok]
 //
 // A finding on line L is silenced by `// cnt-lint: <tag>` on line L or
 // line L-1.
@@ -27,7 +29,7 @@ namespace cnt::lint {
 struct Finding {
   std::string path;
   std::uint32_t line = 0;
-  std::string rule;     ///< "R1".."R5"
+  std::string rule;     ///< "R1".."R6"
   std::string name;     ///< short rule name, e.g. "nondeterminism"
   std::string message;
 
@@ -45,11 +47,11 @@ struct RuleInfo {
   const char* summary;
 };
 
-/// Static catalog, ordered R1..R5.
+/// Static catalog, ordered R1..R6.
 [[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
 
 /// Run the selected rules over one file, appending findings.
-/// `enabled` holds rule ids ("R1".."R5"); empty means all rules.
+/// `enabled` holds rule ids ("R1".."R6"); empty means all rules.
 void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
                std::vector<Finding>& out);
 
@@ -58,6 +60,7 @@ void check_r1_nondeterminism(const SourceFile& file, std::vector<Finding>& out);
 void check_r2_global_state(const SourceFile& file, std::vector<Finding>& out);
 void check_r3_nodiscard(const SourceFile& file, std::vector<Finding>& out);
 void check_r4_narrowing(const SourceFile& file, std::vector<Finding>& out);
+void check_r6_bare_throw(const SourceFile& file, std::vector<Finding>& out);
 void check_r5_unordered_output(const SourceFile& file,
                                std::vector<Finding>& out);
 
