@@ -1,0 +1,94 @@
+// E-traffic -- encoding win across the server-traffic scenario family
+// (docs/trace_streaming.md): the same Zipfian KV core under steady,
+// diurnal, write-bursty, scan-heavy and gather-heavy traffic. The
+// interesting spread is how the adaptive predictor's win moves with the
+// read/write mix and the access-pattern regularity.
+//
+// Runs on the parallel experiment engine: one job per scenario, JSONL
+// telemetry beside the CSV. `--jobs 1` reproduces the serial reference
+// bit-for-bit.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "exec/engine.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "trace/gen/server_traffic.hpp"
+
+using namespace cnt;
+
+int main(int argc, char** argv) {
+  bench::banner("E-traffic",
+                "server-traffic scenarios (encoding win vs. traffic shape)");
+  const double scale = bench::scale_from_env(0.25);
+  const usize jobs = bench::jobs_option(argc, argv);
+  const bool resume = bench::resume_option(argc, argv);
+
+  std::vector<std::string> scenarios = {"server_traffic"};
+  for (const auto& sc : gen::traffic_scenarios()) scenarios.push_back(sc.name);
+
+  SimConfig base;
+  base.with_cmos = false;
+
+  exec::SweepSpec spec;
+  spec.base(base).scale(scale).workloads(scenarios);
+
+  exec::ExperimentEngine engine(
+      {.jobs = jobs,
+       .jsonl_path = result_path("fig_traffic.jsonl"),
+       .progress = true,
+       .resume = resume,
+       .handle_signals = true});
+  std::vector<exec::JobOutcome> outcomes;
+  try {
+    outcomes = engine.run(spec);
+  } catch (const exec::SweepInterrupted& e) {
+    return bench::report_interrupted(e);
+  } catch (const std::exception& e) {
+    return bench::report_error(e);
+  }
+  const auto groups = exec::group_by_tag(outcomes);
+  std::vector<SimResult> results;
+  for (const auto& g : groups) {
+    for (const auto& r : exec::results_of(g.outcomes)) {
+      results.push_back(r);
+    }
+  }
+
+  Table t({"scenario", "accesses", "write frac", "hit rate", "static",
+           "CNT-Cache", "ideal"});
+  const std::string csv_path = result_path("fig_traffic.csv");
+  CsvWriter csv(csv_path, {"scenario", "accesses", "write_fraction",
+                           "hit_rate", "static_saving", "cnt_saving",
+                           "ideal_saving"});
+  for (const auto& r : results) {
+    const double hit = r.cache_stats.hit_rate();
+    t.add_row({r.workload, std::to_string(r.trace_stats.accesses),
+               Table::pct(r.trace_stats.write_fraction), Table::pct(hit),
+               Table::pct(r.saving(kPolicyStatic)),
+               Table::pct(r.saving(kPolicyCnt)),
+               Table::pct(r.saving(kPolicyIdeal))});
+    csv.add_row({r.workload, std::to_string(r.trace_stats.accesses),
+                 std::to_string(r.trace_stats.write_fraction),
+                 std::to_string(hit),
+                 std::to_string(r.saving(kPolicyStatic)),
+                 std::to_string(r.saving(kPolicyCnt)),
+                 std::to_string(r.saving(kPolicyIdeal))});
+  }
+  t.add_row({"mean", "", "", "", Table::pct(mean_saving(results, kPolicyStatic)),
+             Table::pct(mean_saving(results)),
+             Table::pct(mean_saving(results, kPolicyIdeal))});
+  std::cout << t.render() << "\n"
+            << "only steady traffic lets the predictor capture the oracle's "
+               "headroom;\nhot-set drift, write bursts and especially "
+               "read-once scan/gather fills\n(low hit rate, no reuse to "
+               "learn from) push the committed encodings the\nwrong way -- "
+               "the oracle column shows the headroom is still there.\n\ncsv: "
+            << csv_path << " (scale " << scale << ", "
+            << engine.worker_count() << " jobs)\njsonl: "
+            << result_path("fig_traffic.jsonl") << "\n";
+  return 0;
+}

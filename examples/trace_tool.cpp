@@ -1,14 +1,17 @@
 // Trace tool: generate suite workloads as portable trace files, inspect
 // them, and replay them through the simulator.
 //
-//   $ ./trace_tool gen <workload> <out.(txt|bin)> [scale]
+//   $ ./trace_tool gen <workload> <out.(txt|bin|trs)> [scale]
 //   $ ./trace_tool info <trace-file>
 //   $ ./trace_tool replay <trace-file>
 //
-// The text format is human-readable/editable; the binary format is compact.
-// Replaying an external trace only exercises the cache + energy models (no
-// initial memory image travels with a bare trace, so unwritten memory reads
-// as zero).
+// The text format is human-readable/editable; the binary format is
+// compact; the .trs chunked format (docs/trace_streaming.md) is compact
+// AND streamable -- info and replay pull it chunk by chunk, so a .trs
+// file larger than RAM still inspects and replays in O(chunk) memory.
+// Replaying an external trace only exercises the cache + energy models
+// (no initial memory image travels with a bare trace, so unwritten
+// memory reads as zero).
 #include <iostream>
 #include <string>
 
@@ -16,6 +19,8 @@
 #include "common/table.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
+#include "trace/stream/stream_reader.hpp"
+#include "trace/stream/stream_writer.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/workload_suite.hpp"
 
@@ -25,7 +30,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage:\n"
-            << "  trace_tool gen <workload> <out.(txt|bin)> [scale]\n"
+            << "  trace_tool gen <workload> <out.(txt|bin|trs)> [scale]\n"
             << "  trace_tool info <trace-file>\n"
             << "  trace_tool replay <trace-file>\n"
             << "workloads:";
@@ -34,10 +39,13 @@ int usage() {
   return 1;
 }
 
-void print_info(const Trace& t) {
-  const auto s = t.stats();
+bool is_streamed(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".trs") == 0;
+}
+
+void print_info(const std::string& name, const TraceStats& s) {
   Table info({"metric", "value"});
-  info.add_row({"name", t.name()});
+  info.add_row({"name", name});
   info.add_row({"records", std::to_string(s.accesses)});
   info.add_row({"reads", std::to_string(s.reads)});
   info.add_row({"writes", std::to_string(s.writes)});
@@ -47,6 +55,13 @@ void print_info(const Trace& t) {
   info.add_row({"footprint", Table::num(s.footprint_kib, 1) + " KiB"});
   info.add_row({"write bit-1 density", Table::pct(s.write_bit1_density)});
   std::cout << info.render();
+}
+
+void print_replay(const SimResult& res) {
+  std::cout << "\nhit rate: " << Table::pct(res.cache_stats.hit_rate())
+            << "\n\n"
+            << breakdown_table(res) << "\nCNT-Cache saving: "
+            << Table::pct(res.saving(kPolicyCnt)) << "\n";
 }
 
 }  // namespace
@@ -59,24 +74,40 @@ int main(int argc, char** argv) {
       if (argc < 4) return usage();
       const double scale = argc > 4 ? std::atof(argv[4]) : 1.0;
       const Workload w = build_workload(argv[2], scale);
-      save_trace(w.trace, argv[3]);
+      if (is_streamed(argv[3])) {
+        stream::StreamTraceWriter writer(argv[3]);
+        for (const auto& a : w.trace) writer.push(a);
+        writer.finish();
+      } else {
+        save_trace(w.trace, argv[3]);
+      }
       std::cout << "wrote " << w.trace.size() << " records to " << argv[3]
                 << "\n";
-      print_info(w.trace);
+      print_info(w.trace.name(), w.trace.stats());
     } else if (cmd == "info") {
-      print_info(load_trace(argv[2]));
+      if (is_streamed(argv[2])) {
+        stream::StreamTraceSource src(argv[2]);
+        print_info(src.name(), stats_of(src));
+      } else {
+        const Trace t = load_trace(argv[2]);
+        print_info(t.name(), t.stats());
+      }
     } else if (cmd == "replay") {
-      const Trace t = load_trace(argv[2]);
-      Workload w;
-      w.name = t.name();
-      w.trace = t;
       SimConfig cfg;
-      const SimResult res = simulate(w, cfg);
-      print_info(t);
-      std::cout << "\nhit rate: " << Table::pct(res.cache_stats.hit_rate())
-                << "\n\n"
-                << breakdown_table(res) << "\nCNT-Cache saving: "
-                << Table::pct(res.saving(kPolicyCnt)) << "\n";
+      if (is_streamed(argv[2])) {
+        stream::StreamTraceSource src(argv[2]);
+        const SimResult res = simulate(src, {}, cfg);
+        print_info(src.name(), res.trace_stats);
+        print_replay(res);
+      } else {
+        const Trace t = load_trace(argv[2]);
+        Workload w;
+        w.name = t.name();
+        w.trace = t;
+        const SimResult res = simulate(w, cfg);
+        print_info(t.name(), res.trace_stats);
+        print_replay(res);
+      }
     } else {
       return usage();
     }

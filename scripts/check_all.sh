@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
 # One-stop local quality gate: documentation drift, cnt-lint static
-# analysis, the cnt-fuzz ingest wall, and the results regression check,
-# in that order.
+# analysis, the cnt-fuzz ingest wall, the results regression check, and
+# the streamed-replay perf gate, in that order.
 #
 #   scripts/check_all.sh [build_dir] [results.json]
 #
 # build_dir defaults to `build` and must contain the compiled tree
-# (tools/cnt-lint/cnt-lint, tools/cnt-fuzz/cnt-fuzz and
-# examples/cnt_sim). When no results.json is given, a smoke run of
-# cnt_sim against a generated minimal config feeds check_regression.py
-# instead.
+# (tools/cnt-lint/cnt-lint, tools/cnt-fuzz/cnt-fuzz, examples/cnt_sim
+# and bench/bench_perf_stream_replay). When no results.json is given, a
+# smoke run of cnt_sim against a generated minimal config feeds
+# check_regression.py instead.
 #
 # Every missing prerequisite is a loud exit-2 failure -- this script
 # never skips a leg silently.
@@ -30,23 +30,23 @@ die() {
 [ -d "$build_dir" ] || die "build directory not found: $build_dir (run: cmake --preset default && cmake --build --preset default)"
 
 # --- leg 1: documentation drift -------------------------------------------
-say "[1/4] scripts/check_docs.sh"
+say "[1/5] scripts/check_docs.sh"
 scripts/check_docs.sh || fail=1
 
 # --- leg 2: cnt-lint over the whole tree ----------------------------------
 lint_bin="$build_dir/tools/cnt-lint/cnt-lint"
 [ -x "$lint_bin" ] || die "cnt-lint binary not found: $lint_bin (build the default preset first)"
-say "[2/4] cnt-lint src bench examples tests tools"
+say "[2/5] cnt-lint src bench examples tests tools"
 "$lint_bin" src bench examples tests tools --exclude=tests/lint/fixtures || fail=1
 
 # --- leg 3: deterministic fuzz wall over every ingest parser --------------
 fuzz_bin="$build_dir/tools/cnt-fuzz/cnt-fuzz"
 [ -x "$fuzz_bin" ] || die "cnt-fuzz binary not found: $fuzz_bin (build the default preset first)"
-say "[3/4] cnt-fuzz --target all --seed 1 --runs 2000 --check-corpus"
+say "[3/5] cnt-fuzz --target all --seed 1 --runs 2000 --check-corpus"
 "$fuzz_bin" --corpus-root tests/fuzz/corpus --target all --seed 1 --runs 2000 --check-corpus || fail=1
 
 # --- leg 4: results regression gate ---------------------------------------
-say "[4/4] scripts/check_regression.py"
+say "[4/5] scripts/check_regression.py"
 if [ -n "$results_json" ]; then
   [ -e "$results_json" ] || die "results file not found: $results_json"
   python3 scripts/check_regression.py "$results_json" || fail=1
@@ -67,8 +67,26 @@ EOF
   python3 scripts/check_regression.py "$tmpdir/smoke.json" || fail=1
 fi
 
+# --- leg 5: streamed-replay perf gate --------------------------------------
+# A small (4 MiB) generate-replay-compare round keeps the leg quick while
+# still exercising the chunked writer, the reader, and the ledger-identity
+# invariant end to end. The accesses/sec floor is deliberately conservative
+# (~50x below a typical debug-build run) so it only catches order-of-
+# magnitude regressions, not machine-load noise.
+replay_bin="$build_dir/bench/bench_perf_stream_replay"
+[ -x "$replay_bin" ] || die "bench_perf_stream_replay binary not found: $replay_bin (build the default preset first)"
+say "[5/5] bench_perf_stream_replay --bytes 4194304 (+ check_regression.py --min-aps 20000)"
+perf_dir=$(mktemp -d) || die "mktemp failed"
+if CNT_RESULTS_DIR="$perf_dir" "$replay_bin" --bytes 4194304 >/dev/null; then
+  python3 scripts/check_regression.py "$perf_dir/BENCH_stream_replay.json" --min-aps 20000 || fail=1
+else
+  echo "check_all: bench_perf_stream_replay failed" >&2
+  fail=1
+fi
+rm -rf "$perf_dir"
+
 if [ "$fail" -ne 0 ]; then
   echo "check_all: FAILED" >&2
   exit 1
 fi
-say "OK (docs, lint, fuzz, regression all green)"
+say "OK (docs, lint, fuzz, regression, stream-replay perf all green)"

@@ -4,10 +4,17 @@
 Usage:
     build/examples/cnt_sim my.ini           # with [output] json = run.json
     python3 scripts/check_regression.py run.json [--min-saving 0.10]
+    python3 scripts/check_regression.py results/BENCH_stream_replay.json \
+        [--min-aps 100000]
 
 Checks the invariants a healthy run must satisfy (finite positive
 energies, savings within sane bounds, baseline policy present) and,
 optionally, a minimum CNT-Cache saving.
+
+Also accepts perf-bench documents (schema cnt-bench-perf-v1, emitted by
+bench_perf_stream_replay): finite positive throughput, a positive peak-RSS
+reading, and a byte-identical in-RAM-vs-streamed energy ledger, with an
+optional --min-aps accesses/sec floor.
 
 Exit codes: 0 = pass, 1 = invariant violated, 2 = prerequisite missing
 (file absent/unreadable, malformed JSON, missing schema tag).
@@ -55,11 +62,33 @@ def check_result(r, min_saving):
     return 0
 
 
+def check_perf(doc, min_aps):
+    """Structural checks for a cnt-bench-perf-v1 document."""
+    name = doc.get("bench", "?")
+    for key in ("accesses", "file_bytes", "seconds", "accesses_per_sec",
+                "peak_rss_bytes"):
+        v = doc.get(key)
+        if not isinstance(v, (int, float)) or not math.isfinite(v) or v <= 0:
+            return fail(f"{name}: bad {key} {v!r}")
+    if doc.get("ledger_identical") is not True:
+        return fail(f"{name}: streamed replay diverged from the in-RAM "
+                    "energy ledger")
+    aps = doc["accesses_per_sec"]
+    if min_aps is not None and aps < min_aps:
+        return fail(f"{name}: {aps:.0f} accesses/sec below gate {min_aps:.0f}")
+    print(f"ok: {name}  {aps:.0f} accesses/sec  "
+          f"peak_rss={doc['peak_rss_bytes'] / 2**20:.1f} MiB  "
+          f"ledger_identical=true")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("json_file")
     ap.add_argument("--min-saving", type=float, default=None,
                     help="fail if any workload's cnt_cache saving is below")
+    ap.add_argument("--min-aps", type=float, default=None,
+                    help="fail if a perf bench's accesses/sec is below")
     args = ap.parse_args()
 
     # Prerequisite problems exit 2 loudly instead of tracebacking (or,
@@ -85,8 +114,13 @@ def main():
         results = [doc]
     elif "schema" not in doc:
         fail(f"{args.json_file}: missing schema tag "
-             "(expected cnt-cache-results-v1)")
+             "(expected cnt-cache-results-v1 or cnt-bench-perf-v1)")
         return 2
+    elif doc["schema"] == "cnt-bench-perf-v1":
+        rc = check_perf(doc, args.min_aps)
+        if rc == 0:
+            print("PASS: perf bench healthy")
+        return rc
     elif doc["schema"] != "cnt-cache-results-v1":
         return fail(f"unknown schema {doc['schema']}")
     else:

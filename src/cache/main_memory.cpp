@@ -11,13 +11,25 @@ void MainMemory::load(const Workload& w) {
 }
 
 void MainMemory::load_segment(const MemorySegment& seg) {
-  u64 addr = seg.base;
+  copy_in(seg.base, seg.bytes.data(), seg.bytes.size());
+  // Sparse runs: only explicit payloads are materialized. The implicit-zero
+  // remainder of the span needs no pages at all -- unmapped reads already
+  // return zero -- so loading a mostly-zero multi-GiB table touches memory
+  // proportional to its runs, not its span.
+  usize pool_pos = 0;
+  for (const auto& run : seg.runs) {
+    copy_in(seg.base + run.offset, seg.pool.data() + pool_pos, run.length);
+    pool_pos += run.length;
+  }
+}
+
+void MainMemory::copy_in(u64 addr, const u8* src, usize n) {
   usize off = 0;
-  while (off < seg.bytes.size()) {
+  while (off < n) {
     auto& pg = page(addr);
     const usize page_off = addr % kPageBytes;
-    const usize chunk = std::min(kPageBytes - page_off, seg.bytes.size() - off);
-    std::memcpy(pg.data() + page_off, seg.bytes.data() + off, chunk);
+    const usize chunk = std::min(kPageBytes - page_off, n - off);
+    std::memcpy(pg.data() + page_off, src + off, chunk);
     addr += chunk;
     off += chunk;
   }

@@ -52,6 +52,7 @@ class MainMemory final : public MemoryLevel {
   [[nodiscard]] usize resident_pages() const noexcept { return pages_.size(); }
 
  private:
+  void copy_in(u64 addr, const u8* src, usize n);
   [[nodiscard]] std::vector<u8>& page(u64 addr);
   [[nodiscard]] const std::vector<u8>* page_if_present(u64 addr) const;
 

@@ -37,11 +37,10 @@ const LevelResult& HierarchyRunResult::level(std::string_view name) const {
 }
 
 HierarchyRunResult run_hierarchy(const HierarchyRunConfig& cfg,
-                                 const Workload& code, const Workload& data,
-                                 usize code_per_data) {
+                                 TraceSource& source,
+                                 std::span<const MemorySegment> init) {
   MainMemory memory;
-  memory.load(code);
-  memory.load(data);
+  for (const auto& seg : init) memory.load_segment(seg);
   Hierarchy h(cfg.hierarchy, memory);
 
   std::vector<std::unique_ptr<EnergyPolicyBase>> policies;
@@ -63,8 +62,15 @@ HierarchyRunResult run_hierarchy(const HierarchyRunConfig& cfg,
   auto* pd = attach(h.l1d(), cfg.cnt_at_l1d, cfg.l1_cnt);
   auto* p2 = attach(h.l2(), cfg.cnt_at_l2, cfg.l2_cnt);
 
-  const Trace merged = interleave(code.trace, data.trace, code_per_data);
-  h.run(merged);
+  // Batched pull loop: O(batch + chunk) resident regardless of stream
+  // length. Hierarchy::access routes IFetch to L1I internally.
+  source.reset();
+  std::vector<MemAccess> batch(4096);
+  for (;;) {
+    const usize got = source.next(batch);
+    if (got == 0) break;
+    for (usize i = 0; i < got; ++i) h.access(batch[i]);
+  }
 
   HierarchyRunResult res;
   res.levels.push_back(
@@ -74,6 +80,16 @@ HierarchyRunResult run_hierarchy(const HierarchyRunConfig& cfg,
   res.levels.push_back({"L2", cfg.cnt_at_l2, p2->ledger(), h.l2().stats()});
   res.dram_energy = cfg.dram.traffic_energy(memory);
   return res;
+}
+
+HierarchyRunResult run_hierarchy(const HierarchyRunConfig& cfg,
+                                 const Workload& code, const Workload& data,
+                                 usize code_per_data) {
+  VectorTraceSource source(
+      interleave(code.trace, data.trace, code_per_data));
+  std::vector<MemorySegment> init = code.init;
+  init.insert(init.end(), data.init.begin(), data.init.end());
+  return run_hierarchy(cfg, source, init);
 }
 
 }  // namespace cnt

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "cnt/cnt_policy.hpp"
 #include "cnt/policy_base.hpp"
 #include "sim/metrics.hpp"
+#include "trace/stream/trace_source.hpp"
 #include "trace/trace.hpp"
 
 namespace cnt {
@@ -47,6 +49,14 @@ struct HierarchyRunResult {
   [[nodiscard]] Energy cache_total() const;
   [[nodiscard]] const LevelResult& level(std::string_view name) const;
 };
+
+/// Core entry: pull an already-interleaved access stream from any source
+/// (in-RAM or chunked on-disk), load `init` segments, run, and collect
+/// per-level ledgers. Streamed and in-RAM replay of the same accesses
+/// produce byte-identical ledgers.
+[[nodiscard]] HierarchyRunResult run_hierarchy(
+    const HierarchyRunConfig& cfg, TraceSource& source,
+    std::span<const MemorySegment> init);
 
 /// Load both workloads' init images, interleave their traces, run, and
 /// collect per-level ledgers.

@@ -39,9 +39,10 @@ double SimResult::saving(std::string_view opt, std::string_view base) const {
   return b <= 0.0 ? 0.0 : 1.0 - o / b;
 }
 
-SimResult simulate(const Workload& w, const SimConfig& cfg) {
+SimResult simulate(TraceSource& source, std::span<const MemorySegment> init,
+                   const SimConfig& cfg) {
   MainMemory memory;
-  memory.load(w);
+  for (const auto& seg : init) memory.load_segment(seg);
 
   Cache cache(cfg.cache, memory);
   const ArrayGeometry geom = geometry_of(cfg.cache);
@@ -107,16 +108,29 @@ SimResult simulate(const Workload& w, const SimConfig& cfg) {
     cache.add_sink(*ideal);
   }
 
-  for (const auto& a : w.trace) {
-    // A single-cache study treats instruction fetches as reads.
-    MemAccess routed = a;
-    if (routed.op == MemOp::kIFetch) routed.op = MemOp::kRead;
-    cache.access(routed);
+  // Pull in batches: keeps virtual dispatch off the per-access path and
+  // bounds resident memory at one batch + one decoded chunk regardless of
+  // trace length. Statistics accumulate inline on the un-routed access --
+  // the same accumulator Trace::stats() uses -- so streamed and in-RAM
+  // replay report identical TraceStats.
+  source.reset();
+  TraceStatsAccumulator stats_acc;
+  std::vector<MemAccess> batch(4096);
+  for (;;) {
+    const usize got = source.next(batch);
+    if (got == 0) break;
+    for (usize i = 0; i < got; ++i) {
+      stats_acc.feed(batch[i]);
+      // A single-cache study treats instruction fetches as reads.
+      MemAccess routed = batch[i];
+      if (routed.op == MemOp::kIFetch) routed.op = MemOp::kRead;
+      cache.access(routed);
+    }
   }
 
   SimResult res;
-  res.workload = w.name;
-  res.trace_stats = w.trace.stats();
+  res.workload = source.name();
+  res.trace_stats = stats_acc.finish();
   res.cache_stats = cache.stats();
   if (campaign) {
     res.has_fault = true;
@@ -143,6 +157,13 @@ SimResult simulate(const Workload& w, const SimConfig& cfg) {
     res.policies.push_back(std::move(pr));
   }
   if (ideal) take(*ideal);
+  return res;
+}
+
+SimResult simulate(const Workload& w, const SimConfig& cfg) {
+  VectorTraceSource source(w.trace);
+  SimResult res = simulate(source, w.init, cfg);
+  res.workload = w.name;
   return res;
 }
 

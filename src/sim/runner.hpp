@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "energy/tech_params.hpp"
 #include "fault/campaign.hpp"
 #include "fault/fault_config.hpp"
+#include "trace/stream/trace_source.hpp"
 #include "trace/trace.hpp"
 
 namespace cnt {
@@ -74,8 +76,18 @@ struct SimResult {
                               std::string_view base = kPolicyBaseline) const;
 };
 
-/// Run one workload through one cache configuration with all selected
-/// policies attached.
+/// Core entry: replay accesses pulled from any TraceSource -- an in-RAM
+/// Trace or a chunked on-disk file -- through one cache configuration
+/// with all selected policies attached. `init` segments are loaded into
+/// memory before replay. The source is rewound first, and accesses are
+/// pulled in batches, so a streamed multi-GB trace replays with O(chunk)
+/// resident memory and produces a ledger byte-identical to the same
+/// accesses replayed from RAM.
+[[nodiscard]] SimResult simulate(TraceSource& source,
+                                 std::span<const MemorySegment> init,
+                                 const SimConfig& cfg);
+
+/// Run one materialized workload (wraps its trace in a VectorTraceSource).
 [[nodiscard]] SimResult simulate(const Workload& w, const SimConfig& cfg);
 
 /// Run the whole default suite. `scale` shrinks the workloads for quick

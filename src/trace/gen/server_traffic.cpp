@@ -1,0 +1,251 @@
+#include "trace/gen/server_traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "trace/gen/gen_util.hpp"
+#include "trace/value_model.hpp"
+
+namespace cnt::gen {
+
+namespace {
+
+constexpr usize kRecordBytes = 64;
+
+// SplitMix64 finalizer: the per-address hash every init value derives
+// from. Address-keyed (not stream-keyed) so the init word of any address
+// is computable in O(1) without replaying a generator RNG stream -- the
+// property that lets a multi-GB streamed trace and a materialized run
+// share one init image built only for touched words.
+u64 mix64(u64 x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+usize index_entries(const ServerTrafficParams& p) noexcept {
+  return std::max<usize>(p.records / 8, p.gather_width);
+}
+
+usize heap_words(const ServerTrafficParams& p) noexcept {
+  return std::max<usize>(p.records / 4, 1024);
+}
+
+/// Initial value of the 8-aligned word at `addr` (region-dependent).
+u64 init_word(const ServerTrafficParams& p, u64 addr) noexcept {
+  if (addr >= kRegionC) {
+    // Value heap: structured server payloads -- mostly counters and short
+    // lengths, some pointer-shaped words, a thin tail of dense blobs.
+    const u64 h = mix64(p.seed ^ addr ^ 0xCCCC);
+    switch (h & 7) {
+      case 0: return h >> 16;  // dense blob payload
+      case 1:
+      case 2: return 0x0000'5570'0000'0000ULL | (h & 0x3ff'fff8ULL);  // ptr
+      default: return h >> (40 + ((h >> 8) & 15));  // counter: 9-24 bits
+    }
+  }
+  if (addr >= kRegionB) {
+    // Index array: each entry points at an 8-aligned word of the heap.
+    const u64 h = mix64(p.seed ^ addr ^ 0xBBBB);
+    return kRegionC + (h % heap_words(p)) * 8;
+  }
+  // Record table: zipf_kv's field layout -- key, version, value pointer,
+  // length, timestamp, then zero padding.
+  const u64 word = (addr - kRegionA) / 8;
+  const u64 h = mix64(p.seed ^ addr);
+  switch (word % 8) {
+    case 0: return h >> (24 + (h & 31));  // key: 9-40 significant bits
+    case 1: return 1;                     // version
+    case 2: return 0x0000'5570'0000'0000ULL | (h & 0x3ff'fff8ULL);  // ptr
+    case 3: return h >> 48;               // length
+    case 4: return h >> 30;               // timestamp
+    default: return 0;                    // padding
+  }
+}
+
+}  // namespace
+
+u64 generate_server_traffic(const ServerTrafficParams& p, TraceSink& sink) {
+  Rng rng(p.seed);
+  SmallIntModel ints(36, 0.72);
+  ZipfSampler zipf(p.records, p.zipf_s);
+  const usize idx_n = index_entries(p);
+  const usize phases = std::max<usize>(1, p.phases);
+  u64 count = 0;
+  const auto emit = [&](const MemAccess& a) {
+    sink.push(a);
+    ++count;
+  };
+
+  for (usize op = 0; op < p.ops; ++op) {
+    // Diurnal triangle: calm at both ends of the run, peak mid-run. The
+    // peak raises the PUT share (cache churn) while the hot set drifts a
+    // fixed stride per phase, so no single encoding direction stays
+    // optimal for a hot line across the whole trace.
+    const usize ph = std::min(phases - 1, op * phases / p.ops);
+    const double wave =
+        phases == 1 ? 0.0
+                    : 1.0 - std::abs(2.0 * static_cast<double>(ph) /
+                                         static_cast<double>(phases - 1) -
+                                     1.0);
+    const double get_share =
+        std::max(0.05, p.base_get_fraction - p.peak_put_boost * wave);
+    const usize hot_offset = static_cast<usize>(
+        static_cast<double>(ph) * p.hot_drift *
+        static_cast<double>(p.records));
+
+    if (rng.chance(p.scan_fraction)) {
+      // Background scan: one key-word read per record over a run of
+      // consecutive records (compaction / range-query traffic).
+      const usize start = rng.uniform(p.records);
+      for (usize k = 0; k < p.scan_run; ++k) {
+        const usize r = (start + k) % p.records;
+        emit(MemAccess::read(kRegionA + r * kRecordBytes));
+      }
+      continue;
+    }
+    if (rng.chance(p.gather_fraction)) {
+      // Index walk + indirect gather: sequential index entries, then the
+      // heap word each one points at (secondary-index lookups).
+      const usize start = rng.uniform(idx_n - p.gather_width + 1);
+      for (usize k = 0; k < p.gather_width; ++k) {
+        const u64 idx_addr = kRegionB + (start + k) * 8;
+        emit(MemAccess::read(idx_addr));
+        emit(MemAccess::read(init_word(p, idx_addr)));
+      }
+      continue;
+    }
+
+    // Point op on the drifted Zipfian record.
+    const usize rank = zipf.sample(rng);
+    const usize r = (rank + hot_offset) % p.records;
+    const u64 rec = kRegionA + r * kRecordBytes;
+    if (rng.chance(get_share)) {
+      // GET: read key, version, value pointer.
+      emit(MemAccess::read(rec + 0));
+      emit(MemAccess::read(rec + 8));
+      emit(MemAccess::read(rec + 16));
+    } else {
+      // PUT: read key + version (check), write version, timestamp.
+      emit(MemAccess::read(rec + 0));
+      emit(MemAccess::read(rec + 8));
+      emit(MemAccess::write(rec + 8, ints.sample(rng)));
+      emit(MemAccess::write(rec + 32, ints.sample(rng)));
+    }
+  }
+  return count;
+}
+
+std::vector<MemorySegment> server_traffic_init(const ServerTrafficParams& p,
+                                               const Trace& trace) {
+  // Every read in this family is an 8-byte word; cover exactly those
+  // words with hash-derived values. Sorted + deduped, so run order is
+  // deterministic and segments stay O(touched words).
+  std::vector<u64> words;
+  words.reserve(trace.size());
+  for (const auto& a : trace) {
+    if (a.op != MemOp::kWrite) words.push_back(a.addr & ~u64{7});
+  }
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+
+  MemorySegment table;
+  table.base = kRegionA;
+  table.span = p.records * kRecordBytes;
+  MemorySegment index;
+  index.base = kRegionB;
+  index.span = index_entries(p) * 8;
+  MemorySegment heap;
+  heap.base = kRegionC;
+  heap.span = heap_words(p) * 8;
+
+  for (const u64 addr : words) {
+    const u64 v = init_word(p, addr);
+    u8 payload[8];
+    for (usize b = 0; b < 8; ++b) {
+      payload[b] = static_cast<u8>(v >> (8 * b));
+    }
+    MemorySegment& seg = addr >= kRegionC  ? heap
+                         : addr >= kRegionB ? index
+                                            : table;
+    seg.add_run(addr - seg.base, payload);
+  }
+
+  std::vector<MemorySegment> init;
+  init.push_back(std::move(table));
+  init.push_back(std::move(index));
+  init.push_back(std::move(heap));
+  return init;
+}
+
+Workload server_traffic(const ServerTrafficParams& p) {
+  Workload w;
+  w.name = "server_traffic";
+  w.description =
+      "server-scale Zipfian KV traffic with diurnal phases, hot-set "
+      "drift, scan bursts and indirect gathers";
+  w.trace.set_name(w.name);
+  w.trace.reserve(p.ops * 3);
+  TraceCollector sink(w.trace);
+  generate_server_traffic(p, sink);
+  w.init = server_traffic_init(p, w.trace);
+  return w;
+}
+
+const std::vector<TrafficScenario>& traffic_scenarios() {
+  static const std::vector<TrafficScenario> kScenarios = [] {
+    std::vector<TrafficScenario> v;
+    {
+      TrafficScenario s;
+      s.name = "srv_steady";
+      s.description = "flat load, GET-heavy point traffic";
+      s.params.phases = 1;
+      s.params.peak_put_boost = 0.0;
+      s.params.scan_fraction = 0.02;
+      s.params.gather_fraction = 0.02;
+      s.params.seed = 0x5eed0101;
+      v.push_back(std::move(s));
+    }
+    {
+      TrafficScenario s;
+      s.name = "srv_diurnal";
+      s.description = "six-phase load curve with drifting hot set";
+      s.params.hot_drift = 0.2;
+      s.params.seed = 0x5eed0102;
+      v.push_back(std::move(s));
+    }
+    {
+      TrafficScenario s;
+      s.name = "srv_writeburst";
+      s.description = "write-heavy peak (ingest burst)";
+      s.params.base_get_fraction = 0.70;
+      s.params.peak_put_boost = 0.45;
+      s.params.seed = 0x5eed0103;
+      v.push_back(std::move(s));
+    }
+    {
+      TrafficScenario s;
+      s.name = "srv_scan";
+      s.description = "heavy sequential scan traffic over the table";
+      s.params.scan_fraction = 0.18;
+      s.params.scan_run = 64;
+      s.params.seed = 0x5eed0104;
+      v.push_back(std::move(s));
+    }
+    {
+      TrafficScenario s;
+      s.name = "srv_gather";
+      s.description = "index-walk gathers into the value heap";
+      s.params.gather_fraction = 0.20;
+      s.params.gather_width = 16;
+      s.params.seed = 0x5eed0105;
+      v.push_back(std::move(s));
+    }
+    return v;
+  }();
+  return kScenarios;
+}
+
+}  // namespace cnt::gen

@@ -1,0 +1,63 @@
+// Server-scale KV traffic generator family.
+//
+// The small-kernel suite models single-program cache behaviour; this
+// family models what a server cache sees: a Zipfian key-value store with
+// millions of distinct records, a diurnal load curve that modulates the
+// read/write mix, a hot set that drifts between phases, and background
+// scan / gather motifs threaded through the point traffic.
+//
+// Unlike the suite generators, the emitter is sink-based: it streams
+// accesses into any TraceSink -- an in-RAM Trace for engine runs or a
+// chunked on-disk writer for multi-GB traces -- without materializing
+// anything. All init values derive from per-address hashes, so the init
+// image of a run is computable for exactly the addresses the trace
+// touches, in O(touched) memory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/stream/trace_source.hpp"
+#include "trace/trace.hpp"
+
+namespace cnt::gen {
+
+struct ServerTrafficParams {
+  usize records = usize{1} << 18;   ///< 64 B KV records (span = 16 MiB)
+  usize ops = 150000;               ///< operations (an op emits 2-4+ accesses)
+  double zipf_s = 0.99;             ///< key-popularity skew
+  usize phases = 6;                 ///< diurnal phases across the run
+  double base_get_fraction = 0.92;  ///< GET share in the calmest phase
+  double peak_put_boost = 0.30;     ///< extra PUT share at the load peak
+  double hot_drift = 0.15;          ///< hot-set rotation per phase (of records)
+  double scan_fraction = 0.04;      ///< ops that are sequential scan bursts
+  double gather_fraction = 0.05;    ///< ops that are index-walk gathers
+  usize scan_run = 32;              ///< records per scan burst
+  usize gather_width = 8;           ///< index entries per gather
+  u64 seed = 0x5eed0100;
+};
+
+/// Stream the access sequence into `sink` without materializing it.
+/// Returns the number of accesses emitted. Deterministic in the params.
+u64 generate_server_traffic(const ServerTrafficParams& p, TraceSink& sink);
+
+/// Materialized Workload for engine/suite-style use: the trace plus a
+/// sparse init image covering exactly the words the trace reads.
+[[nodiscard]] Workload server_traffic(const ServerTrafficParams& p = {});
+
+/// Build the sparse init segments for a given parameter set from the
+/// trace's read addresses (the streamed path replays with the same image).
+[[nodiscard]] std::vector<MemorySegment> server_traffic_init(
+    const ServerTrafficParams& p, const Trace& trace);
+
+/// The named scenario family compared in bench_fig_traffic. Each scenario
+/// is a parameter preset probing one axis of server behaviour.
+struct TrafficScenario {
+  std::string name;
+  std::string description;
+  ServerTrafficParams params;
+};
+[[nodiscard]] const std::vector<TrafficScenario>& traffic_scenarios();
+
+}  // namespace cnt::gen

@@ -5,6 +5,32 @@
 
 namespace cnt::gen {
 
+namespace {
+
+// Record layout (64 B = one cache line): [key][version][value_ptr][len]
+// [ts][flags][pad][pad], all 8-byte fields. Only the first five words are
+// ever nonzero, so a record's explicit init payload is 40 bytes.
+constexpr usize kRecordBytes = 64;
+constexpr usize kRecordInitBytes = 40;
+
+// Sample one record's init words in the canonical draw order (key, value
+// pointer, length, timestamp). Both passes below must call this so the
+// RNG stream -- and therefore every trace byte -- is independent of how
+// the init image is represented.
+struct RecordInit {
+  u64 key, ptr, len, ts;
+};
+RecordInit sample_record(Rng& rng, SmallIntModel& ints, PointerModel& ptrs) {
+  RecordInit r;  // NOLINT(init) -- every field assigned below
+  r.key = ints.sample(rng);
+  r.ptr = ptrs.sample(rng);
+  r.len = ints.sample(rng);
+  r.ts = ints.sample(rng);
+  return r;
+}
+
+}  // namespace
+
 Workload zipf_kv(const ZipfKvParams& p) {
   Workload w;
   w.name = "zipf_kv";
@@ -14,37 +40,25 @@ Workload zipf_kv(const ZipfKvParams& p) {
   Rng rng(p.seed);
   SmallIntModel ints(36, 0.72);
   PointerModel ptrs;
-
-  // Record layout (64 B = one cache line): [key][version][value_ptr][len]
-  // [ts][flags][pad][pad], all 8-byte fields.
-  constexpr usize kRecordBytes = 64;
   const u64 table = kRegionA;
 
-  MemorySegment seg;
-  seg.base = table;
-  seg.bytes.assign(p.records * kRecordBytes, 0);
-  auto put_word = [&seg](usize offset, u64 v) {
-    for (usize b = 0; b < 8; ++b) {
-      seg.bytes[offset + b] = static_cast<u8>(v >> (8 * b));
-    }
-  };
+  // Pass 1: advance the RNG through every record's init draws without
+  // materializing anything. The dense builder this replaces allocated
+  // records * 64 zeroed bytes up front -- GiBs at server scale -- where
+  // the simulator only ever observes the records the trace touches.
+  const Rng init_rng = rng;
   for (usize r = 0; r < p.records; ++r) {
-    const usize base = r * kRecordBytes;
-    put_word(base + 0, ints.sample(rng));   // key
-    put_word(base + 8, 1);                  // version
-    put_word(base + 16, ptrs.sample(rng));  // value pointer
-    put_word(base + 24, ints.sample(rng));  // length
-    put_word(base + 32, ints.sample(rng));  // timestamp
-    put_word(base + 40, 0);                 // flags
+    (void)sample_record(rng, ints, ptrs);
   }
-  w.init.push_back(std::move(seg));
 
   ZipfSampler zipf(p.records, p.zipf_s);
 
   w.trace.set_name(w.name);
   w.trace.reserve(p.ops * 3);
+  std::vector<bool> touched(p.records, false);
   for (usize op = 0; op < p.ops; ++op) {
     const usize r = zipf.sample(rng);
+    touched[r] = true;
     const u64 rec = table + r * kRecordBytes;
     if (rng.chance(p.get_fraction)) {
       // GET: read key, version, value pointer.
@@ -59,6 +73,30 @@ Workload zipf_kv(const ZipfKvParams& p) {
       w.trace.push(MemAccess::write(rec + 32, ints.sample(rng)));
     }
   }
+
+  // Pass 2: replay the init draws from the saved RNG state, storing a
+  // sparse run only for touched records. Untouched records are never read
+  // (each record is exactly one line), so the simulated memory image is
+  // byte-identical to the dense one while the footprint is O(touched).
+  MemorySegment seg;
+  seg.base = table;
+  seg.span = p.records * kRecordBytes;
+  Rng replay = init_rng;
+  SmallIntModel replay_ints(36, 0.72);
+  PointerModel replay_ptrs;
+  for (usize r = 0; r < p.records; ++r) {
+    const RecordInit rec = sample_record(replay, replay_ints, replay_ptrs);
+    if (!touched[r]) continue;
+    u8 payload[kRecordInitBytes];
+    const u64 words[5] = {rec.key, 1 /*version*/, rec.ptr, rec.len, rec.ts};
+    for (usize wi = 0; wi < 5; ++wi) {
+      for (usize b = 0; b < 8; ++b) {
+        payload[wi * 8 + b] = static_cast<u8>(words[wi] >> (8 * b));
+      }
+    }
+    seg.add_run(r * kRecordBytes, payload);
+  }
+  w.init.push_back(std::move(seg));
   return w;
 }
 

@@ -1,0 +1,44 @@
+// On-disk constants of the CNTTRS chunked columnar trace format, shared
+// by the writer and the reader. Full layout: docs/trace_streaming.md.
+//
+//   header : "CNTTRS" "01" u32(chunk_capacity)
+//   chunk  : 'C' u32(n) u32(payload_bytes) payload crc32
+//   footer : 'F' u64(records) u64(chunks) u64(crc_digest) crc32
+//
+// All integers are little-endian. Each chunk's CRC-32 covers the n and
+// payload_bytes fields plus the payload (the same seal discipline as
+// journal lines); the footer's FNV-1a digest chains every chunk CRC so a
+// dropped or reordered chunk is detected even when each survivor is
+// individually intact.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cnt::stream {
+
+inline constexpr char kStreamMagic[6] = {'C', 'N', 'T', 'T', 'R', 'S'};
+inline constexpr char kStreamVersion[2] = {'0', '1'};
+
+inline constexpr u8 kChunkMarker = 'C';
+inline constexpr u8 kFooterMarker = 'F';
+
+/// Records per chunk. 64 Ki records decode into ~1 MiB of MemAccess
+/// buffer -- the O(1) resident bound of streamed replay.
+inline constexpr u32 kDefaultChunkCapacity = u32{1} << 16;
+/// Hard cap on a file's declared capacity: bounds the decode buffer a
+/// hostile header can demand. 2^20 records keep the worst-case payload
+/// (~31 MiB) and decode buffer (~18 MiB) under ParseLimits'
+/// max_reserve_bytes allocation cap.
+inline constexpr u32 kMaxChunkCapacity = u32{1} << 20;
+
+/// magic + version + u32 capacity.
+inline constexpr usize kHeaderBytes = 12;
+/// marker + records + chunks + digest + crc32.
+inline constexpr usize kFooterBytes = 29;
+
+/// Worst-case payload bytes per record: packed op nibble (rounded up to a
+/// byte) + 10-byte address varint + a 20-byte single-record value run.
+/// Bounds payload_bytes so a corrupt length cannot OOM the reader.
+inline constexpr usize kMaxPayloadPerRecord = 31;
+
+}  // namespace cnt::stream

@@ -1,0 +1,69 @@
+// Chunked columnar trace reader: a TraceSource over a CNTTRS file that
+// holds one decoded chunk at a time, so replay memory is O(chunk), never
+// O(trace). Every structural defect -- bad magic, torn tail, corrupt
+// chunk, count mismatch -- is refused with a structured error (what /
+// where / hint), not skipped. Format: docs/trace_streaming.md.
+#pragma once
+
+#include <fstream>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "trace/stream/format.hpp"
+#include "trace/stream/trace_source.hpp"
+
+namespace cnt::stream {
+
+class StreamTraceSource final : public TraceSource {
+ public:
+  /// Open `path`. Throws Error (kIo/kMagic/kVersion/kTruncated/...) when
+  /// the file is missing or structurally unusable; on a seekable stream
+  /// a torn tail is refused here, before any replay work.
+  explicit StreamTraceSource(const std::string& path,
+                             const ParseLimits& limits = kDefaultLimits);
+  /// Read from a borrowed stream (tests, fuzzing). `name` labels errors.
+  StreamTraceSource(std::istream& is, std::string name,
+                    const ParseLimits& limits = kDefaultLimits);
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return name_;
+  }
+  usize next(std::span<MemAccess> out) override;
+  void reset() override;
+  /// Total records, known up front from the prevalidated footer.
+  [[nodiscard]] std::optional<u64> size_hint() const override {
+    return footer_records_;
+  }
+
+  [[nodiscard]] u32 chunk_capacity() const noexcept { return capacity_; }
+
+ private:
+  void prevalidate_footer();
+  void read_header();
+  /// Decode the next chunk into buf_. False once the footer was consumed
+  /// (and verified against the running totals).
+  bool refill();
+  void parse_footer();
+  void read_exact(char* dst, usize n, const std::string& what);
+
+  std::ifstream file_;  ///< backing storage for the path constructor
+  std::istream* is_;
+  std::string name_;
+  ParseLimits limits_;
+
+  u32 capacity_ = 0;
+  u64 pos_ = 0;  ///< bytes consumed; error offsets point at chunk starts
+  u64 chunks_seen_ = 0;
+  u64 records_seen_ = 0;
+  Fnv1a64 crc_digest_;
+  std::optional<u64> footer_records_;  ///< set by prevalidation
+  bool done_ = false;
+
+  std::vector<MemAccess> buf_;
+  usize buf_pos_ = 0;
+};
+
+}  // namespace cnt::stream

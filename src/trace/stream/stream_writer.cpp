@@ -1,0 +1,170 @@
+#include "trace/stream/stream_writer.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "common/error.hpp"
+#include "trace/stream/varint.hpp"
+
+namespace cnt::stream {
+
+namespace {
+
+void put_u32(std::string& out, u32 v) {
+  for (usize b = 0; b < 4; ++b) {
+    out.push_back(static_cast<char>(v >> (8 * b)));  // cnt-lint: narrow-ok LE byte
+  }
+}
+
+void put_u64(std::string& out, u64 v) {
+  for (usize b = 0; b < 8; ++b) {
+    out.push_back(static_cast<char>(v >> (8 * b)));  // cnt-lint: narrow-ok LE byte
+  }
+}
+
+}  // namespace
+
+StreamTraceWriter::StreamTraceWriter(std::ostream& os, u32 chunk_capacity)
+    : os_(&os), source_("<stream>"), capacity_(chunk_capacity) {
+  assert(capacity_ > 0 && capacity_ <= kMaxChunkCapacity);
+  pending_.reserve(capacity_);
+  write_header();
+}
+
+StreamTraceWriter::StreamTraceWriter(const std::string& path,
+                                     u32 chunk_capacity)
+    : file_(path, std::ios::out | std::ios::binary | std::ios::trunc),
+      os_(&file_),
+      source_(path),
+      capacity_(chunk_capacity) {
+  assert(capacity_ > 0 && capacity_ <= kMaxChunkCapacity);
+  if (!file_) {
+    throw Error(Errc::kIo, "cannot open streamed trace for writing")
+        .at(source_)
+        .hint("check that the directory exists and is writable");
+  }
+  pending_.reserve(capacity_);
+  write_header();
+}
+
+StreamTraceWriter::~StreamTraceWriter() {
+  try {
+    finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch) -- dtor must not throw
+  }
+}
+
+void StreamTraceWriter::write_header() {
+  os_->write(kStreamMagic, sizeof kStreamMagic);
+  os_->write(kStreamVersion, sizeof kStreamVersion);
+  std::string cap;
+  put_u32(cap, capacity_);
+  os_->write(cap.data(), static_cast<std::streamsize>(cap.size()));
+}
+
+void StreamTraceWriter::push(const MemAccess& a) {
+  assert(!finished_ && "push() after finish()");
+  assert(a.valid());
+  pending_.push_back(a);
+  ++records_;
+  if (pending_.size() == capacity_) flush_chunk();
+}
+
+void StreamTraceWriter::flush_chunk() {
+  if (pending_.empty()) return;
+  const usize n = pending_.size();
+
+  // Column 1: packed op nibbles, two records per byte.
+  // nibble = op | (log2(size) << 2).
+  std::string payload;
+  payload.reserve(n * 4);
+  for (usize i = 0; i < n; i += 2) {
+    const auto nib = [this](usize j) -> u8 {
+      const MemAccess& a = pending_[j];
+      return static_cast<u8>(              // cnt-lint: narrow-ok 4-bit value
+          static_cast<u8>(a.op) |          // cnt-lint: narrow-ok 2-bit enum
+          static_cast<u8>(std::countr_zero(a.size) << 2));  // cnt-lint: narrow-ok size is 1/2/4/8
+    };
+    u8 b = nib(i);
+    if (i + 1 < n) b = static_cast<u8>(b | (nib(i + 1) << 4));  // cnt-lint: narrow-ok two nibbles
+    payload.push_back(static_cast<char>(b));  // cnt-lint: narrow-ok byte
+  }
+
+  // Column 2: addresses. First raw, then zigzag deltas -- strided and
+  // sequential workloads collapse to 1-2 bytes per access. Chunk-local,
+  // so every chunk decodes independently.
+  put_varint(payload, pending_[0].addr);
+  for (usize i = 1; i < n; ++i) {
+    const i64 delta =
+        static_cast<i64>(pending_[i].addr - pending_[i - 1].addr);
+    put_varint(payload, zigzag_encode(delta));
+  }
+
+  // Column 3: write values as (run_length, value) pairs over the chunk's
+  // writes in order. Repeated stores of the same word (memset-like loops,
+  // counter resets) collapse; singleton runs cost one extra byte.
+  usize i = 0;
+  while (i < n) {
+    if (!pending_[i].is_write()) {
+      ++i;
+      continue;
+    }
+    const u64 v = pending_[i].value;
+    u64 run = 0;
+    usize j = i;
+    while (j < n) {
+      if (pending_[j].is_write()) {
+        if (pending_[j].value != v) break;
+        ++run;
+      }
+      ++j;
+    }
+    put_varint(payload, run);
+    put_varint(payload, v);
+    i = j;
+  }
+
+  // Seal: CRC-32 over the length fields plus the payload, the same
+  // discipline as journal lines.
+  std::string body;
+  body.reserve(8 + payload.size());
+  put_u32(body, static_cast<u32>(n));  // cnt-lint: narrow-ok n <= capacity
+  put_u32(body, static_cast<u32>(payload.size()));
+  body += payload;
+  const u32 crc = crc32(body);
+
+  os_->put(static_cast<char>(kChunkMarker));  // cnt-lint: narrow-ok marker byte
+  os_->write(body.data(), static_cast<std::streamsize>(body.size()));
+  std::string tail;
+  put_u32(tail, crc);
+  os_->write(tail.data(), static_cast<std::streamsize>(tail.size()));
+
+  crc_digest_.update(static_cast<u64>(crc));
+  ++chunks_;
+  pending_.clear();
+}
+
+void StreamTraceWriter::finish() {
+  if (finished_) return;
+  flush_chunk();
+  std::string body;
+  put_u64(body, records_);
+  put_u64(body, chunks_);
+  put_u64(body, crc_digest_.digest());
+  const u32 crc = crc32(body);
+  os_->put(static_cast<char>(kFooterMarker));  // cnt-lint: narrow-ok marker byte
+  os_->write(body.data(), static_cast<std::streamsize>(body.size()));
+  std::string tail;
+  put_u32(tail, crc);
+  os_->write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  os_->flush();
+  finished_ = true;
+  if (!*os_) {
+    throw Error(Errc::kIo, "write failure while sealing streamed trace")
+        .at(source_)
+        .hint("check free disk space; the file is incomplete and will be "
+              "refused by the reader");
+  }
+}
+
+}  // namespace cnt::stream

@@ -1,0 +1,59 @@
+// Chunked columnar trace writer: a TraceSink that streams CNTTRS chunks
+// to disk as they fill, so generators can emit multi-GB traces without
+// ever materializing them. Format: docs/trace_streaming.md.
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "trace/stream/format.hpp"
+#include "trace/stream/trace_source.hpp"
+
+namespace cnt::stream {
+
+class StreamTraceWriter final : public TraceSink {
+ public:
+  /// Write to a borrowed stream (tests, in-memory round trips).
+  explicit StreamTraceWriter(std::ostream& os,
+                             u32 chunk_capacity = kDefaultChunkCapacity);
+  /// Create/truncate `path` and write to it. Throws Error(kIo) on open
+  /// failure.
+  explicit StreamTraceWriter(const std::string& path,
+                             u32 chunk_capacity = kDefaultChunkCapacity);
+
+  StreamTraceWriter(const StreamTraceWriter&) = delete;
+  StreamTraceWriter& operator=(const StreamTraceWriter&) = delete;
+
+  /// Flushes pending records and the footer if finish() was not called;
+  /// errors are swallowed here, so call finish() explicitly when you need
+  /// them reported.
+  ~StreamTraceWriter() override;
+
+  void push(const MemAccess& a) override;
+
+  /// Seal the file: flush the pending chunk and write the footer.
+  /// Idempotent. Throws Error(kIo) when the underlying stream failed.
+  void finish();
+
+  [[nodiscard]] u64 records() const noexcept { return records_; }
+  [[nodiscard]] u64 chunks() const noexcept { return chunks_; }
+
+ private:
+  void write_header();
+  void flush_chunk();
+
+  std::ofstream file_;  ///< backing storage for the path constructor
+  std::ostream* os_;
+  std::string source_;  ///< for error reporting
+  u32 capacity_;
+  std::vector<MemAccess> pending_;
+  u64 records_ = 0;
+  u64 chunks_ = 0;
+  Fnv1a64 crc_digest_;  ///< chains every chunk CRC for the footer
+  bool finished_ = false;
+};
+
+}  // namespace cnt::stream

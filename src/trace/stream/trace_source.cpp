@@ -1,0 +1,44 @@
+#include "trace/stream/trace_source.hpp"
+
+#include <algorithm>
+
+namespace cnt {
+
+usize VectorTraceSource::next(std::span<MemAccess> out) {
+  const usize n = std::min(out.size(), trace_->size() - pos_);
+  for (usize i = 0; i < n; ++i) out[i] = (*trace_)[pos_ + i];
+  pos_ += n;
+  return n;
+}
+
+TraceStats stats_of(TraceSource& source) {
+  source.reset();
+  TraceStatsAccumulator acc;
+  MemAccess buf[512];
+  for (;;) {
+    const usize n = source.next(buf);
+    if (n == 0) break;
+    for (usize i = 0; i < n; ++i) acc.feed(buf[i]);
+  }
+  source.reset();
+  return acc.finish();
+}
+
+Trace materialize(TraceSource& source) {
+  source.reset();
+  Trace trace(source.name());
+  if (const auto hint = source.size_hint()) {
+    // Sizing hint only; cap the pre-reserve so a lying hint cannot OOM.
+    trace.reserve(static_cast<usize>(
+        std::min<u64>(*hint, (u64{64} << 20) / sizeof(MemAccess))));
+  }
+  MemAccess buf[512];
+  for (;;) {
+    const usize n = source.next(buf);
+    if (n == 0) break;
+    for (usize i = 0; i < n; ++i) trace.push(buf[i]);
+  }
+  return trace;
+}
+
+}  // namespace cnt

@@ -1,0 +1,94 @@
+// Pull-based access streams: the interface the simulator consumes instead
+// of a materialized std::vector<MemAccess>, plus the push-based sink that
+// generators emit into. Together they decouple "where accesses come from"
+// (an in-RAM Trace, a chunked on-disk file, a generator running live)
+// from "what consumes them", so multi-GB traces replay with O(chunk)
+// resident memory.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace cnt {
+
+/// A forward stream of memory accesses. Consumers pull batches; a batch
+/// API keeps virtual-dispatch cost off the per-access path.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  [[nodiscard]] virtual const std::string& name() const noexcept = 0;
+
+  /// Fill up to out.size() accesses; returns how many were written.
+  /// 0 means the stream is exhausted (and stays exhausted until reset()).
+  virtual usize next(std::span<MemAccess> out) = 0;
+
+  /// Rewind to the first access.
+  virtual void reset() = 0;
+
+  /// Total access count when known up front (vector sources; chunked
+  /// files carry it in their footer). Sizing hint only -- the stream is
+  /// authoritative.
+  [[nodiscard]] virtual std::optional<u64> size_hint() const {
+    return std::nullopt;
+  }
+};
+
+/// A push-based access consumer. Generators write into a sink, so the
+/// same generator body can fill an in-RAM Trace or stream chunks straight
+/// to disk without ever materializing the whole trace.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void push(const MemAccess& a) = 0;
+};
+
+/// Sink that appends into an existing Trace (the in-RAM path).
+class TraceCollector final : public TraceSink {
+ public:
+  explicit TraceCollector(Trace& out) noexcept : out_(&out) {}
+  void push(const MemAccess& a) override { out_->push(a); }
+
+ private:
+  Trace* out_;
+};
+
+/// TraceSource over an in-RAM Trace. Borrows by default (the Workload
+/// stays the owner); the rvalue constructor takes ownership for callers
+/// that want a self-contained source.
+class VectorTraceSource final : public TraceSource {
+ public:
+  explicit VectorTraceSource(const Trace& trace) noexcept : trace_(&trace) {}
+  explicit VectorTraceSource(Trace&& trace)
+      : owned_(std::move(trace)), trace_(&*owned_) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return trace_->name();
+  }
+  usize next(std::span<MemAccess> out) override;
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] std::optional<u64> size_hint() const override {
+    return trace_->size();
+  }
+
+ private:
+  std::optional<Trace> owned_;
+  const Trace* trace_;
+  usize pos_ = 0;
+};
+
+/// One-pass TraceStats over any source: rewinds, drains through a
+/// TraceStatsAccumulator, rewinds again. Equals Trace::stats() on the
+/// same accesses by construction (both feed the same accumulator) while
+/// holding O(unique lines), never O(trace length).
+[[nodiscard]] TraceStats stats_of(TraceSource& source);
+
+/// Drain a source into an in-RAM Trace (tools, tests, small files).
+/// Rewinds first, so the result is the whole stream. The inverse of
+/// streaming: only use where the trace is known to fit in memory.
+[[nodiscard]] Trace materialize(TraceSource& source);
+
+}  // namespace cnt

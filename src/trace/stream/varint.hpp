@@ -1,0 +1,69 @@
+// LEB128-style varints and the zigzag signed mapping used by the chunked
+// trace format's address column. Kept header-only: these are the innermost
+// loops of multi-GB replay.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cnt::stream {
+
+/// Append `v` as a little-endian base-128 varint (1-10 bytes).
+inline void put_varint(std::string& out, u64 v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Map a signed delta to an unsigned varint-friendly value: small
+/// magnitudes of either sign stay small (0 -> 0, -1 -> 1, 1 -> 2, ...).
+[[nodiscard]] inline u64 zigzag_encode(i64 v) noexcept {
+  return (static_cast<u64>(v) << 1) ^ static_cast<u64>(v >> 63);
+}
+
+[[nodiscard]] inline i64 zigzag_decode(u64 z) noexcept {
+  return static_cast<i64>(z >> 1) ^ -static_cast<i64>(z & 1);
+}
+
+/// Bounded forward cursor over an in-memory chunk payload. All reads are
+/// checked: a truncated or over-long field returns false instead of
+/// walking off the buffer, so the caller can turn it into a structured
+/// parse error with the right byte offset.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const u8> bytes) noexcept : bytes_(bytes) {}
+
+  [[nodiscard]] usize pos() const noexcept { return pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
+
+  [[nodiscard]] bool read_u8(u8& out) noexcept {
+    if (pos_ >= bytes_.size()) return false;
+    out = bytes_[pos_++];
+    return true;
+  }
+
+  /// False on truncation or an over-long (> 10 byte) encoding.
+  [[nodiscard]] bool read_varint(u64& out) noexcept {
+    u64 v = 0;
+    for (u32 shift = 0; shift < 70; shift += 7) {
+      u8 b = 0;
+      if (!read_u8(b)) return false;
+      v |= static_cast<u64>(b & 0x7f) << shift;  // shift peaks at 63
+      if ((b & 0x80) == 0) {
+        out = v;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::span<const u8> bytes_;
+  usize pos_ = 0;
+};
+
+}  // namespace cnt::stream

@@ -1,9 +1,39 @@
 #include "trace/trace.hpp"
 
 #include <bit>
-#include <unordered_set>
+#include <cassert>
 
 namespace cnt {
+
+void TraceStatsAccumulator::feed(const MemAccess& a) {
+  ++s_.accesses;
+  switch (a.op) {
+    case MemOp::kRead: ++s_.reads; break;
+    case MemOp::kWrite: ++s_.writes; break;
+    case MemOp::kIFetch: ++s_.ifetches; break;
+  }
+  lines_.insert(a.addr / 64);
+  if (a.op == MemOp::kWrite) {
+    const u64 mask = a.size == 8 ? ~0ULL : ((1ULL << (a.size * 8)) - 1);
+    write_bits_ += static_cast<usize>(a.size) * 8;
+    write_ones_ += static_cast<usize>(std::popcount(a.value & mask));
+  }
+}
+
+TraceStats TraceStatsAccumulator::finish() const {
+  TraceStats s = s_;
+  s.unique_lines = lines_.size();
+  const usize rw = s.reads + s.writes;
+  s.write_fraction =
+      rw == 0 ? 0.0
+              : static_cast<double>(s.writes) / static_cast<double>(rw);
+  s.footprint_kib = static_cast<double>(s.unique_lines) * 64.0 / 1024.0;
+  s.write_bit1_density =
+      write_bits_ == 0
+          ? 0.0
+          : static_cast<double>(write_ones_) / static_cast<double>(write_bits_);
+  return s;
+}
 
 bool Trace::well_formed() const noexcept {
   for (const auto& a : accesses_) {
@@ -13,35 +43,23 @@ bool Trace::well_formed() const noexcept {
 }
 
 TraceStats Trace::stats() const {
-  TraceStats s;
-  s.accesses = accesses_.size();
-  std::unordered_set<u64> lines;
-  usize write_bits = 0;
-  usize write_ones = 0;
-  for (const auto& a : accesses_) {
-    switch (a.op) {
-      case MemOp::kRead: ++s.reads; break;
-      case MemOp::kWrite: ++s.writes; break;
-      case MemOp::kIFetch: ++s.ifetches; break;
-    }
-    lines.insert(a.addr / 64);
-    if (a.op == MemOp::kWrite) {
-      const u64 mask = a.size == 8 ? ~0ULL : ((1ULL << (a.size * 8)) - 1);
-      write_bits += static_cast<usize>(a.size) * 8;
-      write_ones += static_cast<usize>(std::popcount(a.value & mask));
-    }
-  }
-  s.unique_lines = lines.size();
-  const usize rw = s.reads + s.writes;
-  s.write_fraction =
-      rw == 0 ? 0.0
-              : static_cast<double>(s.writes) / static_cast<double>(rw);
-  s.footprint_kib = static_cast<double>(s.unique_lines) * 64.0 / 1024.0;
-  s.write_bit1_density =
-      write_bits == 0
-          ? 0.0
-          : static_cast<double>(write_ones) / static_cast<double>(write_bits);
-  return s;
+  TraceStatsAccumulator acc;
+  for (const auto& a : accesses_) acc.feed(a);
+  return acc.finish();
+}
+
+void MemorySegment::add_run(u64 offset, std::span<const u8> payload) {
+  assert(runs.empty() ||
+         offset >= runs.back().offset + runs.back().length);
+  assert(offset + payload.size() <= length());
+  runs.push_back({offset, payload.size()});
+  pool.insert(pool.end(), payload.begin(), payload.end());
+}
+
+usize Workload::init_resident_bytes() const noexcept {
+  usize total = 0;
+  for (const auto& seg : init) total += seg.resident_bytes();
+  return total;
 }
 
 }  // namespace cnt

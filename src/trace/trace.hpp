@@ -1,7 +1,9 @@
 // Trace container and workload description.
 #pragma once
 
+#include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -19,6 +21,24 @@ struct TraceStats {
   double write_fraction = 0;  ///< writes / (reads + writes)
   double footprint_kib = 0;   ///< unique_lines * 64 / 1024
   double write_bit1_density = 0;  ///< mean '1'-bit fraction of write payloads
+};
+
+/// One-pass TraceStats builder. Both Trace::stats() and the streaming
+/// replay path (stats_of(TraceSource&)) feed this same accumulator, so a
+/// materialized trace and a chunked on-disk replay of the same accesses
+/// report identical statistics by construction. Memory is O(unique lines
+/// touched), never O(trace length).
+class TraceStatsAccumulator {
+ public:
+  void feed(const MemAccess& a);
+  /// Snapshot of the statistics for everything fed so far.
+  [[nodiscard]] TraceStats finish() const;
+
+ private:
+  TraceStats s_;
+  std::unordered_set<u64> lines_;
+  usize write_bits_ = 0;
+  usize write_ones_ = 0;
 };
 
 class Trace {
@@ -51,9 +71,45 @@ class Trace {
 };
 
 /// A contiguous pre-initialized memory region (program data segment).
+///
+/// Two representations compose:
+///  - a dense image: `bytes` starting at `base` (the original form, still
+///    what every small-kernel generator uses);
+///  - a sparse/implicit-zero extension for server-scale tables: a region
+///    of `span` bytes (>= bytes.size()) that reads as zero except for
+///    explicit `runs`, each a contiguous slice of the shared `pool`.
+///
+/// The resident footprint is O(bytes.size() + pool.size()) -- proportional
+/// to the explicit content, never to the region span -- so a multi-GiB
+/// mostly-zero record table costs only its touched records.
 struct MemorySegment {
   u64 base = 0;
   std::vector<u8> bytes;
+
+  struct SparseRun {
+    u64 offset = 0;  ///< byte offset from `base`
+    u64 length = 0;  ///< payload is the next `length` bytes of `pool`
+  };
+  u64 span = 0;                 ///< region length; 0 = bytes.size()
+  std::vector<SparseRun> runs;  ///< ascending offsets, non-overlapping
+  std::vector<u8> pool;         ///< concatenated run payloads, run order
+
+  /// Region length in bytes (dense size when no span is set).
+  [[nodiscard]] u64 length() const noexcept {
+    return span == 0 ? bytes.size() : span;
+  }
+  /// Bytes of real storage behind this segment (the O(nonzero) figure).
+  [[nodiscard]] usize resident_bytes() const noexcept {
+    return bytes.size() + pool.size();
+  }
+  /// True when [addr, addr+size) lies inside the region (its content is
+  /// then fully defined: explicit bytes or implicit zeros).
+  [[nodiscard]] bool covers(u64 addr, usize size) const noexcept {
+    return addr >= base && addr + size <= base + length();
+  }
+  /// Append a sparse run. Precondition: `offset` is at or past the end of
+  /// the previous run and `offset + payload.size() <= length()`.
+  void add_run(u64 offset, std::span<const u8> payload);
 };
 
 /// A complete benchmark program as seen by the simulator: its access trace
@@ -63,6 +119,9 @@ struct Workload {
   std::string description;
   Trace trace;
   std::vector<MemorySegment> init;
+
+  /// Total real bytes held by the init image (sum of segment residents).
+  [[nodiscard]] usize init_resident_bytes() const noexcept;
 };
 
 }  // namespace cnt

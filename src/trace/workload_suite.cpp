@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "trace/gen/server_traffic.hpp"
 #include "trace/gen/workloads.hpp"
 
 namespace cnt {
@@ -132,6 +133,25 @@ Workload build_workload(const std::string& name, double scale,
     p.input_bytes = scaled(p.input_bytes, scale, 4096);
     p.seed = mix_seed(p.seed, seed_offset);
     return gen::rle_compress(p);
+  }
+  if (name == "server_traffic") {
+    gen::ServerTrafficParams p;
+    p.ops = scaled(p.ops, scale, 2000);
+    p.seed = mix_seed(p.seed, seed_offset);
+    return gen::server_traffic(p);
+  }
+  // Server-traffic scenario presets (srv_*): extra workloads, not part of
+  // the ten-entry default suite.
+  for (const auto& sc : gen::traffic_scenarios()) {
+    if (sc.name != name) continue;
+    gen::ServerTrafficParams p = sc.params;
+    p.ops = scaled(p.ops, scale, 2000);
+    p.seed = mix_seed(p.seed, seed_offset);
+    Workload w = gen::server_traffic(p);
+    w.name = sc.name;
+    w.description = sc.description;
+    w.trace.set_name(sc.name);
+    return w;
   }
   throw std::invalid_argument("unknown workload: " + name);
 }

@@ -79,7 +79,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllTargets, FuzzWall,
     ::testing::Values(FuzzTarget::kIni, FuzzTarget::kTraceText,
                       FuzzTarget::kTraceBinary, FuzzTarget::kJournal,
-                      FuzzTarget::kJsonl),
+                      FuzzTarget::kJsonl, FuzzTarget::kTraceStream),
     [](const ::testing::TestParamInfo<FuzzTarget>& param) {
       return std::string(target_name(param.param));
     });

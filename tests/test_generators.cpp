@@ -14,9 +14,9 @@ namespace {
 void expect_reads_initialized(const Workload& w) {
   auto covered = [&w](u64 addr, u8 size) {
     for (const auto& seg : w.init) {
-      if (addr >= seg.base && addr + size <= seg.base + seg.bytes.size()) {
-        return true;
-      }
+      // Inside a segment's span the content is fully defined: explicit
+      // bytes/runs or implicit zeros (sparse segments).
+      if (seg.covers(addr, size)) return true;
     }
     return false;
   };

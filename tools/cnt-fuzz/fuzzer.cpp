@@ -10,6 +10,7 @@
 #include "common/hash.hpp"
 #include "common/json.hpp"
 #include "exec/journal.hpp"
+#include "trace/stream/stream_reader.hpp"
 #include "trace/trace_io.hpp"
 
 namespace cnt::fuzz {
@@ -74,6 +75,7 @@ std::string_view target_name(FuzzTarget t) noexcept {
     case FuzzTarget::kTraceBinary: return "trace";
     case FuzzTarget::kJournal: return "journal";
     case FuzzTarget::kJsonl: return "jsonl";
+    case FuzzTarget::kTraceStream: return "trace_stream";
   }
   return "?";
 }
@@ -178,6 +180,14 @@ FuzzOutcome classify(FuzzTarget t, const std::string& input) {
           }
           if (line.empty()) continue;
           (void)parse_json(line, "fuzz", kFuzzLimits);
+        }
+        break;
+      }
+      case FuzzTarget::kTraceStream: {
+        std::istringstream is(input);
+        stream::StreamTraceSource src(is, "fuzz", kFuzzLimits);
+        MemAccess buf[64];
+        while (src.next(buf) != 0) {
         }
         break;
       }

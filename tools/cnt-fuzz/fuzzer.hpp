@@ -28,18 +28,19 @@
 
 namespace cnt::fuzz {
 
-/// The five ingest parsers under the wall.
+/// The six ingest parsers under the wall.
 enum class FuzzTarget : u8 {
   kIni,          ///< Config::parse (INI)
   kTraceText,    ///< read_text (text trace)
   kTraceBinary,  ///< read_binary (binary trace)
   kJournal,      ///< exec::read_journal (sealed JSONL journal)
   kJsonl,        ///< parse_json per line (telemetry rows)
+  kTraceStream,  ///< stream::StreamTraceSource (chunked columnar trace)
 };
 
 inline constexpr FuzzTarget kAllTargets[] = {
-    FuzzTarget::kIni, FuzzTarget::kTraceText, FuzzTarget::kTraceBinary,
-    FuzzTarget::kJournal, FuzzTarget::kJsonl};
+    FuzzTarget::kIni,     FuzzTarget::kTraceText, FuzzTarget::kTraceBinary,
+    FuzzTarget::kJournal, FuzzTarget::kJsonl,     FuzzTarget::kTraceStream};
 
 /// Stable name ("ini", "trace_text", ...); doubles as the corpus
 /// subdirectory name under tests/fuzz/corpus/.
