@@ -10,8 +10,9 @@
 //
 // --bytes targets the on-disk trace size (default 32 MiB; the acceptance
 // run uses >= 1 GiB). Results land in $CNT_RESULTS_DIR (default
-// ./results) as BENCH_stream_replay.json, schema cnt-bench-perf-v1,
-// consumed by scripts/check_regression.py.
+// ./results) as BENCH_stream_replay.json, schema cnt-bench-perf-v2
+// (stable identity fields split from the run-varying "timing" object so
+// perf JSONs diff cleanly), consumed by scripts/check_regression.py.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -154,16 +155,21 @@ int main(int argc, char** argv) {
       std::ofstream out(json_path);
       JsonWriter j(out);
       j.begin_object();
-      j.kv("schema", "cnt-bench-perf-v1");
+      // Schema v2 splits the run-invariant identity fields (diff cleanly
+      // across runs and machines) from the run-varying "timing" object
+      // (wall clock, throughput, RSS) -- docs/performance.md.
+      j.kv("schema", "cnt-bench-perf-v2");
       j.kv("bench", "stream_replay");
       j.kv("accesses", accesses);
       j.kv("file_bytes", disk_bytes);
       j.kv("chunk_capacity", chunk_capacity);
+      j.kv("ledger_identical", identical);
+      j.kv("cnt_saving", streamed.saving(kPolicyCnt));
+      j.key("timing").begin_object();
       j.kv("seconds", seconds);
       j.kv("accesses_per_sec", aps);
       j.kv("peak_rss_bytes", rss);
-      j.kv("ledger_identical", identical);
-      j.kv("cnt_saving", streamed.saving(kPolicyCnt));
+      j.end_object();
       j.end_object();
       out << '\n';
     }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One-stop local quality gate: documentation drift, cnt-lint static
 # analysis, the cnt-fuzz ingest wall, the results regression check, and
-# the streamed-replay perf gate, in that order.
+# the perf wall (ctest -L perf + BENCH_*.json gating), in that order.
 #
 #   scripts/check_all.sh [build_dir] [results.json]
 #
@@ -67,26 +67,26 @@ EOF
   python3 scripts/check_regression.py "$tmpdir/smoke.json" || fail=1
 fi
 
-# --- leg 5: streamed-replay perf gate --------------------------------------
-# A small (4 MiB) generate-replay-compare round keeps the leg quick while
-# still exercising the chunked writer, the reader, and the ledger-identity
-# invariant end to end. The accesses/sec floor is deliberately conservative
-# (~50x below a typical debug-build run) so it only catches order-of-
-# magnitude regressions, not machine-load noise.
+# --- leg 5: perf wall -------------------------------------------------------
+# Run every test under the `perf` ctest label (golden-ledger identity plus
+# small smoke runs of bench_perf_stream_replay and bench_perf_kernels --
+# docs/performance.md), then gate the BENCH_*.json files they drop in the
+# build tree with check_regression.py. The accesses/sec floor is
+# deliberately conservative (~50x below a typical release-build run) so it
+# only catches order-of-magnitude regressions, not machine-load noise.
 replay_bin="$build_dir/bench/bench_perf_stream_replay"
 [ -x "$replay_bin" ] || die "bench_perf_stream_replay binary not found: $replay_bin (build the default preset first)"
-say "[5/5] bench_perf_stream_replay --bytes 4194304 (+ check_regression.py --min-aps 20000)"
-perf_dir=$(mktemp -d) || die "mktemp failed"
-if CNT_RESULTS_DIR="$perf_dir" "$replay_bin" --bytes 4194304 >/dev/null; then
-  python3 scripts/check_regression.py "$perf_dir/BENCH_stream_replay.json" --min-aps 20000 || fail=1
+say "[5/5] ctest -L perf (+ check_regression.py --min-aps 20000)"
+if ctest --test-dir "$build_dir" -L perf --output-on-failure >/dev/null 2>&1; then
+  python3 scripts/check_regression.py "$build_dir/results/BENCH_stream_replay.json" --min-aps 20000 || fail=1
+  python3 scripts/check_regression.py "$build_dir/results/BENCH_kernels.json" --min-aps 20000 || fail=1
 else
-  echo "check_all: bench_perf_stream_replay failed" >&2
+  echo "check_all: ctest -L perf failed" >&2
   fail=1
 fi
-rm -rf "$perf_dir"
 
 if [ "$fail" -ne 0 ]; then
   echo "check_all: FAILED" >&2
   exit 1
 fi
-say "OK (docs, lint, fuzz, regression, stream-replay perf all green)"
+say "OK (docs, lint, fuzz, regression, perf wall all green)"

@@ -26,67 +26,25 @@ void MainMemory::load_segment(const MemorySegment& seg) {
 void MainMemory::copy_in(u64 addr, const u8* src, usize n) {
   usize off = 0;
   while (off < n) {
-    auto& pg = page(addr);
+    u8* pg = page(addr);
     const usize page_off = addr % kPageBytes;
     const usize chunk = std::min(kPageBytes - page_off, n - off);
-    std::memcpy(pg.data() + page_off, src + off, chunk);
+    std::memcpy(pg + page_off, src + off, chunk);
     addr += chunk;
     off += chunk;
-  }
-}
-
-void MainMemory::read_line(u64 line_addr, std::span<u8> out) {
-  assert(line_addr % out.size() == 0);
-  ++line_reads_;
-  u64 addr = line_addr;
-  usize off = 0;
-  while (off < out.size()) {
-    const usize page_off = addr % kPageBytes;
-    const usize chunk = std::min(kPageBytes - page_off, out.size() - off);
-    if (const auto* pg = page_if_present(addr)) {
-      std::memcpy(out.data() + off, pg->data() + page_off, chunk);
-    } else {
-      std::memset(out.data() + off, 0, chunk);
-    }
-    addr += chunk;
-    off += chunk;
-  }
-}
-
-void MainMemory::write_line(u64 line_addr, std::span<const u8> data) {
-  assert(line_addr % data.size() == 0);
-  ++line_writes_;
-  u64 addr = line_addr;
-  usize off = 0;
-  while (off < data.size()) {
-    auto& pg = page(addr);
-    const usize page_off = addr % kPageBytes;
-    const usize chunk = std::min(kPageBytes - page_off, data.size() - off);
-    std::memcpy(pg.data() + page_off, data.data() + off, chunk);
-    addr += chunk;
-    off += chunk;
-  }
-}
-
-void MainMemory::write_word(u64 addr, u64 value, u8 size) {
-  assert(size <= 8 && addr % size == 0);
-  ++word_writes_;
-  auto& pg = page(addr);
-  const usize page_off = addr % kPageBytes;
-  // Natural alignment guarantees the word does not straddle a page.
-  for (usize b = 0; b < size; ++b) {
-    pg[page_off + b] = static_cast<u8>(value >> (8 * b));
   }
 }
 
 u8 MainMemory::peek(u64 addr) const {
-  if (const auto* pg = page_if_present(addr)) {
-    return (*pg)[addr % kPageBytes];
+  if (const u8* pg = page_if_present(addr)) {
+    return pg[addr % kPageBytes];
   }
   return 0;
 }
 
-void MainMemory::poke(u64 addr, u8 value) { page(addr)[addr % kPageBytes] = value; }
+void MainMemory::poke(u64 addr, u8 value) {
+  page(addr)[addr % kPageBytes] = value;
+}
 
 u64 MainMemory::peek_word(u64 addr, u8 size) const {
   u64 v = 0;
@@ -96,15 +54,22 @@ u64 MainMemory::peek_word(u64 addr, u8 size) const {
   return v;
 }
 
-std::vector<u8>& MainMemory::page(u64 addr) {
-  auto [it, inserted] = pages_.try_emplace(addr / kPageBytes);
-  if (inserted) it->second.assign(kPageBytes, 0);
-  return it->second;
+u8* MainMemory::page_slow(u64 addr) {
+  const u64 pn = addr / kPageBytes;
+  u32* slot = page_index_.find(pn);
+  if (slot == nullptr) {
+    const u32 idx = static_cast<u32>(page_store_.size());
+    page_store_.emplace_back(kPageBytes, u8{0});
+    slot = &page_index_.find_or_insert(pn, idx);
+  }
+  cached_page_no_ = pn;
+  cached_page_ = page_store_[*slot].data();
+  return cached_page_;
 }
 
-const std::vector<u8>* MainMemory::page_if_present(u64 addr) const {
-  const auto it = pages_.find(addr / kPageBytes);
-  return it == pages_.end() ? nullptr : &it->second;
+const u8* MainMemory::page_if_present(u64 addr) const {
+  const u32* slot = page_index_.find(addr / kPageBytes);
+  return slot == nullptr ? nullptr : page_store_[*slot].data();
 }
 
 }  // namespace cnt

@@ -10,38 +10,6 @@ namespace cnt {
 
 namespace {
 
-/// True-LRU via per-line timestamps (exact, O(ways) victim scan).
-class LruPolicy final : public ReplacementPolicy {
- public:
-  LruPolicy(usize sets, usize ways)
-      : ways_(ways), stamp_(sets * ways, 0) {}
-
-  void on_access(u32 set, u32 way) override { stamp_[idx(set, way)] = ++clock_; }
-  void on_fill(u32 set, u32 way) override { stamp_[idx(set, way)] = ++clock_; }
-
-  u32 victim(u32 set) override {
-    u32 best = 0;
-    u64 best_stamp = stamp_[idx(set, 0)];
-    for (u32 w = 1; w < ways_; ++w) {
-      if (stamp_[idx(set, w)] < best_stamp) {
-        best_stamp = stamp_[idx(set, w)];
-        best = w;
-      }
-    }
-    return best;
-  }
-
-  [[nodiscard]] const char* name() const noexcept override { return "LRU"; }
-
- private:
-  [[nodiscard]] usize idx(u32 set, u32 way) const noexcept {
-    return static_cast<usize>(set) * ways_ + way;
-  }
-  usize ways_;
-  u64 clock_ = 0;
-  std::vector<u64> stamp_;
-};
-
 /// FIFO: timestamps updated only on fill.
 class FifoPolicy final : public ReplacementPolicy {
  public:

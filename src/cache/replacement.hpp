@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "cache/cache_config.hpp"
 #include "common/rng.hpp"
@@ -22,6 +23,43 @@ class ReplacementPolicy {
   /// Choose the way to evict from `set` (all ways valid).
   [[nodiscard]] virtual u32 victim(u32 set) = 0;
   [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// True-LRU via per-line timestamps (exact, O(ways) victim scan). Defined
+/// here, final, with in-class bodies: LRU is the default policy and its
+/// touch/victim calls sit on the replay hot path, so the cache keeps a
+/// concrete pointer (like its MainMemory fast path) and inlines them past
+/// the virtual interface.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(usize sets, usize ways) : ways_(ways), stamp_(sets * ways, 0) {}
+
+  void on_access(u32 set, u32 way) override {
+    stamp_[idx(set, way)] = ++clock_;
+  }
+  void on_fill(u32 set, u32 way) override { stamp_[idx(set, way)] = ++clock_; }
+
+  u32 victim(u32 set) override {
+    u32 best = 0;
+    u64 best_stamp = stamp_[idx(set, 0)];
+    for (u32 w = 1; w < ways_; ++w) {
+      if (stamp_[idx(set, w)] < best_stamp) {
+        best_stamp = stamp_[idx(set, w)];
+        best = w;
+      }
+    }
+    return best;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "LRU"; }
+
+ private:
+  [[nodiscard]] usize idx(u32 set, u32 way) const noexcept {
+    return static_cast<usize>(set) * ways_ + way;
+  }
+  usize ways_;
+  u64 clock_ = 0;
+  std::vector<u64> stamp_;
 };
 
 /// Construct a policy instance for a (sets x ways) cache.

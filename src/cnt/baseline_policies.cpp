@@ -15,7 +15,7 @@ void PlainPolicy::on_access(const AccessEvent& ev) {
   switch (ev.kind) {
     case AccessKind::kReadHit:
       ledger_.charge(EnergyCategory::kDataRead,
-                     read_energy(tech_.cell, ev.line_after));
+                     line_energy_.read(popcount(ev.line_after)));
       charge_output(transfer_bits(ev));
       break;
 
@@ -38,8 +38,7 @@ void PlainPolicy::on_access(const AccessEvent& ev) {
         Energy rd{};
         usize dirty_bits = 0;
         for_each_dirty_word(ev, [&](usize lo, usize hi) {
-          rd += read_energy_counts(tech_.cell, hi - lo,
-                                   popcount_range(ev.line_before, lo, hi));
+          rd += word_energy_.read(popcount_range(ev.line_before, lo, hi));
           dirty_bits += hi - lo;
         });
         ledger_.charge(EnergyCategory::kDataRead, rd);
@@ -48,7 +47,7 @@ void PlainPolicy::on_access(const AccessEvent& ev) {
       // Fill write (a second/third array operation).
       charge_decode();
       ledger_.charge(EnergyCategory::kDataWrite,
-                     write_energy(tech_.cell, ev.line_after));
+                     line_energy_.write(popcount(ev.line_after)));
       charge_tag_write(ev);
       charge_output(array_.geometry().line_bits());
       break;

@@ -5,6 +5,7 @@
 
 #include "cnt/encoding.hpp"
 #include "cnt/policy_base.hpp"
+#include "energy/sram_cell.hpp"
 
 namespace cnt {
 
@@ -16,9 +17,17 @@ class PlainPolicy final : public EnergyPolicyBase {
   PlainPolicy(std::string name, const TechParams& tech,
               const ArrayGeometry& geom,
               WriteGranularity wg = WriteGranularity::kWord)
-      : EnergyPolicyBase(std::move(name), tech, geom, wg) {}
+      : EnergyPolicyBase(std::move(name), tech, geom, wg),
+        line_energy_(tech.cell, geom.line_bytes * 8),
+        word_energy_(tech.cell, 64) {}
 
   void on_access(const AccessEvent& ev) override;
+
+ private:
+  // Fixed-width energy lookup tables (see EnergyByOnes): the full line
+  // (hits and fills) and one 64-bit dirty word (writeback pricing).
+  EnergyByOnes line_energy_;
+  EnergyByOnes word_energy_;
 };
 
 /// Static whole-line inversion: every line is stored complemented. Needs no

@@ -83,6 +83,10 @@ CntPolicy::CntPolicy(std::string name, const TechParams& tech,
       states_(geom.sets * geom.ways),
       set_hist_(cfg.history_scope == HistoryScope::kPerSet ? geom.sets : 0),
       history_bits_(predictor_.history_bits()),
+      part_energy_(tech.cell, predictor_.scheme().partition_bits()),
+      word_energy_(tech.cell, 64),
+      meta_energy_(tech.cell, history_bits_ + cfg.partitions),
+      hist_energy_(tech.cell, history_bits_),
       scratch_a_(geom.line_bytes),
       scratch_b_(geom.line_bytes) {}
 
@@ -174,10 +178,8 @@ void CntPolicy::handle_fill(const AccessEvent& ev) {
       Energy rd{};
       usize dirty_bits = 0;
       for_each_dirty_word(ev, [&](usize lo, usize hi) {
-        rd += read_energy_counts(
-            tech_.cell, hi - lo,
-            stored_ones_range(predictor_.scheme(), ev.line_before,
-                              dirs, lo, hi));
+        rd += word_energy_.read(stored_ones_range(
+            predictor_.scheme(), ev.line_before, dirs, lo, hi));
         dirty_bits += hi - lo;
       });
       ledger_.charge(EnergyCategory::kDataRead, rd);
@@ -197,8 +199,11 @@ void CntPolicy::handle_fill(const AccessEvent& ev) {
   st.pending = false;
   st.hist = HistoryCounters{};
   st.write_filled = ev.kind == AccessKind::kWriteMissFill;
-  st.zero_flag =
-      cfg_.zero_line_opt && popcount(ev.line_after) == 0;
+  // One sweep yields every partition's raw count; their sum is the line's
+  // popcount, so the zero-line test rides along for free.
+  usize raw_ones[64];
+  const usize total_ones = partition_ones_of(ev.line_after, raw_ones);
+  st.zero_flag = cfg_.zero_line_opt && total_ones == 0;
 
   if (st.zero_flag) {
     // Zero-line elision: the flag is authoritative; skip the array write.
@@ -211,13 +216,13 @@ void CntPolicy::handle_fill(const AccessEvent& ev) {
     return;
   }
 
-  st.directions = choose_fill_directions(
-      ev.line_after, ev.kind == AccessKind::kWriteMissFill);
+  const Energy fill_cost = fill_write_cost(
+      std::span<const usize>(raw_ones, predictor_.scheme().partitions()),
+      ev.kind == AccessKind::kWriteMissFill, st.directions);
   note_directions_written(ev.set, ev.way, st.directions);
 
   charge_decode();
-  ledger_.charge(EnergyCategory::kDataWrite,
-                 stored_write_cost(ev.line_after, st.directions));
+  ledger_.charge(EnergyCategory::kDataWrite, fill_cost);
   charge_encoder_pass();
   charge_meta_full_write(history_of(ev.set, st), st.directions);
   charge_tag_write(ev);
@@ -246,7 +251,8 @@ bool CntPolicy::handle_zero_line(const AccessEvent& ev, LineState& st,
     return true;
   }
 
-  if (popcount(ev.line_after) == 0) {
+  usize raw_ones[64];
+  if (partition_ones_of(ev.line_after, raw_ones) == 0) {
     // Still all-zero after the store: nothing to materialize.
     charge_output(transfer_bits(ev));
     return true;
@@ -257,11 +263,12 @@ bool CntPolicy::handle_zero_line(const AccessEvent& ev, LineState& st,
   // The original fill's miss type still carries the usage prediction.
   st.zero_flag = false;
   ++stats_.zero_materializations;
-  st.directions = choose_fill_directions(ev.line_after, st.write_filled);
+  const Energy materialize_cost = fill_write_cost(
+      std::span<const usize>(raw_ones, predictor_.scheme().partitions()),
+      st.write_filled, st.directions);
   note_directions_written(ev.set, ev.way, st.directions);
   charge_decode();
-  ledger_.charge(EnergyCategory::kDataWrite,
-                 stored_write_cost(ev.line_after, st.directions));
+  ledger_.charge(EnergyCategory::kDataWrite, materialize_cost);
   charge_encoder_pass();
   charge_meta_full_write(history_of(ev.set, st), st.directions);
   charge_output(transfer_bits(ev));
@@ -300,12 +307,11 @@ void CntPolicy::run_predictor(const AccessEvent& ev, LineState& st,
   const u64 changed = st.directions ^ d.new_directions;
   Energy write_cost{};
   const auto& scheme = predictor_.scheme();
-  const usize pb = scheme.partition_bits();
   for (usize p = 0; p < scheme.partitions(); ++p) {
     if (!((changed >> p) & 1u)) continue;
     const bool new_dir = (d.new_directions >> p) & 1u;
     const usize ones = stored_partition_ones(scheme, ev.line_after, p, new_dir);
-    write_cost += write_energy_counts(tech_.cell, pb, ones);
+    write_cost += part_energy_.write(ones);
   }
 
   ReencodeRequest req;
@@ -327,29 +333,46 @@ void CntPolicy::run_predictor(const AccessEvent& ev, LineState& st,
   }
 }
 
-u64 CntPolicy::choose_fill_directions(std::span<const u8> line,
-                                      bool write_miss) {
+usize CntPolicy::partition_ones_of(std::span<const u8> line,
+                                   usize* ones_out) const {
+  const auto& scheme = predictor_.scheme();
+  usize total = 0;
+  for (usize p = 0; p < scheme.partitions(); ++p) {
+    ones_out[p] = detail::partition_raw_ones(scheme, line.data(), p);
+    total += ones_out[p];
+  }
+  return total;
+}
+
+Energy CntPolicy::fill_write_cost(std::span<const usize> raw_ones,
+                                  bool write_miss, u64& dirs_out) {
   FillDirectionPolicy policy = cfg_.fill_policy;
   if (policy == FillDirectionPolicy::kByMissType) {
     policy = write_miss ? FillDirectionPolicy::kMinWriteEnergy
                         : FillDirectionPolicy::kReadOptimized;
   }
-  if (policy == FillDirectionPolicy::kAsIs) return 0;
-  const auto& scheme = predictor_.scheme();
-  const usize pb = scheme.partition_bits();
+  const usize pb = predictor_.scheme().partition_bits();
+  const bool as_is = policy == FillDirectionPolicy::kAsIs;
   const bool min_write = policy == FillDirectionPolicy::kMinWriteEnergy;
   u64 dirs = 0;
-  for (usize p = 0; p < scheme.partitions(); ++p) {
-    const usize ones = stored_partition_ones(scheme, line, p, false);
-    const bool invert = min_write
-                            ? ones * 2 > pb   // majority '1': cheaper inverted
-                            : ones * 2 < pb;  // read-optimized: maximize '1's
-    if (invert) {
-      dirs |= (1ULL << p);
-      ++stats_.fill_inversions;
+  Energy total{};
+  for (usize p = 0; p < raw_ones.size(); ++p) {
+    const usize raw = raw_ones[p];
+    usize stored = raw;
+    if (!as_is) {
+      const bool invert = min_write
+                              ? raw * 2 > pb   // majority '1': cheaper inverted
+                              : raw * 2 < pb;  // read-optimized: maximize '1's
+      if (invert) {
+        dirs |= (1ULL << p);
+        ++stats_.fill_inversions;
+        stored = pb - raw;
+      }
     }
+    total += part_energy_.write(stored);
   }
-  return dirs;
+  dirs_out = dirs;
+  return total;
 }
 
 // The H&D field is stored raw. That is already the energy-right choice for
@@ -365,31 +388,26 @@ usize CntPolicy::stored_dir_ones(u64 directions) const noexcept {
 void CntPolicy::charge_meta_read(const HistoryCounters& hist,
                                  u64 directions) {
   if (!cfg_.account_metadata) return;
-  const usize width = history_bits_ + cfg_.partitions;
   const usize ones = static_cast<usize>(std::popcount(hist.a_num)) +
                      static_cast<usize>(std::popcount(hist.wr_num)) +
                      stored_dir_ones(directions);
-  ledger_.charge(EnergyCategory::kMetaRead,
-                 read_energy_counts(tech_.cell, width, ones));
+  ledger_.charge(EnergyCategory::kMetaRead, meta_energy_.read(ones));
 }
 
 void CntPolicy::charge_meta_history_write(const HistoryCounters& hist) {
   if (!cfg_.account_metadata) return;
   const usize ones = static_cast<usize>(std::popcount(hist.a_num)) +
                      static_cast<usize>(std::popcount(hist.wr_num));
-  ledger_.charge(EnergyCategory::kMetaWrite,
-                 write_energy_counts(tech_.cell, history_bits_, ones));
+  ledger_.charge(EnergyCategory::kMetaWrite, hist_energy_.write(ones));
 }
 
 void CntPolicy::charge_meta_full_write(const HistoryCounters& hist,
                                        u64 directions) {
   if (!cfg_.account_metadata) return;
-  const usize width = history_bits_ + cfg_.partitions;
   const usize ones = static_cast<usize>(std::popcount(hist.a_num)) +
                      static_cast<usize>(std::popcount(hist.wr_num)) +
                      stored_dir_ones(directions);
-  ledger_.charge(EnergyCategory::kMetaWrite,
-                 write_energy_counts(tech_.cell, width, ones));
+  ledger_.charge(EnergyCategory::kMetaWrite, meta_energy_.write(ones));
 }
 
 void CntPolicy::charge_encoder_pass() {
@@ -401,25 +419,11 @@ void CntPolicy::charge_encoder_pass() {
 Energy CntPolicy::stored_read_cost(std::span<const u8> logical,
                                    u64 dirs) const {
   const auto& scheme = predictor_.scheme();
-  const usize pb = scheme.partition_bits();
   Energy total{};
   for (usize p = 0; p < scheme.partitions(); ++p) {
     const usize ones =
         stored_partition_ones(scheme, logical, p, (dirs >> p) & 1u);
-    total += read_energy_counts(tech_.cell, pb, ones);
-  }
-  return total;
-}
-
-Energy CntPolicy::stored_write_cost(std::span<const u8> logical,
-                                    u64 dirs) const {
-  const auto& scheme = predictor_.scheme();
-  const usize pb = scheme.partition_bits();
-  Energy total{};
-  for (usize p = 0; p < scheme.partitions(); ++p) {
-    const usize ones =
-        stored_partition_ones(scheme, logical, p, (dirs >> p) & 1u);
-    total += write_energy_counts(tech_.cell, pb, ones);
+    total += part_energy_.read(ones);
   }
   return total;
 }

@@ -16,6 +16,7 @@
 #include "cnt/encoding.hpp"
 #include "cnt/policy_base.hpp"
 #include "cnt/predictor.hpp"
+#include "energy/sram_cell.hpp"
 #include "cnt/update_queue.hpp"
 
 namespace cnt {
@@ -135,8 +136,19 @@ class CntPolicy final : public EnergyPolicyBase {
   /// handled by the flag (no array involvement).
   bool handle_zero_line(const AccessEvent& ev, LineState& st, bool is_write);
   void run_predictor(const AccessEvent& ev, LineState& st, bool is_write);
-  [[nodiscard]] u64 choose_fill_directions(std::span<const u8> line,
-                                           bool write_miss);
+  /// Raw '1' counts of every partition of `line`, written to `ones_out`
+  /// (one entry per partition). Returns their sum, which equals the whole
+  /// line's popcount -- callers use it for the zero-line test so the line
+  /// is swept exactly once per fill.
+  [[nodiscard]] usize partition_ones_of(std::span<const u8> line,
+                                        usize* ones_out) const;
+  /// One pass over the precomputed per-partition raw counts that both
+  /// picks the fill direction mask (written to `dirs_out`) and prices the
+  /// full-line array write under it. The raw count feeds the inversion
+  /// decision and the stored-ones count, in partition order, so the energy
+  /// sum is bit-identical to pricing the mask in a second pass.
+  [[nodiscard]] Energy fill_write_cost(std::span<const usize> raw_ones,
+                                       bool write_miss, u64& dirs_out);
 
   [[nodiscard]] usize stored_dir_ones(u64 directions) const noexcept;
   void charge_meta_read(const HistoryCounters& hist, u64 directions);
@@ -145,8 +157,6 @@ class CntPolicy final : public EnergyPolicyBase {
   void charge_encoder_pass();
   [[nodiscard]] Energy stored_read_cost(std::span<const u8> logical,
                                         u64 dirs) const;
-  [[nodiscard]] Energy stored_write_cost(std::span<const u8> logical,
-                                         u64 dirs) const;
   [[nodiscard]] Energy flip_aware_write_cost(std::span<const u8> before,
                                              std::span<const u8> after,
                                              u64 dirs, usize bit_lo,
@@ -173,6 +183,15 @@ class CntPolicy final : public EnergyPolicyBase {
   std::vector<HistoryCounters> set_hist_;  ///< used when kPerSet
   CntPolicyStats stats_;
   usize history_bits_;
+  // Fixed-width energy lookup tables (see EnergyByOnes): one partition's
+  // bits and one 64-bit dirty word. Every partition/word pricing loop
+  // indexes these instead of re-running the per-call formula.
+  EnergyByOnes part_energy_;
+  EnergyByOnes word_energy_;
+  // Same idea for the metadata field: the full H&D record
+  // (history_bits_ + partitions wide) and the history counters alone.
+  EnergyByOnes meta_energy_;
+  EnergyByOnes hist_energy_;
 
   // Scratch for flip-aware encoding comparisons (mutable: used by the
   // const cost helpers, invisible to callers).

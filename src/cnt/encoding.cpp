@@ -1,13 +1,12 @@
 #include "cnt/encoding.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <cstring>
 #include <stdexcept>
 
-#include "common/bits.hpp"
-
 namespace cnt {
+
+// The hot kernels (encode/re-encode, stored_partition_ones, stored_ones,
+// stored_ones_range) are defined inline in encoding.hpp; this file keeps
+// construction-time validation and the allocating conveniences.
 
 PartitionScheme::PartitionScheme(usize line_bytes, usize partitions)
     : line_bytes_(line_bytes), k_(partitions) {
@@ -23,19 +22,6 @@ PartitionScheme::PartitionScheme(usize line_bytes, usize partitions)
   part_bits_ = line_bits / k_;
 }
 
-void encode_line(const PartitionScheme& ps, std::span<const u8> logical,
-                 u64 directions, std::span<u8> out) {
-  assert(logical.size() == ps.line_bytes());
-  assert(out.size() == ps.line_bytes());
-  std::memcpy(out.data(), logical.data(), logical.size());
-  const usize pb = ps.partition_bytes();
-  for (usize p = 0; p < ps.partitions(); ++p) {
-    if ((directions >> p) & 1u) {
-      invert(out.subspan(p * pb, pb));
-    }
-  }
-}
-
 std::vector<u8> encode_line(const PartitionScheme& ps,
                             std::span<const u8> logical, u64 directions) {
   std::vector<u8> out(ps.line_bytes());
@@ -43,58 +29,11 @@ std::vector<u8> encode_line(const PartitionScheme& ps,
   return out;
 }
 
-void reencode_line(const PartitionScheme& ps, std::span<u8> stored,
-                   u64 old_dirs, u64 new_dirs) {
-  assert(stored.size() == ps.line_bytes());
-  const u64 changed = old_dirs ^ new_dirs;
-  const usize pb = ps.partition_bytes();
-  for (usize p = 0; p < ps.partitions(); ++p) {
-    if ((changed >> p) & 1u) {
-      invert(stored.subspan(p * pb, pb));
-    }
-  }
-}
-
-usize stored_partition_ones(const PartitionScheme& ps,
-                            std::span<const u8> data, usize p,
-                            bool inverted) {
-  assert(p < ps.partitions());
-  const usize pb = ps.partition_bytes();
-  const usize raw = popcount(data.subspan(p * pb, pb));
-  return inverted ? ps.partition_bits() - raw : raw;
-}
-
-usize stored_ones(const PartitionScheme& ps, std::span<const u8> logical,
-                  u64 directions) {
-  usize total = 0;
-  for (usize p = 0; p < ps.partitions(); ++p) {
-    total += stored_partition_ones(ps, logical, p, (directions >> p) & 1u);
-  }
-  return total;
-}
-
-usize stored_ones_range(const PartitionScheme& ps,
-                        std::span<const u8> logical, u64 directions,
-                        usize bit_begin, usize bit_end) {
-  assert(bit_begin <= bit_end);
-  assert(bit_end <= ps.line_bits());
-  usize total = 0;
-  for (usize p = 0; p < ps.partitions(); ++p) {
-    const usize lo = std::max(bit_begin, ps.bit_begin(p));
-    const usize hi = std::min(bit_end, ps.bit_end(p));
-    if (lo >= hi) continue;
-    const usize raw = popcount_range(logical, lo, hi);
-    total += ((directions >> p) & 1u) ? (hi - lo) - raw : raw;
-  }
-  return total;
-}
-
 std::vector<usize> partition_ones(const PartitionScheme& ps,
                                   std::span<const u8> data) {
   std::vector<usize> ones(ps.partitions());
-  const usize pb = ps.partition_bytes();
   for (usize p = 0; p < ps.partitions(); ++p) {
-    ones[p] = popcount(data.subspan(p * pb, pb));
+    ones[p] = detail::partition_raw_ones(ps, data.data(), p);
   }
   return ones;
 }

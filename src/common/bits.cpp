@@ -1,84 +1,10 @@
 #include "common/bits.hpp"
 
-#include <cassert>
-#include <cstring>
-
 namespace cnt {
 
-namespace {
-
-// Mask with bits [lo, hi) set within a byte, 0 <= lo <= hi <= 8.
-constexpr u8 byte_mask(usize lo, usize hi) noexcept {
-  const u32 width = static_cast<u32>(hi - lo);
-  const u32 base = width >= 8 ? 0xFFu : ((1u << width) - 1u);
-  return static_cast<u8>((base << lo) & 0xFFu);
-}
-
-}  // namespace
-
-usize popcount(std::span<const u8> bytes) noexcept {
-  usize total = 0;
-  usize i = 0;
-  // Word-at-a-time fast path.
-  for (; i + 8 <= bytes.size(); i += 8) {
-    u64 w;
-    std::memcpy(&w, bytes.data() + i, 8);
-    total += static_cast<usize>(std::popcount(w));
-  }
-  for (; i < bytes.size(); ++i) {
-    total += static_cast<usize>(std::popcount(static_cast<u32>(bytes[i])));
-  }
-  return total;
-}
-
-usize popcount_range(std::span<const u8> bytes, usize bit_begin,
-                     usize bit_end) noexcept {
-  assert(bit_begin <= bit_end);
-  assert(bit_end <= bytes.size() * 8);
-  if (bit_begin == bit_end) return 0;
-
-  const usize first_byte = bit_begin / 8;
-  const usize last_byte = (bit_end - 1) / 8;
-
-  if (first_byte == last_byte) {
-    const u8 mask = byte_mask(bit_begin % 8, (bit_end - 1) % 8 + 1);
-    return static_cast<usize>(
-        std::popcount(static_cast<u32>(bytes[first_byte] & mask)));
-  }
-
-  usize total = static_cast<usize>(std::popcount(
-      static_cast<u32>(bytes[first_byte] & byte_mask(bit_begin % 8, 8))));
-  if (last_byte > first_byte + 1) {
-    total += popcount(bytes.subspan(first_byte + 1, last_byte - first_byte - 1));
-  }
-  total += static_cast<usize>(std::popcount(
-      static_cast<u32>(bytes[last_byte] & byte_mask(0, (bit_end - 1) % 8 + 1))));
-  return total;
-}
-
-void invert(std::span<u8> bytes) noexcept {
-  for (auto& b : bytes) b = static_cast<u8>(~b);
-}
-
-void invert_range(std::span<u8> bytes, usize bit_begin, usize bit_end) noexcept {
-  assert(bit_begin <= bit_end);
-  assert(bit_end <= bytes.size() * 8);
-  if (bit_begin == bit_end) return;
-
-  const usize first_byte = bit_begin / 8;
-  const usize last_byte = (bit_end - 1) / 8;
-
-  if (first_byte == last_byte) {
-    bytes[first_byte] ^= byte_mask(bit_begin % 8, (bit_end - 1) % 8 + 1);
-    return;
-  }
-
-  bytes[first_byte] ^= byte_mask(bit_begin % 8, 8);
-  for (usize i = first_byte + 1; i < last_byte; ++i) {
-    bytes[i] = static_cast<u8>(~bytes[i]);
-  }
-  bytes[last_byte] ^= byte_mask(0, (bit_end - 1) % 8 + 1);
-}
+// The hot kernels (popcount, popcount_range, invert, invert_range,
+// hamming_distance, get_bit/set_bit) are defined inline in bits.hpp; only
+// the allocating/derived helpers live out of line.
 
 std::vector<u8> inverted(std::span<const u8> bytes) {
   std::vector<u8> out(bytes.begin(), bytes.end());
@@ -86,42 +12,10 @@ std::vector<u8> inverted(std::span<const u8> bytes) {
   return out;
 }
 
-usize hamming_distance(std::span<const u8> a, std::span<const u8> b) noexcept {
-  assert(a.size() == b.size());
-  usize total = 0;
-  usize i = 0;
-  for (; i + 8 <= a.size(); i += 8) {
-    u64 wa, wb;
-    std::memcpy(&wa, a.data() + i, 8);
-    std::memcpy(&wb, b.data() + i, 8);
-    total += static_cast<usize>(std::popcount(wa ^ wb));
-  }
-  for (; i < a.size(); ++i) {
-    total += static_cast<usize>(
-        std::popcount(static_cast<u32>(a[i] ^ b[i])));
-  }
-  return total;
-}
-
 double bit1_density(std::span<const u8> bytes) noexcept {
   if (bytes.empty()) return 0.0;
   return static_cast<double>(popcount(bytes)) /
          static_cast<double>(bytes.size() * 8);
-}
-
-bool get_bit(std::span<const u8> bytes, usize index) noexcept {
-  assert(index < bytes.size() * 8);
-  return (bytes[index / 8] >> (index % 8)) & 1u;
-}
-
-void set_bit(std::span<u8> bytes, usize index, bool value) noexcept {
-  assert(index < bytes.size() * 8);
-  const u8 mask = static_cast<u8>(1u << (index % 8));
-  if (value) {
-    bytes[index / 8] |= mask;
-  } else {
-    bytes[index / 8] &= static_cast<u8>(~mask);
-  }
 }
 
 }  // namespace cnt

@@ -1,0 +1,170 @@
+// Open-addressing hash containers for the simulator hot path.
+//
+// The replay loop performs one unique-line membership probe per access
+// (TraceStatsAccumulator) and one page-table probe per fill/writeback
+// (MainMemory). std::unordered_{set,map} put a heap-allocated node and a
+// pointer chase on each of those probes; at millions of accesses per
+// second they dominate the profile (docs/performance.md). These
+// containers keep keys in one contiguous power-of-two array with linear
+// probing, so a probe is a multiply-shift hash plus a handful of adjacent
+// loads.
+//
+// Scope is deliberately narrow: u64 keys, insert/find only (no erase),
+// values stored in a parallel array. Determinism: results depend only on
+// the key sequence -- no pointers, no randomized seeds -- and nothing
+// here is ever iterated, so container order can never leak into output
+// (lint rule R5 by construction).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+namespace detail {
+
+/// splitmix64 finalizer: full-avalanche mixing so clustered keys (line
+/// numbers, page numbers) spread across the table.
+[[nodiscard]] constexpr u64 hash_mix_u64(u64 x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// Insert-only set of u64 keys. One flat slot array; the all-ones key is
+/// reserved as the empty-slot sentinel and tracked with a flag so every
+/// u64 value remains storable.
+class U64Set {
+ public:
+  U64Set() : slots_(kInitialCapacity, kEmpty) {}
+
+  /// Insert `key`; returns true when it was not present before.
+  bool insert(u64 key) {
+    if (key == kEmpty) {
+      const bool fresh = !has_empty_key_;
+      has_empty_key_ = true;
+      return fresh;
+    }
+    if ((size_ + 1) * 8 >= slots_.size() * 7) grow();
+    const usize i = probe(slots_, key);
+    if (slots_[i] == key) return false;
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(u64 key) const noexcept {
+    if (key == kEmpty) return has_empty_key_;
+    return slots_[probe(slots_, key)] == key;
+  }
+
+  [[nodiscard]] usize size() const noexcept {
+    return size_ + (has_empty_key_ ? 1 : 0);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  static constexpr u64 kEmpty = ~u64{0};
+  static constexpr usize kInitialCapacity = 1024;  // power of two
+
+  /// Index of the slot holding `key` or of the empty slot where it belongs.
+  [[nodiscard]] static usize probe(const std::vector<u64>& slots,
+                                   u64 key) noexcept {
+    const usize mask = slots.size() - 1;
+    usize i = static_cast<usize>(detail::hash_mix_u64(key)) & mask;
+    while (slots[i] != kEmpty && slots[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void grow() {
+    std::vector<u64> bigger(slots_.size() * 2, kEmpty);
+    for (const u64 key : slots_) {
+      if (key != kEmpty) bigger[probe(bigger, key)] = key;
+    }
+    slots_.swap(bigger);
+  }
+
+  std::vector<u64> slots_;
+  usize size_ = 0;
+  bool has_empty_key_ = false;
+};
+
+/// Insert-only map from u64 keys to trivially-copyable values, laid out as
+/// a flat key array plus a parallel value array.
+template <typename V>
+class U64Map {
+ public:
+  U64Map() : keys_(kInitialCapacity, kEmpty), values_(kInitialCapacity) {}
+
+  /// Value slot for `key`, inserting `fallback` when absent.
+  V& find_or_insert(u64 key, const V& fallback) {
+    if (key == kEmpty) {
+      if (!has_empty_key_) {
+        has_empty_key_ = true;
+        empty_value_ = fallback;
+      }
+      return empty_value_;
+    }
+    if ((size_ + 1) * 8 >= keys_.size() * 7) grow();
+    const usize i = probe(keys_, key);
+    if (keys_[i] != key) {
+      keys_[i] = key;
+      values_[i] = fallback;
+      ++size_;
+    }
+    return values_[i];
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  [[nodiscard]] const V* find(u64 key) const noexcept {
+    if (key == kEmpty) return has_empty_key_ ? &empty_value_ : nullptr;
+    const usize i = probe(keys_, key);
+    return keys_[i] == key ? &values_[i] : nullptr;
+  }
+  [[nodiscard]] V* find(u64 key) noexcept {
+    return const_cast<V*>(static_cast<const U64Map*>(this)->find(key));
+  }
+
+  [[nodiscard]] usize size() const noexcept {
+    return size_ + (has_empty_key_ ? 1 : 0);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  static constexpr u64 kEmpty = ~u64{0};
+  static constexpr usize kInitialCapacity = 64;  // power of two
+
+  [[nodiscard]] static usize probe(const std::vector<u64>& keys,
+                                   u64 key) noexcept {
+    const usize mask = keys.size() - 1;
+    usize i = static_cast<usize>(detail::hash_mix_u64(key)) & mask;
+    while (keys[i] != kEmpty && keys[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void grow() {
+    std::vector<u64> keys(keys_.size() * 2, kEmpty);
+    std::vector<V> values(keys_.size() * 2);
+    for (usize i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == kEmpty) continue;
+      const usize j = probe(keys, keys_[i]);
+      keys[j] = keys_[i];
+      values[j] = values_[i];
+    }
+    keys_.swap(keys);
+    values_.swap(values);
+  }
+
+  std::vector<u64> keys_;
+  std::vector<V> values_;
+  usize size_ = 0;
+  bool has_empty_key_ = false;
+  V empty_value_{};
+};
+
+}  // namespace cnt

@@ -8,19 +8,30 @@ namespace cnt {
 
 namespace {
 
-constexpr std::array<u32, 256> make_crc32_table() {
-  std::array<u32, 256> table{};
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table;
+// table[s][b] advances a byte that sits s positions deeper in the message,
+// so eight table lookups fold eight message bytes per iteration. The
+// polynomial and therefore every CRC value are unchanged -- only the
+// folding order differs.
+constexpr std::array<std::array<u32, 256>, 8> make_crc32_tables() {
+  std::array<std::array<u32, 256>, 8> t{};
   for (u32 i = 0; i < 256; ++i) {
     u32 c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (u32 i = 0; i < 256; ++i) {
+    for (usize s = 1; s < 8; ++s) {
+      t[s][i] = t[0][t[s - 1][i] & 0xFFu] ^ (t[s - 1][i] >> 8);
+    }
+  }
+  return t;
 }
 
-constexpr std::array<u32, 256> kCrc32Table = make_crc32_table();
+constexpr std::array<std::array<u32, 256>, 8> kCrc32Tables =
+    make_crc32_tables();
 
 constexpr char kHexDigits[] = "0123456789abcdef";
 
@@ -69,11 +80,33 @@ u64 fnv1a64(std::string_view s) noexcept {
 }
 
 u32 crc32(std::string_view s) noexcept {
-  u32 c = 0xFFFFFFFFu;
-  for (const char ch : s) {
-    c = kCrc32Table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  return crc32_final(crc32_feed(crc32_init(), s));
+}
+
+u32 crc32_feed(u32 state, std::string_view s) noexcept {
+  const auto& t = kCrc32Tables;
+  u32 c = state;
+  const char* p = s.data();
+  usize n = s.size();
+  // The 8-byte fast path loads two little-endian words; on a big-endian
+  // target the byte loop below (bit-identical, just slower) handles
+  // everything.
+  if constexpr (std::endian::native == std::endian::little) {
+    for (; n >= 8; p += 8, n -= 8) {
+      u32 lo = 0;
+      u32 hi = 0;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    }
   }
-  return c ^ 0xFFFFFFFFu;
+  for (; n > 0; ++p, --n) {
+    c = t[0][(c ^ static_cast<unsigned char>(*p)) & 0xFFu] ^ (c >> 8);
+  }
+  return c;
 }
 
 std::string hex_u64(u64 v) {

@@ -45,6 +45,16 @@ class Fnv1a64 {
 /// CRC-32 (IEEE 802.3, reflected, init/final xor 0xFFFFFFFF) of `s`.
 [[nodiscard]] u32 crc32(std::string_view s) noexcept;
 
+/// Incremental CRC-32 over multiple buffers: seed with crc32_init(), feed
+/// each piece in order, then finalize. `crc32(a + b)` ==
+/// `crc32_final(crc32_feed(crc32_feed(crc32_init(), a), b))` -- callers
+/// checksum a header and a payload without concatenating them.
+[[nodiscard]] constexpr u32 crc32_init() noexcept { return 0xFFFFFFFFu; }
+[[nodiscard]] u32 crc32_feed(u32 state, std::string_view s) noexcept;
+[[nodiscard]] constexpr u32 crc32_final(u32 state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
 /// Fixed-width lowercase hex: 16 digits for u64, 8 for u32.
 [[nodiscard]] std::string hex_u64(u64 v);
 [[nodiscard]] std::string hex_u32(u32 v);

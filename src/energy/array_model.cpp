@@ -29,23 +29,6 @@ ArrayModel::ArrayModel(const TechParams& tech, const ArrayGeometry& geom)
             row_cells * tech.periph.wordline_per_cell;
 }
 
-Energy ArrayModel::tag_lookup_energy(usize tag_bits_read,
-                                     usize tag_ones) const noexcept {
-  assert(tag_ones <= tag_bits_read);
-  return read_energy_counts(tech_.cell, tag_bits_read, tag_ones) +
-         static_cast<double>(tag_bits_read) * tech_.periph.tag_compare_per_bit;
-}
-
-Energy ArrayModel::tag_write_energy(usize tag_bits_written,
-                                    usize tag_ones) const noexcept {
-  assert(tag_ones <= tag_bits_written);
-  return write_energy_counts(tech_.cell, tag_bits_written, tag_ones);
-}
-
-Energy ArrayModel::output_energy(usize bits) const noexcept {
-  return static_cast<double>(bits) * tech_.periph.output_per_bit;
-}
-
 double ArrayModel::leakage_watts() const noexcept {
   return static_cast<double>(geom_.total_cells()) *
          tech_.periph.leakage_per_cell_w;

@@ -13,8 +13,11 @@
 // matching way's data columns are then accessed.
 #pragma once
 
+#include <cassert>
+
 #include "common/types.hpp"
 #include "common/units.hpp"
+#include "energy/sram_cell.hpp"
 #include "energy/tech_params.hpp"
 
 namespace cnt {
@@ -61,18 +64,32 @@ class ArrayModel {
   /// Row decode + wordline assertion for one data-array access.
   [[nodiscard]] Energy decode_energy() const noexcept { return decode_; }
 
+  // The per-access accessors below are inline: every energy policy calls
+  // several of them per simulated access, and at replay speed the call
+  // overhead outweighs the two multiplies they perform.
+
   /// Tag-side lookup: reads tag+state bits of all ways in the set (stored
   /// pattern passed in as `tag_ones` over `tag_bits_read` total bits) and
   /// runs the comparators.
   [[nodiscard]] Energy tag_lookup_energy(usize tag_bits_read,
-                                         usize tag_ones) const noexcept;
+                                         usize tag_ones) const noexcept {
+    assert(tag_ones <= tag_bits_read);
+    return read_energy_counts(tech_.cell, tag_bits_read, tag_ones) +
+           static_cast<double>(tag_bits_read) *
+               tech_.periph.tag_compare_per_bit;
+  }
 
   /// Writing a tag (on fill): per-bit write energy over the stored pattern.
   [[nodiscard]] Energy tag_write_energy(usize tag_bits_written,
-                                        usize tag_ones) const noexcept;
+                                        usize tag_ones) const noexcept {
+    assert(tag_ones <= tag_bits_written);
+    return write_energy_counts(tech_.cell, tag_bits_written, tag_ones);
+  }
 
   /// Output-driver energy for transferring `bits` to/from the CPU side.
-  [[nodiscard]] Energy output_energy(usize bits) const noexcept;
+  [[nodiscard]] Energy output_energy(usize bits) const noexcept {
+    return static_cast<double>(bits) * tech_.periph.output_per_bit;
+  }
 
   /// Total static leakage power of the array in watts (data+tag+meta).
   [[nodiscard]] double leakage_watts() const noexcept;

@@ -13,16 +13,6 @@ namespace {
 constexpr double kUnchangedFactor = 0.15;
 }  // namespace
 
-Energy read_energy(const BitEnergies& e, std::span<const u8> stored) noexcept {
-  const usize ones = popcount(stored);
-  return read_energy_counts(e, stored.size() * 8, ones);
-}
-
-Energy write_energy(const BitEnergies& e, std::span<const u8> data) noexcept {
-  const usize ones = popcount(data);
-  return write_energy_counts(e, data.size() * 8, ones);
-}
-
 Energy write_energy_flip_aware(const BitEnergies& e,
                                std::span<const u8> old_data,
                                std::span<const u8> new_data) noexcept {

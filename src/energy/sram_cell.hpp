@@ -7,7 +7,9 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
+#include "common/bits.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "energy/tech_params.hpp"
@@ -30,14 +32,45 @@ namespace cnt {
          static_cast<double>(bit_count - ones) * e.wr0;
 }
 
-/// Energy to read the stored byte buffer (all bits).
-[[nodiscard]] Energy read_energy(const BitEnergies& e,
-                                 std::span<const u8> stored) noexcept;
+/// Energy to read the stored byte buffer (all bits). Inline: the baseline
+/// policies call this once per hit/fill, and the word-packed popcount is
+/// cheaper than an out-of-line call at replay speed.
+[[nodiscard]] inline Energy read_energy(const BitEnergies& e,
+                                        std::span<const u8> stored) noexcept {
+  return read_energy_counts(e, stored.size() * 8, popcount(stored));
+}
 
 /// Energy to write the byte buffer (paper model: every written bit is
 /// charged at its value's write energy, regardless of the old content).
-[[nodiscard]] Energy write_energy(const BitEnergies& e,
-                                  std::span<const u8> data) noexcept;
+[[nodiscard]] inline Energy write_energy(const BitEnergies& e,
+                                         std::span<const u8> data) noexcept {
+  return write_energy_counts(e, data.size() * 8, popcount(data));
+}
+
+/// Precomputed read/write energies for a fixed field width, indexed by the
+/// stored '1' count. Entries are produced by read_/write_energy_counts
+/// themselves, so a lookup returns the bit-identical double the formula
+/// would -- the table only removes the per-call conversions and multiplies
+/// from loops that price one fixed-width field per iteration (partitions,
+/// dirty words).
+class EnergyByOnes {
+ public:
+  EnergyByOnes() = default;
+  EnergyByOnes(const BitEnergies& e, usize width)
+      : read_(width + 1), write_(width + 1) {
+    for (usize ones = 0; ones <= width; ++ones) {
+      read_[ones] = read_energy_counts(e, width, ones);
+      write_[ones] = write_energy_counts(e, width, ones);
+    }
+  }
+
+  [[nodiscard]] Energy read(usize ones) const noexcept { return read_[ones]; }
+  [[nodiscard]] Energy write(usize ones) const noexcept { return write_[ones]; }
+
+ private:
+  std::vector<Energy> read_;
+  std::vector<Energy> write_;
+};
 
 /// Flip-aware write model (ablation): only bits that change value are
 /// charged, at the energy of the *new* value; unchanged bits cost the

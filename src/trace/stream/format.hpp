@@ -22,9 +22,14 @@ inline constexpr char kStreamVersion[2] = {'0', '1'};
 inline constexpr u8 kChunkMarker = 'C';
 inline constexpr u8 kFooterMarker = 'F';
 
-/// Records per chunk. 64 Ki records decode into ~1 MiB of MemAccess
-/// buffer -- the O(1) resident bound of streamed replay.
-inline constexpr u32 kDefaultChunkCapacity = u32{1} << 16;
+/// Records per chunk. 16 Ki records decode into a ~384 KiB MemAccess
+/// buffer -- the O(1) resident bound of streamed replay, sized so the
+/// decode buffer plus the cache model's working set stay resident in a
+/// typical few-MiB L2 instead of evicting it once per refill (measured
+/// ~4% replay throughput, docs/performance.md). The reader accepts any
+/// capacity up to kMaxChunkCapacity, so files written with other sizes
+/// remain readable.
+inline constexpr u32 kDefaultChunkCapacity = u32{1} << 14;
 /// Hard cap on a file's declared capacity: bounds the decode buffer a
 /// hostile header can demand. 2^20 records keep the worst-case payload
 /// (~31 MiB) and decode buffer (~18 MiB) under ParseLimits'

@@ -204,18 +204,16 @@ bool StreamTraceSource::refill() {
               "reads");
   }
 
-  std::string payload(payload_bytes, '\0');
+  std::string& payload = payload_;
+  payload.resize(payload_bytes);
   read_exact(payload.data(), payload_bytes, "a chunk payload");
   pos_ += payload_bytes;
   char crc_raw[4];
   read_exact(crc_raw, sizeof crc_raw, "a chunk checksum");
   pos_ += sizeof crc_raw;
 
-  std::string body;
-  body.reserve(8 + payload.size());
-  body.append(head, sizeof head);
-  body += payload;
-  const u32 crc = crc32(body);
+  const u32 crc = crc32_final(crc32_feed(
+      crc32_feed(crc32_init(), std::string_view(head, sizeof head)), payload));
   if (crc != get_u32(crc_raw)) {
     throw Error(Errc::kChecksum,
                 "chunk " + std::to_string(chunks_seen_) +

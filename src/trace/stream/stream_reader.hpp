@@ -64,6 +64,7 @@ class StreamTraceSource final : public TraceSource {
 
   std::vector<MemAccess> buf_;
   usize buf_pos_ = 0;
+  std::string payload_;  ///< raw chunk payload, reused across refills
 };
 
 }  // namespace cnt::stream

@@ -12,7 +12,18 @@ void TraceStatsAccumulator::feed(const MemAccess& a) {
     case MemOp::kWrite: ++s_.writes; break;
     case MemOp::kIFetch: ++s_.ifetches; break;
   }
-  lines_.insert(a.addr / 64);
+  // Distinct 64 B lines, grouped by 4 KiB page: line (addr / 64) maps to
+  // bit (addr / 64) % 64 of the mask for page (addr / 4096).
+  const u64 page = a.addr >> 12;
+  if (page != last_page_ || last_mask_ == nullptr) {
+    last_mask_ = &page_line_masks_.find_or_insert(page, 0);
+    last_page_ = page;
+  }
+  const u64 bit = u64{1} << ((a.addr >> 6) & 63);
+  if ((*last_mask_ & bit) == 0) {
+    *last_mask_ |= bit;
+    ++unique_lines_;
+  }
   if (a.op == MemOp::kWrite) {
     const u64 mask = a.size == 8 ? ~0ULL : ((1ULL << (a.size * 8)) - 1);
     write_bits_ += static_cast<usize>(a.size) * 8;
@@ -22,7 +33,7 @@ void TraceStatsAccumulator::feed(const MemAccess& a) {
 
 TraceStats TraceStatsAccumulator::finish() const {
   TraceStats s = s_;
-  s.unique_lines = lines_.size();
+  s.unique_lines = unique_lines_;
   const usize rw = s.reads + s.writes;
   s.write_fraction =
       rw == 0 ? 0.0

@@ -3,9 +3,9 @@
 
 #include <span>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/types.hpp"
 #include "trace/access.hpp"
 
@@ -36,7 +36,19 @@ class TraceStatsAccumulator {
 
  private:
   TraceStats s_;
-  std::unordered_set<u64> lines_;
+  // Unique-line tracking, two-level: one hash probe per access lands on a
+  // 4 KiB page's 64-line occupancy mask instead of an entry per line. The
+  // table is 64x smaller than a per-line set, so the per-access probe
+  // stays cache-resident even for server-scale footprints; the count is
+  // maintained incrementally (a mask iteration would be order-dependent).
+  U64Map<u64> page_line_masks_;
+  // One-entry probe cache: consecutive accesses overwhelmingly land on the
+  // same 4 KiB page, so feed() skips the hash probe while the page repeats.
+  // The cached pointer stays valid across feeds because the table only
+  // rehashes when a *new* page is inserted, which refreshes the cache.
+  u64 last_page_ = ~u64{0};
+  u64* last_mask_ = nullptr;
+  usize unique_lines_ = 0;
   usize write_bits_ = 0;
   usize write_ones_ = 0;
 };
