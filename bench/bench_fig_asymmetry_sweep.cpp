@@ -99,5 +99,6 @@ int main(int argc, char** argv) {
             << csv_path << " (scale " << scale << ", "
             << engine.worker_count() << " jobs)\njsonl: "
             << result_path("fig_asymmetry_sweep.jsonl") << "\n";
+  csv.finish();
   return 0;
 }

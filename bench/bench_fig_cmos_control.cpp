@@ -47,5 +47,6 @@ int main() {
                "the predictor requests almost no switches --\nthe effect "
                "disappears with its cause, as it must.\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

@@ -46,5 +46,6 @@ int main() {
                "write mixes;\nat density ~0.5 there is nothing to encode "
                "and the overheads show.\n\ncsv: "
             << csv_path << "\n";
+  csv.finish();
   return 0;
 }

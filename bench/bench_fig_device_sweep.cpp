@@ -54,5 +54,6 @@ int main() {
                "realistic device point\nexhibits; the derived defaults land "
                "on the calibrated Table-1 reconstruction.\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

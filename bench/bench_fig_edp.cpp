@@ -53,5 +53,6 @@ int main() {
              Table::num(vs_base.value(), 2) + "x"});
   std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
             << ")\n";
+  csv.finish();
   return 0;
 }

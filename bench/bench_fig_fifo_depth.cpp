@@ -49,5 +49,6 @@ int main() {
                "granularity and drain\non the next miss, so occupancy "
                "rarely exceeds a couple of entries.\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

@@ -38,5 +38,6 @@ int main() {
   }
   std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
             << ")\n";
+  csv.finish();
   return 0;
 }

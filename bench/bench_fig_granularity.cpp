@@ -40,5 +40,6 @@ int main() {
                "word), which\nover-weights writes in both the baseline and "
                "the encoding decision.\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

@@ -68,5 +68,6 @@ int main() {
                "benefit;\nL2 sees only low-reuse miss traffic and is "
                "roughly neutral.\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

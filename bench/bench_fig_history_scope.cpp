@@ -59,5 +59,6 @@ int main() {
                "per set and re-evaluate the line\nbeing touched at the "
                "boundary.\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

@@ -46,5 +46,6 @@ int main() {
     csv.add_row({"L1D", r.workload, std::to_string(r.saving(kPolicyCnt))});
   }
   std::cout << "csv: " << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

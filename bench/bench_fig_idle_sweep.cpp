@@ -57,5 +57,6 @@ int main() {
                "window-predictor share of the saving\n(the fill-time "
                "encoding needs no idle slots at all).\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

@@ -44,5 +44,6 @@ int main() {
                "the access mix;\nthe adaptive predictor captures most of the "
                "oracle's headroom.\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

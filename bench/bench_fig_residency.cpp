@@ -51,5 +51,6 @@ int main() {
                "where only the\nfill-time choice acts; the window predictor "
                "only governs the >=W share.\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

@@ -38,5 +38,6 @@ int main() {
                "the spread across\nre-seeded instances bounds the synthetic "
                "suite's sampling noise.\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

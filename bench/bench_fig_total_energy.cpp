@@ -71,5 +71,6 @@ int main() {
             << "/s, CNT-Cache " << Energy::joules(leak_cnt).to_string()
             << "/s (+H&D cells)\n\ncsv: " << csv_path << " (scale " << scale
             << ")\n";
+  csv.finish();
   return 0;
 }

@@ -90,5 +90,6 @@ int main(int argc, char** argv) {
             << csv_path << " (scale " << scale << ", "
             << engine.worker_count() << " jobs)\njsonl: "
             << result_path("fig_traffic.jsonl") << "\n";
+  csv.finish();
   return 0;
 }

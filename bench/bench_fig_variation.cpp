@@ -96,5 +96,6 @@ int main(int argc, char** argv) {
             << csv_path << " (scale " << scale << ", seed " << seed << ", "
             << engine.worker_count() << " jobs)\njsonl: "
             << result_path("fig_variation.jsonl") << "\n";
+  csv.finish();
   return 0;
 }

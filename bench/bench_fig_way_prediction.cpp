@@ -42,5 +42,6 @@ int main() {
             << "\nway prediction cuts both columns' absolute energy and "
                "raises the encoding\nsaving's share of what remains.\n\ncsv: "
             << csv_path << " (scale " << scale << ")\n";
+  csv.finish();
   return 0;
 }

@@ -77,5 +77,6 @@ int main(int argc, char** argv) {
   std::cout << t.render() << "\ncsv: " << csv_path << " (scale " << scale
             << ", " << engine.worker_count() << " jobs)\njsonl: "
             << result_path("fig_window_sweep.jsonl") << "\n";
+  csv.finish();
   return 0;
 }

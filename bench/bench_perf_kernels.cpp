@@ -21,6 +21,8 @@
 #include "cache/cache.hpp"
 #include "cache/main_memory.hpp"
 #include "cnt/encoding.hpp"
+#include "common/failpoint.hpp"
+#include "common/io.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "sim/report.hpp"
@@ -150,11 +152,14 @@ int main(int argc, char** argv) {
 
     const std::string json_path = result_path("BENCH_kernels.json");
     {
-      std::ofstream out(json_path);
-      JsonWriter j(out);
+      io::AtomicFileWriter out(json_path, "bench");
+      JsonWriter j(out.stream());
       j.begin_object();
       j.kv("schema", "cnt-bench-perf-v2");
       j.kv("bench", "kernels");
+      // Perf numbers measured with failpoints armed are invalid;
+      // check_regression.py refuses documents where this is true.
+      j.kv("failpoints_enabled", fp::enabled());
       j.key("kernels").begin_array();
       for (const auto& r : results) {
         j.begin_object();
@@ -168,7 +173,8 @@ int main(int argc, char** argv) {
       }
       j.end_array();
       j.end_object();
-      out << '\n';
+      out.stream() << '\n';
+      out.commit();
     }
     std::cout << "json: " << json_path << "\n";
   } catch (const std::exception& e) {

@@ -26,6 +26,8 @@
 #endif
 
 #include "bench_util.hpp"
+#include "common/failpoint.hpp"
+#include "common/io.hpp"
 #include "common/json.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
@@ -152,14 +154,17 @@ int main(int argc, char** argv) {
     // --- emit BENCH_stream_replay.json ------------------------------------
     const std::string json_path = result_path("BENCH_stream_replay.json");
     {
-      std::ofstream out(json_path);
-      JsonWriter j(out);
+      io::AtomicFileWriter out(json_path, "bench");
+      JsonWriter j(out.stream());
       j.begin_object();
       // Schema v2 splits the run-invariant identity fields (diff cleanly
       // across runs and machines) from the run-varying "timing" object
       // (wall clock, throughput, RSS) -- docs/performance.md.
       j.kv("schema", "cnt-bench-perf-v2");
       j.kv("bench", "stream_replay");
+      // Perf numbers measured with failpoints armed are invalid;
+      // check_regression.py refuses documents where this is true.
+      j.kv("failpoints_enabled", fp::enabled());
       j.kv("accesses", accesses);
       j.kv("file_bytes", disk_bytes);
       j.kv("chunk_capacity", chunk_capacity);
@@ -171,7 +176,8 @@ int main(int argc, char** argv) {
       j.kv("peak_rss_bytes", rss);
       j.end_object();
       j.end_object();
-      out << '\n';
+      out.stream() << '\n';
+      out.commit();
     }
     std::cout << "json: " << json_path << "\n";
 

@@ -52,5 +52,6 @@ int main() {
                  std::to_string(p->cell.wr1.in_femtojoules())});
   }
   std::cout << "csv: " << csv_path << "\n";
+  csv.finish();
   return 0;
 }

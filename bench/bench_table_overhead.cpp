@@ -59,5 +59,6 @@ int main() {
                "threshold table is W+1 small entries of\nprecomputed "
                "bit-counts; the FIFOs are a few hundred bytes total.\n\ncsv: "
             << csv_path << "\n";
+  csv.finish();
   return 0;
 }

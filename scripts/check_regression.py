@@ -73,6 +73,9 @@ def positive_number(v):
 def check_perf(doc, min_aps):
     """Structural checks for a cnt-bench-perf-v1 document (flat fields)."""
     name = doc.get("bench", "?")
+    if doc.get("failpoints_enabled"):
+        return fail(f"{name}: measured with failpoints armed "
+                    "(failpoints_enabled=true); rerun without CNT_FAILPOINTS")
     for key in ("accesses", "file_bytes", "seconds", "accesses_per_sec",
                 "peak_rss_bytes"):
         if not positive_number(doc.get(key)):
@@ -93,6 +96,9 @@ def check_perf_v2(doc, min_aps):
     """Checks for a cnt-bench-perf-v2 document: stable identity fields at
     the top level, run-varying measurements nested under "timing"."""
     name = doc.get("bench", "?")
+    if doc.get("failpoints_enabled"):
+        return fail(f"{name}: measured with failpoints armed "
+                    "(failpoints_enabled=true); rerun without CNT_FAILPOINTS")
 
     if "kernels" in doc:
         kernels = doc["kernels"]

@@ -2,8 +2,6 @@
 
 #include <cassert>
 
-#include "common/error.hpp"
-
 namespace cnt {
 
 namespace {
@@ -22,12 +20,7 @@ std::string escape(const std::string& cell) {
 }  // namespace
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> headers)
-    : path_(path), out_(path), columns_(headers.size()) {
-  if (!out_) {
-    throw Error(Errc::kIo, "CsvWriter: cannot open output file")
-        .at(path)
-        .hint("check that the directory exists and is writable");
-  }
+    : out_(path, "csv"), columns_(headers.size()) {
   emit(headers);
 }
 
@@ -36,13 +29,15 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
   emit(cells);
 }
 
+void CsvWriter::finish() { out_.commit(); }
+
 void CsvWriter::emit(const std::vector<std::string>& cells) {
+  std::ostream& os = out_.stream();
   for (usize i = 0; i < cells.size(); ++i) {
-    if (i != 0) out_ << ',';
-    out_ << escape(cells[i]);
+    if (i != 0) os << ',';
+    os << escape(cells[i]);
   }
-  out_ << '\n';
-  out_.flush();
+  os << '\n';
 }
 
 }  // namespace cnt

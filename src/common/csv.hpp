@@ -1,32 +1,43 @@
-// Minimal CSV writer: every experiment binary writes its series next to the
-// printed table so figures can be re-plotted from the raw data.
+// Minimal CSV writer over the durable-I/O layer: every experiment binary
+// writes its series next to the printed table so figures can be
+// re-plotted from the raw data. Rows buffer in memory and finish()
+// publishes the file atomically (docs/crash_consistency.md) -- a crashed
+// or failed bench never leaves a truncated CSV behind, and a failed
+// write throws instead of exiting 0.
 #pragma once
 
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/io.hpp"
 #include "common/types.hpp"
 
 namespace cnt {
 
 class CsvWriter {
  public:
-  /// Opens `path` for writing and emits the header row.
-  /// Throws cnt::Error (Errc::kIo) if the file cannot be opened.
+  /// Stages output at `path + ".partial"` and buffers the header row.
+  /// Throws cnt::Error (Errc::kIo) if the staging file cannot be opened.
   CsvWriter(const std::string& path, std::vector<std::string> headers);
 
   /// Append a data row; must have exactly as many cells as the header.
   /// Cells containing commas, quotes, or newlines are quoted per RFC 4180.
   void add_row(const std::vector<std::string>& cells);
 
-  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Durably publish the CSV (checked write + fsync + atomic rename onto
+  /// `path`). Every writer must call this once after its last row;
+  /// without it the destructor discards the staging file and nothing is
+  /// published. Throws cnt::Error (Errc::kIo) on write/rename failure.
+  void finish();
+
+  [[nodiscard]] const std::string& path() const noexcept {
+    return out_.path();
+  }
 
  private:
   void emit(const std::vector<std::string>& cells);
 
-  std::string path_;
-  std::ofstream out_;
+  io::AtomicFileWriter out_;
   usize columns_;
 };
 

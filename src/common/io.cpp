@@ -1,0 +1,276 @@
+#include "common/io.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/failpoint.hpp"
+
+namespace cnt::io {
+
+namespace {
+
+/// Transient (EINTR/EAGAIN) retries before a write becomes an error.
+constexpr u32 kTransientRetries = 8;
+
+void backoff(u32 attempt) {
+  const u32 shift = attempt < 4 ? attempt : 4;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1) * (1u << shift));
+}
+
+std::string hint_for(int err) {
+  switch (err) {
+    case ENOSPC:
+      return "free disk space and rerun";
+    case EIO:
+      return "the device reported an I/O error; check the filesystem "
+             "before retrying";
+    case ENOENT:
+      return "check that the directory exists and is writable";
+    case EACCES:
+    case EPERM:
+    case EROFS:
+      return "check permissions on the destination directory";
+    case EISDIR:
+      return "the destination names a directory, not a file";
+    case EINTR:
+    case EAGAIN:
+      return "the call kept being interrupted after bounded retries; "
+             "the system is overloaded";
+    default:
+      return "check the path and the destination filesystem";
+  }
+}
+
+/// fsync the directory containing `path` so a just-renamed entry
+/// survives a power cut. Best-effort: some filesystems refuse directory
+/// fsync; that is not a failure the caller can act on.
+void sync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+[[nodiscard]] Error rename_error(const std::string& from,
+                                 const std::string& to, int err) {
+  return Error(Errc::kIo, "rename failed: " + errno_label(err))
+      .at(from)
+      .context("publishing " + to)
+      .hint(hint_for(err));
+}
+
+}  // namespace
+
+std::string_view errno_name(int err) noexcept {
+  switch (err) {
+    case ENOSPC: return "ENOSPC";
+    case EIO: return "EIO";
+    case EINTR: return "EINTR";
+    case EAGAIN: return "EAGAIN";
+    case EACCES: return "EACCES";
+    case EPERM: return "EPERM";
+    case ENOENT: return "ENOENT";
+    case EISDIR: return "EISDIR";
+    case ENOTDIR: return "ENOTDIR";
+    case EROFS: return "EROFS";
+    case EEXIST: return "EEXIST";
+    case EXDEV: return "EXDEV";
+    case EBADF: return "EBADF";
+    case EFBIG: return "EFBIG";
+    case EMFILE: return "EMFILE";
+    case ENFILE: return "ENFILE";
+    case EINVAL: return "EINVAL";
+    default: return "";
+  }
+}
+
+std::string errno_label(int err) {
+  // Fixed descriptions (not strerror) so error messages are stable
+  // across libcs and locales -- tests pin them byte-for-byte.
+  const char* desc = nullptr;
+  switch (err) {
+    case ENOSPC: desc = "no space left on device"; break;
+    case EIO: desc = "input/output error"; break;
+    case EINTR: desc = "interrupted system call"; break;
+    case EAGAIN: desc = "resource temporarily unavailable"; break;
+    case EACCES: desc = "permission denied"; break;
+    case EPERM: desc = "operation not permitted"; break;
+    case ENOENT: desc = "no such file or directory"; break;
+    case EISDIR: desc = "is a directory"; break;
+    case ENOTDIR: desc = "not a directory"; break;
+    case EROFS: desc = "read-only file system"; break;
+    case EEXIST: desc = "file exists"; break;
+    case EXDEV: desc = "cross-device link"; break;
+    case EBADF: desc = "bad file descriptor"; break;
+    case EFBIG: desc = "file too large"; break;
+    case EMFILE: desc = "too many open files"; break;
+    case ENFILE: desc = "file table overflow"; break;
+    case EINVAL: desc = "invalid argument"; break;
+    default: break;
+  }
+  if (desc == nullptr) return "errno " + std::to_string(err);
+  return std::string(errno_name(err)) + " (" + desc + ")";
+}
+
+Error io_error(std::string_view op, int err, const std::string& path) {
+  return Error(Errc::kIo, std::string(op) + " failed: " + errno_label(err))
+      .at(path)
+      .hint(hint_for(err));
+}
+
+// --- DurableFile -----------------------------------------------------------
+
+DurableFile::DurableFile(std::string path, std::string site_prefix)
+    : path_(std::move(path)),
+      site_write_(site_prefix + ".write"),
+      site_sync_(site_prefix + ".sync") {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw io_error("open", errno, path_);
+}
+
+DurableFile::~DurableFile() {
+  if (fd_ >= 0) (void)::close(fd_);
+}
+
+Error DurableFile::write_error(usize done, usize total, int err) const {
+  std::string msg = "write failed";
+  if (done > 0) {
+    msg += " after " + std::to_string(done) + " of " + std::to_string(total) +
+           " bytes";
+  }
+  msg += ": " + errno_label(err);
+  return Error(Errc::kIo, std::move(msg)).at(path_).hint(hint_for(err));
+}
+
+void DurableFile::write_all(const char* data, usize n) {
+  usize done = 0;
+  u32 transient = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd_, data + done, n - done);
+    if (w >= 0) {
+      done += static_cast<usize>(w);
+      transient = 0;
+      continue;
+    }
+    const int err = errno;
+    if ((err == EINTR || err == EAGAIN) && ++transient <= kTransientRetries) {
+      backoff(transient);
+      continue;
+    }
+    throw write_error(done, n, err);
+  }
+}
+
+void DurableFile::write(std::string_view bytes) {
+  switch (fp::check(site_write_)) {
+    case fp::Action::kErrorEnospc:
+      throw write_error(0, bytes.size(), ENOSPC);
+    case fp::Action::kErrorEio:
+      throw write_error(0, bytes.size(), EIO);
+    case fp::Action::kShortWrite: {
+      // Persist a real prefix, then fail: the on-disk state is exactly a
+      // torn record, the case recovery paths must handle.
+      const usize half = bytes.size() / 2;
+      write_all(bytes.data(), half);
+      throw write_error(half, bytes.size(), ENOSPC);
+    }
+    case fp::Action::kNone:
+      break;
+  }
+  write_all(bytes.data(), bytes.size());
+}
+
+void DurableFile::sync() {
+  switch (fp::check(site_sync_)) {
+    case fp::Action::kErrorEnospc:
+      throw io_error("fsync", ENOSPC, path_);
+    case fp::Action::kErrorEio:
+    case fp::Action::kShortWrite:  // short writes do not apply to fsync
+      throw io_error("fsync", EIO, path_);
+    case fp::Action::kNone:
+      break;
+  }
+  if (::fsync(fd_) != 0) {
+    const int err = errno;
+    // Pipes and some filesystems reject fsync; that is a property of
+    // the destination, not a write failure.
+    if (err == EINVAL || err == EROFS) return;
+    throw io_error("fsync", err, path_);
+  }
+}
+
+void DurableFile::close() {
+  if (fd_ < 0) return;
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) throw io_error("close", errno, path_);
+}
+
+// --- rename + AtomicFileWriter --------------------------------------------
+
+void rename_file(const std::string& from, const std::string& to,
+                 const std::string& site_prefix) {
+  switch (fp::check(site_prefix + ".rename")) {
+    case fp::Action::kErrorEnospc:
+      throw rename_error(from, to, ENOSPC);
+    case fp::Action::kErrorEio:
+    case fp::Action::kShortWrite:
+      throw rename_error(from, to, EIO);
+    case fp::Action::kNone:
+      break;
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    throw rename_error(from, to, errno);
+  }
+  sync_parent_dir(to);
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path, std::string site_prefix)
+    : path_(std::move(path)),
+      partial_(path_ + ".partial"),
+      prefix_(std::move(site_prefix)) {
+  file_.emplace(partial_, prefix_);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!finished_) discard();
+}
+
+void AtomicFileWriter::write(std::string_view bytes) {
+  buffer_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void AtomicFileWriter::commit() {
+  if (committed_) return;
+  if (finished_) {
+    throw std::logic_error("AtomicFileWriter: commit() after discard()");
+  }
+  const std::string bytes = buffer_.str();
+  file_->write(bytes);
+  file_->sync();
+  file_->close();
+  rename_file(partial_, path_, prefix_);
+  file_.reset();
+  committed_ = true;
+  finished_ = true;
+}
+
+void AtomicFileWriter::discard() noexcept {
+  if (finished_) return;
+  finished_ = true;
+  file_.reset();  // best-effort close
+  (void)std::remove(partial_.c_str());
+}
+
+}  // namespace cnt::io

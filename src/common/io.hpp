@@ -1,0 +1,136 @@
+// Durable, checked file output (docs/crash_consistency.md).
+//
+// Two durability classes back every artifact the tree writes:
+//
+//  * incremental-durable (sweep journals, .trs streamed traces):
+//    DurableFile performs checked full writes straight at the target
+//    descriptor; a crash leaves a prefix the reader either recovers
+//    (journal torn tail) or refuses with a structured error (.trs
+//    without a sealed footer).
+//  * publish-atomic (CSV, stats JSON, BENCH JSON, .trc/.txt traces):
+//    AtomicFileWriter stages into `<path>.partial`; commit() performs a
+//    checked write + fsync + rename + parent-directory fsync, so readers
+//    of `path` see the old file or the complete new one, never a torn
+//    intermediate -- and a failed run throws instead of exiting 0 with
+//    a truncated artifact.
+//
+// Every failure maps errno onto the Errc taxonomy (common/error.hpp)
+// with what/where/hint; transient EINTR/EAGAIN results are retried with
+// bounded backoff before becoming errors. All operations consult the
+// failpoint registry (common/failpoint.hpp) at `<site_prefix>.write`,
+// `<site_prefix>.sync` and `<site_prefix>.rename` sites.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cnt::io {
+
+/// Stable errno mnemonic ("ENOSPC"), or "" for errnos outside the
+/// catalog. Used for locale-independent golden error messages.
+[[nodiscard]] std::string_view errno_name(int err) noexcept;
+
+/// "ENOSPC (no space left on device)" for cataloged errnos,
+/// "errno 113" otherwise.
+[[nodiscard]] std::string errno_label(int err);
+
+/// Build the taxonomy error for a failed file operation:
+/// `[io] <path>: <op> failed: <ERRNO (description)> -- hint: ...`.
+[[nodiscard]] Error io_error(std::string_view op, int err,
+                             const std::string& path);
+
+/// Checked POSIX file writer. Create/truncate on construction; write()
+/// loops until every byte is accepted (bounded EINTR/EAGAIN retry with
+/// backoff) and throws Error(Errc::kIo) on real failures, so no caller
+/// can silently drop a partial write.
+class DurableFile {
+ public:
+  /// `site_prefix` names the failpoint family: "journal" checks
+  /// journal.write / journal.sync. Throws Error(kIo) on open failure.
+  DurableFile(std::string path, std::string site_prefix);
+  ~DurableFile();  ///< best-effort close; call close() for a checked one
+
+  DurableFile(const DurableFile&) = delete;
+  DurableFile& operator=(const DurableFile&) = delete;
+
+  /// Write all of `bytes` or throw. Failpoint site `<prefix>.write`.
+  void write(std::string_view bytes);
+
+  /// fsync the descriptor. Failpoint site `<prefix>.sync`.
+  void sync();
+
+  /// Checked close; idempotent. Throws when the kernel reports a
+  /// deferred write error at close time.
+  void close();
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  [[nodiscard]] Error write_error(usize done, usize total, int err) const;
+  void write_all(const char* data, usize n);
+
+  std::string path_;
+  std::string site_write_;
+  std::string site_sync_;
+  int fd_ = -1;
+};
+
+/// rename(from, to) with failpoint site `<site_prefix>.rename`, errno
+/// mapping, and a best-effort fsync of the destination's parent
+/// directory so the publish itself survives a power cut.
+void rename_file(const std::string& from, const std::string& to,
+                 const std::string& site_prefix);
+
+/// All-or-nothing artifact writer: stream() buffers in memory, commit()
+/// durably writes `<path>.partial` and atomically renames it onto
+/// `path`. Destroying an uncommitted writer discards the staging file,
+/// so an aborted run publishes nothing instead of a truncated artifact.
+class AtomicFileWriter {
+ public:
+  /// Opens `<path>.partial` immediately so directory/permission errors
+  /// surface before any work is done. Throws Error(kIo).
+  AtomicFileWriter(std::string path, std::string site_prefix);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// In-memory buffer; formatted output goes here until commit().
+  [[nodiscard]] std::ostream& stream() noexcept { return buffer_; }
+
+  /// Append raw bytes to the buffer.
+  void write(std::string_view bytes);
+
+  /// Durable publish: checked write + fsync + close + rename +
+  /// parent-dir fsync. Throws Error(kIo); the staging file is removed
+  /// by the destructor when commit() does not complete. Throws
+  /// std::logic_error after discard().
+  void commit();
+
+  /// Drop the staging file and forget the buffered content. Safe to
+  /// call twice; the destructor calls it when commit() never happened.
+  void discard() noexcept;
+
+  [[nodiscard]] bool committed() const noexcept { return committed_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& partial_path() const noexcept {
+    return partial_;
+  }
+
+ private:
+  std::string path_;
+  std::string partial_;
+  std::string prefix_;
+  std::ostringstream buffer_;
+  std::optional<DurableFile> file_;
+  bool committed_ = false;
+  bool finished_ = false;  ///< committed or discarded
+};
+
+}  // namespace cnt::io

@@ -4,12 +4,14 @@
 #include <chrono>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/hash.hpp"
 #include "exec/interrupt.hpp"
 #include "exec/journal.hpp"
@@ -32,6 +34,18 @@ SweepInterrupted::SweepInterrupted(usize completed, usize total,
 JobOutcome run_job(const Job& job) noexcept {
   JobOutcome out;
   out.job = job;
+  // Torture-harness hook (docs/crash_consistency.md): an armed
+  // engine.job failpoint injects a transient job failure (exercising the
+  // retry path) or kills the process mid-sweep.
+  switch (fp::check("engine.job")) {
+    case fp::Action::kErrorEnospc:
+    case fp::Action::kErrorEio:
+    case fp::Action::kShortWrite:
+      out.error = "failpoint: injected transient job failure (engine.job)";
+      return out;
+    case fp::Action::kNone:
+      break;
+  }
   const auto t0 = std::chrono::steady_clock::now();
   try {
     const Workload w = build_workload(job.workload, job.scale,
@@ -141,6 +155,10 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
   }
 
   bool interrupted = false;
+  // A journal write failure (disk full, device error) must not lose the
+  // sweep: stop dispatching, drain, seal the partial, and rethrow the
+  // I/O error with resume guidance (docs/crash_consistency.md).
+  std::optional<Error> journal_failure;
   if (workers_ <= 1) {
     // Serial reference path: same code per job, no threads at all.
     for (usize i = 0; i < jobs.size(); ++i) {
@@ -151,7 +169,12 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
       }
       outcomes[i] = run_job_with_retry(jobs[i], retries_,
                                        opts_.retry_backoff_ms);
-      sink.push(outcomes[i]);
+      try {
+        sink.push(outcomes[i]);
+      } catch (Error& e) {
+        journal_failure = std::move(e);
+        break;
+      }
       meter.job_done();
     }
   } else {
@@ -176,9 +199,16 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
         // still reach the journal before the interrupt propagates.
         std::lock_guard lock(done_mu);
         const usize slot = static_cast<usize>(out.job.id);
-        sink.push(out);
+        if (!journal_failure.has_value()) {
+          try {
+            sink.push(out);
+            meter.job_done();
+          } catch (Error& e) {
+            journal_failure = std::move(e);
+            stop = true;
+          }
+        }
         outcomes[slot] = std::move(out);
-        meter.job_done();
       });
     }
     pool.wait();
@@ -187,7 +217,23 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
     if (pool.error_count() != 0) {
       throw std::logic_error("ExperimentEngine: worker task threw");
     }
-    interrupted = stop;
+    interrupted = stop && !journal_failure.has_value();
+  }
+
+  if (journal_failure.has_value()) {
+    sink.close_interrupted();  // salvage buffered rows, keep the partial
+    meter.finish();
+    Error e = std::move(*journal_failure);
+    std::string how = e.info().hint;
+    if (!opts_.jsonl_path.empty()) {
+      if (!how.empty()) how += "; ";
+      how += "then rerun with --resume -- every journaled row is sealed in " +
+             opts_.jsonl_path + ".partial";
+    }
+    throw std::move(e)
+        .context("writing sweep journal (" + std::to_string(meter.done()) +
+                 "/" + std::to_string(jobs.size()) + " jobs journaled)")
+        .hint(std::move(how));
   }
 
   if (interrupted) {
@@ -198,7 +244,14 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
     throw SweepInterrupted(meter.done(), jobs.size(), partial);
   }
 
-  sink.finish();
+  try {
+    sink.finish();
+  } catch (Error& e) {
+    meter.finish();
+    // The partial journal is complete and sealed; only the publish
+    // failed. --resume replays it without re-simulating anything.
+    throw std::move(e).context("publishing sweep journal");
+  }
   meter.finish();
   if (opts_.progress) {
     std::cerr << meter.summary() << " [" << workers_ << " worker"

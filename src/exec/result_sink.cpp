@@ -101,38 +101,44 @@ JsonlSink::JsonlSink(const std::string& path, bool include_timing)
     : include_timing_(include_timing),
       path_(path),
       partial_path_(path + ".partial") {
-  file_.open(partial_path_, std::ios::trunc);
-  if (!file_) {
-    throw Error(Errc::kIo, "JsonlSink: cannot open output file")
-        .at(partial_path_)
-        .hint("check that the directory exists and is writable");
-  }
-  os_ = &file_;
+  // Incremental-durable (docs/crash_consistency.md): rows go straight
+  // to the partial file as checked writes; finish() publishes.
+  file_.emplace(partial_path_, "journal");
 }
 
 JsonlSink::JsonlSink(std::ostream& os, bool include_timing)
     : os_(&os), include_timing_(include_timing) {}
+
+void JsonlSink::write_line(std::string line) {
+  line += '\n';
+  if (file_.has_value()) {
+    // One checked write per row: a killed sweep keeps every completed
+    // row on disk, and a failed write throws instead of truncating.
+    file_->write(line);
+  } else if (os_ != nullptr) {
+    *os_ << line;
+    os_->flush();
+  }
+}
 
 void JsonlSink::write_header(u64 fingerprint, u64 jobs) {
   if (header_written_ || next_id_ != 0 || !pending_.empty()) {
     throw std::logic_error("JsonlSink: header must precede every row");
   }
   header_written_ = true;
-  if (os_ == nullptr) return;
-  *os_ << make_header_line(fingerprint, jobs) << '\n';
-  os_->flush();
+  if (!enabled()) return;
+  write_line(make_header_line(fingerprint, jobs));
 }
 
 void JsonlSink::emit(const Entry& entry) {
-  if (os_ != nullptr) {
+  if (enabled()) {
     if (entry.replay) {
-      *os_ << entry.raw;
+      write_line(entry.raw);
     } else {
-      write_jsonl_row(entry.outcome, *os_, include_timing_);
+      std::ostringstream row;
+      write_jsonl_row(entry.outcome, row, include_timing_);
+      write_line(row.str());
     }
-    *os_ << '\n';
-    // Per-row flush: a killed sweep keeps every completed row on disk.
-    os_->flush();
   }
   ++next_id_;
 }
@@ -177,30 +183,46 @@ void JsonlSink::finish() {
         std::to_string(next_id_));
   }
   if (os_ != nullptr) os_->flush();
-  if (!path_.empty()) {
-    file_.close();
-    // Atomic publish: readers of path_ see the old file or the complete
-    // new one, never a torn intermediate.
-    if (std::rename(partial_path_.c_str(), path_.c_str()) != 0) {
-      throw Error(Errc::kIo,
-                  "JsonlSink: cannot rename partial journal onto " + path_)
-          .at(partial_path_)
-          .hint("the partial file with every completed row is still on "
-                "disk; check permissions on the destination");
+  if (file_.has_value()) {
+    // Atomic publish: fsync the rows, then rename -- readers of path_
+    // see the old file or the complete new one, never a torn
+    // intermediate. Failpoint sites journal.sync / journal.rename.
+    file_->sync();
+    file_->close();
+    file_.reset();
+    try {
+      io::rename_file(partial_path_, path_, "journal");
+    } catch (Error& e) {
+      throw std::move(e).hint(
+          "the partial file with every completed row is still on disk; "
+          "check permissions on the destination");
     }
-    os_ = nullptr;
   }
 }
 
 void JsonlSink::close_interrupted() {
   // Rows stuck behind a gap are still valid journal entries: resume
   // matches rows by (job_id, key), not by file position, so emit them
-  // out of order rather than losing finished work.
-  for (auto& [id, entry] : pending_) emit(entry);
+  // out of order rather than losing finished work. On a full disk the
+  // drain salvages what it can -- secondary write failures must not
+  // mask the error that triggered the shutdown.
+  for (auto& [id, entry] : pending_) {
+    try {
+      emit(entry);
+    } catch (const Error&) {
+      ++next_id_;  // row lost; --resume will re-simulate it
+    }
+  }
   pending_.clear();
   if (os_ != nullptr) os_->flush();
-  if (!path_.empty()) {
-    file_.close();  // keep <path>.partial for --resume
+  if (file_.has_value()) {
+    try {
+      file_->sync();
+      file_->close();
+    } catch (const Error&) {
+      // best-effort seal; the partial keeps whatever reached the disk
+    }
+    file_.reset();  // keep <path>.partial for --resume
     os_ = nullptr;
   }
 }

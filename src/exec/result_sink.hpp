@@ -16,11 +16,12 @@
 // while readers of `<path>` never observe a torn journal.
 #pragma once
 
-#include <fstream>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 
+#include "common/io.hpp"
 #include "common/types.hpp"
 #include "exec/sweep.hpp"
 #include "sim/runner.hpp"
@@ -52,9 +53,11 @@ class JsonlSink {
   /// Disabled sink: push() only tracks ordering, nothing is written.
   JsonlSink() = default;
 
-  /// Journal-file sink: streams sealed rows to `path + ".partial"`,
-  /// flushing after every row; finish() renames the partial onto `path`.
-  /// Throws std::runtime_error if the partial cannot be opened.
+  /// Journal-file sink: streams sealed rows to `path + ".partial"`
+  /// through the durable-I/O layer (one checked write per row, failpoint
+  /// sites journal.write / journal.sync / journal.rename); finish()
+  /// fsyncs and renames the partial onto `path`. Throws cnt::Error
+  /// (Errc::kIo) if the partial cannot be opened.
   explicit JsonlSink(const std::string& path, bool include_timing = true);
 
   /// Stream to a caller-owned ostream (tests, stdout pipelines). No
@@ -67,7 +70,9 @@ class JsonlSink {
 
   /// Accept a finished job in any completion order. Rows flush to the
   /// output in job-id order. Not thread-safe; callers serialize (the
-  /// engine pushes under its completion lock).
+  /// engine pushes under its completion lock). Throws cnt::Error
+  /// (Errc::kIo) when a journal write fails (disk full, device error);
+  /// the rows already written stay sealed on disk for --resume.
   void push(JobOutcome outcome);
 
   /// Accept a journaled row for job `id` verbatim (resume replay). The
@@ -83,6 +88,7 @@ class JsonlSink {
   /// Interrupted shutdown: flush rows held in the reorder buffer (beyond
   /// any gap, ascending id order -- resume matches rows by key, not file
   /// position) and close, leaving `<path>.partial` in place for --resume.
+  /// Never throws on I/O: a drain on a full disk salvages what it can.
   void close_interrupted();
 
   /// Rows actually written so far (== the contiguous prefix length).
@@ -91,7 +97,9 @@ class JsonlSink {
   /// Completions held in the reorder buffer awaiting earlier ids.
   [[nodiscard]] usize buffered() const noexcept { return pending_.size(); }
 
-  [[nodiscard]] bool enabled() const noexcept { return os_ != nullptr; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return os_ != nullptr || file_.has_value();
+  }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
@@ -103,9 +111,10 @@ class JsonlSink {
 
   void enqueue(u64 id, Entry entry);
   void emit(const Entry& entry);
+  void write_line(std::string line);
 
-  std::ofstream file_;
-  std::ostream* os_ = nullptr;
+  std::optional<io::DurableFile> file_;  ///< journal-file mode
+  std::ostream* os_ = nullptr;           ///< borrowed-stream mode
   bool include_timing_ = true;
   std::string path_;          // final journal path ("" for ostream mode)
   std::string partial_path_;  // staging file while the sweep runs

@@ -98,6 +98,7 @@ void write_savings_csv(const std::vector<SimResult>& results,
                  joules(kPolicyStatic), joules(kPolicyCnt),
                  joules(kPolicyIdeal), std::to_string(r.saving(kPolicyCnt))});
   }
+  csv.finish();
 }
 
 std::string results_dir() {

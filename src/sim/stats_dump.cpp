@@ -1,8 +1,6 @@
 #include "sim/stats_dump.hpp"
 
-#include <fstream>
-#include <stdexcept>
-
+#include "common/io.hpp"
 #include "common/json.hpp"
 
 namespace cnt {
@@ -111,9 +109,12 @@ void dump_json(const std::vector<SimResult>& results, std::ostream& os) {
 
 void dump_json_file(const std::vector<SimResult>& results,
                     const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("stats_dump: cannot open " + path);
-  dump_json(results, out);
+  // Publish-atomic (docs/crash_consistency.md): a failed or killed run
+  // never leaves a truncated results JSON behind, and write errors
+  // throw instead of exiting 0.
+  io::AtomicFileWriter out(path, "stats");
+  dump_json(results, out.stream());
+  out.commit();
 }
 
 }  // namespace cnt

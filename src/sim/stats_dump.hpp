@@ -19,7 +19,10 @@ void dump_json(const SimResult& result, std::ostream& os);
 /// Many results as {"results": [...]} with a schema version.
 void dump_json(const std::vector<SimResult>& results, std::ostream& os);
 
-/// Convenience: write to a file; throws std::runtime_error on I/O failure.
+/// Convenience: atomically publish to a file through io::AtomicFileWriter
+/// (failpoint sites stats.write / stats.sync / stats.rename); throws
+/// cnt::Error (Errc::kIo) on I/O failure, leaving any previous file
+/// untouched.
 void dump_json_file(const std::vector<SimResult>& results,
                     const std::string& path);
 

@@ -33,16 +33,9 @@ StreamTraceWriter::StreamTraceWriter(std::ostream& os, u32 chunk_capacity)
 
 StreamTraceWriter::StreamTraceWriter(const std::string& path,
                                      u32 chunk_capacity)
-    : file_(path, std::ios::out | std::ios::binary | std::ios::trunc),
-      os_(&file_),
-      source_(path),
-      capacity_(chunk_capacity) {
+    : source_(path), capacity_(chunk_capacity) {
   assert(capacity_ > 0 && capacity_ <= kMaxChunkCapacity);
-  if (!file_) {
-    throw Error(Errc::kIo, "cannot open streamed trace for writing")
-        .at(source_)
-        .hint("check that the directory exists and is writable");
-  }
+  file_.emplace(path, "trs");  // throws Error(kIo) on open failure
   pending_.reserve(capacity_);
   write_header();
 }
@@ -54,12 +47,27 @@ StreamTraceWriter::~StreamTraceWriter() {
   }
 }
 
+void StreamTraceWriter::out_bytes(const std::string& bytes) {
+  if (file_.has_value()) {
+    try {
+      file_->write(bytes);  // checked; failpoint site trs.write
+    } catch (...) {
+      // Whatever reached the disk is a torn prefix: refuse to seal so
+      // the reader refuses the file instead of trusting a short trace.
+      failed_ = true;
+      throw;
+    }
+  } else {
+    os_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+}
+
 void StreamTraceWriter::write_header() {
-  os_->write(kStreamMagic, sizeof kStreamMagic);
-  os_->write(kStreamVersion, sizeof kStreamVersion);
-  std::string cap;
-  put_u32(cap, capacity_);
-  os_->write(cap.data(), static_cast<std::streamsize>(cap.size()));
+  std::string header;
+  header.append(kStreamMagic, sizeof kStreamMagic);
+  header.append(kStreamVersion, sizeof kStreamVersion);
+  put_u32(header, capacity_);
+  out_bytes(header);
 }
 
 void StreamTraceWriter::push(const MemAccess& a) {
@@ -125,19 +133,17 @@ void StreamTraceWriter::flush_chunk() {
   }
 
   // Seal: CRC-32 over the length fields plus the payload, the same
-  // discipline as journal lines.
+  // discipline as journal lines. Marker + body + CRC go out as one
+  // write so a kill mid-chunk tears at most one record boundary.
   std::string body;
-  body.reserve(8 + payload.size());
+  body.reserve(9 + payload.size() + 4);
+  body.push_back(static_cast<char>(kChunkMarker));  // cnt-lint: narrow-ok marker byte
   put_u32(body, static_cast<u32>(n));  // cnt-lint: narrow-ok n <= capacity
   put_u32(body, static_cast<u32>(payload.size()));
   body += payload;
-  const u32 crc = crc32(body);
-
-  os_->put(static_cast<char>(kChunkMarker));  // cnt-lint: narrow-ok marker byte
-  os_->write(body.data(), static_cast<std::streamsize>(body.size()));
-  std::string tail;
-  put_u32(tail, crc);
-  os_->write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  const u32 crc = crc32(std::string_view(body).substr(1));
+  put_u32(body, crc);
+  out_bytes(body);
 
   crc_digest_.update(static_cast<u64>(crc));
   ++chunks_;
@@ -146,24 +152,38 @@ void StreamTraceWriter::flush_chunk() {
 
 void StreamTraceWriter::finish() {
   if (finished_) return;
+  if (failed_) {
+    throw Error(Errc::kIo,
+                "streamed trace had a write failure; refusing to seal")
+        .at(source_)
+        .hint("the file is incomplete and the reader will refuse it; "
+              "regenerate the trace");
+  }
   flush_chunk();
   std::string body;
   put_u64(body, records_);
   put_u64(body, chunks_);
   put_u64(body, crc_digest_.digest());
   const u32 crc = crc32(body);
-  os_->put(static_cast<char>(kFooterMarker));  // cnt-lint: narrow-ok marker byte
-  os_->write(body.data(), static_cast<std::streamsize>(body.size()));
-  std::string tail;
-  put_u32(tail, crc);
-  os_->write(tail.data(), static_cast<std::streamsize>(tail.size()));
-  os_->flush();
-  finished_ = true;
-  if (!*os_) {
-    throw Error(Errc::kIo, "write failure while sealing streamed trace")
-        .at(source_)
-        .hint("check free disk space; the file is incomplete and will be "
-              "refused by the reader");
+  std::string footer;
+  footer.reserve(1 + body.size() + 4);
+  footer.push_back(static_cast<char>(kFooterMarker));  // cnt-lint: narrow-ok marker byte
+  footer += body;
+  put_u32(footer, crc);
+  out_bytes(footer);
+  finished_ = true;  // structure is complete even if the fsync below fails
+  if (file_.has_value()) {
+    file_->sync();  // failpoint site trs.sync
+    file_->close();
+    file_.reset();
+  } else {
+    os_->flush();
+    if (!*os_) {
+      throw Error(Errc::kIo, "write failure while sealing streamed trace")
+          .at(source_)
+          .hint("check free disk space; the file is incomplete and will be "
+                "refused by the reader");
+    }
   }
 }
 

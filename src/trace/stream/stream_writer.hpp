@@ -1,14 +1,22 @@
 // Chunked columnar trace writer: a TraceSink that streams CNTTRS chunks
 // to disk as they fill, so generators can emit multi-GB traces without
 // ever materializing them. Format: docs/trace_streaming.md.
+//
+// The path constructor writes through the durable-I/O layer
+// (common/io.hpp): every chunk is a checked write (failpoint sites
+// trs.write / trs.sync, docs/crash_consistency.md), and once any write
+// has failed finish() refuses to seal the file -- an aborted generation
+// leaves an unsealed .trs the reader rejects with a structured error,
+// never a sealed-but-short one.
 #pragma once
 
-#include <fstream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/io.hpp"
 #include "trace/stream/format.hpp"
 #include "trace/stream/trace_source.hpp"
 
@@ -19,8 +27,8 @@ class StreamTraceWriter final : public TraceSink {
   /// Write to a borrowed stream (tests, in-memory round trips).
   explicit StreamTraceWriter(std::ostream& os,
                              u32 chunk_capacity = kDefaultChunkCapacity);
-  /// Create/truncate `path` and write to it. Throws Error(kIo) on open
-  /// failure.
+  /// Create/truncate `path` and write to it with checked durable
+  /// writes. Throws Error(kIo) on open failure.
   explicit StreamTraceWriter(const std::string& path,
                              u32 chunk_capacity = kDefaultChunkCapacity);
 
@@ -34,8 +42,10 @@ class StreamTraceWriter final : public TraceSink {
 
   void push(const MemAccess& a) override;
 
-  /// Seal the file: flush the pending chunk and write the footer.
-  /// Idempotent. Throws Error(kIo) when the underlying stream failed.
+  /// Seal the file: flush the pending chunk, write the footer, and (in
+  /// path mode) fsync. Idempotent. Throws Error(kIo) when a write
+  /// failed -- including earlier push() failures: a writer that ever
+  /// failed refuses to seal, so the reader refuses the artifact too.
   void finish();
 
   [[nodiscard]] u64 records() const noexcept { return records_; }
@@ -44,16 +54,18 @@ class StreamTraceWriter final : public TraceSink {
  private:
   void write_header();
   void flush_chunk();
+  void out_bytes(const std::string& bytes);
 
-  std::ofstream file_;  ///< backing storage for the path constructor
-  std::ostream* os_;
-  std::string source_;  ///< for error reporting
+  std::optional<io::DurableFile> file_;  ///< set by the path constructor
+  std::ostream* os_ = nullptr;           ///< set by the stream constructor
+  std::string source_;                   ///< for error reporting
   u32 capacity_;
   std::vector<MemAccess> pending_;
   u64 records_ = 0;
   u64 chunks_ = 0;
   Fnv1a64 crc_digest_;  ///< chains every chunk CRC for the footer
   bool finished_ = false;
+  bool failed_ = false;  ///< a write failed; never seal this file
 };
 
 }  // namespace cnt::stream

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/io.hpp"
+
 namespace cnt {
 
 namespace {
@@ -237,18 +239,16 @@ Trace read_binary(std::istream& is, std::string name,
 void save_trace(const Trace& trace, const std::string& path) {
   const bool text = path.size() >= 4 &&
                     path.compare(path.size() - 4, 4, ".txt") == 0;
-  std::ofstream out(path, text ? std::ios::out
-                               : std::ios::out | std::ios::binary);
-  if (!out) {
-    throw Error(Errc::kIo, "cannot open trace file for writing")
-        .at(path)
-        .hint("check that the directory exists and is writable");
-  }
+  // Publish-atomic (docs/crash_consistency.md): the trace appears at
+  // `path` only after a checked write + fsync + rename, so a killed or
+  // failed save never leaves a truncated readable-looking trace.
+  io::AtomicFileWriter out(path, "trace");
   if (text) {
-    write_text(trace, out);
+    write_text(trace, out.stream());
   } else {
-    write_binary(trace, out);
+    write_binary(trace, out.stream());
   }
+  out.commit();
 }
 
 Trace load_trace(const std::string& path) {

@@ -1,0 +1,24 @@
+// cnt-lint fixture: rule R7 (raw std::ofstream outside src/common/io.*).
+// Exactly ONE unsuppressed violation plus one suppressed twin.
+// NOT part of the main build.
+#include <fstream>
+#include <string>
+
+void dump_artifact(const std::string& path) {
+  std::ofstream out(path);  // <- the one R7 violation
+  out << "silently truncatable\n";
+}
+
+void fabricate_corrupt_input(const std::string& path) {
+  // cnt-lint: io-ok -- suppressed twin (test fabricates a torn file)
+  std::ofstream out(path, std::ios::binary);
+  out << "torn";
+}
+
+// Must NOT trigger: reading is out of scope.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}

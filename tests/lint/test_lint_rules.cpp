@@ -1,6 +1,6 @@
 // Fixture suite for the cnt-lint rule engine (ctest label: lint).
 //
-// Each rule R1-R6 has one fixture under tests/lint/fixtures/ holding
+// Each rule R1-R7 has one fixture under tests/lint/fixtures/ holding
 // exactly ONE unsuppressed violation plus ONE suppressed twin. The suite
 // asserts (a) the violation is flagged exactly once, (b) stripping the
 // `cnt-lint:` suppression markers doubles the count -- proving the
@@ -80,7 +80,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FixtureCase{"r3_nodiscard.hpp", "R3"},
                       FixtureCase{"r4_narrow.cpp", "R4"},
                       FixtureCase{"r5_unordered.cpp", "R5"},
-                      FixtureCase{"src/common/r6_throw.cpp", "R6"}),
+                      FixtureCase{"src/common/r6_throw.cpp", "R6"},
+                      FixtureCase{"r7_ofstream.cpp", "R7"}),
     [](const ::testing::TestParamInfo<FixtureCase>& param) {
       return std::string(param.param.rule);
     });

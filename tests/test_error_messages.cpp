@@ -5,11 +5,14 @@
 // user-facing diagnostics, so changing a message is a deliberate act.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
 #include "common/config.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/io.hpp"
 #include "common/json.hpp"
 #include "exec/journal.hpp"
 #include "trace/trace_io.hpp"
@@ -127,6 +130,87 @@ TEST(GoldenConfigValue, BadIntegerIsValueErrorWithKeyAndValue) {
     EXPECT_EQ(e.info().message, "key 's.n' has invalid integer value '3x'");
     EXPECT_EQ(e.info().hint, "use a plain base-10 integer");
   }
+}
+
+TEST(GoldenIo, InjectedEnospcRendersWhatWhereAndHint) {
+  fp::clear();
+  fp::configure("csv.write=error:ENOSPC");
+  const std::string path = ::testing::TempDir() + "golden_io.csv";
+  io::DurableFile f(path, "csv");
+  try {
+    f.write("row\n");
+    FAIL() << "must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.info().code, Errc::kIo);
+    EXPECT_EQ(e.info().message,
+              "write failed: ENOSPC (no space left on device)");
+    EXPECT_EQ(e.info().source, path);
+    EXPECT_EQ(e.info().hint, "free disk space and rerun");
+    EXPECT_EQ(std::string(e.what()),
+              "[io] " + path +
+                  ": write failed: ENOSPC (no space left on device) -- "
+                  "hint: free disk space and rerun");
+  }
+  fp::clear();
+  f.close();
+  (void)std::remove(path.c_str());
+}
+
+TEST(GoldenIo, ShortWriteNamesTheTornByteCount) {
+  fp::clear();
+  fp::configure("csv.write=short-write");
+  const std::string path = ::testing::TempDir() + "golden_torn.csv";
+  io::DurableFile f(path, "csv");
+  try {
+    f.write("abcdefgh");
+    FAIL() << "must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.info().code, Errc::kIo);
+    EXPECT_EQ(e.info().message,
+              "write failed after 4 of 8 bytes: ENOSPC (no space left on "
+              "device)");
+    EXPECT_EQ(e.info().source, path);
+  }
+  fp::clear();
+  f.close();
+  (void)std::remove(path.c_str());
+}
+
+TEST(GoldenIo, FsyncEioAndRenameFailureNameTheFailedStep) {
+  fp::clear();
+  const std::string path = ::testing::TempDir() + "golden_sync.csv";
+  {
+    fp::configure("csv.sync=error:EIO");
+    io::DurableFile f(path, "csv");
+    f.write("x");
+    try {
+      f.sync();
+      FAIL() << "must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.info().message, "fsync failed: EIO (input/output error)");
+      EXPECT_EQ(e.info().hint,
+                "the device reported an I/O error; check the filesystem "
+                "before retrying");
+    }
+    fp::clear();
+  }
+  {
+    fp::configure("csv.rename=error:ENOSPC");
+    io::AtomicFileWriter out(path, "csv");
+    out.write("y");
+    try {
+      out.commit();
+      FAIL() << "must throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.info().code, Errc::kIo);
+      EXPECT_NE(e.info().message.find("rename failed"), std::string::npos);
+      EXPECT_EQ(e.info().source, out.partial_path());
+      ASSERT_EQ(e.info().context.size(), 1u);
+      EXPECT_EQ(e.info().context[0], "publishing " + path);
+    }
+    fp::clear();
+  }
+  (void)std::remove(path.c_str());
 }
 
 TEST(ErrorTaxonomy, FormatErrorFallsBackForPlainExceptions) {

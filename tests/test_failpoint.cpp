@@ -1,0 +1,165 @@
+// Unit tests for the deterministic failpoint registry
+// (common/failpoint.hpp, docs/crash_consistency.md): spec parsing with
+// did-you-mean diagnostics, @N trigger semantics, one-shot firing,
+// environment configuration, hit-count probing and the crash action.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+
+namespace cnt {
+namespace {
+
+/// Disarm every failpoint when a test exits, pass or fail.
+struct FpGuard {
+  FpGuard() { fp::clear(); }
+  ~FpGuard() { fp::clear(); }
+};
+
+TEST(FailpointSpec, EntryWithoutEqualsIsSyntaxError) {
+  FpGuard guard;
+  try {
+    fp::configure("journal.write");
+    FAIL() << "must throw";
+  } catch (const ValueError& e) {
+    EXPECT_EQ(e.info().code, Errc::kSyntax);
+    EXPECT_EQ(e.info().source, "CNT_FAILPOINTS");
+    EXPECT_NE(e.info().hint.find("site=action"), std::string::npos);
+  }
+  EXPECT_FALSE(fp::enabled());  // a bad spec arms nothing
+}
+
+TEST(FailpointSpec, UnknownSiteGetsDidYouMean) {
+  FpGuard guard;
+  try {
+    fp::configure("journal.wrote=crash");
+    FAIL() << "must throw";
+  } catch (const ValueError& e) {
+    EXPECT_EQ(e.info().code, Errc::kUnknownKey);
+    EXPECT_EQ(e.info().message, "unknown failpoint site 'journal.wrote'");
+    EXPECT_EQ(e.info().hint, "did you mean 'journal.write'?");
+  }
+}
+
+TEST(FailpointSpec, UnknownActionAndBadIndexAreValueErrors) {
+  FpGuard guard;
+  try {
+    fp::configure("journal.write=explode");
+    FAIL() << "must throw";
+  } catch (const ValueError& e) {
+    EXPECT_EQ(e.info().code, Errc::kValue);
+    EXPECT_NE(e.info().hint.find("error:ENOSPC"), std::string::npos);
+  }
+  EXPECT_THROW(fp::configure("journal.write=crash@0"), ValueError);
+  EXPECT_THROW(fp::configure("journal.write=crash@x"), ValueError);
+  EXPECT_THROW(fp::configure("journal.write=delay:99999999"), ValueError);
+}
+
+TEST(FailpointTrigger, FiresOnNthEvaluationExactlyOnce) {
+  FpGuard guard;
+  fp::configure("csv.write=error:ENOSPC@2");
+  ASSERT_TRUE(fp::enabled());
+  EXPECT_EQ(fp::evaluate("csv.write"), fp::Action::kNone);
+  EXPECT_EQ(fp::evaluate("csv.write"), fp::Action::kErrorEnospc);
+  EXPECT_EQ(fp::evaluate("csv.write"), fp::Action::kNone);  // one-shot
+  EXPECT_EQ(fp::hit_count("csv.write"), 3u);
+}
+
+TEST(FailpointTrigger, SitesAreIndependent) {
+  FpGuard guard;
+  fp::configure("csv.write=error:EIO; csv.sync=error:ENOSPC");
+  EXPECT_EQ(fp::evaluate("csv.sync"), fp::Action::kErrorEnospc);
+  EXPECT_EQ(fp::evaluate("csv.write"), fp::Action::kErrorEio);
+  const auto armed = fp::armed();
+  ASSERT_EQ(armed.size(), 2u);
+  EXPECT_EQ(armed[0].site, "csv.write");
+  EXPECT_EQ(armed[0].action, "error:EIO");
+  EXPECT_EQ(armed[1].site, "csv.sync");
+}
+
+TEST(FailpointTrigger, ClearDisarmsEverything) {
+  FpGuard guard;
+  fp::configure("csv.write=error:ENOSPC");
+  EXPECT_TRUE(fp::enabled());
+  fp::clear();
+  EXPECT_FALSE(fp::enabled());
+  EXPECT_EQ(fp::check("csv.write"), fp::Action::kNone);
+}
+
+TEST(FailpointCatalog, IsSortedAndCoversEveryWriterFamily) {
+  const auto& catalog = fp::site_catalog();
+  EXPECT_TRUE(std::is_sorted(catalog.begin(), catalog.end()));
+  for (const char* site :
+       {"bench.write", "csv.rename", "engine.job", "journal.sync",
+        "stats.write", "trace.rename", "trs.write"}) {
+    EXPECT_TRUE(std::binary_search(catalog.begin(), catalog.end(),
+                                   std::string(site)))
+        << site << " missing from the catalog";
+  }
+}
+
+TEST(FailpointEnv, ConfigureFromEnvArmsAndReportProbes) {
+  FpGuard guard;
+  const std::string report = ::testing::TempDir() +
+                             "cnt_failpoint_report." +
+                             std::to_string(::getpid());
+  ASSERT_EQ(::setenv("CNT_FAILPOINTS", "csv.write=error:ENOSPC@7", 1), 0);
+  ASSERT_EQ(::setenv("CNT_FAILPOINT_REPORT", report.c_str(), 1), 0);
+  fp::configure_from_env();
+  ASSERT_EQ(::unsetenv("CNT_FAILPOINTS"), 0);
+  ASSERT_EQ(::unsetenv("CNT_FAILPOINT_REPORT"), 0);
+
+  const auto armed = fp::armed();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_EQ(armed[0].site, "csv.write");
+  EXPECT_EQ(armed[0].trigger_hit, 7u);
+
+  (void)fp::evaluate("csv.write");
+  (void)fp::evaluate("csv.write");
+  (void)fp::evaluate("trs.sync");
+  fp::write_report();
+  std::ifstream in(report);
+  std::stringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(), "csv.write 2\ntrs.sync 1\n");
+  (void)std::remove(report.c_str());
+}
+
+TEST(FailpointProbe, ReportModeCountsWithoutArming) {
+  FpGuard guard;
+  const std::string report = ::testing::TempDir() +
+                             "cnt_failpoint_probe." +
+                             std::to_string(::getpid());
+  ASSERT_EQ(::setenv("CNT_FAILPOINT_REPORT", report.c_str(), 1), 0);
+  fp::configure_from_env();
+  ASSERT_EQ(::unsetenv("CNT_FAILPOINT_REPORT"), 0);
+  EXPECT_TRUE(fp::enabled());  // probing counts as enabled
+  EXPECT_EQ(fp::check("journal.write"), fp::Action::kNone);
+  EXPECT_EQ(fp::hit_count("journal.write"), 1u);
+  (void)std::remove(report.c_str());
+}
+
+using FailpointDeathTest = ::testing::Test;
+
+TEST(FailpointDeathTest, CrashActionKillsTheProcess) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(
+      {
+        fp::configure("csv.write=crash");
+        (void)fp::evaluate("csv.write");
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+}
+
+}  // namespace
+}  // namespace cnt

@@ -57,7 +57,7 @@ std::string render(SimResult r) {
 void check_against_golden(const std::string& name, const std::string& got) {
   const std::string path = golden_dir() + "/" + name + ".json";
   if (std::getenv("CNT_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(path, std::ios::binary);
+    std::ofstream out(path, std::ios::binary);  // cnt-lint: io-ok regenerating a golden file
     ASSERT_TRUE(out.good()) << "cannot write " << path;
     out << got;
     GTEST_SKIP() << "golden fixture regenerated: " << path;

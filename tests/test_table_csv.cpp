@@ -62,6 +62,7 @@ TEST_F(CsvTest, WritesHeaderAndRows) {
     CsvWriter csv(path_, {"x", "y"});
     csv.add_row({"1", "2"});
     csv.add_row({"3", "4"});
+    csv.finish();
   }
   EXPECT_EQ(slurp(), "x,y\n1,2\n3,4\n");
 }
@@ -71,8 +72,19 @@ TEST_F(CsvTest, EscapesSpecialCells) {
     CsvWriter csv(path_, {"a"});
     csv.add_row({"has,comma"});
     csv.add_row({"has\"quote"});
+    csv.finish();
   }
   EXPECT_EQ(slurp(), "a\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvTest, WithoutFinishNothingIsPublished) {
+  {
+    CsvWriter csv(path_, {"a"});
+    csv.add_row({"1"});
+    // no finish(): the writer discards its staging file on destruction
+  }
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".partial"));
 }
 
 TEST_F(CsvTest, ThrowsOnBadPath) {

@@ -79,6 +79,8 @@ const std::vector<RuleInfo>& rule_catalog() {
        "iteration over an unordered container feeds output"},
       {"R6", "bare-throw", "throw-ok",
        "bare throw of std::runtime_error where cnt::Error is mandatory"},
+      {"R7", "raw-ofstream", "io-ok",
+       "raw std::ofstream outside src/common/io.*"},
   };
   return kCatalog;
 }
@@ -512,6 +514,30 @@ void check_r6_bare_throw(const SourceFile& file, std::vector<Finding>& out) {
   }
 }
 
+// --- R7: raw std::ofstream outside the durable-I/O layer ------------------
+//
+// std::ofstream reports nothing on a failed write and nothing on a failed
+// close: an artifact written through it can be silently truncated by a
+// full disk and still parse (docs/crash_consistency.md). Every writer of
+// a durable artifact must go through cnt::io (DurableFile for
+// incremental journals, AtomicFileWriter for publish-once files), which
+// is why the wrapper module itself is the only exemption. Deliberate
+// uses -- tests fabricating corrupt inputs, throwaway debug dumps --
+// annotate with `// cnt-lint: io-ok`.
+void check_r7_raw_ofstream(const SourceFile& file, std::vector<Finding>& out) {
+  if (file.path.find("common/io.") != std::string::npos) return;
+  const RuleInfo& rule = rule_catalog()[6];
+  const Tokens& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_ident("ofstream")) continue;
+    report(file, toks[i].line, rule,
+           "raw std::ofstream bypasses the durable-I/O layer; write "
+           "artifacts through io::AtomicFileWriter or io::DurableFile "
+           "(common/io.hpp), or annotate // cnt-lint: io-ok",
+           out);
+  }
+}
+
 void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
                std::vector<Finding>& out) {
   auto on = [&](std::string_view id) {
@@ -524,6 +550,7 @@ void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
   if (on("R4")) check_r4_narrowing(file, out);
   if (on("R5")) check_r5_unordered_output(file, out);
   if (on("R6")) check_r6_bare_throw(file, out);
+  if (on("R7")) check_r7_raw_ofstream(file, out);
 }
 
 }  // namespace cnt::lint

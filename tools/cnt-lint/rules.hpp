@@ -13,6 +13,8 @@
 //      tables, streams)                                [unordered-ok]
 //   R6 bare `throw std::runtime_error(...)` inside the taxonomy-migrated
 //      subsystems (src/common, src/trace, src/exec)    [throw-ok]
+//   R7 raw std::ofstream outside src/common/io.* -- artifact writers
+//      must go through DurableFile / AtomicFileWriter   [io-ok]
 //
 // A finding on line L is silenced by `// cnt-lint: <tag>` on line L or
 // line L-1.
@@ -29,7 +31,7 @@ namespace cnt::lint {
 struct Finding {
   std::string path;
   std::uint32_t line = 0;
-  std::string rule;     ///< "R1".."R6"
+  std::string rule;     ///< "R1".."R7"
   std::string name;     ///< short rule name, e.g. "nondeterminism"
   std::string message;
 
@@ -47,11 +49,11 @@ struct RuleInfo {
   const char* summary;
 };
 
-/// Static catalog, ordered R1..R6.
+/// Static catalog, ordered R1..R7.
 [[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
 
 /// Run the selected rules over one file, appending findings.
-/// `enabled` holds rule ids ("R1".."R6"); empty means all rules.
+/// `enabled` holds rule ids ("R1".."R7"); empty means all rules.
 void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
                std::vector<Finding>& out);
 
@@ -63,5 +65,6 @@ void check_r4_narrowing(const SourceFile& file, std::vector<Finding>& out);
 void check_r6_bare_throw(const SourceFile& file, std::vector<Finding>& out);
 void check_r5_unordered_output(const SourceFile& file,
                                std::vector<Finding>& out);
+void check_r7_raw_ofstream(const SourceFile& file, std::vector<Finding>& out);
 
 }  // namespace cnt::lint
