@@ -11,14 +11,18 @@ set -u
 cd "$(dirname "$0")/.." || exit 1
 build_dir=${1:-build}
 
-if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "run_clang_tidy: clang-tidy not found -- SKIP"
-  exit 77
-fi
+# A missing compile database is a misconfigured build, not a missing
+# optional tool: check it FIRST and hard-fail, so a box without
+# clang-tidy still surfaces the configuration bug instead of SKIPping
+# past it.
 if [ ! -f "$build_dir/compile_commands.json" ]; then
   echo "run_clang_tidy: $build_dir/compile_commands.json missing" \
        "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
   exit 1
+fi
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found -- SKIP"
+  exit 77
 fi
 
 fail=0

@@ -98,6 +98,7 @@ void Cache::write_word(u64 addr, u64 value, u8 size) {
   access_impl(addr, MemOp::kWrite, cfg_.offset_of(addr), size, value, {});
 }
 
+// cnt-hot
 void Cache::access_impl(u64 addr, MemOp op, u32 offset, u8 size, u64 value,
                         std::span<const u8> full_line_data) {
   const u32 set = static_cast<u32>((addr >> offset_bits_) & set_mask_);
@@ -284,6 +285,7 @@ u32 Cache::choose_victim(u32 set) {
   return repl_victim(set);
 }
 
+// cnt-hot
 u32 Cache::probe_tags(u32 set, u64 tag, AccessEvent& ev) const {
   const u64* tags = tags_.data() + static_cast<usize>(set) * ways_;
   const u64 vmask = valid_mask_[set];

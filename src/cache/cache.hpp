@@ -22,11 +22,11 @@
 
 #include "cache/cache_config.hpp"
 #include "cache/cache_stats.hpp"
-#include "cache/events.hpp"
 #include "cache/fault_hook.hpp"
 #include "cache/main_memory.hpp"
 #include "cache/replacement.hpp"
-#include "trace/access.hpp"
+#include "common/access.hpp"
+#include "common/access_event.hpp"
 
 namespace cnt {
 

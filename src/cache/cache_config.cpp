@@ -68,4 +68,15 @@ void CacheConfig::validate() const {
   }
 }
 
+ArrayGeometry geometry_of(const CacheConfig& cfg) {
+  ArrayGeometry g;
+  g.sets = cfg.sets();
+  g.ways = cfg.ways;
+  g.line_bytes = cfg.line_bytes;
+  g.tag_bits = cfg.tag_bits();
+  g.meta_bits = 0;
+  g.state_bits = 2;
+  return g;
+}
+
 }  // namespace cnt

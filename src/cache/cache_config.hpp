@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "energy/array_model.hpp"
 
 namespace cnt {
 
@@ -81,5 +82,9 @@ struct CacheConfig {
   /// address width fits). Throws std::invalid_argument on violation.
   void validate() const;
 };
+
+/// Derive the energy-model geometry of a cache (meta_bits = 0; policies
+/// that widen the line set it themselves).
+[[nodiscard]] ArrayGeometry geometry_of(const CacheConfig& cfg);
 
 }  // namespace cnt

@@ -15,7 +15,7 @@
 
 #include <span>
 
-#include "cache/events.hpp"
+#include "common/access_event.hpp"
 #include "common/types.hpp"
 
 namespace cnt {

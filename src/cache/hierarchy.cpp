@@ -45,8 +45,8 @@ void Hierarchy::access(const MemAccess& a) {
   }
 }
 
-void Hierarchy::run(const Trace& trace) {
-  for (const auto& a : trace) access(a);
+void Hierarchy::run(std::span<const MemAccess> accesses) {
+  for (const auto& a : accesses) access(a);
 }
 
 void Hierarchy::flush_all() {

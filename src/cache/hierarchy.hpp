@@ -5,10 +5,11 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "cache/cache.hpp"
 #include "cache/main_memory.hpp"
-#include "trace/trace.hpp"
+#include "common/access.hpp"
 
 namespace cnt {
 
@@ -30,8 +31,8 @@ class Hierarchy {
   /// Route one access: IFetch -> L1I, loads/stores -> L1D.
   void access(const MemAccess& a);
 
-  /// Run an entire trace.
-  void run(const Trace& trace);
+  /// Run a whole sequence of accesses.
+  void run(std::span<const MemAccess> accesses);
 
   [[nodiscard]] Cache& l1d() noexcept { return *l1d_; }
   [[nodiscard]] Cache& l1i() noexcept { return *l1i_; }

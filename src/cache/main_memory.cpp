@@ -6,8 +6,8 @@
 
 namespace cnt {
 
-void MainMemory::load(const Workload& w) {
-  for (const auto& seg : w.init) load_segment(seg);
+void MainMemory::load(std::span<const MemorySegment> segments) {
+  for (const auto& seg : segments) load_segment(seg);
 }
 
 void MainMemory::load_segment(const MemorySegment& seg) {

@@ -9,8 +9,8 @@
 #include <vector>
 
 #include "common/flat_hash.hpp"
+#include "common/memory_segment.hpp"
 #include "common/types.hpp"
-#include "trace/trace.hpp"
 
 namespace cnt {
 
@@ -43,8 +43,8 @@ class MainMemory final : public MemoryLevel {
 
   MainMemory() = default;
 
-  /// Load a workload's initial data segments.
-  void load(const Workload& w);
+  /// Load a set of initial data segments (a workload's init image).
+  void load(std::span<const MemorySegment> segments);
   void load_segment(const MemorySegment& seg);
 
   // The line/word interface is defined in-class: MainMemory is final, so

@@ -5,7 +5,6 @@
 
 #include "common/bits.hpp"
 #include "energy/sram_cell.hpp"
-#include "fault/campaign.hpp"
 
 namespace cnt {
 
@@ -21,17 +20,6 @@ const char* to_string(FillDirectionPolicy p) noexcept {
 
 const char* to_string(HistoryScope s) noexcept {
   return s == HistoryScope::kPerLine ? "per-line" : "per-set";
-}
-
-ArrayGeometry geometry_of(const CacheConfig& cfg) {
-  ArrayGeometry g;
-  g.sets = cfg.sets();
-  g.ways = cfg.ways;
-  g.line_bytes = cfg.line_bytes;
-  g.tag_bits = cfg.tag_bits();
-  g.meta_bits = 0;
-  g.state_bits = 2;
-  return g;
 }
 
 namespace {
@@ -134,7 +122,7 @@ void CntPolicy::handle_hit(const AccessEvent& ev, bool is_write) {
   LineState& st = state(ev.set, ev.way);
 
   // The H&D field is read with the line: the encoder needs the direction
-  // bits and the predictor needs the counters. Under a fault campaign the
+  // bits and the predictor needs the counters. Under a fault hook the
   // mask the encoder gets may differ from the policy's intent.
   charge_meta_read(history_of(ev.set, st), st.directions);
   const u64 dirs = effective_directions(ev.set, ev.way, st.directions);
@@ -443,14 +431,14 @@ Energy CntPolicy::flip_aware_write_cost(std::span<const u8> before,
 }
 
 u64 CntPolicy::effective_directions(u32 set, u32 way, u64 logical) {
-  if (campaign_ == nullptr) return logical;
-  const FaultCampaign::DirRead dr = campaign_->read_directions(set, way);
+  if (dir_hook_ == nullptr) return logical;
+  const DirectionFaultHook::DirRead dr = dir_hook_->read_directions(set, way);
   charge_ecc_events(dr.report);
   return dr.effective;
 }
 
 void CntPolicy::note_directions_written(u32 set, u32 way, u64 dirs) {
-  if (campaign_ != nullptr) campaign_->write_directions(set, way, dirs);
+  if (dir_hook_ != nullptr) dir_hook_->write_directions(set, way, dirs);
 }
 
 void CntPolicy::drain(u32 slots) {

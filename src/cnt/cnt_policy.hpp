@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "cache/cache_config.hpp"
+#include "cnt/direction_hook.hpp"
 #include "cnt/encoding.hpp"
 #include "cnt/policy_base.hpp"
 #include "cnt/predictor.hpp"
@@ -20,8 +20,6 @@
 #include "cnt/update_queue.hpp"
 
 namespace cnt {
-
-class FaultCampaign;
 
 /// Initial encoding direction chosen when a line is filled. The paper
 /// leaves the fill policy unspecified. The library default, kByMissType,
@@ -97,13 +95,14 @@ class CntPolicy final : public EnergyPolicyBase {
 
   void on_access(const AccessEvent& ev) override;
 
-  /// Route direction-bit storage through a fault campaign (not owned; may
-  /// be nullptr). Masks the policy writes pass through the campaign's
-  /// stuck cells; masks it reads back may differ -- silent corruption
-  /// makes the decoder use the flipped mask, inverting whole partitions'
-  /// read-out. The policy keeps its logical intent in LineState.
-  void attach_fault_campaign(FaultCampaign* campaign) noexcept {
-    campaign_ = campaign;
+  /// Route direction-bit storage through a fault hook (not owned; may be
+  /// nullptr; FaultCampaign in practice). Masks the policy writes pass
+  /// through the hook's stuck cells; masks it reads back may differ --
+  /// silent corruption makes the decoder use the flipped mask, inverting
+  /// whole partitions' read-out. The policy keeps its logical intent in
+  /// LineState.
+  void attach_direction_hook(DirectionFaultHook* hook) noexcept {
+    dir_hook_ = hook;
   }
 
   [[nodiscard]] const CntConfig& config() const noexcept { return cfg_; }
@@ -177,7 +176,7 @@ class CntPolicy final : public EnergyPolicyBase {
   CntConfig cfg_;
   Predictor predictor_;
   UpdateQueue queue_;
-  FaultCampaign* campaign_ = nullptr;
+  DirectionFaultHook* dir_hook_ = nullptr;
   usize ways_;
   std::vector<LineState> states_;
   std::vector<HistoryCounters> set_hist_;  ///< used when kPerSet
@@ -198,9 +197,5 @@ class CntPolicy final : public EnergyPolicyBase {
   mutable std::vector<u8> scratch_a_;
   mutable std::vector<u8> scratch_b_;
 };
-
-/// Derive the energy-model geometry of a cache (meta_bits = 0; policies
-/// that widen the line set it themselves).
-[[nodiscard]] ArrayGeometry geometry_of(const CacheConfig& cfg);
 
 }  // namespace cnt

@@ -1,0 +1,38 @@
+// Direction-bit fault domain, as seen from the encoding policy.
+//
+// CntPolicy consults this interface on every decode so a corrupted
+// direction bit really is decoded with the flipped mask (the whole
+// partition reads back inverted unless the protection scheme catches
+// it). The concrete implementation is FaultCampaign in src/fault --
+// which sits *above* src/cnt in the include DAG (docs/static_analysis.md,
+// rule R8) -- so the policy talks to the campaign through this interface
+// and never includes fault headers.
+#pragma once
+
+#include "common/access_event.hpp"
+#include "common/types.hpp"
+
+namespace cnt {
+
+class DirectionFaultHook {
+ public:
+  virtual ~DirectionFaultHook() = default;
+
+  /// Result of one direction-field read.
+  struct DirRead {
+    u64 effective = 0;       ///< mask the decoder actually uses
+    LineFaultReport report;  ///< outcome tally for this metadata read
+  };
+
+  /// Record the mask the encoder wrote; stuck direction cells absorb it
+  /// immediately (the stored mask may differ from the written one).
+  virtual void write_directions(u32 set, u32 way, u64 dirs) = 0;
+
+  /// Read the direction field: sample transient flips, compare the stored
+  /// mask against the written one, classify under the protection scheme.
+  /// Silent outcomes return the corrupted mask (decode with the flipped
+  /// mask); corrected/detected outcomes return the written mask.
+  [[nodiscard]] virtual DirRead read_directions(u32 set, u32 way) = 0;
+};
+
+}  // namespace cnt

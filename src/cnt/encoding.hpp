@@ -61,6 +61,7 @@ class PartitionScheme {
 namespace detail {
 
 /// '1' count of partition p of `data` as stored raw (direction bit 0).
+// cnt-hot
 [[nodiscard]] inline usize partition_raw_ones(const PartitionScheme& ps,
                                               const u8* data,
                                               usize p) noexcept {
@@ -77,6 +78,7 @@ namespace detail {
 }
 
 /// XOR-invert partition p of `line` in place.
+// cnt-hot
 inline void invert_partition(const PartitionScheme& ps, u8* line,
                              usize p) noexcept {
   const usize pb = ps.partition_bytes();
@@ -96,6 +98,7 @@ inline void invert_partition(const PartitionScheme& ps, u8* line,
 /// Apply the encoding: copy `logical` into `out`, inverting every partition
 /// whose direction bit is set. Involutive: encode(encode(x, D), D) == x,
 /// so the same function decodes.
+// cnt-hot
 inline void encode_line(const PartitionScheme& ps, std::span<const u8> logical,
                         u64 directions, std::span<u8> out) {
   assert(logical.size() == ps.line_bytes());
@@ -117,6 +120,7 @@ inline void encode_line(const PartitionScheme& ps, std::span<const u8> logical,
 
 /// In-place re-encode from `old_dirs` to `new_dirs`: inverts exactly the
 /// partitions whose direction changed (what the deferred-update write does).
+// cnt-hot
 inline void reencode_line(const PartitionScheme& ps, std::span<u8> stored,
                           u64 old_dirs, u64 new_dirs) {
   assert(stored.size() == ps.line_bytes());
@@ -130,6 +134,7 @@ inline void reencode_line(const PartitionScheme& ps, std::span<u8> stored,
 
 /// Number of '1' bits partition p of `data` would have when stored with
 /// direction bit `inverted`.
+// cnt-hot
 [[nodiscard]] inline usize stored_partition_ones(const PartitionScheme& ps,
                                                  std::span<const u8> data,
                                                  usize p,
@@ -141,6 +146,7 @@ inline void reencode_line(const PartitionScheme& ps, std::span<u8> stored,
 
 /// Total '1' bits of the full stored image of `logical` under `directions`,
 /// without materializing the encoded bytes.
+// cnt-hot
 [[nodiscard]] inline usize stored_ones(const PartitionScheme& ps,
                                        std::span<const u8> logical,
                                        u64 directions) noexcept {
@@ -154,6 +160,7 @@ inline void reencode_line(const PartitionScheme& ps, std::span<u8> stored,
 /// '1' bits of the stored image restricted to the bit range
 /// [bit_begin, bit_end) -- used for word-granular write accounting, where
 /// only the accessed word's columns are driven.
+// cnt-hot
 [[nodiscard]] inline usize stored_ones_range(const PartitionScheme& ps,
                                              std::span<const u8> logical,
                                              u64 directions, usize bit_begin,

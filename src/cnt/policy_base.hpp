@@ -9,13 +9,13 @@
 #include <string>
 #include <utility>
 
-#include "cache/events.hpp"
+#include "common/access_event.hpp"
 #include "common/bits.hpp"
 #include "common/types.hpp"
 #include "energy/array_model.hpp"
 #include "energy/energy_ledger.hpp"
 #include "energy/tech_params.hpp"
-#include "fault/protection.hpp"
+#include "common/protection.hpp"
 
 namespace cnt {
 

@@ -14,8 +14,8 @@
 
 #include <span>
 
+#include "common/access.hpp"
 #include "common/types.hpp"
-#include "trace/access.hpp"
 
 namespace cnt {
 

@@ -83,7 +83,7 @@ LineStatus bounded_getline(std::istream& is, std::string& out,
     read_any = true;
     if (c == '\n') return LineStatus::kOk;
     if (out.size() >= max_bytes) return LineStatus::kTooLong;
-    out += static_cast<char>(c & 0xff);  // cnt-lint: narrow-ok stream byte
+    out += static_cast<char>(c & 0xff);
   }
 }
 

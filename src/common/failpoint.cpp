@@ -33,11 +33,11 @@ struct Entry {
 
 struct Registry {
   std::mutex mu;
-  std::vector<Entry> entries;
-  std::map<std::string, u64, std::less<>> hits;
-  bool probe = false;         ///< count hits even with nothing armed
-  std::string report_path;    ///< $CNT_FAILPOINT_REPORT destination
-  bool atexit_registered = false;
+  std::vector<Entry> entries;  // cnt-lint: guarded-by(mu)
+  std::map<std::string, u64, std::less<>> hits;  // cnt-lint: guarded-by(mu)
+  bool probe = false;  // cnt-lint: guarded-by(mu) count hits with nothing armed
+  std::string report_path;  // cnt-lint: guarded-by(mu) $CNT_FAILPOINT_REPORT
+  bool atexit_registered = false;  // cnt-lint: guarded-by(mu)
 };
 
 Registry& reg() {
@@ -47,7 +47,7 @@ Registry& reg() {
 
 /// 0 = environment not read yet, 1 = disabled, 2 = armed or probing.
 /// The hot path is one relaxed load of this flag.
-std::atomic<int> g_state{0};  // cnt-lint: global-ok fast-path flag, release/relaxed
+std::atomic<int> g_state{0};  // fast-path flag, release/relaxed ordering
 
 std::string_view trim(std::string_view s) {
   while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {

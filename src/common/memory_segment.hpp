@@ -1,0 +1,64 @@
+// A contiguous pre-initialized memory region (program data segment).
+//
+// Lives in common/ because it crosses a layering boundary: trace-side
+// workload builders *produce* segments and the cache's backing store
+// *loads* them, and src/cache sits below src/trace in the include DAG
+// (docs/static_analysis.md, rule R8).
+//
+// Two representations compose:
+//  - a dense image: `bytes` starting at `base` (the original form, still
+//    what every small-kernel generator uses);
+//  - a sparse/implicit-zero extension for server-scale tables: a region
+//    of `span` bytes (>= bytes.size()) that reads as zero except for
+//    explicit `runs`, each a contiguous slice of the shared `pool`.
+//
+// The resident footprint is O(bytes.size() + pool.size()) -- proportional
+// to the explicit content, never to the region span -- so a multi-GiB
+// mostly-zero record table costs only its touched records.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cnt {
+
+struct MemorySegment {
+  u64 base = 0;
+  std::vector<u8> bytes;
+
+  struct SparseRun {
+    u64 offset = 0;  ///< byte offset from `base`
+    u64 length = 0;  ///< payload is the next `length` bytes of `pool`
+  };
+  u64 span = 0;                 ///< region length; 0 = bytes.size()
+  std::vector<SparseRun> runs;  ///< ascending offsets, non-overlapping
+  std::vector<u8> pool;         ///< concatenated run payloads, run order
+
+  /// Region length in bytes (dense size when no span is set).
+  [[nodiscard]] u64 length() const noexcept {
+    return span == 0 ? bytes.size() : span;
+  }
+  /// Bytes of real storage behind this segment (the O(nonzero) figure).
+  [[nodiscard]] usize resident_bytes() const noexcept {
+    return bytes.size() + pool.size();
+  }
+  /// True when [addr, addr+size) lies inside the region (its content is
+  /// then fully defined: explicit bytes or implicit zeros).
+  [[nodiscard]] bool covers(u64 addr, usize size) const noexcept {
+    return addr >= base && addr + size <= base + length();
+  }
+  /// Append a sparse run. Precondition: `offset` is at or past the end of
+  /// the previous run and `offset + payload.size() <= length()`.
+  void add_run(u64 offset, std::span<const u8> payload) {
+    assert(runs.empty() ||
+           offset >= runs.back().offset + runs.back().length);
+    assert(offset + payload.size() <= length());
+    runs.push_back({offset, payload.size()});
+    pool.insert(pool.end(), payload.begin(), payload.end());
+  }
+};
+
+}  // namespace cnt

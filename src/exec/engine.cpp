@@ -179,7 +179,7 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
     }
   } else {
     std::mutex done_mu;  // guards outcomes slot writes + sink + flags
-    bool stop = false;
+    bool stop = false;   // cnt-lint: guarded-by(done_mu)
     ThreadPool pool(workers_);
     for (const Job& job : jobs) {
       if (replayed[static_cast<usize>(job.id)] != 0) continue;
@@ -217,6 +217,7 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
     if (pool.error_count() != 0) {
       throw std::logic_error("ExperimentEngine: worker task threw");
     }
+    // cnt-lint: guard-ok workers joined by shutdown(); no writer remains
     interrupted = stop && !journal_failure.has_value();
   }
 

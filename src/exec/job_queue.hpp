@@ -83,8 +83,8 @@ class JobQueue {
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::deque<T> items_;  // cnt-lint: guarded-by(mu_)
+  bool closed_ = false;  // cnt-lint: guarded-by(mu_)
 };
 
 }  // namespace cnt::exec

@@ -61,9 +61,9 @@ class ProgressMeter {
   std::atomic<usize> done_{0};
   std::atomic<usize> resumed_{0};
   std::mutex draw_mu_;
-  std::chrono::steady_clock::time_point last_draw_;
-  bool line_open_ = false;
-  bool finished_ = false;
+  std::chrono::steady_clock::time_point last_draw_;  // cnt-lint: guarded-by(draw_mu_)
+  bool line_open_ = false;  // cnt-lint: guarded-by(draw_mu_)
+  bool finished_ = false;   // cnt-lint: guarded-by(draw_mu_)
 };
 
 }  // namespace cnt::exec

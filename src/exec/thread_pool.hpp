@@ -66,9 +66,9 @@ class ThreadPool {
 
   mutable std::mutex mu_;            // guards pending_, errors_
   std::condition_variable idle_cv_;  // signalled when pending_ hits 0
-  usize pending_ = 0;                // submitted but not yet finished
-  std::vector<std::string> errors_;
-  bool shut_down_ = false;
+  usize pending_ = 0;                // cnt-lint: guarded-by(mu_)
+  std::vector<std::string> errors_;  // cnt-lint: guarded-by(mu_)
+  bool shut_down_ = false;           // cnt-lint: guarded-by(mu_)
 };
 
 }  // namespace cnt::exec

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cache/fault_hook.hpp"
+#include "cnt/direction_hook.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "fault/fault_config.hpp"
@@ -58,7 +59,7 @@ struct FaultStats {
   }
 };
 
-class FaultCampaign final : public LineFaultHook {
+class FaultCampaign final : public LineFaultHook, public DirectionFaultHook {
  public:
   FaultCampaign(const FaultConfig& cfg, usize sets, usize ways,
                 usize line_bytes, usize partitions);
@@ -67,20 +68,9 @@ class FaultCampaign final : public LineFaultHook {
   void on_fill(u32 set, u32 way, std::span<u8> stored) override;
   LineFaultReport on_read(u32 set, u32 way, std::span<u8> stored) override;
 
-  // Direction-bit domain (queried by CntPolicy).
-  /// Record the mask the encoder wrote; stuck direction cells absorb it
-  /// immediately (the stored mask may differ from the written one).
-  void write_directions(u32 set, u32 way, u64 dirs);
-
-  struct DirRead {
-    u64 effective = 0;       ///< mask the decoder actually uses
-    LineFaultReport report;  ///< outcome tally for this metadata read
-  };
-  /// Read the direction field: sample transient flips, compare the stored
-  /// mask against the written one, classify under the protection scheme.
-  /// Silent outcomes return the corrupted mask (decode with the flipped
-  /// mask); corrected/detected outcomes return the written mask.
-  [[nodiscard]] DirRead read_directions(u32 set, u32 way);
+  // DirectionFaultHook (direction-bit domain; attached to CntPolicy).
+  void write_directions(u32 set, u32 way, u64 dirs) override;
+  [[nodiscard]] DirRead read_directions(u32 set, u32 way) override;
 
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }

@@ -10,28 +10,10 @@
 // entirely; the hot paths then never touch it.
 #pragma once
 
+#include "common/protection.hpp"
 #include "common/types.hpp"
 
 namespace cnt {
-
-/// Array protection scheme. Parity is per *partition* (one check bit per
-/// encoding partition, so a detected flip also names the partition whose
-/// direction bit may be wrong); SECDED is one Hamming+parity codeword per
-/// line covering the data bits and, for CNT-Cache, the direction bits.
-enum class ProtectionScheme : u8 {
-  kNone,    ///< unprotected: every flip is silent data corruption
-  kParity,  ///< detects odd flip counts per partition; cannot correct
-  kSecded,  ///< corrects 1 flip, detects 2, miscorrects >= 3 per codeword
-};
-
-[[nodiscard]] constexpr const char* to_string(ProtectionScheme s) noexcept {
-  switch (s) {
-    case ProtectionScheme::kNone: return "none";
-    case ProtectionScheme::kParity: return "parity";
-    case ProtectionScheme::kSecded: return "secded";
-  }
-  return "?";
-}
 
 struct FaultConfig {
   /// Expected permanent stuck-at cells per 2^20 array bits (data and

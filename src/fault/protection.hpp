@@ -17,6 +17,7 @@
 // code internals.
 #pragma once
 
+#include "common/protection.hpp"
 #include "common/types.hpp"
 #include "fault/fault_config.hpp"
 
@@ -64,16 +65,9 @@ enum class FaultOutcome : u8 {
   return (flips % 2 == 1) ? FaultOutcome::kDetected : FaultOutcome::kSilent;
 }
 
-/// Per-line protection geometry for one policy's array.
-struct ProtectionSpec {
-  ProtectionScheme scheme = ProtectionScheme::kNone;
-  usize covered_bits = 0;  ///< payload bits per line (data [+ direction bits])
-  usize check_bits = 0;    ///< stored check bits per line
-
-  [[nodiscard]] bool enabled() const noexcept {
-    return scheme != ProtectionScheme::kNone;
-  }
-};
+// ProtectionSpec itself lives in common/protection.hpp (energy policies
+// consume it from below this layer); this module owns the code math that
+// builds one.
 
 /// Build the spec for a line of `line_bits` data bits under `scheme`.
 /// `partitions` sizes the parity groups; when `include_directions` is set

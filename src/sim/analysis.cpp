@@ -72,7 +72,7 @@ class ResidencyProbe final : public AccessSink {
 ResidencyStats analyze_residency(const Workload& w, const CacheConfig& cfg,
                                  usize window) {
   MainMemory memory;
-  memory.load(w);
+  memory.load(w.init);
   Cache cache(cfg, memory);
   ResidencyProbe probe(cfg, window);
   cache.add_sink(probe);

@@ -1,10 +1,22 @@
 #include "sim/hierarchy_runner.hpp"
 
+#include <span>
 #include <stdexcept>
 
 #include "cnt/baseline_policies.hpp"
 
 namespace cnt {
+
+namespace {
+
+// Inner replay loop; Hierarchy::access routes IFetch to L1I internally.
+// The caller owns the batch buffer, so this stays allocation-free.
+// cnt-hot
+void replay_batch(Hierarchy& h, std::span<const MemAccess> batch) {
+  for (const MemAccess& a : batch) h.access(a);
+}
+
+}  // namespace
 
 Trace interleave(const Trace& code, const Trace& data, usize code_per_data) {
   Trace out("interleaved:" + code.name() + "+" + data.name());
@@ -40,7 +52,7 @@ HierarchyRunResult run_hierarchy(const HierarchyRunConfig& cfg,
                                  TraceSource& source,
                                  std::span<const MemorySegment> init) {
   MainMemory memory;
-  for (const auto& seg : init) memory.load_segment(seg);
+  memory.load(init);
   Hierarchy h(cfg.hierarchy, memory);
 
   std::vector<std::unique_ptr<EnergyPolicyBase>> policies;
@@ -69,7 +81,7 @@ HierarchyRunResult run_hierarchy(const HierarchyRunConfig& cfg,
   for (;;) {
     const usize got = source.next(batch);
     if (got == 0) break;
-    for (usize i = 0; i < got; ++i) h.access(batch[i]);
+    replay_batch(h, std::span<const MemAccess>(batch.data(), got));
   }
 
   HierarchyRunResult res;

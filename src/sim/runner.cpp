@@ -1,6 +1,7 @@
 #include "sim/runner.hpp"
 
 #include <memory>
+#include <span>
 #include <stdexcept>
 
 #include "cache/cache.hpp"
@@ -9,6 +10,37 @@
 #include "trace/workload_suite.hpp"
 
 namespace cnt {
+
+namespace {
+
+// Inner replay loop, one batch per call. The caller owns the batch
+// buffer and all per-run config; this function stays allocation-free so
+// replay throughput is bounded by the cache model, not the heap.
+// cnt-hot
+void replay_batch(Cache& cache, MainMemory& memory,
+                  TraceStatsAccumulator& stats_acc,
+                  std::span<const MemAccess> batch, u64 line_mask,
+                  usize line_bytes, bool warm_sets) {
+  // How many accesses ahead to warm the backing store for a potential
+  // fill. Far enough to cover a DRAM round-trip at replay speed, near
+  // enough that the lines are still cached when the fill copies them.
+  constexpr usize kPrefetchDistance = 8;
+  const usize got = batch.size();
+  for (usize i = 0; i < got; ++i) {
+    if (i + kPrefetchDistance < got) {
+      const u64 ahead = batch[i + kPrefetchDistance].addr;
+      if (warm_sets) cache.prefetch(ahead);
+      memory.prefetch_line(ahead & line_mask, line_bytes);
+    }
+    stats_acc.feed(batch[i]);
+    // A single-cache study treats instruction fetches as reads.
+    MemAccess routed = batch[i];
+    if (routed.op == MemOp::kIFetch) routed.op = MemOp::kRead;
+    cache.access(routed);
+  }
+}
+
+}  // namespace
 
 SimConfig::SimConfig()
     : tech(TechParams::cnfet()), cmos_tech(TechParams::cmos()) {
@@ -42,7 +74,7 @@ double SimResult::saving(std::string_view opt, std::string_view base) const {
 SimResult simulate(TraceSource& source, std::span<const MemorySegment> init,
                    const SimConfig& cfg) {
   MainMemory memory;
-  for (const auto& seg : init) memory.load_segment(seg);
+  memory.load(init);
 
   Cache cache(cfg.cache, memory);
   const ArrayGeometry geom = geometry_of(cfg.cache);
@@ -82,7 +114,7 @@ SimResult simulate(TraceSource& source, std::span<const MemorySegment> init,
                                                 cfg.tech, cnt_geom, cfg.cnt);
   baseline->set_protection(data_prot);
   cnt_policy->set_protection(cnt_prot);
-  cnt_policy->attach_fault_campaign(campaign.get());
+  cnt_policy->attach_direction_hook(campaign.get());
   cache.add_sink(*baseline);
   cache.add_sink(*cnt_policy);
 
@@ -117,10 +149,6 @@ SimResult simulate(TraceSource& source, std::span<const MemorySegment> init,
   TraceStatsAccumulator stats_acc;
   std::vector<MemAccess> batch(4096);
   const u64 line_mask = ~static_cast<u64>(cfg.cache.line_bytes - 1);
-  // How many accesses ahead to warm the backing store for a potential
-  // fill. Far enough to cover a DRAM round-trip at replay speed, near
-  // enough that the lines are still cached when the fill copies them.
-  constexpr usize kPrefetchDistance = 8;
   // Warming the cache's own set arrays only pays when the data store
   // outgrows the CPU's caches; for KiB-scale configs the set is already
   // resident and the extra prefetches are pure overhead.
@@ -128,18 +156,9 @@ SimResult simulate(TraceSource& source, std::span<const MemorySegment> init,
   for (;;) {
     const usize got = source.next(batch);
     if (got == 0) break;
-    for (usize i = 0; i < got; ++i) {
-      if (i + kPrefetchDistance < got) {
-        const u64 ahead = batch[i + kPrefetchDistance].addr;
-        if (warm_sets) cache.prefetch(ahead);
-        memory.prefetch_line(ahead & line_mask, cfg.cache.line_bytes);
-      }
-      stats_acc.feed(batch[i]);
-      // A single-cache study treats instruction fetches as reads.
-      MemAccess routed = batch[i];
-      if (routed.op == MemOp::kIFetch) routed.op = MemOp::kRead;
-      cache.access(routed);
-    }
+    replay_batch(cache, memory, stats_acc,
+                 std::span<const MemAccess>(batch.data(), got), line_mask,
+                 cfg.cache.line_bytes, warm_sets);
   }
 
   SimResult res;

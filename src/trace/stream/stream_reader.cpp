@@ -158,6 +158,7 @@ void StreamTraceSource::read_exact(char* dst, usize n,
   }
 }
 
+// cnt-hot per-chunk rather than per-access, but a chunk is <= 4096 records
 bool StreamTraceSource::refill() {
   const u64 chunk_start = pos_;
   char marker = 0;
@@ -205,6 +206,7 @@ bool StreamTraceSource::refill() {
   }
 
   std::string& payload = payload_;
+  // cnt-lint: hot-ok capacity is reused across chunks; grows O(log) times
   payload.resize(payload_bytes);
   read_exact(payload.data(), payload_bytes, "a chunk payload");
   pos_ += payload_bytes;
@@ -234,6 +236,7 @@ bool StreamTraceSource::refill() {
 
   auto malformed = [&](const std::string& what) -> Error {
     return Error(Errc::kSyntax,
+                 // cnt-lint: hot-ok error path; runs once, then file is dead
                  "chunk " + std::to_string(chunks_seen_) + ": " + what)
         .at_byte(name_, chunk_start)
         .hint("the chunk passed its CRC but does not decode; this is a "
@@ -257,7 +260,7 @@ bool StreamTraceSource::refill() {
           .hint("op codes are 0 (read), 1 (write) or 2 (ifetch)");
     }
     buf_[i].op = static_cast<MemOp>(op_raw);
-    buf_[i].size = static_cast<u8>(1u << (nib >> 2));  // cnt-lint: narrow-ok 1/2/4/8
+    buf_[i].size = static_cast<u8>(1u << (nib >> 2));  // 1/2/4/8
   }
 
   // Column 2: addresses (first raw, then zigzag deltas).
@@ -356,6 +359,7 @@ void StreamTraceSource::parse_footer() {
   done_ = true;
 }
 
+// cnt-hot
 usize StreamTraceSource::next(std::span<MemAccess> out) {
   usize written = 0;
   while (written < out.size()) {

@@ -12,13 +12,13 @@ namespace {
 
 void put_u32(std::string& out, u32 v) {
   for (usize b = 0; b < 4; ++b) {
-    out.push_back(static_cast<char>(v >> (8 * b)));  // cnt-lint: narrow-ok LE byte
+    out.push_back(static_cast<char>(v >> (8 * b)));  // LE byte
   }
 }
 
 void put_u64(std::string& out, u64 v) {
   for (usize b = 0; b < 8; ++b) {
-    out.push_back(static_cast<char>(v >> (8 * b)));  // cnt-lint: narrow-ok LE byte
+    out.push_back(static_cast<char>(v >> (8 * b)));  // LE byte
   }
 }
 
@@ -94,8 +94,8 @@ void StreamTraceWriter::flush_chunk() {
           static_cast<u8>(std::countr_zero(a.size) << 2));  // cnt-lint: narrow-ok size is 1/2/4/8
     };
     u8 b = nib(i);
-    if (i + 1 < n) b = static_cast<u8>(b | (nib(i + 1) << 4));  // cnt-lint: narrow-ok two nibbles
-    payload.push_back(static_cast<char>(b));  // cnt-lint: narrow-ok byte
+    if (i + 1 < n) b = static_cast<u8>(b | (nib(i + 1) << 4));  // two nibbles
+    payload.push_back(static_cast<char>(b));
   }
 
   // Column 2: addresses. First raw, then zigzag deltas -- strided and
@@ -138,7 +138,7 @@ void StreamTraceWriter::flush_chunk() {
   std::string body;
   body.reserve(9 + payload.size() + 4);
   body.push_back(static_cast<char>(kChunkMarker));  // cnt-lint: narrow-ok marker byte
-  put_u32(body, static_cast<u32>(n));  // cnt-lint: narrow-ok n <= capacity
+  put_u32(body, static_cast<u32>(n));  // n <= capacity
   put_u32(body, static_cast<u32>(payload.size()));
   body += payload;
   const u32 crc = crc32(std::string_view(body).substr(1));

@@ -59,14 +59,6 @@ TraceStats Trace::stats() const {
   return acc.finish();
 }
 
-void MemorySegment::add_run(u64 offset, std::span<const u8> payload) {
-  assert(runs.empty() ||
-         offset >= runs.back().offset + runs.back().length);
-  assert(offset + payload.size() <= length());
-  runs.push_back({offset, payload.size()});
-  pool.insert(pool.end(), payload.begin(), payload.end());
-}
-
 usize Workload::init_resident_bytes() const noexcept {
   usize total = 0;
   for (const auto& seg : init) total += seg.resident_bytes();

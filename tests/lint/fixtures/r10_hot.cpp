@@ -1,0 +1,23 @@
+// cnt-lint fixture: rule R10 (hot-path allocation ban). The tagged
+// function reserves (the ONE violation) and push_backs (the suppressed
+// twin); the untagged function below allocates freely and must not
+// trigger. NOT part of the main build.
+#include <vector>
+
+// cnt-hot
+inline void fill(std::vector<int>& v, int n) {
+  v.reserve(16);  // <- the one R10 violation
+  for (int i = 0; i < n; ++i) {
+    v.push_back(i);  // cnt-lint: hot-ok suppressed twin
+  }
+}
+
+// Near-misses that must NOT trigger:
+inline void cold_fill(std::vector<int>& v) {
+  v.reserve(32);  // not tagged cnt-hot: allocation is fine here
+}
+
+// cnt-hot
+inline void raises(bool bad) {
+  if (bad) throw 42;  // throw statements are exempt from the ban
+}

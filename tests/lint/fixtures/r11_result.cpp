@@ -1,0 +1,21 @@
+// cnt-lint fixture: rule R11 (unchecked Result<T>). try_fetch is
+// declared to return Result<int>; calling it in statement position and
+// dropping the value is the ONE violation, with a suppressed twin.
+// NOT part of the main build.
+template <typename T>
+struct Result {
+  T value;
+};
+
+Result<int> try_fetch(int key);
+
+inline void caller(int k) {
+  try_fetch(k);  // <- the one R11 violation
+  try_fetch(k + 1);  // cnt-lint: result-ok suppressed twin
+}
+
+// Near-misses that must NOT trigger:
+inline int consumer(int k) {
+  const Result<int> r = try_fetch(k);  // value consumed
+  return r.value;
+}

@@ -1,0 +1,13 @@
+// cnt-lint fixture: rule R8 (include-layering DAG). Lives under
+// fixtures/src/cache/ so its path ranks as the cache module (layer 2);
+// including sim (layer 4) is a back-edge. Exactly ONE unsuppressed
+// violation plus one suppressed twin; consumed by
+// tests/lint/test_lint_rules.cpp. NOT part of the main build.
+#include "sim/runner.hpp"
+#include "sim/hierarchy_runner.hpp"  // cnt-lint: layer-ok suppressed twin
+
+// Near-misses that must NOT trigger:
+#include "common/types.hpp"  // downward edge: cache -> common is fine
+#include <vector>            // system headers are never layered
+
+inline int fixture_uses_the_includes() { return 1; }

@@ -1,0 +1,21 @@
+// cnt-lint fixture: rule R9 (lock discipline). Lives under
+// fixtures/src/exec/ so its path is inside the rule's src/ scope.
+// `count_` is annotated guarded-by(mu_); bad() reads it without holding
+// the mutex (the ONE violation), audited() is the suppressed twin, and
+// good() shows the lock_guard pattern the rule accepts. NOT part of the
+// main build.
+#include <mutex>
+
+struct Widget {
+  std::mutex mu_;
+  int count_ = 0;  // cnt-lint: guarded-by(mu_)
+
+  int bad() { return count_; }  // <- the one R9 violation
+
+  int good() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;  // lock held: fine
+  }
+
+  int audited() { return count_; }  // cnt-lint: guard-ok suppressed twin
+};

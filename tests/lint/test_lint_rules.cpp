@@ -1,6 +1,6 @@
 // Fixture suite for the cnt-lint rule engine (ctest label: lint).
 //
-// Each rule R1-R7 has one fixture under tests/lint/fixtures/ holding
+// Each rule R1-R11 has one fixture under tests/lint/fixtures/ holding
 // exactly ONE unsuppressed violation plus ONE suppressed twin. The suite
 // asserts (a) the violation is flagged exactly once, (b) stripping the
 // `cnt-lint:` suppression markers doubles the count -- proving the
@@ -30,12 +30,18 @@ std::string slurp(const std::string& path) {
 }
 
 /// Disable every suppression comment in the buffer while keeping line
-/// numbers and the rest of the file byte-identical.
+/// numbers and the rest of the file byte-identical. guarded-by(...) is an
+/// annotation, not a suppression: it stays, so R9 still has a guard to
+/// enforce after stripping.
 std::string strip_suppressions(std::string content) {
   const std::string marker = "cnt-lint:";
   const std::string dummy = "cnt-nope:";
   std::size_t pos = 0;
   while ((pos = content.find(marker, pos)) != std::string::npos) {
+    if (content.compare(pos + marker.size(), 12, " guarded-by(") == 0) {
+      pos += marker.size();
+      continue;
+    }
     content.replace(pos, marker.size(), dummy);
     pos += dummy.size();
   }
@@ -81,7 +87,11 @@ INSTANTIATE_TEST_SUITE_P(
                       FixtureCase{"r4_narrow.cpp", "R4"},
                       FixtureCase{"r5_unordered.cpp", "R5"},
                       FixtureCase{"src/common/r6_throw.cpp", "R6"},
-                      FixtureCase{"r7_ofstream.cpp", "R7"}),
+                      FixtureCase{"r7_ofstream.cpp", "R7"},
+                      FixtureCase{"src/cache/r8_layering.cpp", "R8"},
+                      FixtureCase{"src/exec/r9_guard.cpp", "R9"},
+                      FixtureCase{"r10_hot.cpp", "R10"},
+                      FixtureCase{"r11_result.cpp", "R11"}),
     [](const ::testing::TestParamInfo<FixtureCase>& param) {
       return std::string(param.param.rule);
     });

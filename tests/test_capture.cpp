@@ -129,7 +129,7 @@ TEST(Capture, CapturedKernelRunsThroughSimulator) {
   const Workload w = tc.take();
 
   MainMemory mem;
-  mem.load(w);
+  mem.load(w.init);
   CacheConfig cfg;
   cfg.size_bytes = 2048;
   cfg.ways = 2;

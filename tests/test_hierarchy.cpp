@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/rng.hpp"
 
 namespace cnt {
@@ -48,8 +50,8 @@ TEST(Hierarchy, WithoutL2GoesStraightToMemory) {
 TEST(Hierarchy, RunReplaysWholeTrace) {
   MainMemory mem;
   Hierarchy h(HierarchyConfig::typical(), mem);
-  Trace t;
-  for (u64 i = 0; i < 100; ++i) t.push(MemAccess::read(i * 8));
+  std::vector<MemAccess> t;
+  for (u64 i = 0; i < 100; ++i) t.push_back(MemAccess::read(i * 8));
   h.run(t);
   EXPECT_EQ(h.l1d().stats().accesses, 100u);
 }

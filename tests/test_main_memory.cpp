@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <vector>
 
 namespace cnt {
 namespace {
@@ -53,16 +54,16 @@ TEST(MainMemory, WordWrites) {
 
 TEST(MainMemory, LoadSegments) {
   MainMemory mem;
-  Workload w;
+  std::vector<MemorySegment> init;
   MemorySegment seg;
   seg.base = 0x3000;
   seg.bytes = {1, 2, 3, 4, 5};
-  w.init.push_back(seg);
+  init.push_back(seg);
   MemorySegment seg2;
   seg2.base = 0x8FFE;  // crosses page boundary at 0x9000
   seg2.bytes = {9, 9, 9, 9};
-  w.init.push_back(seg2);
-  mem.load(w);
+  init.push_back(seg2);
+  mem.load(init);
   EXPECT_EQ(mem.peek(0x3000), 1);
   EXPECT_EQ(mem.peek(0x3004), 5);
   EXPECT_EQ(mem.peek(0x8FFE), 9);

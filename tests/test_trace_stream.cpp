@@ -78,7 +78,7 @@ u32 le32(const std::string& s, usize at) {
 
 void put_le32(std::string& s, usize at, u32 v) {
   for (usize b = 0; b < 4; ++b) {
-    s[at + b] = static_cast<char>((v >> (8 * b)) & 0xff);  // cnt-lint: narrow-ok LE byte
+    s[at + b] = static_cast<char>((v >> (8 * b)) & 0xff);  // LE byte
   }
 }
 

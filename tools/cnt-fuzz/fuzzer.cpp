@@ -54,7 +54,7 @@ std::string decode_hex_file(const std::string& text, const std::string& name) {
     if (hi < 0) {
       hi = nib;
     } else {
-      out += static_cast<char>((hi << 4) | nib);  // cnt-lint: narrow-ok byte
+      out += static_cast<char>((hi << 4) | nib);
       hi = -1;
     }
   }
@@ -211,7 +211,7 @@ std::string mutate(Rng& rng, const std::string& base,
   const u64 rounds = 1 + rng.uniform(4);
   for (u64 round = 0; round < rounds; ++round) {
     if (s.empty()) {
-      s += static_cast<char>(rng.next_byte());  // cnt-lint: narrow-ok byte
+      s += static_cast<char>(rng.next_byte());
       continue;
     }
     const usize pos = rng.uniform(s.size());

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
+#include <unordered_map>
 
 namespace cnt::lint {
 
@@ -25,18 +29,58 @@ namespace {
   return false;
 }
 
-void lint_one(const std::string& path, const LintOptions& opts,
-              LintReport& report) {
+void lex_one(const std::string& path, std::vector<SourceFile>& files,
+             std::vector<std::string>& errors) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    report.errors.push_back("cannot read " + path);
+    errors.push_back("cannot read " + path);
     return;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  const SourceFile file = lex_file(path, buf.str());
-  run_rules(file, opts.rules, report.findings);
-  ++report.files_scanned;
+  files.push_back(lex_file(path, buf.str()));
+}
+
+/// Pass 1: walk `opts.paths` and lex every lintable file.
+[[nodiscard]] std::vector<SourceFile> collect_sources(
+    const LintOptions& opts, std::vector<std::string>& errors) {
+  std::vector<SourceFile> files;
+  for (const auto& root : opts.paths) {
+    std::error_code ec;
+    const fs::file_status st = fs::status(root, ec);
+    if (ec || st.type() == fs::file_type::not_found) {
+      errors.push_back("no such path: " + root);
+      continue;
+    }
+    if (fs::is_regular_file(st)) {
+      if (!excluded(root, opts.excludes)) lex_one(root, files, errors);
+      continue;
+    }
+    fs::recursive_directory_iterator it(
+        root, fs::directory_options::skip_permission_denied, ec);
+    if (ec) {
+      errors.push_back("cannot walk " + root + ": " + ec.message());
+      continue;
+    }
+    for (const auto end = fs::recursive_directory_iterator(); it != end;
+         it.increment(ec)) {
+      if (ec) {
+        errors.push_back("walk error under " + root + ": " + ec.message());
+        break;
+      }
+      const fs::path& p = it->path();
+      if (it->is_directory()) {
+        if (skip_dir(p) || excluded(p.string(), opts.excludes)) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string s = p.string();
+      if (!lintable_file(s) || excluded(s, opts.excludes)) continue;
+      lex_one(s, files, errors);
+    }
+  }
+  return files;
 }
 
 void json_escape(std::string_view s, std::ostream& os) {
@@ -78,46 +122,140 @@ std::vector<Finding> lint_buffer(std::string path, std::string_view content,
   return out;
 }
 
+std::vector<Finding> audit_suppressions(const std::vector<SourceFile>& files) {
+  // Map rule id -> the tag that silences it. Only catalog tags are
+  // audited: marker comments allow trailing prose
+  // (`// cnt-lint: narrow-ok checked two lines up`), and prose words
+  // must not read as stale suppressions.
+  std::unordered_map<std::string, std::string> tag_of_rule;
+  std::set<std::string, std::less<>> known_tags;
+  for (const RuleInfo& r : rule_catalog()) {
+    tag_of_rule.emplace(r.id, r.suppression);
+    known_tags.insert(r.suppression);
+  }
+
+  TreeContext ctx;
+  for (const SourceFile& f : files) harvest_context(f, ctx);
+
+  std::vector<Finding> out;
+  for (const SourceFile& f : files) {
+    if (f.suppressions.empty()) continue;
+    // Re-run with suppressions ignored: what *would* each marker silence?
+    SourceFile bare = f;
+    bare.suppressions.clear();
+    std::vector<Finding> raw;
+    run_rules(bare, {}, ctx, raw);
+
+    // used[(line, tag)]: some raw finding on `line` or `line + 1` belongs
+    // to the rule this tag silences (a marker covers its own line and
+    // the one below).
+    std::set<std::pair<std::uint32_t, std::string>> used;
+    for (const Finding& fd : raw) {
+      const auto it = tag_of_rule.find(fd.rule);
+      if (it == tag_of_rule.end()) continue;
+      used.emplace(fd.line, it->second);
+      if (fd.line > 0) used.emplace(fd.line - 1, it->second);
+    }
+    for (const auto& [line, tags] : f.suppressions) {
+      for (const std::string& tag : tags) {
+        if (known_tags.count(tag) == 0) continue;  // prose, not a tag
+        if (used.count({line, tag}) != 0) continue;
+        out.push_back(Finding{
+            f.path, line, "U0", "unused-suppression",
+            "suppression '" + tag +
+                "' silences nothing (no matching finding on this or the "
+                "next line); delete the stale tag"});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 LintReport run_lint(const LintOptions& opts) {
   LintReport report;
-  for (const auto& root : opts.paths) {
-    std::error_code ec;
-    const fs::file_status st = fs::status(root, ec);
-    if (ec || st.type() == fs::file_type::not_found) {
-      report.errors.push_back("no such path: " + root);
-      continue;
-    }
-    if (fs::is_regular_file(st)) {
-      if (!excluded(root, opts.excludes)) lint_one(root, opts, report);
-      continue;
-    }
-    fs::recursive_directory_iterator it(
-        root, fs::directory_options::skip_permission_denied, ec);
-    if (ec) {
-      report.errors.push_back("cannot walk " + root + ": " + ec.message());
-      continue;
-    }
-    for (const auto end = fs::recursive_directory_iterator(); it != end;
-         it.increment(ec)) {
-      if (ec) {
-        report.errors.push_back("walk error under " + root + ": " +
-                                ec.message());
-        break;
-      }
-      const fs::path& p = it->path();
-      if (it->is_directory()) {
-        if (skip_dir(p) || excluded(p.string(), opts.excludes)) {
-          it.disable_recursion_pending();
-        }
-        continue;
-      }
-      const std::string s = p.string();
-      if (!lintable_file(s) || excluded(s, opts.excludes)) continue;
-      lint_one(s, opts, report);
-    }
+  const std::vector<SourceFile> files =
+      collect_sources(opts, report.errors);
+  report.files_scanned = files.size();
+
+  if (opts.report_unused) {
+    report.findings = audit_suppressions(files);
+    return report;
+  }
+
+  TreeContext ctx;
+  for (const SourceFile& f : files) harvest_context(f, ctx);
+  for (const SourceFile& f : files) {
+    run_rules(f, opts.rules, ctx, report.findings);
   }
   std::sort(report.findings.begin(), report.findings.end());
   return report;
+}
+
+IncludeGraph build_include_graph(const LintOptions& opts) {
+  IncludeGraph graph;
+  const std::vector<SourceFile> files = collect_sources(opts, graph.errors);
+
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const SourceFile& f : files) {
+    const std::string from = layer_module_of_path(f.path);
+    if (from.empty()) continue;
+    for (const IncludeDirective& inc : f.includes) {
+      const std::string to = layer_module_of_include(inc.target);
+      if (to.empty() || to == from) continue;
+      edges.emplace(from, to);
+    }
+  }
+  graph.edges.assign(edges.begin(), edges.end());
+
+  // Cycle check (DFS, three-color). The module set is tiny; adjacency
+  // through a sorted map keeps the reported cycle deterministic.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [from, to] : graph.edges) adj[from].push_back(to);
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) -> bool {
+    color[node] = 1;
+    stack.push_back(node);
+    for (const std::string& next : adj[node]) {
+      if (color[next] == 1) {
+        // Trim the stack down to the cycle entry point.
+        const auto entry = std::find(stack.begin(), stack.end(), next);
+        graph.cycle.assign(entry, stack.end());
+        graph.cycle.push_back(next);
+        return true;
+      }
+      if (color[next] == 0 && visit(next)) return true;
+    }
+    stack.pop_back();
+    color[node] = 2;
+    return false;
+  };
+  for (const auto& [node, _] : adj) {
+    if (color[node] == 0 && visit(node)) break;
+  }
+  return graph;
+}
+
+void write_dot(const IncludeGraph& graph, std::ostream& os) {
+  std::set<std::string> nodes;
+  for (const auto& [from, to] : graph.edges) {
+    nodes.insert(from);
+    nodes.insert(to);
+  }
+  os << "digraph cnt_includes {\n";
+  os << "  // edges point from includer down to includee; rule R8 requires\n";
+  os << "  // every edge to stay at or below the includer's layer\n";
+  os << "  rankdir=BT;\n";
+  for (const std::string& n : nodes) {
+    os << "  \"" << n << "\" [label=\"" << n << "\\nL" << layer_rank(n)
+       << "\"];\n";
+  }
+  for (const auto& [from, to] : graph.edges) {
+    os << "  \"" << from << "\" -> \"" << to << "\";\n";
+  }
+  os << "}\n";
 }
 
 void write_text(const LintReport& report, std::ostream& os) {

@@ -12,6 +12,9 @@ namespace {
 [[nodiscard]] bool ident_char(char c) noexcept {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
+[[nodiscard]] bool tag_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-';
+}
 
 /// Characters that may continue a numeric literal once one has started:
 /// digits, hex/bin letters, exponents with sign handled separately,
@@ -33,29 +36,63 @@ void split_raw_lines(std::string_view content, std::vector<std::string>& out) {
   }
 }
 
-/// Parse suppression tags out of one comment body: every
-/// `[A-Za-z0-9-]+` word after the `cnt-lint:` marker, stopping at the
-/// first word that is not tag-shaped (so trailing prose is allowed:
-/// `// cnt-lint: narrow-ok checked two lines up`).
-void collect_tags(std::string_view comment, std::uint32_t line,
-                  SourceFile& file) {
-  const std::size_t marker = comment.find("cnt-lint:");
-  if (marker == std::string_view::npos) return;
-  std::size_t i = marker + 9;
+/// Strip comment decoration off the front of one comment (segment):
+/// slashes, stars, `!` (Doxygen) and whitespace. What remains is the
+/// comment body a marker must *open* with.
+[[nodiscard]] std::string_view comment_body(std::string_view comment) noexcept {
+  std::size_t i = 0;
+  while (i < comment.size() &&
+         (comment[i] == '/' || comment[i] == '*' || comment[i] == '!' ||
+          comment[i] == ' ' || comment[i] == '\t')) {
+    ++i;
+  }
+  return comment.substr(i);
+}
+
+/// Parse cnt-lint markers out of one comment body. The marker must open
+/// the comment -- prose *mentioning* the syntax mid-sentence never
+/// registers anything. Three marker forms:
+///   `cnt-lint: <tag> [<tag>...]`       suppression tags; tag words stop
+///                                      at the first non-tag-shaped word
+///                                      so trailing prose is allowed
+///   `cnt-lint: guarded-by(<mutex>)`    R9 guard annotation (recorded
+///                                      separately, not as a tag, so the
+///                                      unused-suppression audit skips it)
+///   `cnt-hot`                          R10 hot-function marker
+void collect_markers(std::string_view comment, std::uint32_t line,
+                     SourceFile& file) {
+  const std::string_view body = comment_body(comment);
+  if (body.starts_with("cnt-hot") &&
+      (body.size() == 7 || !tag_char(body[7]))) {
+    file.hot_lines.push_back(line);
+    return;
+  }
+  if (!body.starts_with("cnt-lint:")) return;
+  std::size_t i = 9;
+  while (i < body.size() && (body[i] == ' ' || body[i] == '\t')) ++i;
+
+  constexpr std::string_view kGuard = "guarded-by(";
+  if (body.substr(i).starts_with(kGuard)) {
+    const std::size_t name = i + kGuard.size();
+    std::size_t j = name;
+    while (j < body.size() && ident_char(body[j])) ++j;
+    if (j > name && j < body.size() && body[j] == ')') {
+      file.guarded_by.push_back(
+          GuardAnnotation{std::string(body.substr(name, j - name)), line});
+      return;
+    }
+  }
+
   auto& tags = file.suppressions[line];
-  while (i < comment.size()) {
-    while (i < comment.size() &&
-           (comment[i] == ' ' || comment[i] == ',' || comment[i] == '\t')) {
+  while (i < body.size()) {
+    while (i < body.size() &&
+           (body[i] == ' ' || body[i] == ',' || body[i] == '\t')) {
       ++i;
     }
     std::size_t j = i;
-    while (j < comment.size() &&
-           (std::isalnum(static_cast<unsigned char>(comment[j])) ||
-            comment[j] == '-')) {
-      ++j;
-    }
+    while (j < body.size() && tag_char(body[j])) ++j;
     if (j == i) break;  // not tag-shaped: rest of the comment is prose
-    tags.emplace_back(comment.substr(i, j - i));
+    tags.emplace_back(body.substr(i, j - i));
     i = j;
   }
 }
@@ -64,14 +101,19 @@ void collect_tags(std::string_view comment, std::uint32_t line,
 
 bool SourceFile::suppressed(std::uint32_t line,
                             std::string_view tag) const noexcept {
+  return suppression_line(line, tag) != 0;
+}
+
+std::uint32_t SourceFile::suppression_line(std::uint32_t line,
+                                           std::string_view tag) const noexcept {
   for (const std::uint32_t l : {line, line > 0 ? line - 1 : 0}) {
     const auto it = suppressions.find(l);
     if (it == suppressions.end()) continue;
     for (const auto& t : it->second) {
-      if (t == tag) return true;
+      if (t == tag) return l;
     }
   }
-  return false;
+  return 0;
 }
 
 SourceFile lex_file(std::string path, std::string_view content) {
@@ -99,14 +141,37 @@ SourceFile lex_file(std::string path, std::string_view content) {
       continue;
     }
 
-    // Preprocessor directive: consume to end of line, honoring `\` splices.
-    // Directives carry no tokens (rules target the compiled code).
+    // Preprocessor directive: record quoted #include targets (rule R8
+    // ranks project headers), then consume to end of line honoring `\`
+    // splices. Directives carry no tokens (rules target the compiled
+    // code) -- but a trailing comment is handed back to the comment
+    // scanner so `#include "x"  // cnt-lint: layer-ok` suppresses.
     if (c == '#') {
+      std::size_t j = i + 1;
+      while (j < n && (content[j] == ' ' || content[j] == '\t')) ++j;
+      std::size_t w = j;
+      while (w < n && ident_char(content[w])) ++w;
+      if (content.substr(j, w - j) == "include") {
+        std::size_t q = w;
+        while (q < n && (content[q] == ' ' || content[q] == '\t')) ++q;
+        if (q < n && content[q] == '"') {
+          const std::size_t close = content.find('"', q + 1);
+          if (close != std::string_view::npos &&
+              content.find('\n', q) > close) {
+            file.includes.push_back(IncludeDirective{
+                std::string(content.substr(q + 1, close - q - 1)), line});
+          }
+        }
+      }
       while (i < n && content[i] != '\n') {
         if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
           ++line;
           i += 2;
           continue;
+        }
+        if (content[i] == '/' && i + 1 < n &&
+            (content[i + 1] == '/' || content[i + 1] == '*')) {
+          break;  // let the comment scanner collect markers
         }
         ++i;
       }
@@ -117,7 +182,7 @@ SourceFile lex_file(std::string path, std::string_view content) {
     if (c == '/' && i + 1 < n && content[i + 1] == '/') {
       const std::size_t eol = content.find('\n', i);
       const std::size_t end = (eol == std::string_view::npos) ? n : eol;
-      collect_tags(content.substr(i, end - i), line, file);
+      collect_markers(content.substr(i, end - i), line, file);
       i = end;
       continue;
     }
@@ -128,14 +193,14 @@ SourceFile lex_file(std::string path, std::string_view content) {
       std::size_t seg_start = i;
       while (j < n && !(content[j] == '*' && j + 1 < n && content[j + 1] == '/')) {
         if (content[j] == '\n') {
-          collect_tags(content.substr(seg_start, j - seg_start), line, file);
+          collect_markers(content.substr(seg_start, j - seg_start), line, file);
           ++line;
           seg_start = j + 1;
         }
         ++j;
       }
       const std::size_t end = (j < n) ? j + 2 : n;
-      collect_tags(content.substr(seg_start, end - seg_start), line, file);
+      collect_markers(content.substr(seg_start, end - seg_start), line, file);
       i = end;
       continue;
     }

@@ -2,13 +2,19 @@
 //
 //   cnt-lint [options] <path>...
 //
-//   --format=text|json   report format (default text)
-//   --rule=RN            run only rule RN (repeatable; default all)
-//   --exclude=SUBSTR     skip paths containing SUBSTR (repeatable)
-//   --list-rules         print the rule catalog and exit
+//   --format=text|json             report format (default text)
+//   --rule=RN                      run only rule RN (repeatable; default all)
+//   --exclude=SUBSTR               skip paths containing SUBSTR (repeatable)
+//   --list-rules                   print the rule catalog and exit
+//   --report-unused-suppressions   audit mode: report `// cnt-lint:` tags
+//                                  that silence nothing (rule id U0);
+//                                  incompatible with --rule
+//   --dump-include-graph=dot       print the module-level include graph as
+//                                  Graphviz dot; exits 1 if the graph has
+//                                  a cycle
 //
-// Exit codes: 0 clean, 1 findings (or unreadable inputs), 2 usage error.
-// Rule catalog and suppression syntax: docs/static_analysis.md.
+// Exit codes: 0 clean, 1 findings/cycle (or unreadable inputs), 2 usage
+// error. Rule catalog and suppression syntax: docs/static_analysis.md.
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -19,7 +25,9 @@ namespace {
 
 void usage(std::ostream& os) {
   os << "usage: cnt-lint [--format=text|json] [--rule=RN]... "
-        "[--exclude=SUBSTR]... [--list-rules] <path>...\n";
+        "[--exclude=SUBSTR]... [--list-rules] "
+        "[--report-unused-suppressions] [--dump-include-graph=dot] "
+        "<path>...\n";
 }
 
 }  // namespace
@@ -27,6 +35,7 @@ void usage(std::ostream& os) {
 int main(int argc, char** argv) {
   cnt::lint::LintOptions opts;
   bool json = false;
+  bool dump_graph = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -39,6 +48,20 @@ int main(int argc, char** argv) {
                   << r.suppression << ")\n    " << r.summary << "\n";
       }
       return 0;
+    }
+    if (arg == "--report-unused-suppressions") {
+      opts.report_unused = true;
+      continue;
+    }
+    if (arg.rfind("--dump-include-graph=", 0) == 0) {
+      const std::string_view fmt = arg.substr(21);
+      if (fmt != "dot") {
+        std::cerr << "cnt-lint: unknown graph format '" << fmt
+                  << "' (only 'dot' is supported)\n";
+        return 2;
+      }
+      dump_graph = true;
+      continue;
     }
     if (arg.rfind("--format=", 0) == 0) {
       const std::string_view fmt = arg.substr(9);
@@ -71,6 +94,11 @@ int main(int argc, char** argv) {
     usage(std::cerr);
     return 2;
   }
+  if (opts.report_unused && !opts.rules.empty()) {
+    std::cerr << "cnt-lint: --report-unused-suppressions needs every rule "
+                 "enabled; drop --rule\n";
+    return 2;
+  }
   for (const auto& r : opts.rules) {
     bool known = false;
     for (const auto& info : cnt::lint::rule_catalog()) {
@@ -80,6 +108,22 @@ int main(int argc, char** argv) {
       std::cerr << "cnt-lint: unknown rule '" << r << "' (see --list-rules)\n";
       return 2;
     }
+  }
+
+  if (dump_graph) {
+    const cnt::lint::IncludeGraph graph =
+        cnt::lint::build_include_graph(opts);
+    cnt::lint::write_dot(graph, std::cout);
+    for (const auto& e : graph.errors) {
+      std::cerr << "cnt-lint: error: " << e << "\n";
+    }
+    if (!graph.cycle.empty()) {
+      std::cerr << "cnt-lint: include-graph cycle:";
+      for (const auto& m : graph.cycle) std::cerr << " " << m;
+      std::cerr << "\n";
+      return 1;
+    }
+    return graph.errors.empty() ? 0 : 1;
   }
 
   const cnt::lint::LintReport report = cnt::lint::run_lint(opts);

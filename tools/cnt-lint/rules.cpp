@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace cnt::lint {
@@ -63,6 +64,94 @@ void report(const SourceFile& file, std::uint32_t line, const RuleInfo& rule,
       Finding{file.path, line, rule.id, rule.name, std::move(message)});
 }
 
+// --- brace-scope model -----------------------------------------------------
+//
+// R9/R10 (and guard harvesting) need to know which `{ ... }` regions are
+// function bodies. The opener test walks backwards from a `{`: skip
+// trailing declarator qualifiers (const/noexcept/override/final/mutable,
+// a trailing return type after `->`), then require a `)` whose matching
+// `(` is headed by a plain identifier (or a lambda's `]`) that is not a
+// control keyword. Ctor init-lists pass via their last `(...)` member
+// initializer -- fine, the recorded extent is the body braces either
+// way. Braced init-lists, `= {...}`, class/namespace/enum bodies and
+// control-flow blocks are all rejected at the first non-declarator
+// token. Parenless lambdas `[&]{...}` are deliberately NOT separate
+// bodies: a cv-wait predicate then stays in its enclosing function's
+// scope, where the wait's unique_lock is visible to R9.
+
+/// One function body: token indices of its `{` and matching `}`.
+struct BodyExtent {
+  std::size_t open = 0;
+  std::size_t close = 0;
+};
+
+bool is_function_body_open(const Tokens& toks, std::size_t i) {
+  static const std::unordered_set<std::string_view> kQualifier = {
+      "const", "noexcept", "override", "final", "mutable"};
+  static const std::unordered_set<std::string_view> kControl = {
+      "if", "for", "while", "switch", "catch", "return"};
+  bool arrow = false;     // saw `->`: tokens before it are a return type
+  bool nonqual = false;   // saw tokens that are not plain qualifiers
+  for (std::size_t j = i; j-- > 0;) {
+    const Token& t = toks[j];
+    if (t.is_punct(")")) {
+      if (nonqual && !arrow) return false;
+      const std::size_t open = match_backward(toks, j);
+      if (open == toks.size() || open == 0) return false;
+      const Token& head = toks[open - 1];
+      if (head.is_punct("]")) return true;  // lambda `[..](..)`
+      if (head.kind != TokKind::kIdent) return false;
+      if (kControl.count(head.text) != 0) return false;
+      if (head.is_ident("constexpr") && open >= 2 &&
+          toks[open - 2].is_ident("if")) {
+        return false;  // if constexpr (...)
+      }
+      return true;
+    }
+    if (t.kind == TokKind::kIdent) {
+      if (kQualifier.count(t.text) == 0) nonqual = true;
+      continue;
+    }
+    if (t.is_punct("->")) {
+      arrow = true;
+      continue;
+    }
+    if (t.is_punct("::") || t.is_punct("<") || t.is_punct(">") ||
+        t.is_punct(">>") || t.is_punct("*") || t.is_punct("&") ||
+        t.is_punct("[[") || t.is_punct("]]") || t.is_punct("[") ||
+        t.is_punct("]") || t.is_punct("...")) {
+      nonqual = true;
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+/// All function-body extents, in token order. Nested (parenful-lambda)
+/// bodies are listed too, after their enclosing body.
+std::vector<BodyExtent> function_bodies(const Tokens& toks) {
+  std::vector<BodyExtent> out;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_punct("{")) continue;
+    if (!is_function_body_open(toks, i)) continue;
+    const std::size_t close = match_forward(toks, i, "{", "}");
+    if (close == toks.size()) continue;
+    out.push_back(BodyExtent{i, close});
+  }
+  return out;
+}
+
+[[nodiscard]] std::string path_stem(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot != std::string_view::npos &&
+      (slash == std::string_view::npos || dot > slash)) {
+    return std::string(path.substr(0, dot));
+  }
+  return std::string(path);
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -81,6 +170,14 @@ const std::vector<RuleInfo>& rule_catalog() {
        "bare throw of std::runtime_error where cnt::Error is mandatory"},
       {"R7", "raw-ofstream", "io-ok",
        "raw std::ofstream outside src/common/io.*"},
+      {"R8", "include-layering", "layer-ok",
+       "#include reaches a module above the includer's layer"},
+      {"R9", "lock-discipline", "guard-ok",
+       "guarded-by member touched without holding the named mutex"},
+      {"R10", "hot-alloc", "hot-ok",
+       "allocation or string construction inside a // cnt-hot function"},
+      {"R11", "unchecked-result", "result-ok",
+       "statement-position Result<T> call whose value is dropped"},
   };
   return kCatalog;
 }
@@ -538,8 +635,454 @@ void check_r7_raw_ofstream(const SourceFile& file, std::vector<Finding>& out) {
   }
 }
 
+// --- R8: include-layering DAG ---------------------------------------------
+//
+// The simulator's modules form a strict layering (docs/DESIGN.md):
+//
+//   layer 0  common                      (types, rng, io, error, ...)
+//   layer 1  device, energy, cnt         (physics + encoding kernels)
+//   layer 2  cache                       (functional arrays)
+//   layer 3  trace, fault                (workloads, injection)
+//   layer 4  sim                         (runners, sweeps)
+//   layer 5  exec                        (thread pool, engine)
+//   layer 6  bench, examples, tools, tests  (top of stack)
+//
+// A file may include only modules at or below its own layer, and
+// src/common may include nothing but itself: that keeps the include
+// graph a DAG whose edges all point downwards, so a layer can be built,
+// tested and reasoned about without the layers above it. Interfaces
+// needed "upwards" are inverted instead (e.g. cnt/direction_hook.hpp
+// lets the encoding policy talk to the fault campaign without seeing
+// fault headers). Deliberate violations annotate `// cnt-lint: layer-ok`
+// on the include line.
+
+namespace {
+
+struct LayerModule {
+  std::string_view name;
+  int rank;
+};
+
+constexpr std::array<LayerModule, 13> kLayers = {{
+    {"common", 0},
+    {"device", 1},
+    {"energy", 1},
+    {"cnt", 1},
+    {"cache", 2},
+    {"trace", 3},
+    {"fault", 3},
+    {"sim", 4},
+    {"exec", 5},
+    {"bench", 6},
+    {"examples", 6},
+    {"tools", 6},
+    {"tests", 6},
+}};
+
+/// True when `path` contains `dir` as a whole path component sequence,
+/// i.e. "<prefix>/dir/" or "dir/" at the start.
+[[nodiscard]] bool has_component(std::string_view path, std::string_view dir) {
+  const std::string needle = std::string(dir) + "/";
+  std::size_t pos = path.find(needle);
+  while (pos != std::string_view::npos) {
+    if (pos == 0 || path[pos - 1] == '/') return true;
+    pos = path.find(needle, pos + 1);
+  }
+  return false;
+}
+
+}  // namespace
+
+int layer_rank(std::string_view module) {
+  for (const LayerModule& m : kLayers) {
+    if (m.name == module) return m.rank;
+  }
+  return -1;
+}
+
+std::string layer_module_of_path(std::string_view path) {
+  for (const LayerModule& m : kLayers) {
+    if (m.rank == 6) continue;  // src modules need the src/ prefix
+    if (has_component(path, "src") &&
+        path.find("src/" + std::string(m.name) + "/") !=
+            std::string_view::npos) {
+      return std::string(m.name);
+    }
+  }
+  for (const LayerModule& m : kLayers) {
+    if (m.rank == 6 && has_component(path, m.name)) {
+      return std::string(m.name);
+    }
+  }
+  return "";
+}
+
+std::string layer_module_of_include(std::string_view target) {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string_view::npos) return "";
+  const std::string_view first = target.substr(0, slash);
+  const int rank = layer_rank(first);
+  if (rank < 0 || rank == 6) return "";  // only src modules are targets
+  return std::string(first);
+}
+
+void check_r8_layering(const SourceFile& file, std::vector<Finding>& out) {
+  const RuleInfo& rule = rule_catalog()[7];
+  const std::string from = layer_module_of_path(file.path);
+  const int from_rank = layer_rank(from);
+  if (from_rank < 0) return;  // outside the ranked tree
+  for (const IncludeDirective& inc : file.includes) {
+    const std::string to = layer_module_of_include(inc.target);
+    if (to.empty()) continue;  // relative / third-party include
+    const int to_rank = layer_rank(to);
+    if (from == "common" && to != "common") {
+      report(file, inc.line, rule,
+             "src/common must not include other src modules, but includes \"" +
+                 inc.target +
+                 "\" (move the shared type down into common/, or annotate "
+                 "// cnt-lint: layer-ok)",
+             out);
+    } else if (to_rank > from_rank) {
+      report(file, inc.line, rule,
+             "include of \"" + inc.target + "\" reaches layer-" +
+                 std::to_string(to_rank) + " module '" + to + "' from layer-" +
+                 std::to_string(from_rank) + " module '" + from +
+                 "' (invert the dependency with an interface, or annotate "
+                 "// cnt-lint: layer-ok)",
+             out);
+    }
+  }
+}
+
+// --- R9: lock discipline on guarded-by members ----------------------------
+//
+// Shared state in the execution engine is documented with
+// `// cnt-lint: guarded-by(<mutex>)` on the member's declaration (same
+// line or the line above). R9 then enforces the documentation: every
+// member-ish use of that name (trailing-underscore identifier, or one
+// reached via `.`/`->`) inside a function body must have a
+// lock_guard/unique_lock/scoped_lock naming that mutex declared in an
+// enclosing scope of the same body. The model is lexical, per file:
+// annotations on class members govern the declaring header and its
+// paired .cpp (same path stem); annotations inside a function body
+// govern that body only. Deliberately unlocked uses (e.g. reads after
+// all workers joined) annotate `// cnt-lint: guard-ok`.
+void check_r9_lock_discipline(const SourceFile& file, const TreeContext& ctx,
+                              std::vector<Finding>& out) {
+  if (file.path.find("src/") == std::string::npos) return;
+  const std::string stem = path_stem(file.path);
+  std::vector<const GuardEntry*> guards;
+  for (const GuardEntry& g : ctx.guards) {
+    if (g.local ? (g.path == file.path) : (g.stem == stem)) {
+      guards.push_back(&g);
+    }
+  }
+  if (guards.empty()) return;
+
+  static const std::unordered_set<std::string_view> kLockTypes = {
+      "lock_guard", "unique_lock", "scoped_lock"};
+  const RuleInfo& rule = rule_catalog()[8];
+  const Tokens& toks = file.tokens;
+  const std::vector<BodyExtent> bodies = function_bodies(toks);
+  std::unordered_map<std::size_t, std::size_t> nested;  // open -> close
+  for (const BodyExtent& b : bodies) nested.emplace(b.open, b.close);
+
+  std::unordered_set<std::string> reported;  // "line:member" dedup
+  for (const BodyExtent& b : bodies) {
+    int depth = 1;
+    std::vector<std::pair<int, std::string>> locked;  // (decl depth, name)
+    for (std::size_t i = b.open + 1; i < b.close; ++i) {
+      // A nested parenful lambda is its own body: scan it in its own
+      // pass (it may outlive the locks held here).
+      const auto child = nested.find(i);
+      if (child != nested.end()) {
+        i = child->second;
+        continue;
+      }
+      const Token& t = toks[i];
+      if (t.is_punct("{")) {
+        ++depth;
+        continue;
+      }
+      if (t.is_punct("}")) {
+        --depth;
+        while (!locked.empty() && locked.back().first > depth) {
+          locked.pop_back();
+        }
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) continue;
+
+      // Lock declaration: `std::lock_guard[<...>] name(args...)`; every
+      // identifier in the args is treated as locked, so `lk(r.mu)`
+      // covers both `r` and `mu` spellings.
+      if (kLockTypes.count(t.text) != 0) {
+        std::size_t j = i + 1;
+        if (j < b.close && toks[j].is_punct("<")) {
+          const std::size_t close_angle = match_forward(toks, j, "<", ">");
+          if (close_angle != toks.size()) j = close_angle + 1;
+        }
+        if (j + 1 < b.close && toks[j].kind == TokKind::kIdent &&
+            toks[j + 1].is_punct("(")) {
+          const std::size_t close_paren = match_forward(toks, j + 1, "(", ")");
+          if (close_paren != toks.size()) {
+            for (std::size_t k = j + 2; k < close_paren; ++k) {
+              if (toks[k].kind == TokKind::kIdent) {
+                locked.emplace_back(depth, toks[k].text);
+              }
+            }
+            i = close_paren;
+          }
+        }
+        continue;
+      }
+
+      for (const GuardEntry* g : guards) {
+        if (t.text != g->member) continue;
+        if (t.line == g->decl_line && file.path == g->path) continue;
+        if (g->local &&
+            (t.line < g->scope_first_line || t.line > g->scope_last_line)) {
+          continue;
+        }
+        // Member guards only bind member-ish uses (trailing underscore
+        // or `.`/`->` access) so an unrelated local sharing the name in
+        // the paired file is not captured. A local guard is unambiguous
+        // inside its own extent and binds every use.
+        const bool memberish =
+            g->local || (!t.text.empty() && t.text.back() == '_') ||
+            (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("->"));
+        if (!memberish) continue;
+        bool held = false;
+        for (const auto& [d, name] : locked) {
+          if (name == g->mutex_name) {
+            held = true;
+            break;
+          }
+        }
+        if (!held) {
+          const std::string key =
+              std::to_string(t.line) + ":" + g->member;
+          if (reported.insert(key).second) {
+            report(file, t.line, rule,
+                   "'" + g->member + "' is guarded-by(" + g->mutex_name +
+                       ") but no lock on '" + g->mutex_name +
+                       "' is held in an enclosing scope (take a "
+                       "lock_guard/unique_lock, or annotate "
+                       "// cnt-lint: guard-ok)",
+                   out);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+// --- R10: allocation ban in // cnt-hot functions --------------------------
+//
+// The data-oriented hot path (docs/performance.md) must not allocate:
+// a single push_back in the probe loop re-introduces the malloc traffic
+// the scratch buffers exist to avoid. Functions whose definition follows
+// a `// cnt-hot` marker (within a few lines, so the marker sits above
+// the signature) are scanned for operator new, make_unique/make_shared,
+// growth calls (push_back/emplace_back/resize/reserve), std::to_string
+// and std::string construction. Throw statements are exempt: an error
+// path that allocates its message is fine, it is off the hot path by
+// definition. Cold setup inside a hot function annotates
+// `// cnt-lint: hot-ok`.
+void check_r10_hot_alloc(const SourceFile& file, std::vector<Finding>& out) {
+  if (file.hot_lines.empty()) return;
+  constexpr std::uint32_t kMarkerWindow = 12;  // lines marker -> body `{`
+  static const std::unordered_set<std::string_view> kBannedCalls = {
+      "make_unique", "make_shared", "push_back", "emplace_back",
+      "resize",      "reserve",     "to_string"};
+  const RuleInfo& rule = rule_catalog()[9];
+  const Tokens& toks = file.tokens;
+  const std::vector<BodyExtent> bodies = function_bodies(toks);
+
+  for (const std::uint32_t hot : file.hot_lines) {
+    const BodyExtent* body = nullptr;
+    for (const BodyExtent& b : bodies) {
+      const std::uint32_t open_line = toks[b.open].line;
+      if (open_line >= hot && open_line <= hot + kMarkerWindow) {
+        body = &b;
+        break;
+      }
+    }
+    if (body == nullptr) continue;  // dangling marker: nothing to scan
+
+    for (std::size_t i = body->open + 1; i < body->close; ++i) {
+      const Token& t = toks[i];
+      // Throw statements may allocate: skip to the terminating `;`.
+      if (t.is_ident("throw")) {
+        int nest = 0;
+        while (i < body->close) {
+          const Token& u = toks[i];
+          if (u.is_punct("(") || u.is_punct("{")) ++nest;
+          if (u.is_punct(")") || u.is_punct("}")) --nest;
+          if (u.is_punct(";") && nest <= 0) break;
+          ++i;
+        }
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) continue;
+      const bool call_like = i + 1 < toks.size() &&
+                             (toks[i + 1].is_punct("(") ||
+                              toks[i + 1].is_punct("<") ||
+                              toks[i + 1].is_punct("{"));
+      if (t.text == "new") {
+        report(file, t.line, rule,
+               "operator new inside a // cnt-hot function (preallocate in "
+               "setup, or annotate // cnt-lint: hot-ok)",
+               out);
+        continue;
+      }
+      if (kBannedCalls.count(t.text) != 0 && call_like) {
+        report(file, t.line, rule,
+               "'" + t.text +
+                   "' inside a // cnt-hot function may allocate (size "
+                   "scratch buffers in setup, or annotate "
+                   "// cnt-lint: hot-ok)",
+               out);
+        continue;
+      }
+      if (t.text == "string" && i + 1 < toks.size() &&
+          (toks[i + 1].is_punct("(") || toks[i + 1].is_punct("{") ||
+           toks[i + 1].kind == TokKind::kIdent)) {
+        report(file, t.line, rule,
+               "std::string construction inside a // cnt-hot function "
+               "(use string_view / preallocated buffers, or annotate "
+               "// cnt-lint: hot-ok)",
+               out);
+      }
+    }
+  }
+}
+
+// --- R11: dropped Result<T> values ----------------------------------------
+//
+// cnt::Result<T> is the no-throw error channel (common/error.hpp); its
+// class-level [[nodiscard]] is defeated by patterns the compiler cannot
+// see through (macro wrappers, comma operators) and by builds with
+// warnings off. R11 closes the gap structurally: calls to functions
+// *declared* to return Result<...> anywhere in the scanned tree are
+// flagged when they sit in statement position with the value neither
+// bound, returned, passed on, nor `.or_throw()`'d. Intentional
+// fire-and-forget calls annotate `// cnt-lint: result-ok`.
+void check_r11_unchecked_result(const SourceFile& file, const TreeContext& ctx,
+                                std::vector<Finding>& out) {
+  if (ctx.result_functions.empty()) return;
+  const RuleInfo& rule = rule_catalog()[10];
+  const Tokens& toks = file.tokens;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || !toks[i + 1].is_punct("(")) continue;
+    if (ctx.result_functions.count(t.text) == 0) continue;
+    // Walk back over `ident::` qualification to the statement head.
+    std::size_t k = i;
+    while (k >= 2 && toks[k - 1].is_punct("::") &&
+           toks[k - 2].kind == TokKind::kIdent) {
+      k -= 2;
+    }
+    if (k == 0) continue;
+    const Token& prev = toks[k - 1];
+    // `obj.call(...)` / assignments / returns all consume the value.
+    if (!(prev.is_punct(";") || prev.is_punct("{") || prev.is_punct("}"))) {
+      continue;
+    }
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close == toks.size() || close + 1 >= toks.size()) continue;
+    if (toks[close + 1].is_punct(";")) {
+      report(file, t.line, rule,
+             "result of '" + t.text +
+                 "(...)' (returns cnt::Result) is dropped; bind it, return "
+                 "it, or call .or_throw() (annotate intentional "
+                 "fire-and-forget with // cnt-lint: result-ok)",
+             out);
+    }
+  }
+}
+
+// --- context harvesting ----------------------------------------------------
+
+void harvest_context(const SourceFile& file, TreeContext& ctx) {
+  const Tokens& toks = file.tokens;
+
+  // Result<T>-returning declarations: `Result < ... > [Qual::]name (`.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_ident("Result") || !toks[i + 1].is_punct("<")) continue;
+    const std::size_t close = match_forward(toks, i + 1, "<", ">");
+    if (close == toks.size()) continue;
+    std::size_t j = close + 1;
+    while (j + 2 < toks.size() && toks[j].kind == TokKind::kIdent &&
+           toks[j + 1].is_punct("::")) {
+      j += 2;
+    }
+    if (j + 1 < toks.size() && toks[j].kind == TokKind::kIdent &&
+        toks[j + 1].is_punct("(")) {
+      ctx.result_functions.insert(toks[j].text);
+    }
+  }
+
+  // guarded-by annotations: resolve each to the declaration it covers
+  // (tokens on the marker's line, else the first tokens below -- the
+  // marker-above-the-declaration style). The guarded name is the first
+  // identifier followed by a declarator terminator (`=`, `;`, `{`, `[`),
+  // which skips over type names and template arguments.
+  if (file.guarded_by.empty()) return;
+  const std::vector<BodyExtent> bodies = function_bodies(toks);
+  for (const GuardAnnotation& ann : file.guarded_by) {
+    std::size_t first = toks.size();
+    std::uint32_t decl_line = 0;
+    for (std::size_t pass = 0; pass < 2 && first == toks.size(); ++pass) {
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        const bool match = pass == 0 ? toks[i].line == ann.line
+                                     : toks[i].line > ann.line;
+        if (match) {
+          first = i;
+          decl_line = toks[i].line;
+          break;
+        }
+      }
+    }
+    if (first == toks.size()) continue;  // annotation at end of file
+
+    std::string member;
+    std::size_t member_tok = toks.size();
+    for (std::size_t i = first;
+         i + 1 < toks.size() && toks[i].line == decl_line; ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const Token& next = toks[i + 1];
+      if (next.is_punct("=") || next.is_punct(";") || next.is_punct("{") ||
+          next.is_punct("[")) {
+        member = toks[i].text;
+        member_tok = i;
+        break;
+      }
+    }
+    if (member.empty()) continue;  // not a declaration we understand
+
+    GuardEntry entry;
+    entry.member = member;
+    entry.mutex_name = ann.mutex_name;
+    entry.path = file.path;
+    entry.stem = path_stem(file.path);
+    entry.decl_line = decl_line;
+    // Innermost function body containing the declaration, if any: the
+    // guard is then local to that body's extent.
+    for (const BodyExtent& b : bodies) {
+      if (member_tok > b.open && member_tok < b.close) {
+        entry.local = true;
+        entry.scope_first_line = toks[b.open].line;
+        entry.scope_last_line = toks[b.close].line;
+      }
+    }
+    ctx.guards.push_back(std::move(entry));
+  }
+}
+
 void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
-               std::vector<Finding>& out) {
+               const TreeContext& ctx, std::vector<Finding>& out) {
   auto on = [&](std::string_view id) {
     return enabled.empty() ||
            std::find(enabled.begin(), enabled.end(), id) != enabled.end();
@@ -551,6 +1094,17 @@ void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
   if (on("R5")) check_r5_unordered_output(file, out);
   if (on("R6")) check_r6_bare_throw(file, out);
   if (on("R7")) check_r7_raw_ofstream(file, out);
+  if (on("R8")) check_r8_layering(file, out);
+  if (on("R9")) check_r9_lock_discipline(file, ctx, out);
+  if (on("R10")) check_r10_hot_alloc(file, out);
+  if (on("R11")) check_r11_unchecked_result(file, ctx, out);
+}
+
+void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
+               std::vector<Finding>& out) {
+  TreeContext ctx;
+  harvest_context(file, ctx);
+  run_rules(file, enabled, ctx, out);
 }
 
 }  // namespace cnt::lint

@@ -1,4 +1,4 @@
-// cnt-lint rule engine: domain rules R1-R5 over a lexed SourceFile.
+// cnt-lint rule engine: domain rules R1-R11 over lexed SourceFiles.
 //
 // Rule catalog (rationale + examples: docs/static_analysis.md):
 //   R1 nondeterminism primitives (rand, srand, random_device, time(,
@@ -15,6 +15,24 @@
 //      subsystems (src/common, src/trace, src/exec)    [throw-ok]
 //   R7 raw std::ofstream outside src/common/io.* -- artifact writers
 //      must go through DurableFile / AtomicFileWriter   [io-ok]
+//   R8 include-layering DAG: a module may only include modules at or
+//      below its own layer (common -> device/energy/cnt -> cache ->
+//      trace/fault -> sim -> exec -> bench/examples/tools/tests)
+//                                                      [layer-ok]
+//   R9 lock discipline: members annotated
+//      `// cnt-lint: guarded-by(<mutex>)` may only be touched from
+//      scopes holding a lock_guard/unique_lock/scoped_lock on that
+//      mutex                                           [guard-ok]
+//   R10 hot-path allocation ban: functions marked `// cnt-hot` must not
+//      allocate (new/make_*/push_back/resize/reserve/std::string
+//      construction); throw statements are exempt       [hot-ok]
+//   R11 unchecked Result<T>: a statement-position call to a function
+//      returning cnt::Result<T> whose value is dropped  [result-ok]
+//
+// R1-R8 and R10 are per-file. R9 and R11 consult a TreeContext
+// harvested from every scanned file first (guard annotations in a
+// header govern the paired .cpp; Result-returning declarations are
+// collected tree-wide), so the driver runs in two passes.
 //
 // A finding on line L is silenced by `// cnt-lint: <tag>` on line L or
 // line L-1.
@@ -22,6 +40,8 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "lexer.hpp"
@@ -31,7 +51,7 @@ namespace cnt::lint {
 struct Finding {
   std::string path;
   std::uint32_t line = 0;
-  std::string rule;     ///< "R1".."R7"
+  std::string rule;     ///< "R1".."R11" ("U0" for the suppression audit)
   std::string name;     ///< short rule name, e.g. "nondeterminism"
   std::string message;
 
@@ -49,11 +69,38 @@ struct RuleInfo {
   const char* summary;
 };
 
-/// Static catalog, ordered R1..R7.
+/// Static catalog, ordered R1..R11.
 [[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
 
+/// One `guarded-by` annotation resolved to the declaration it covers.
+struct GuardEntry {
+  std::string member;           ///< guarded variable / member name
+  std::string mutex_name;       ///< mutex that must be held
+  std::string path;             ///< declaring file
+  std::string stem;             ///< `path` minus extension; a guard in
+                                ///< foo.hpp governs foo.cpp and back
+  std::uint32_t decl_line = 0;  ///< line of the guarded declaration
+  bool local = false;           ///< declared inside a function body
+  std::uint32_t scope_first_line = 0;  ///< local guards: enclosing body
+  std::uint32_t scope_last_line = 0;   ///< extent (inclusive lines)
+};
+
+/// Cross-file facts rules R9/R11 consult; harvested before rules run.
+struct TreeContext {
+  std::vector<GuardEntry> guards;
+  std::unordered_set<std::string> result_functions;
+};
+
+/// Collect `file`'s guard annotations and Result<T>-returning function
+/// declarations into `ctx`.
+void harvest_context(const SourceFile& file, TreeContext& ctx);
+
 /// Run the selected rules over one file, appending findings.
-/// `enabled` holds rule ids ("R1".."R7"); empty means all rules.
+/// `enabled` holds rule ids ("R1".."R11"); empty means all rules.
+void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
+               const TreeContext& ctx, std::vector<Finding>& out);
+
+/// Single-file convenience: harvests a TreeContext from `file` alone.
 void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
                std::vector<Finding>& out);
 
@@ -66,5 +113,19 @@ void check_r6_bare_throw(const SourceFile& file, std::vector<Finding>& out);
 void check_r5_unordered_output(const SourceFile& file,
                                std::vector<Finding>& out);
 void check_r7_raw_ofstream(const SourceFile& file, std::vector<Finding>& out);
+void check_r8_layering(const SourceFile& file, std::vector<Finding>& out);
+void check_r9_lock_discipline(const SourceFile& file, const TreeContext& ctx,
+                              std::vector<Finding>& out);
+void check_r10_hot_alloc(const SourceFile& file, std::vector<Finding>& out);
+void check_r11_unchecked_result(const SourceFile& file, const TreeContext& ctx,
+                                std::vector<Finding>& out);
+
+// R8 layering model, exposed for the include-graph dump in the driver.
+// A module is one of the ranked src/ subsystems ("common", "device",
+// "energy", "cnt", "cache", "trace", "fault", "sim", "exec") or a
+// top-of-stack tree ("bench", "examples", "tools", "tests").
+[[nodiscard]] int layer_rank(std::string_view module);  ///< -1 = unknown
+[[nodiscard]] std::string layer_module_of_path(std::string_view path);
+[[nodiscard]] std::string layer_module_of_include(std::string_view target);
 
 }  // namespace cnt::lint
