@@ -25,6 +25,7 @@
 #include "common/io.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
+#include "exec/options.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "trace/gen/server_traffic.hpp"
@@ -160,6 +161,9 @@ int main(int argc, char** argv) {
       // Perf numbers measured with failpoints armed are invalid;
       // check_regression.py refuses documents where this is true.
       j.kv("failpoints_enabled", fp::enabled());
+      // Likewise a run with the job watchdog armed: cancellation polls
+      // are still one relaxed load, but the environment is non-standard.
+      j.kv("job_timeout_armed", exec::job_timeout_from_env(0) != 0);
       j.key("kernels").begin_array();
       for (const auto& r : results) {
         j.begin_object();

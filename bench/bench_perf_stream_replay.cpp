@@ -29,6 +29,7 @@
 #include "common/failpoint.hpp"
 #include "common/io.hpp"
 #include "common/json.hpp"
+#include "exec/options.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "sim/stats_dump.hpp"
@@ -165,6 +166,9 @@ int main(int argc, char** argv) {
       // Perf numbers measured with failpoints armed are invalid;
       // check_regression.py refuses documents where this is true.
       j.kv("failpoints_enabled", fp::enabled());
+      // Likewise a run with the job watchdog armed: cancellation polls
+      // are still one relaxed load, but the environment is non-standard.
+      j.kv("job_timeout_armed", exec::job_timeout_from_env(0) != 0);
       j.kv("accesses", accesses);
       j.kv("file_bytes", disk_bytes);
       j.kv("chunk_capacity", chunk_capacity);

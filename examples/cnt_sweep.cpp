@@ -3,6 +3,7 @@
 //
 //   $ ./cnt_sweep <base.ini|-> <config-key> <v1,v2,...> [workload|suite]
 //                 [scale] [--jobs N] [--jsonl path] [--resume]
+//                 [--job-timeout-ms N]
 //
 //   $ ./cnt_sweep - cnt.window 3,7,15,31 suite 0.2
 //   $ ./cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5 --jobs 8
@@ -14,6 +15,9 @@
 // results are deterministic and identical to --jobs 1 regardless.
 // Ctrl-C stops the sweep gracefully; with --jsonl the flushed journal can
 // be picked up by rerunning with --resume (docs/resumable_sweeps.md).
+// --job-timeout-ms N (or $CNT_JOB_TIMEOUT_MS) arms the per-attempt
+// watchdog: a hung job is cancelled and quarantined, the sweep completes
+// without it, and the process exits 3 (docs/robustness.md).
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -45,6 +49,7 @@ int usage() {
   std::cerr
       << "usage: cnt_sweep <base.ini|-> <config-key> <v1,v2,...> "
          "[workload|suite] [scale] [--jobs N] [--jsonl path] [--resume]\n"
+         "                 [--job-timeout-ms N]\n"
          "examples:\n"
          "  cnt_sweep - cnt.window 3,7,15,31 suite 0.2\n"
          "  cnt_sweep - cache.size 8k,16k,32k,64k zipf_kv 0.5 --jobs 8\n"
@@ -67,6 +72,10 @@ int main(int argc, char** argv) {
       // handled by jobs_from_args
     } else if (arg == "--resume" || arg == "--no-resume") {
       // handled by resume_from_args
+    } else if (arg == "--job-timeout-ms") {
+      ++i;  // value consumed by u64_from_args below
+    } else if (arg.rfind("--job-timeout-ms=", 0) == 0) {
+      // handled by u64_from_args
     } else if (arg == "--jsonl") {
       if (i + 1 >= argc) return usage();
       jsonl_path = argv[++i];
@@ -82,6 +91,8 @@ int main(int argc, char** argv) {
   const double scale = pos.size() > 4 ? std::atof(pos[4].c_str()) : 0.25;
   const usize jobs = exec::jobs_from_args(argc, argv, 0);
   const bool resume = exec::resume_from_args(argc, argv, false);
+  const u64 job_timeout_ms =
+      exec::u64_from_args(argc, argv, "--job-timeout-ms", 0);
   if (values.empty()) return usage();
   if (resume && jsonl_path.empty()) {
     std::cerr << "error: --resume needs a journal; pass --jsonl <path>\n";
@@ -116,6 +127,7 @@ int main(int argc, char** argv) {
                                    .jsonl_path = jsonl_path,
                                    .progress = true,
                                    .resume = resume,
+                                   .job_timeout_ms = job_timeout_ms,
                                    .handle_signals = true});
     std::vector<exec::JobOutcome> outcomes;
     try {
@@ -131,6 +143,18 @@ int main(int argc, char** argv) {
 
     Table t({key, "baseline", "CNT-Cache", "saving"});
     for (usize i = 0; i < groups.size(); ++i) {
+      // A group with quarantined/failed jobs has no meaningful aggregate;
+      // render the damage instead of aborting the whole report.
+      usize failed = 0;
+      for (const exec::JobOutcome* o : groups[i].outcomes) {
+        if (!o->ok) ++failed;
+      }
+      if (failed > 0) {
+        t.add_row({values[i], "-", "-",
+                   "quarantined (" + std::to_string(failed) + "/" +
+                       std::to_string(groups[i].outcomes.size()) + ")"});
+        continue;
+      }
       const auto results = exec::results_of(groups[i].outcomes);
       double saving = 0;
       Energy base_e{}, cnt_e{};
@@ -150,6 +174,14 @@ int main(int argc, char** argv) {
               << scale << ", " << engine.worker_count() << " jobs)\n\n"
               << t.render();
     if (!jsonl_path.empty()) std::cout << "\njsonl: " << jsonl_path << "\n";
+    const usize quarantined = exec::quarantined_count(outcomes);
+    if (quarantined > 0) {
+      std::cerr << "warning: " << quarantined << " job(s) quarantined ("
+                << "timed out or exhausted retries); the journal records "
+                   "each as a sealed Q-row -- rerun with --resume to "
+                   "re-attempt only those jobs\n";
+      return exec::sweep_exit_code(outcomes);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << cnt::format_error(e) << "\n";
     return 1;

@@ -76,6 +76,10 @@ def check_perf(doc, min_aps):
     if doc.get("failpoints_enabled"):
         return fail(f"{name}: measured with failpoints armed "
                     "(failpoints_enabled=true); rerun without CNT_FAILPOINTS")
+    if doc.get("job_timeout_armed"):
+        return fail(f"{name}: measured with the job watchdog armed "
+                    "(job_timeout_armed=true); rerun without "
+                    "CNT_JOB_TIMEOUT_MS")
     for key in ("accesses", "file_bytes", "seconds", "accesses_per_sec",
                 "peak_rss_bytes"):
         if not positive_number(doc.get(key)):
@@ -99,6 +103,10 @@ def check_perf_v2(doc, min_aps):
     if doc.get("failpoints_enabled"):
         return fail(f"{name}: measured with failpoints armed "
                     "(failpoints_enabled=true); rerun without CNT_FAILPOINTS")
+    if doc.get("job_timeout_armed"):
+        return fail(f"{name}: measured with the job watchdog armed "
+                    "(job_timeout_armed=true); rerun without "
+                    "CNT_JOB_TIMEOUT_MS")
 
     if "kernels" in doc:
         kernels = doc["kernels"]

@@ -1,0 +1,100 @@
+#include "common/cancel.hpp"
+
+#include <string>
+#include <utility>
+
+namespace cnt::cancel {
+
+namespace {
+
+// Signal flags and interrupt requests cannot notify a condition
+// variable, so every blocking wait is sliced: worst-case latency from
+// "flag set" to "waiter awake" is one slice. 20 ms keeps the SIGINT
+// drain test comfortably sub-delay while costing ~50 wakeups/sec only
+// while a wait is actually pending.
+constexpr u64 kWaitSliceMs = 20;
+
+// The ambient token for this thread, installed by ScopedToken. Plain
+// pointer: lifetime is owned by the installer, which outlives the scope.
+thread_local Token* t_current = nullptr;
+
+}  // namespace
+
+void Token::cancel(Reason r) noexcept {
+  if (r == Reason::kNone) return;
+  u8 expected = static_cast<u8>(Reason::kNone);
+  if (!reason_.compare_exchange_strong(expected, static_cast<u8>(r),
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    return;  // already cancelled; first reason wins
+  }
+  // Take the lock so a waiter between its predicate check and its sleep
+  // cannot miss the notify.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
+}
+
+bool Token::wait_ms(u64 ms, const std::function<bool()>& wake) const {
+  const Deadline deadline = Deadline::after_ms(ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cancelled()) return true;
+    if (wake && wake()) return true;
+    const u64 left = deadline.remaining_ms();
+    if (left == 0) return false;
+    const u64 slice = left < kWaitSliceMs ? left : kWaitSliceMs;
+    cv_.wait_for(lock, std::chrono::milliseconds(slice));
+  }
+}
+
+Deadline Deadline::after_ms(u64 ms) noexcept {
+  Deadline d;
+  d.never_ = false;
+  d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  if (never_) return false;
+  return std::chrono::steady_clock::now() >= at_;
+}
+
+u64 Deadline::remaining_ms() const noexcept {
+  if (never_) return ~u64{0};
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= at_) return 0;
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(at_ - now)
+          .count());
+}
+
+ScopedToken::ScopedToken(Token& token) noexcept : prev_(t_current) {
+  t_current = &token;
+}
+
+ScopedToken::~ScopedToken() { t_current = prev_; }
+
+Token* current() noexcept { return t_current; }
+
+bool poll() noexcept { return t_current != nullptr && t_current->cancelled(); }
+
+Error cancelled_error(Reason reason, std::string_view where) {
+  if (reason == Reason::kTimeout) {
+    return Error(Errc::kTimeout, "job exceeded its deadline")
+        .at(std::string(where))
+        .hint("raise --job-timeout-ms / CNT_JOB_TIMEOUT_MS, or inspect the "
+              "quarantined row in the sweep journal");
+  }
+  return Error(Errc::kCancelled, "work cancelled")
+      .at(std::string(where))
+      .hint("cancellation was requested (signal or shutdown); partial "
+            "results are replayable with --resume");
+}
+
+void throw_if_cancelled(std::string_view where) {
+  Token* t = t_current;
+  if (t == nullptr || !t->cancelled()) return;
+  throw cancelled_error(t->reason(), where);
+}
+
+}  // namespace cnt::cancel

@@ -1,0 +1,128 @@
+// Cooperative cancellation & deadlines (docs/robustness.md).
+//
+// A Token is a one-way latch: cancel() flips it exactly once with a
+// Reason (operator cancel vs. watchdog timeout) and wakes any waiter;
+// cancelled() is a single relaxed atomic load, cheap enough to poll once
+// per replay batch -- the same disabled-cost bar the failpoint registry
+// holds (common/failpoint.hpp).
+//
+// Work that should be cancellable installs its token thread-locally with
+// a ScopedToken; deep code (the batched replay loops, StreamTraceSource
+// refill, the failpoint `hang` park) then polls the ambient token via
+// poll()/throw_if_cancelled() without any plumbing through the call
+// graph. Cancellation surfaces as a structured cnt::Error carrying
+// Errc::kCancelled or Errc::kTimeout with what/where/hint.
+//
+// Every blocking wait in the tree goes through Token::wait_ms (enforced
+// by cnt-lint rule R12): the wait is sliced, wakes immediately on
+// cancel(), and re-checks a caller predicate each slice so conditions a
+// condition variable cannot observe -- POSIX signal flags above all --
+// still preempt the sleep.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cnt::cancel {
+
+/// Why a token was cancelled. First cancel() wins; later calls are
+/// no-ops, so a late operator Ctrl-C cannot relabel a watchdog timeout.
+enum class Reason : u8 {
+  kNone,     ///< not cancelled
+  kCancel,   ///< explicit cancellation (signal, cancel_check, shutdown)
+  kTimeout,  ///< a deadline or watchdog expired
+};
+
+class Token {
+ public:
+  Token() = default;
+  Token(const Token&) = delete;
+  Token& operator=(const Token&) = delete;
+
+  /// Latch the token with `r` and wake every wait_ms(). Idempotent: the
+  /// first reason sticks.
+  void cancel(Reason r = Reason::kCancel) noexcept;
+
+  /// One relaxed atomic load -- the hot-path poll.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return reason_.load(std::memory_order_relaxed) !=
+           static_cast<u8>(Reason::kNone);  // cnt-lint: narrow-ok enum tag
+  }
+
+  [[nodiscard]] Reason reason() const noexcept {
+    return static_cast<Reason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Sleep up to `ms`, returning early -- and true -- when the token is
+  /// cancelled or `wake` returns true. cancel() interrupts the wait
+  /// immediately through the condition variable; `wake` (a signal flag,
+  /// an interrupt request) is polled once per bounded slice because
+  /// async-signal handlers cannot notify a condition variable.
+  [[nodiscard]] bool wait_ms(u64 ms,
+                             const std::function<bool()>& wake = {}) const;
+
+ private:
+  std::atomic<u8> reason_{0};
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+};
+
+/// A wall-clock budget measured on the steady clock.
+class Deadline {
+ public:
+  /// Never expires (remaining_ms() saturates).
+  [[nodiscard]] static Deadline never() noexcept { return Deadline{}; }
+
+  /// Expires `ms` milliseconds from now.
+  [[nodiscard]] static Deadline after_ms(u64 ms) noexcept;
+
+  [[nodiscard]] bool is_never() const noexcept { return never_; }
+  [[nodiscard]] bool expired() const noexcept;
+  /// Milliseconds left; 0 once expired, u64 max for never().
+  [[nodiscard]] u64 remaining_ms() const noexcept;
+
+ private:
+  Deadline() = default;
+  bool never_ = true;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// RAII thread-local install: while alive, poll()/throw_if_cancelled()
+/// on this thread observe `token`. Nests; the destructor restores the
+/// previous token (the engine installs one token per job attempt).
+class ScopedToken {
+ public:
+  explicit ScopedToken(Token& token) noexcept;
+  ~ScopedToken();
+  ScopedToken(const ScopedToken&) = delete;
+  ScopedToken& operator=(const ScopedToken&) = delete;
+
+ private:
+  Token* prev_;
+};
+
+/// The token installed on this thread, or nullptr.
+[[nodiscard]] Token* current() noexcept;
+
+/// True when this thread's installed token is cancelled. One TLS read
+/// plus one relaxed atomic load; false (one TLS read) with no token
+/// installed -- cheap enough for once-per-batch polling.
+[[nodiscard]] bool poll() noexcept;
+
+/// Build the structured error for a cancellation observed at `where`
+/// ("sim.replay", "engine.job", ...): Errc::kTimeout for Reason::kTimeout,
+/// Errc::kCancelled otherwise.
+[[nodiscard]] Error cancelled_error(Reason reason, std::string_view where);
+
+/// Throw cancelled_error(reason, where) when this thread's token is
+/// cancelled; no-op (no token or not cancelled) otherwise.
+void throw_if_cancelled(std::string_view where);
+
+}  // namespace cnt::cancel

@@ -19,6 +19,8 @@ std::string_view errc_name(Errc code) noexcept {
     case Errc::kUnknownKey: return "unknown-key";
     case Errc::kTruncated: return "truncated";
     case Errc::kInternal: return "internal";
+    case Errc::kCancelled: return "cancelled";
+    case Errc::kTimeout: return "timeout";
   }
   return "unknown";
 }

@@ -42,6 +42,8 @@ enum class Errc : u8 {
   kUnknownKey,    ///< a key the schema does not define
   kTruncated,     ///< input ends mid-record
   kInternal,      ///< invariant violation; a bug, not an input problem
+  kCancelled,     ///< work abandoned on request (signal, shutdown)
+  kTimeout,       ///< a deadline or watchdog expired (common/cancel.hpp)
 };
 
 /// Stable lowercase name ("syntax", "duplicate-key", ...) for rendering

@@ -14,13 +14,14 @@
 #include <unistd.h>
 #endif
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 
 namespace cnt::fp {
 
 namespace {
 
-enum class Kind : u8 { kEnospc, kEio, kShort, kDelay, kCrash };
+enum class Kind : u8 { kEnospc, kEio, kShort, kDelay, kCrash, kHang };
 
 struct Entry {
   std::string site;
@@ -122,6 +123,8 @@ Entry parse_entry(std::string_view text) {
     e.kind = Kind::kShort;
   } else if (rest == "crash") {
     e.kind = Kind::kCrash;
+  } else if (rest == "hang") {
+    e.kind = Kind::kHang;
   } else if (rest == "delay" || rest.substr(0, 6) == "delay:") {
     e.kind = Kind::kDelay;
     if (rest.size() > 6) {
@@ -148,7 +151,7 @@ Entry parse_entry(std::string_view text) {
                      "unknown failpoint action '" + std::string(rest) + "'")
         .at("CNT_FAILPOINTS")
         .hint("actions: error:ENOSPC, error:EIO, short-write, delay[:ms], "
-              "crash");
+              "hang, crash");
   }
   return e;
 }
@@ -191,6 +194,7 @@ bool enabled() noexcept {
 Action evaluate(std::string_view site) noexcept {
   u64 delay_ms = 0;
   bool crash = false;
+  bool hang = false;
   Action act = Action::kNone;
   {
     Registry& r = reg();
@@ -212,11 +216,28 @@ Action evaluate(std::string_view site) noexcept {
         case Kind::kShort: act = Action::kShortWrite; break;
         case Kind::kDelay: delay_ms = e.delay_ms; break;
         case Kind::kCrash: crash = true; break;
+        case Kind::kHang: hang = true; break;
       }
       break;
     }
   }
   if (crash) crash_now();
+  if (hang) {
+    // Park outside the registry lock (other sites keep evaluating) until
+    // this thread's cancellation token fires. A token waiter wakes
+    // immediately via the condition variable; with no token installed the
+    // park is unbounded -- exactly the torture case the watchdog and the
+    // chaos wall's wall-clock bound exist to catch.
+    cancel::Token* token = cancel::current();
+    if (token != nullptr) {
+      while (!token->cancelled()) (void)token->wait_ms(60'000);
+    } else {
+      while (!cancel::poll()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    return Action::kCancelled;
+  }
   if (delay_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
@@ -322,6 +343,15 @@ const std::vector<std::string>& site_catalog() {
       "trs.sync",     "trs.write",
   };
   return kSites;
+}
+
+const std::vector<std::string>& action_catalog() {
+  // Sorted, pinned by tests/test_failpoint.cpp so the grammar, the docs
+  // and the chaos wall grow in lockstep.
+  static const std::vector<std::string> kActions = {
+      "crash", "delay", "error:EIO", "error:ENOSPC", "hang", "short-write",
+  };
+  return kActions;
 }
 
 }  // namespace cnt::fp

@@ -17,10 +17,14 @@
 //   short-write              -- the caller persists a prefix of the bytes,
 //                               then fails (a torn record on disk);
 //   delay[:ms]               -- sleep (default 10 ms) and continue;
+//   hang                     -- park until the thread's cancellation
+//                               token fires (common/cancel.hpp), then
+//                               surface Action::kCancelled -- the
+//                               watchdog's torture case (docs/robustness.md);
 //   crash                    -- SIGKILL the process at the site, the
 //                               moral equivalent of a power cut.
 // `@N` fires on the Nth evaluation of the site (1-based, default 1);
-// error/short-write/delay are one-shot so recovery paths run clean.
+// error/short-write/delay/hang are one-shot so recovery paths run clean.
 // Sites come from a fixed compile-time catalog; arming an unknown site
 // is a configuration error with a did-you-mean hint.
 //
@@ -44,6 +48,8 @@ enum class Action : u8 {
   kErrorEnospc,  ///< fail as if write() returned ENOSPC
   kErrorEio,     ///< fail as if the device reported EIO
   kShortWrite,   ///< persist a prefix of the payload, then fail
+  kCancelled,    ///< a `hang` park ended: fail with the token's
+                 ///< kCancelled/kTimeout error (cancel::cancelled_error)
 };
 
 /// One armed entry plus its live hit counter (for tests and cnt-crash).
@@ -97,5 +103,10 @@ void write_report();
 /// The fixed site catalog, sorted. Every evaluate() call site in the
 /// tree names one of these (docs/crash_consistency.md documents each).
 [[nodiscard]] const std::vector<std::string>& site_catalog();
+
+/// The fixed action catalog, sorted ("crash", "delay", ... "hang",
+/// "short-write"). Pinned by tests so new actions land in the grammar,
+/// the docs, and the chaos wall together.
+[[nodiscard]] const std::vector<std::string>& action_catalog();
 
 }  // namespace cnt::fp

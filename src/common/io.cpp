@@ -10,6 +10,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/cancel.hpp"
 #include "common/failpoint.hpp"
 
 namespace cnt::io {
@@ -21,7 +22,17 @@ constexpr u32 kTransientRetries = 8;
 
 void backoff(u32 attempt) {
   const u32 shift = attempt < 4 ? attempt : 4;
+  // cnt-lint: wait-ok bounded (<=16 ms) syscall-retry pause, not a job wait
   std::this_thread::sleep_for(std::chrono::milliseconds(1) * (1u << shift));
+}
+
+/// A `hang` failpoint parked here and the park was cancelled: surface
+/// the token's reason as the structured kCancelled/kTimeout error.
+[[noreturn]] void throw_cancelled(std::string_view site) {
+  cancel::Token* token = cancel::current();
+  const cancel::Reason reason =
+      token != nullptr ? token->reason() : cancel::Reason::kCancel;
+  throw cancel::cancelled_error(reason, site);
 }
 
 std::string hint_for(int err) {
@@ -185,6 +196,8 @@ void DurableFile::write(std::string_view bytes) {
       write_all(bytes.data(), half);
       throw write_error(half, bytes.size(), ENOSPC);
     }
+    case fp::Action::kCancelled:
+      throw_cancelled(site_write_);
     case fp::Action::kNone:
       break;
   }
@@ -198,6 +211,8 @@ void DurableFile::sync() {
     case fp::Action::kErrorEio:
     case fp::Action::kShortWrite:  // short writes do not apply to fsync
       throw io_error("fsync", EIO, path_);
+    case fp::Action::kCancelled:
+      throw_cancelled(site_sync_);
     case fp::Action::kNone:
       break;
   }
@@ -227,6 +242,8 @@ void rename_file(const std::string& from, const std::string& to,
     case fp::Action::kErrorEio:
     case fp::Action::kShortWrite:
       throw rename_error(from, to, EIO);
+    case fp::Action::kCancelled:
+      throw_cancelled(site_prefix + ".rename");
     case fp::Action::kNone:
       break;
   }

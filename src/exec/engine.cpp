@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/hash.hpp"
@@ -18,6 +19,7 @@
 #include "exec/options.hpp"
 #include "exec/progress.hpp"
 #include "exec/thread_pool.hpp"
+#include "exec/watchdog.hpp"
 #include "trace/workload_suite.hpp"
 
 namespace cnt::exec {
@@ -42,7 +44,20 @@ JobOutcome run_job(const Job& job) noexcept {
     case fp::Action::kErrorEio:
     case fp::Action::kShortWrite:
       out.error = "failpoint: injected transient job failure (engine.job)";
+      out.errc = "io";
       return out;
+    case fp::Action::kCancelled: {
+      // A `hang` failpoint parked here until this attempt's token fired
+      // (watchdog timeout or explicit cancel) -- the chaos wall's
+      // torture case for the quarantine path.
+      cancel::Token* token = cancel::current();
+      const cancel::Reason reason =
+          token != nullptr ? token->reason() : cancel::Reason::kCancel;
+      const Error e = cancel::cancelled_error(reason, "engine.job");
+      out.error = e.what();
+      out.errc = errc_name(e.code());
+      return out;
+    }
     case fp::Action::kNone:
       break;
   }
@@ -54,29 +69,86 @@ JobOutcome run_job(const Job& job) noexcept {
     out.ok = true;
   } catch (const std::exception& e) {
     out.error = e.what();
+    const auto* taxonomy = dynamic_cast<const ErrorBase*>(&e);
+    out.errc = taxonomy != nullptr
+                   ? std::string(errc_name(taxonomy->info().code))
+                   : "internal";
   } catch (...) {
     out.error = "unknown exception";
+    out.errc = "internal";
   }
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   return out;
 }
 
-JobOutcome run_job_with_retry(const Job& job, u32 max_retries, u32 backoff_ms,
-                              const JobRunner& runner) {
+namespace {
+
+/// One watched attempt: a fresh cancellation token installed
+/// thread-locally (the replay loops, StreamTraceSource refill and the
+/// failpoint `hang` park all observe it), armed on the watchdog when one
+/// is running. Marks the outcome timed_out when the watchdog fired.
+JobOutcome run_attempt(const Job& job, const JobRunner& runner,
+                       Watchdog* watchdog) {
+  const auto token = std::make_shared<cancel::Token>();
+  const cancel::ScopedToken scope(*token);
+  std::optional<Watchdog::Guard> guard;
+  if (watchdog != nullptr) guard.emplace(watchdog->watch(token));
   JobOutcome out = runner(job);
+  out.timed_out = !out.ok && token->reason() == cancel::Reason::kTimeout;
+  return out;
+}
+
+}  // namespace
+
+JobOutcome run_job_with_retry(const Job& job, u32 max_retries, u32 backoff_ms,
+                              const JobRunner& runner, Watchdog* watchdog) {
+  std::vector<std::string> attempt_errcs;
+  bool interrupted = false;
+  JobOutcome out = run_attempt(job, runner, watchdog);
   out.attempts = 1;
   for (u32 retry = 1; retry <= max_retries && !out.ok; ++retry) {
+    // A timed-out attempt already burned a full --job-timeout-ms budget
+    // and a hung job rarely unhangs: quarantine now, do not retry.
+    if (out.timed_out) break;
     // A pending interrupt outranks the retry budget: return the failure
     // now so the engine can drain and flush.
-    if (interrupt_requested()) break;
+    if (interrupt_requested()) {
+      interrupted = true;
+      break;
+    }
     if (backoff_ms > 0) {
       const u64 delay = std::min<u64>(
           static_cast<u64>(backoff_ms) << (retry - 1), u64{5000});
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      // Interruptible backoff: a SIGINT/SIGTERM mid-wait drains within
+      // one wait slice instead of sleeping out the full exponential
+      // delay (up to 5 s) with the signal pending.
+      const cancel::Token pause;
+      if (pause.wait_ms(delay, [] { return interrupt_requested(); })) {
+        interrupted = true;
+        break;
+      }
     }
-    out = runner(job);
-    out.attempts = retry + 1;
+    // This attempt's failure is final only in aggregate: record it and
+    // spend a retry. The last attempt's errc is appended below.
+    attempt_errcs.push_back(out.errc.empty() ? "internal" : out.errc);
+    const u32 attempts_so_far = out.attempts;
+    out = run_attempt(job, runner, watchdog);
+    out.attempts = attempts_so_far + 1;
+  }
+  if (!out.ok) {
+    attempt_errcs.push_back(out.errc.empty() ? "internal" : out.errc);
+    out.attempt_errcs = std::move(attempt_errcs);
+    if (out.timed_out) {
+      out.quarantined = true;
+      out.quarantine_reason = "timeout";
+    } else if (!interrupted) {
+      // The retry budget is spent and nothing external cut the loop
+      // short: the failure is final, quarantine it so the sweep
+      // completes deterministically without this job.
+      out.quarantined = true;
+      out.quarantine_reason = "retries";
+    }
   }
   return out;
 }
@@ -84,7 +156,8 @@ JobOutcome run_job_with_retry(const Job& job, u32 max_retries, u32 backoff_ms,
 ExperimentEngine::ExperimentEngine(EngineOptions opts)
     : opts_(std::move(opts)),
       workers_(resolve_jobs(opts_.jobs)),
-      retries_(resolve_retries(opts_.max_retries)) {}
+      retries_(resolve_retries(opts_.max_retries)),
+      timeout_ms_(resolve_job_timeout(opts_.job_timeout_ms)) {}
 
 std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
   // The engine owns the id space: dense submission-order ids anchor both
@@ -159,6 +232,11 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
   // sweep: stop dispatching, drain, seal the partial, and rethrow the
   // I/O error with resume guidance (docs/crash_consistency.md).
   std::optional<Error> journal_failure;
+  // One watchdog thread for the whole sweep when a per-attempt timeout
+  // is armed; it works for the serial path too, being its own thread.
+  std::optional<Watchdog> watchdog;
+  if (timeout_ms_ > 0) watchdog.emplace(timeout_ms_);
+  Watchdog* dog = watchdog.has_value() ? &*watchdog : nullptr;
   if (workers_ <= 1) {
     // Serial reference path: same code per job, no threads at all.
     for (usize i = 0; i < jobs.size(); ++i) {
@@ -168,14 +246,18 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
         break;
       }
       outcomes[i] = run_job_with_retry(jobs[i], retries_,
-                                       opts_.retry_backoff_ms);
+                                       opts_.retry_backoff_ms, run_job, dog);
       try {
         sink.push(outcomes[i]);
       } catch (Error& e) {
         journal_failure = std::move(e);
         break;
       }
-      meter.job_done();
+      if (outcomes[i].quarantined) {
+        meter.job_quarantined();
+      } else {
+        meter.job_done();
+      }
     }
   } else {
     std::mutex done_mu;  // guards outcomes slot writes + sink + flags
@@ -194,7 +276,8 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
           }
         }
         JobOutcome out = run_job_with_retry(job, retries_,
-                                            opts_.retry_backoff_ms);
+                                            opts_.retry_backoff_ms, run_job,
+                                            dog);
         // In-flight jobs drain even after a stop request: their rows
         // still reach the journal before the interrupt propagates.
         std::lock_guard lock(done_mu);
@@ -202,7 +285,11 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
         if (!journal_failure.has_value()) {
           try {
             sink.push(out);
-            meter.job_done();
+            if (out.quarantined) {
+              meter.job_quarantined();
+            } else {
+              meter.job_done();
+            }
           } catch (Error& e) {
             journal_failure = std::move(e);
             stop = true;
@@ -259,6 +346,22 @@ std::vector<JobOutcome> ExperimentEngine::run(std::vector<Job> jobs) const {
               << (workers_ == 1 ? "" : "s") << "]\n";
   }
   return outcomes;
+}
+
+usize quarantined_count(const std::vector<JobOutcome>& outcomes) noexcept {
+  usize n = 0;
+  for (const JobOutcome& o : outcomes) {
+    if (o.quarantined) ++n;
+  }
+  return n;
+}
+
+int sweep_exit_code(const std::vector<JobOutcome>& outcomes) noexcept {
+  if (quarantined_count(outcomes) > 0) return kExitQuarantine;
+  for (const JobOutcome& o : outcomes) {
+    if (!o.ok) return 1;
+  }
+  return 0;
 }
 
 std::vector<TagGroup> group_by_tag(const std::vector<JobOutcome>& outcomes) {

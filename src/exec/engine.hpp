@@ -48,8 +48,14 @@ struct EngineOptions {
   /// fail on the first error, the historical behaviour).
   u32 max_retries = 0;
   /// Base delay before the first retry; doubles per attempt, capped at
-  /// 5 s. Only consulted when a retry actually happens.
+  /// 5 s. Only consulted when a retry actually happens. The wait is
+  /// interruptible: SIGINT/SIGTERM or cancellation preempt it.
   u32 retry_backoff_ms = 100;
+  /// Per-attempt wall-clock budget in milliseconds; 0 resolves via
+  /// $CNT_JOB_TIMEOUT_MS then "no watchdog". When armed, an attempt
+  /// still running at the deadline is cancelled (cancel::Reason::kTimeout)
+  /// and the job is quarantined (docs/robustness.md).
+  u64 job_timeout_ms = 0;
   /// Install SIGINT/SIGTERM handlers for graceful interruption. A second
   /// signal restores the default disposition (immediate death).
   bool handle_signals = false;
@@ -85,13 +91,22 @@ class SweepInterrupted : public std::runtime_error {
 /// A pluggable job executor (tests inject failure-then-success fakes).
 using JobRunner = std::function<JobOutcome(const Job&)>;
 
-/// Run `job` up to 1 + max_retries times, sleeping backoff_ms * 2^attempt
-/// (capped at 5 s) between attempts. Returns the first ok outcome -- with
+class Watchdog;
+
+/// Run `job` up to 1 + max_retries times, waiting backoff_ms * 2^attempt
+/// (capped at 5 s) between attempts -- an interruptible wait: a pending
+/// SIGINT/SIGTERM or cancellation drains it within one slice instead of
+/// sleeping out the full delay. Returns the first ok outcome -- with
 /// `attempts` recording how many tries it took -- or the last failure once
-/// the budget is spent. An interrupt request aborts the retry loop early.
+/// the budget is spent, with `attempt_errcs` recording every attempt's
+/// errc name. With a `watchdog`, each attempt runs under its own
+/// cancellation token and deadline; a timed-out attempt is not retried.
+/// A failed outcome is marked quarantined ("timeout" or "retries") unless
+/// the retry loop was abandoned by an interrupt request.
 [[nodiscard]] JobOutcome run_job_with_retry(const Job& job, u32 max_retries,
                                             u32 backoff_ms,
-                                            const JobRunner& runner = run_job);
+                                            const JobRunner& runner = run_job,
+                                            Watchdog* watchdog = nullptr);
 
 class ExperimentEngine {
  public:
@@ -114,10 +129,15 @@ class ExperimentEngine {
   /// The resolved retry budget (max_retries, then $CNT_RETRIES, then 0).
   [[nodiscard]] u32 retry_budget() const noexcept { return retries_; }
 
+  /// The resolved per-attempt timeout in ms (job_timeout_ms, then
+  /// $CNT_JOB_TIMEOUT_MS, then 0 = no watchdog).
+  [[nodiscard]] u64 job_timeout() const noexcept { return timeout_ms_; }
+
  private:
   EngineOptions opts_;
   usize workers_;
   u32 retries_;
+  u64 timeout_ms_;
 };
 
 /// Outcomes of one axis point, in submission (suite) order.
@@ -136,5 +156,20 @@ struct TagGroup {
 /// workload and error if any job in the group failed.
 [[nodiscard]] std::vector<SimResult> results_of(
     const std::vector<const JobOutcome*>& group);
+
+/// Process exit code for a sweep that completed with quarantined jobs:
+/// distinct from 0 (clean), 1 (hard failure) and 130 (interrupted) so
+/// batch drivers can tell "usable but incomplete" apart
+/// (docs/robustness.md exit-code table).
+inline constexpr int kExitQuarantine = 3;
+
+/// Jobs whose outcome is quarantined (timed out / exhausted retries).
+[[nodiscard]] usize quarantined_count(
+    const std::vector<JobOutcome>& outcomes) noexcept;
+
+/// 0 when every job succeeded, kExitQuarantine when the sweep completed
+/// but quarantined at least one job, 1 for any other failed outcome.
+[[nodiscard]] int sweep_exit_code(
+    const std::vector<JobOutcome>& outcomes) noexcept;
 
 }  // namespace cnt::exec

@@ -44,6 +44,10 @@ class JobQueue {
   /// queue is closed *and* fully drained -- the consumer's exit signal.
   [[nodiscard]] std::optional<T> pop() {
     std::unique_lock lock(mu_);
+    // Woken by every push() and by close(); the queue owner closes it
+    // on shutdown/cancellation, so the park is bounded by the
+    // producer's lifetime, not a timer.
+    // cnt-lint: wait-ok closed-or-nonempty predicate, producer-bounded
     cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());

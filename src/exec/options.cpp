@@ -110,6 +110,18 @@ u64 parse_positive_u64(std::string_view s) noexcept {
 
 }  // namespace
 
+u64 job_timeout_from_env(u64 fallback) noexcept {
+  const char* env = std::getenv("CNT_JOB_TIMEOUT_MS");
+  if (env == nullptr) return fallback;
+  const u64 v = parse_positive_u64(env);
+  return v > 0 ? v : fallback;
+}
+
+u64 resolve_job_timeout(u64 n) noexcept {
+  if (n > 0) return n;
+  return job_timeout_from_env(0);
+}
+
 u64 u64_from_args(int argc, const char* const* argv, const char* flag,
                   u64 fallback) noexcept {
   const std::string_view spelled = flag;

@@ -46,6 +46,14 @@ namespace cnt::exec {
 /// behaviour).
 [[nodiscard]] u32 resolve_retries(u32 n) noexcept;
 
+/// $CNT_JOB_TIMEOUT_MS as a positive millisecond count, else `fallback`.
+[[nodiscard]] u64 job_timeout_from_env(u64 fallback = 0) noexcept;
+
+/// Resolve an "unspecified" per-attempt job timeout: n itself if n > 0,
+/// else $CNT_JOB_TIMEOUT_MS, else 0 -- watchdog disabled, the historical
+/// behaviour (docs/robustness.md).
+[[nodiscard]] u64 resolve_job_timeout(u64 n) noexcept;
+
 /// Generic positive-integer flag: scan argv for `<flag> N` / `<flag>=N`
 /// (pass the full spelling, e.g. "--samples"), then $CNT_<NAME> (the flag
 /// name without dashes, uppercased, '-' -> '_'), then `fallback`. Zero

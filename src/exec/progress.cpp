@@ -41,6 +41,11 @@ void ProgressMeter::job_resumed() {
   job_done();
 }
 
+void ProgressMeter::job_quarantined() {
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  job_done();
+}
+
 void ProgressMeter::redraw(usize done_now) {
   std::lock_guard lock(draw_mu_);
   if (finished_) return;
@@ -73,7 +78,8 @@ void ProgressMeter::finish() {
 std::string ProgressMeter::summary() const {
   const double secs = elapsed_seconds();
   const usize r = resumed();
-  char buf[128];
+  const usize q = quarantined();
+  char buf[160];
   if (r > 0) {
     std::snprintf(buf, sizeof buf,
                   "%zu sims in %.1f s (%zu resumed, %.1f sims/s)", done(),
@@ -82,7 +88,12 @@ std::string ProgressMeter::summary() const {
     std::snprintf(buf, sizeof buf, "%zu sims in %.1f s (%.1f sims/s)",
                   done(), secs, rate());
   }
-  return buf;
+  std::string out = buf;
+  if (q > 0) {
+    std::snprintf(buf, sizeof buf, " [%zu quarantined]", q);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace cnt::exec

@@ -31,6 +31,11 @@ class ProgressMeter {
   /// summary can report how much work the resume saved.
   void job_resumed();
 
+  /// Record one quarantined job (timed out or exhausted retries -- the
+  /// sweep completed without it, docs/robustness.md). Counts toward
+  /// done(); tracked separately so the summary reports the damage.
+  void job_quarantined();
+
   /// Erase the status line (if any) and stop drawing. Idempotent.
   void finish();
 
@@ -40,6 +45,9 @@ class ProgressMeter {
   [[nodiscard]] usize resumed() const noexcept {
     return resumed_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] usize quarantined() const noexcept {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] usize total() const noexcept { return total_; }
   [[nodiscard]] double elapsed_seconds() const;
 
@@ -47,8 +55,9 @@ class ProgressMeter {
   /// resumed jobs are excluded -- they cost no simulation time).
   [[nodiscard]] double rate() const;
 
-  /// One-line batch summary, e.g. "90 sims in 21.4 s (4.2 sims/s)" or
-  /// "90 sims in 3.1 s (60 resumed, 9.7 sims/s)".
+  /// One-line batch summary, e.g. "90 sims in 21.4 s (4.2 sims/s)",
+  /// "90 sims in 3.1 s (60 resumed, 9.7 sims/s)" or, with losses,
+  /// "90 sims in 21.4 s (4.2 sims/s) [1 quarantined]".
   [[nodiscard]] std::string summary() const;
 
  private:
@@ -60,6 +69,7 @@ class ProgressMeter {
   const std::chrono::steady_clock::time_point start_;
   std::atomic<usize> done_{0};
   std::atomic<usize> resumed_{0};
+  std::atomic<usize> quarantined_{0};
   std::mutex draw_mu_;
   std::chrono::steady_clock::time_point last_draw_;  // cnt-lint: guarded-by(draw_mu_)
   bool line_open_ = false;  // cnt-lint: guarded-by(draw_mu_)

@@ -29,6 +29,19 @@ void write_row_payload(const JobOutcome& o, std::ostream& os,
   if (include_timing) w.kv("wall_ms", o.wall_ms);
   if (!o.ok) {
     w.kv("error", o.error);
+    w.kv("attempts", o.attempts);
+    if (!o.attempt_errcs.empty()) {
+      w.key("attempt_errcs").begin_array();
+      for (const std::string& name : o.attempt_errcs) w.value(name);
+      w.end_array();
+    }
+    if (o.quarantined) {
+      // The "Q" row: sealed and fingerprinted like every other row, but
+      // ok=false, so --resume re-attempts exactly these jobs while
+      // replaying clean rows byte-identically (docs/robustness.md).
+      w.kv("quarantined", true);
+      w.kv("reason", o.quarantine_reason);
+    }
     w.end_object();
     return;
   }

@@ -20,6 +20,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/io.hpp"
 #include "common/types.hpp"
@@ -38,6 +39,19 @@ struct JobOutcome {
   double wall_ms = 0.0;  ///< wall-clock for this job, telemetry only
   u32 attempts = 1;      ///< executions incl. retries (telemetry only)
   bool resumed = false;  ///< reconstructed from a journal, not re-simulated
+  /// errc_name of the final failure ("internal" for non-taxonomy
+  /// exceptions, "" when ok) -- diagnosable without parsing `error`.
+  std::string errc;
+  /// One errc name per failed attempt, oldest first, so a quarantine row
+  /// records the whole retry history, not just the last error.
+  std::vector<std::string> attempt_errcs;
+  /// The job timed out or exhausted its retry budget; the sweep
+  /// completed without it (docs/robustness.md). Its journal row ("Q"
+  /// row) is sealed like any other and re-attempted on --resume.
+  bool quarantined = false;
+  std::string quarantine_reason;  ///< "timeout" | "retries" when quarantined
+  /// The final attempt was cancelled by the watchdog (Reason::kTimeout).
+  bool timed_out = false;
   SimResult result;
 };
 

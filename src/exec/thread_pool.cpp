@@ -58,6 +58,9 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::wait() {
   std::unique_lock lock(mu_);
+  // Every task completion signals idle_cv_; pending_ can only fall, so
+  // the park ends with the already-submitted work.
+  // cnt-lint: wait-ok drains already-submitted work, worker-bounded
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 

@@ -1,0 +1,75 @@
+#include "exec/watchdog.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cnt::exec {
+
+using Clock = std::chrono::steady_clock;
+
+Watchdog::Watchdog(u64 timeout_ms) : timeout_ms_(timeout_ms) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+Watchdog::Guard::~Guard() {
+  if (dog_ != nullptr) dog_->unwatch(id_);
+}
+
+Watchdog::Guard Watchdog::watch(std::shared_ptr<cancel::Token> token) {
+  u64 id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    entries_.push_back(Entry{id, std::move(token),
+                             Clock::now() +
+                                 std::chrono::milliseconds(timeout_ms_)});
+  }
+  cv_.notify_one();
+  return Guard(this, id);
+}
+
+void Watchdog::unwatch(u64 id) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stop_) return;
+    if (entries_.empty()) {
+      // Nothing armed: doze until watch()/~Watchdog notifies (bounded
+      // slice only so a lost notify can never wedge the thread).
+      cv_.wait_for(lock, std::chrono::minutes(1));
+      continue;
+    }
+    Clock::time_point earliest = entries_.front().deadline;
+    for (const Entry& e : entries_) earliest = std::min(earliest, e.deadline);
+    const Clock::time_point now = Clock::now();
+    if (now < earliest) {
+      cv_.wait_until(lock, earliest);
+      continue;  // re-evaluate: entries may have changed while waiting
+    }
+    for (Entry& e : entries_) {
+      if (now >= e.deadline) e.token->cancel(cancel::Reason::kTimeout);
+    }
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [now](const Entry& e) {
+                                    return now >= e.deadline;
+                                  }),
+                   entries_.end());
+  }
+}
+
+}  // namespace cnt::exec

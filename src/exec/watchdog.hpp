@@ -1,0 +1,79 @@
+// Per-attempt deadline enforcement for the ExperimentEngine
+// (docs/robustness.md).
+//
+// One watchdog thread serves the whole engine. Every job attempt
+// registers its cancellation token with watch(); if the attempt is still
+// registered when --job-timeout-ms elapses, the watchdog cancels the
+// token with Reason::kTimeout and the attempt observes it at its next
+// cooperative poll -- a replay-batch boundary, a StreamTraceSource
+// refill, or a failpoint `hang` park. The watchdog never kills threads:
+// enforcement is cooperative, which is what keeps a timed-out job's
+// partial state destructible and the rest of the sweep intact.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/types.hpp"
+
+namespace cnt::exec {
+
+class Watchdog {
+ public:
+  /// Starts the watchdog thread; `timeout_ms` must be > 0 (a disabled
+  /// timeout means no watchdog is constructed at all).
+  explicit Watchdog(u64 timeout_ms);
+  ~Watchdog();  ///< stops and joins the thread
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// RAII registration: the token is watched while the guard is alive.
+  /// Destroying the guard (the attempt finished) withdraws the deadline.
+  class Guard {
+   public:
+    Guard(Guard&& other) noexcept : dog_(other.dog_), id_(other.id_) {
+      other.dog_ = nullptr;
+    }
+    Guard& operator=(Guard&&) = delete;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard();
+
+   private:
+    friend class Watchdog;
+    Guard(Watchdog* dog, u64 id) noexcept : dog_(dog), id_(id) {}
+    Watchdog* dog_;
+    u64 id_;
+  };
+
+  /// Arm timeout_ms() from now for `token`; on expiry the token is
+  /// cancelled with cancel::Reason::kTimeout.
+  [[nodiscard]] Guard watch(std::shared_ptr<cancel::Token> token);
+
+  [[nodiscard]] u64 timeout_ms() const noexcept { return timeout_ms_; }
+
+ private:
+  struct Entry {
+    u64 id = 0;
+    std::shared_ptr<cancel::Token> token;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void loop();
+  void unwatch(u64 id) noexcept;
+
+  const u64 timeout_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;  // cnt-lint: guarded-by(mu_)
+  bool stop_ = false;           // cnt-lint: guarded-by(mu_)
+  u64 next_id_ = 1;             // cnt-lint: guarded-by(mu_)
+  std::thread thread_;
+};
+
+}  // namespace cnt::exec

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cnt/baseline_policies.hpp"
+#include "common/cancel.hpp"
 
 namespace cnt {
 
@@ -79,6 +80,8 @@ HierarchyRunResult run_hierarchy(const HierarchyRunConfig& cfg,
   source.reset();
   std::vector<MemAccess> batch(4096);
   for (;;) {
+    // Cooperative cancellation, once per batch (docs/robustness.md).
+    cancel::throw_if_cancelled("sim.replay");
     const usize got = source.next(batch);
     if (got == 0) break;
     replay_batch(h, std::span<const MemAccess>(batch.data(), got));

@@ -6,6 +6,7 @@
 
 #include "cache/cache.hpp"
 #include "cache/main_memory.hpp"
+#include "common/cancel.hpp"
 #include "cnt/baseline_policies.hpp"
 #include "trace/workload_suite.hpp"
 
@@ -154,6 +155,9 @@ SimResult simulate(TraceSource& source, std::span<const MemorySegment> init,
   // resident and the extra prefetches are pure overhead.
   const bool warm_sets = cfg.cache.size_bytes > (usize{1} << 21);
   for (;;) {
+    // Cooperative cancellation, once per 4096-access batch (one relaxed
+    // atomic load, docs/robustness.md) -- never inside replay_batch.
+    cancel::throw_if_cancelled("sim.replay");
     const usize got = source.next(batch);
     if (got == 0) break;
     replay_batch(cache, memory, stats_acc,

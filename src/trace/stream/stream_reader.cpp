@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstring>
 
+#include "common/cancel.hpp"
 #include "trace/stream/varint.hpp"
 
 namespace cnt::stream {
@@ -160,6 +161,10 @@ void StreamTraceSource::read_exact(char* dst, usize n,
 
 // cnt-hot per-chunk rather than per-access, but a chunk is <= 4096 records
 bool StreamTraceSource::refill() {
+  // Cooperative cancellation at the chunk boundary: a watchdog-cancelled
+  // job parked on slow I/O (an NFS stall, a delay failpoint downstream)
+  // surfaces kCancelled/kTimeout here instead of hanging the sweep.
+  cancel::throw_if_cancelled("trs.refill");
   const u64 chunk_start = pos_;
   char marker = 0;
   read_exact(&marker, 1, "a chunk or footer marker");

@@ -1,0 +1,33 @@
+// cnt-lint fixture: rule R12 (bare blocking waits). One bare sleep_for
+// (the ONE violation) and one suppressed twin; the bounded and
+// non-cv pauses below are near-misses that must not trigger.
+// NOT part of the main build.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+inline void naps() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // <- violation
+  // cnt-lint: wait-ok suppressed twin (bounded test pacing)
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+// Near-misses that must NOT trigger:
+inline void bounded_waits(bool ready) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lock(mu);
+  // wait_for / wait_until are bounded -- the enclosing loop re-checks.
+  while (!ready) {
+    (void)cv.wait_for(lock, std::chrono::milliseconds(20));
+  }
+}
+
+inline void unrelated_wait(int waiter) {
+  // A wait() member on a non-cv receiver stays out of scope.
+  struct Latch {
+    void wait(int) {}
+  } latch;
+  latch.wait(waiter);
+}

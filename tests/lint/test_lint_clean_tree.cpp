@@ -52,8 +52,8 @@ TEST(LintCleanTree, FixtureDirectoryIsNotClean) {
   LintOptions opts;
   opts.paths = {std::string(CNT_LINT_SOURCE_ROOT) + "/tests/lint/fixtures"};
   const LintReport report = run_lint(opts);
-  EXPECT_EQ(report.files_scanned, 11u);
-  EXPECT_EQ(report.findings.size(), 11u);
+  EXPECT_EQ(report.files_scanned, 12u);
+  EXPECT_EQ(report.findings.size(), 12u);
 }
 
 }  // namespace

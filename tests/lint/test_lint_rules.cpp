@@ -1,6 +1,6 @@
 // Fixture suite for the cnt-lint rule engine (ctest label: lint).
 //
-// Each rule R1-R11 has one fixture under tests/lint/fixtures/ holding
+// Each rule R1-R12 has one fixture under tests/lint/fixtures/ holding
 // exactly ONE unsuppressed violation plus ONE suppressed twin. The suite
 // asserts (a) the violation is flagged exactly once, (b) stripping the
 // `cnt-lint:` suppression markers doubles the count -- proving the
@@ -91,7 +91,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FixtureCase{"src/cache/r8_layering.cpp", "R8"},
                       FixtureCase{"src/exec/r9_guard.cpp", "R9"},
                       FixtureCase{"r10_hot.cpp", "R10"},
-                      FixtureCase{"r11_result.cpp", "R11"}),
+                      FixtureCase{"r11_result.cpp", "R11"},
+                      FixtureCase{"r12_wait.cpp", "R12"}),
     [](const ::testing::TestParamInfo<FixtureCase>& param) {
       return std::string(param.param.rule);
     });

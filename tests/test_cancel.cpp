@@ -1,0 +1,356 @@
+// Cooperative cancellation, deadlines, the per-job watchdog and the
+// interruptible retry backoff (docs/robustness.md). The timing
+// assertions are deliberately loose -- an order of magnitude below the
+// uninterrupted delay -- so a loaded CI box cannot flake them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <memory>
+#include <thread>
+
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "exec/engine.hpp"
+#include "exec/interrupt.hpp"
+#include "exec/watchdog.hpp"
+
+namespace cnt {
+namespace {
+
+u64 elapsed_ms_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+TEST(CancelToken, FirstReasonWinsAndSticks) {
+  cancel::Token t;
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_EQ(t.reason(), cancel::Reason::kNone);
+
+  t.cancel(cancel::Reason::kTimeout);
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.reason(), cancel::Reason::kTimeout);
+
+  // A late operator Ctrl-C must not relabel the watchdog's verdict.
+  t.cancel(cancel::Reason::kCancel);
+  EXPECT_EQ(t.reason(), cancel::Reason::kTimeout);
+}
+
+TEST(CancelToken, WaitReturnsImmediatelyWhenAlreadyCancelled) {
+  cancel::Token t;
+  t.cancel();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(t.wait_ms(5000));
+  EXPECT_LT(elapsed_ms_since(t0), 500u);
+}
+
+TEST(CancelToken, CancelFromAnotherThreadWakesTheWait) {
+  cancel::Token t;
+  std::thread canceller([&t] {
+    const cancel::Token pace;
+    (void)pace.wait_ms(30);
+    t.cancel();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(t.wait_ms(10'000));
+  canceller.join();
+  // The condition variable wakes on cancel(): far under the full wait.
+  EXPECT_LT(elapsed_ms_since(t0), 1000u);
+}
+
+TEST(CancelToken, WakePredicateIsPolledPerSlice) {
+  cancel::Token t;
+  std::atomic<bool> flag{false};
+  std::thread flipper([&flag] {
+    const cancel::Token pace;
+    (void)pace.wait_ms(30);
+    flag.store(true, std::memory_order_relaxed);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  // The flag cannot notify the condition variable (that is the point:
+  // it models an async-signal flag), so the slice poll must see it.
+  EXPECT_TRUE(t.wait_ms(
+      10'000, [&flag] { return flag.load(std::memory_order_relaxed); }));
+  flipper.join();
+  EXPECT_LT(elapsed_ms_since(t0), 1000u);
+  EXPECT_FALSE(t.cancelled());
+}
+
+TEST(CancelToken, UneventfulWaitTimesOut) {
+  const cancel::Token t;
+  EXPECT_FALSE(t.wait_ms(1));
+}
+
+TEST(CancelDeadline, NeverAndAfterMs) {
+  const cancel::Deadline never = cancel::Deadline::never();
+  EXPECT_TRUE(never.is_never());
+  EXPECT_FALSE(never.expired());
+  EXPECT_EQ(never.remaining_ms(), ~u64{0});
+
+  const cancel::Deadline past = cancel::Deadline::after_ms(0);
+  EXPECT_FALSE(past.is_never());
+  EXPECT_TRUE(past.expired());
+  EXPECT_EQ(past.remaining_ms(), 0u);
+
+  const cancel::Deadline future = cancel::Deadline::after_ms(60'000);
+  EXPECT_FALSE(future.expired());
+  EXPECT_GT(future.remaining_ms(), 0u);
+  EXPECT_LE(future.remaining_ms(), 60'000u);
+}
+
+TEST(CancelScope, InstallsNestsAndRestores) {
+  EXPECT_EQ(cancel::current(), nullptr);
+  EXPECT_FALSE(cancel::poll());
+
+  cancel::Token outer;
+  {
+    const cancel::ScopedToken a(outer);
+    EXPECT_EQ(cancel::current(), &outer);
+
+    cancel::Token inner;
+    inner.cancel();
+    {
+      const cancel::ScopedToken b(inner);
+      EXPECT_EQ(cancel::current(), &inner);
+      EXPECT_TRUE(cancel::poll());
+    }
+    EXPECT_EQ(cancel::current(), &outer);
+    EXPECT_FALSE(cancel::poll());
+  }
+  EXPECT_EQ(cancel::current(), nullptr);
+}
+
+TEST(CancelScope, ThrowIfCancelledBuildsStructuredErrors) {
+  // No token installed: a no-op.
+  EXPECT_NO_THROW(cancel::throw_if_cancelled("sim.replay"));
+
+  cancel::Token timed;
+  timed.cancel(cancel::Reason::kTimeout);
+  {
+    const cancel::ScopedToken scope(timed);
+    try {
+      cancel::throw_if_cancelled("sim.replay");
+      FAIL() << "timeout token did not throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.info().code, Errc::kTimeout);
+      EXPECT_EQ(e.info().source, "sim.replay");
+      EXPECT_NE(e.info().hint.find("--job-timeout-ms"), std::string::npos);
+    }
+  }
+
+  cancel::Token stopped;
+  stopped.cancel(cancel::Reason::kCancel);
+  {
+    const cancel::ScopedToken scope(stopped);
+    try {
+      cancel::throw_if_cancelled("trs.refill");
+      FAIL() << "cancelled token did not throw";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.info().code, Errc::kCancelled);
+      EXPECT_EQ(e.info().source, "trs.refill");
+    }
+  }
+}
+
+TEST(CancelErrc, NamesAreRegistered) {
+  EXPECT_EQ(errc_name(Errc::kCancelled), "cancelled");
+  EXPECT_EQ(errc_name(Errc::kTimeout), "timeout");
+}
+
+TEST(Watchdog, CancelsAHungTokenWithinTheTimeout) {
+  exec::Watchdog dog(40);
+  EXPECT_EQ(dog.timeout_ms(), 40u);
+  const auto token = std::make_shared<cancel::Token>();
+  const auto t0 = std::chrono::steady_clock::now();
+  const exec::Watchdog::Guard guard = dog.watch(token);
+  // The park models a hung job: only the watchdog can end it.
+  EXPECT_TRUE(token->wait_ms(10'000));
+  EXPECT_EQ(token->reason(), cancel::Reason::kTimeout);
+  EXPECT_LT(elapsed_ms_since(t0), 5000u);
+}
+
+TEST(Watchdog, GuardReleaseStopsTheClock) {
+  exec::Watchdog dog(30);
+  const auto token = std::make_shared<cancel::Token>();
+  { const exec::Watchdog::Guard guard = dog.watch(token); }
+  // The attempt finished before its deadline; the expired entry must
+  // not cancel a token the engine already released.
+  const cancel::Token pace;
+  (void)pace.wait_ms(120);
+  EXPECT_FALSE(token->cancelled());
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level behaviour: retry aggregation, quarantine, backoff drain.
+
+exec::JobRunner always_failing(u32& calls) {
+  return [&calls](const exec::Job& job) {
+    exec::JobOutcome o;
+    o.job = job;
+    o.error = "boom";
+    o.errc = "io";
+    ++calls;
+    return o;
+  };
+}
+
+TEST(RetryAggregation, ExhaustionRecordsEveryAttemptAndQuarantines) {
+  u32 calls = 0;
+  const exec::JobOutcome out =
+      exec::run_job_with_retry(exec::Job{}, /*max_retries=*/2,
+                               /*backoff_ms=*/0, always_failing(calls));
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(out.attempts, 3u);
+  ASSERT_EQ(out.attempt_errcs.size(), 3u);
+  for (const std::string& name : out.attempt_errcs) EXPECT_EQ(name, "io");
+  EXPECT_TRUE(out.quarantined);
+  EXPECT_EQ(out.quarantine_reason, "retries");
+  EXPECT_FALSE(out.timed_out);
+}
+
+TEST(RetryAggregation, SuccessAfterRetryCarriesNoFailureMetadata) {
+  u32 calls = 0;
+  const exec::JobRunner flaky = [&calls](const exec::Job& job) {
+    exec::JobOutcome o;
+    o.job = job;
+    if (++calls < 2) {
+      o.error = "transient";
+      o.errc = "io";
+      return o;
+    }
+    o.ok = true;
+    return o;
+  };
+  const exec::JobOutcome out =
+      exec::run_job_with_retry(exec::Job{}, 3, 0, flaky);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 2u);
+  EXPECT_TRUE(out.attempt_errcs.empty());
+  EXPECT_FALSE(out.quarantined);
+}
+
+TEST(RetryAggregation, TimedOutAttemptIsNotRetried) {
+  exec::Watchdog dog(30);
+  u32 calls = 0;
+  // A hung job: parks on its attempt token until the watchdog fires.
+  const exec::JobRunner hanger = [&calls](const exec::Job& job) {
+    ++calls;
+    exec::JobOutcome o;
+    o.job = job;
+    cancel::Token* token = cancel::current();
+    EXPECT_NE(token, nullptr);
+    while (token != nullptr && !token->cancelled()) {
+      (void)token->wait_ms(10'000);
+    }
+    try {
+      cancel::throw_if_cancelled("test.hang");
+    } catch (const Error& e) {
+      o.error = e.what();
+      o.errc = std::string(errc_name(e.info().code));
+    }
+    return o;
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  const exec::JobOutcome out = exec::run_job_with_retry(
+      exec::Job{}, /*max_retries=*/5, /*backoff_ms=*/0, hanger, &dog);
+  // One attempt only: a hung job rarely unhangs, so the timeout is
+  // final and the retry budget stays unspent.
+  EXPECT_EQ(calls, 1u);
+  EXPECT_FALSE(out.ok);
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_TRUE(out.quarantined);
+  EXPECT_EQ(out.quarantine_reason, "timeout");
+  EXPECT_EQ(out.attempts, 1u);
+  ASSERT_EQ(out.attempt_errcs.size(), 1u);
+  EXPECT_EQ(out.attempt_errcs[0], "timeout");
+  EXPECT_LT(elapsed_ms_since(t0), 5000u);
+}
+
+TEST(RetryAggregation, HangFailpointIsCancelledByTheWatchdog) {
+  fp::configure("engine.job=hang");
+  exec::Watchdog dog(30);
+  u32 calls = 0;
+  const exec::JobRunner runner = [&calls](const exec::Job& job) {
+    ++calls;
+    exec::JobOutcome o;
+    o.job = job;
+    switch (fp::check("engine.job")) {
+      case fp::Action::kCancelled: {
+        // The park ended: surface the token's verdict like run_job does.
+        cancel::Token* token = cancel::current();
+        const auto reason = token != nullptr ? token->reason()
+                                             : cancel::Reason::kCancel;
+        const Error e = cancel::cancelled_error(reason, "engine.job");
+        o.error = e.what();
+        o.errc = std::string(errc_name(e.info().code));
+        return o;
+      }
+      default:
+        break;
+    }
+    o.ok = true;
+    return o;
+  };
+  const exec::JobOutcome out =
+      exec::run_job_with_retry(exec::Job{}, 0, 0, runner, &dog);
+  fp::clear();
+  EXPECT_EQ(calls, 1u);
+  EXPECT_FALSE(out.ok);
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_EQ(out.quarantine_reason, "timeout");
+  EXPECT_EQ(out.errc, "timeout");
+}
+
+TEST(Backoff, SignalMidBackoffDrainsWithinASlice) {
+  exec::install_signal_handlers();
+  exec::reset_interrupt();
+  u32 calls = 0;
+  std::thread raiser([] {
+    const cancel::Token pace;
+    (void)pace.wait_ms(40);
+    (void)std::raise(SIGINT);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  // 4 s backoff before the first retry; the SIGINT ~40 ms in must
+  // preempt it within a wait slice, not after the full delay.
+  const exec::JobOutcome out = exec::run_job_with_retry(
+      exec::Job{}, /*max_retries=*/1, /*backoff_ms=*/4000,
+      always_failing(calls));
+  const u64 took = elapsed_ms_since(t0);
+  raiser.join();
+  exec::reset_interrupt();
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(calls, 1u);  // the retry never ran
+  EXPECT_EQ(out.attempts, 1u);
+  // Interrupted, not exhausted: the job is NOT quarantined, so a
+  // --resume re-attempts it without ceremony.
+  EXPECT_FALSE(out.quarantined);
+  ASSERT_EQ(out.attempt_errcs.size(), 1u);
+  EXPECT_EQ(out.attempt_errcs[0], "io");
+  EXPECT_LT(took, 1000u);
+}
+
+TEST(ExitCodes, QuarantineCountAndSweepExitCode) {
+  std::vector<exec::JobOutcome> outcomes(3);
+  outcomes[0].ok = true;
+  outcomes[1].ok = true;
+  outcomes[2].ok = true;
+  EXPECT_EQ(exec::quarantined_count(outcomes), 0u);
+  EXPECT_EQ(exec::sweep_exit_code(outcomes), 0);
+
+  outcomes[1].ok = false;
+  EXPECT_EQ(exec::sweep_exit_code(outcomes), 1);
+
+  outcomes[1].quarantined = true;
+  EXPECT_EQ(exec::quarantined_count(outcomes), 1u);
+  EXPECT_EQ(exec::sweep_exit_code(outcomes), exec::kExitQuarantine);
+}
+
+}  // namespace
+}  // namespace cnt

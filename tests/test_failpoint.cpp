@@ -7,13 +7,17 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 
@@ -106,6 +110,56 @@ TEST(FailpointCatalog, IsSortedAndCoversEveryWriterFamily) {
                                    std::string(site)))
         << site << " missing from the catalog";
   }
+}
+
+// Exact pins: the grammar's vocabulary is load-bearing for the chaos
+// wall (tools/cnt-chaos composes schedules from these strings) and for
+// docs/crash_consistency.md. Growing either catalog must update this
+// test, the docs and the harness together.
+TEST(FailpointCatalog, SiteAndActionListsArePinned) {
+  const std::vector<std::string> sites = {
+      "bench.rename", "bench.sync",    "bench.write",  "csv.rename",
+      "csv.sync",     "csv.write",     "engine.job",   "journal.rename",
+      "journal.sync", "journal.write", "stats.rename", "stats.sync",
+      "stats.write",  "trace.rename",  "trace.sync",   "trace.write",
+      "trs.sync",     "trs.write",
+  };
+  EXPECT_EQ(fp::site_catalog(), sites);
+
+  const std::vector<std::string> actions = {
+      "crash", "delay", "error:EIO", "error:ENOSPC", "hang", "short-write",
+  };
+  EXPECT_EQ(fp::action_catalog(), actions);
+  EXPECT_TRUE(std::is_sorted(actions.begin(), actions.end()));
+}
+
+// The `hang` action parks on the ambient cancellation token and surfaces
+// Action::kCancelled once the token fires -- the watchdog's kill switch
+// (docs/robustness.md). Without a token it would poll forever; that
+// torture case belongs to the chaos wall, not a unit test.
+TEST(FailpointHang, ParkEndsWhenTheInstalledTokenIsCancelled) {
+  FpGuard guard;
+  fp::configure("csv.write=hang");
+
+  cancel::Token token;
+  cancel::ScopedToken scope(token);
+  std::thread canceller([&token] {
+    const cancel::Token pace;
+    (void)pace.wait_ms(30);
+    token.cancel(cancel::Reason::kTimeout);
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const fp::Action got = fp::evaluate("csv.write");
+  const auto took = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  canceller.join();
+
+  EXPECT_EQ(got, fp::Action::kCancelled);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_LT(took.count(), 5000);  // parked, then woke promptly -- no spin-out
+  // One-shot: the entry fired; the next write proceeds untouched.
+  EXPECT_EQ(fp::evaluate("csv.write"), fp::Action::kNone);
 }
 
 TEST(FailpointEnv, ConfigureFromEnvArmsAndReportProbes) {

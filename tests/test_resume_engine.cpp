@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "exec/engine.hpp"
 #include "exec/interrupt.hpp"
 #include "exec/journal.hpp"
@@ -410,6 +411,110 @@ TEST(ResumeEngine, HardKillThenResumeIsByteIdentical) {
 }
 #endif
 
+// --- Quarantine journal rows (docs/robustness.md) --------------------------
+//
+// A hang at job 2 of 4 under the watchdog seals a Q-row mid-journal; the
+// sweep still completes, and --resume replays the clean rows byte-
+// identically while re-attempting only the quarantined job.
+
+std::string quarantined_run(const std::string& path, const char* spec) {
+  fp::configure(spec);
+  EngineOptions opts;
+  opts.jobs = 1;
+  opts.jsonl_path = path;
+  opts.jsonl_timing = false;
+  opts.job_timeout_ms = 100;
+  const auto outcomes = ExperimentEngine(opts).run(small_spec());
+  fp::clear();
+  EXPECT_EQ(quarantined_count(outcomes), 1u);
+  EXPECT_EQ(sweep_exit_code(outcomes), kExitQuarantine);
+  return slurp(path);
+}
+
+TEST(QuarantineJournal, ResumeReplaysCleanRowsAndClearsTheQRow) {
+  const std::string ref_path = temp_path("cnt_quar_ref.jsonl");
+  const std::string ref = reference_run(ref_path);
+
+  const std::string path = temp_path("cnt_quar_resume.jsonl");
+  const std::string chaos = quarantined_run(path, "engine.job=hang@2");
+  ASSERT_NE(chaos, ref);
+  EXPECT_NE(chaos.find("\"quarantined\":true"), std::string::npos);
+  EXPECT_NE(chaos.find("\"reason\":\"timeout\""), std::string::npos);
+  EXPECT_NE(chaos.find("\"attempt_errcs\":[\"timeout\"]"),
+            std::string::npos);
+
+  EngineOptions opts;
+  opts.jobs = 1;
+  opts.jsonl_path = path;
+  opts.jsonl_timing = false;
+  opts.resume = true;
+  const auto outcomes = ExperimentEngine(opts).run(small_spec());
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_TRUE(outcomes[0].resumed);
+  EXPECT_FALSE(outcomes[1].resumed);  // the quarantined job, re-attempted
+  EXPECT_TRUE(outcomes[2].resumed);
+  EXPECT_TRUE(outcomes[3].resumed);
+  for (const auto& o : outcomes) EXPECT_TRUE(o.ok) << o.error;
+  EXPECT_EQ(slurp(path), ref);
+}
+
+TEST(QuarantineJournal, TornQRowTailIsTruncatedAndRecomputed) {
+  const std::string ref_path = temp_path("cnt_quar_torn_ref.jsonl");
+  const std::string ref = reference_run(ref_path);
+
+  // Hang the LAST job so the Q-row is the journal's final row, then
+  // fake a torn write by chopping into it: the crash signature resume
+  // must truncate, not refuse.
+  const std::string path = temp_path("cnt_quar_torn.jsonl");
+  std::string text = quarantined_run(path, "engine.job=hang@4");
+  std::remove(path.c_str());
+  text.resize(text.size() - 20);
+  {
+    std::ofstream out(path + ".partial");  // cnt-lint: io-ok fabricating raw journal bytes
+    out << text;
+  }
+
+  EngineOptions opts;
+  opts.jobs = 1;
+  opts.jsonl_path = path;
+  opts.jsonl_timing = false;
+  opts.resume = true;
+  const auto outcomes = ExperimentEngine(opts).run(small_spec());
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_FALSE(outcomes[3].resumed);  // torn Q-row -> re-simulated
+  EXPECT_EQ(slurp(path), ref);
+}
+
+TEST(QuarantineJournal, CorruptQRowWithSealedRowsAfterItRefuses) {
+  const std::string path = temp_path("cnt_quar_corrupt.jsonl");
+  std::string text = quarantined_run(path, "engine.job=hang@2");
+  std::remove(path.c_str());
+
+  // Damage the Q-row in place: intact sealed rows follow it, so this is
+  // in-place damage, not a crash signature -- resume must refuse with
+  // the checksum taxonomy, never replay around the hole.
+  const std::size_t at = text.find("\"quarantined\"");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 1] = 'X';
+  {
+    std::ofstream out(path + ".partial");  // cnt-lint: io-ok fabricating raw journal bytes
+    out << text;
+  }
+
+  EngineOptions opts;
+  opts.jobs = 1;
+  opts.jsonl_path = path;
+  opts.jsonl_timing = false;
+  opts.resume = true;
+  try {
+    (void)ExperimentEngine(opts).run(small_spec());
+    FAIL() << "journal with a damaged Q-row was accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.info().code, Errc::kChecksum);
+    EXPECT_NE(std::string(e.what()).find("--resume"), std::string::npos);
+  }
+}
+
 TEST(Options, ResumePrecedenceChain) {
   unsetenv("CNT_RESUME");
   EXPECT_FALSE(resume_from_env());
@@ -447,6 +552,21 @@ TEST(Options, RetriesChain) {
   setenv("CNT_RETRIES", "junk", 1);
   EXPECT_EQ(retries_from_env(7), 7u);
   unsetenv("CNT_RETRIES");
+}
+
+TEST(Options, JobTimeoutChain) {
+  unsetenv("CNT_JOB_TIMEOUT_MS");
+  EXPECT_EQ(job_timeout_from_env(), 0u);
+  EXPECT_EQ(resolve_job_timeout(0), 0u);
+  EXPECT_EQ(resolve_job_timeout(250), 250u);
+
+  setenv("CNT_JOB_TIMEOUT_MS", "500", 1);
+  EXPECT_EQ(job_timeout_from_env(), 500u);
+  EXPECT_EQ(resolve_job_timeout(0), 500u);
+  EXPECT_EQ(resolve_job_timeout(100), 100u);  // explicit beats env
+  setenv("CNT_JOB_TIMEOUT_MS", "junk", 1);
+  EXPECT_EQ(job_timeout_from_env(7), 7u);  // malformed -> fallback
+  unsetenv("CNT_JOB_TIMEOUT_MS");
 }
 
 }  // namespace

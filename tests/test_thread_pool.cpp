@@ -47,6 +47,7 @@ TEST(JobQueue, CloseWakesBlockedConsumer) {
     EXPECT_EQ(v, std::nullopt);
     woke = true;
   });
+  // cnt-lint: wait-ok bounded test pacing, no cancellation in scope
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   q.close();
   consumer.join();
@@ -134,6 +135,7 @@ TEST(ThreadPool, GracefulShutdownDrainsQueuedWork) {
     ThreadPool pool(2);
     for (int i = 0; i < 50; ++i) {
       pool.submit([&done] {
+        // cnt-lint: wait-ok bounded test pacing, no cancellation in scope
         std::this_thread::sleep_for(std::chrono::microseconds(200));
         done.fetch_add(1, std::memory_order_relaxed);
       });

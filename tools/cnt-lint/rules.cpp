@@ -178,6 +178,8 @@ const std::vector<RuleInfo>& rule_catalog() {
        "allocation or string construction inside a // cnt-hot function"},
       {"R11", "unchecked-result", "result-ok",
        "statement-position Result<T> call whose value is dropped"},
+      {"R12", "bare-wait", "wait-ok",
+       "bare sleep or unbounded cv wait outside the cancellation layer"},
   };
   return kCatalog;
 }
@@ -1081,6 +1083,59 @@ void harvest_context(const SourceFile& file, TreeContext& ctx) {
   }
 }
 
+// --- R12: bare blocking waits ---------------------------------------------
+//
+// Every blocking pause in the tree must be interruptible
+// (docs/robustness.md): a thread parked in std::this_thread::sleep_for
+// or an unbounded condition-variable wait() outlives cancellation, the
+// job watchdog and SIGINT alike. Pauses go through
+// cancel::Token::wait_ms (sliced; wakes immediately on cancel()) or a
+// *bounded* wait_for/wait_until whose enclosing loop re-checks a stop
+// flag -- those are different identifiers and stay legal.
+// src/common/cancel.* and src/common/failpoint.* implement the
+// primitive and are exempt; deliberately bounded sleeps (syscall-retry
+// backoff, test pacing) annotate `// cnt-lint: wait-ok`.
+void check_r12_bare_wait(const SourceFile& file, std::vector<Finding>& out) {
+  if (file.path.find("common/cancel.") != std::string::npos ||
+      file.path.find("common/failpoint.") != std::string::npos) {
+    return;
+  }
+  const RuleInfo& rule = rule_catalog()[11];
+  const Tokens& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "sleep_for" || t.text == "sleep_until") {
+      report(file, t.line, rule,
+             "bare '" + t.text +
+                 "' cannot be interrupted by cancellation; pause via "
+                 "cancel::Token::wait_ms (common/cancel.hpp) or annotate "
+                 "a deliberately bounded sleep // cnt-lint: wait-ok",
+             out);
+      continue;
+    }
+    // `cv.wait(...)` / `cv_->wait(...)`: unbounded condition-variable
+    // wait, recognized by a cv-ish receiver identifier so unrelated
+    // wait() members stay out of scope.
+    if (t.text == "wait" && i >= 2 && i + 1 < toks.size() &&
+        toks[i + 1].is_punct("(") &&
+        (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("->"))) {
+      const Token& recv = toks[i - 2];
+      const bool cv_like = recv.kind == TokKind::kIdent &&
+                           (recv.text.find("cv") != std::string::npos ||
+                            recv.text.find("cond") != std::string::npos);
+      if (cv_like) {
+        report(file, t.line, rule,
+               "unbounded condition-variable wait on '" + recv.text +
+                   "' can park forever; use a bounded wait_for/wait_until "
+                   "in a re-checking loop or cancel::Token::wait_ms, or "
+                   "annotate // cnt-lint: wait-ok",
+               out);
+      }
+    }
+  }
+}
+
 void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
                const TreeContext& ctx, std::vector<Finding>& out) {
   auto on = [&](std::string_view id) {
@@ -1098,6 +1153,7 @@ void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,
   if (on("R9")) check_r9_lock_discipline(file, ctx, out);
   if (on("R10")) check_r10_hot_alloc(file, out);
   if (on("R11")) check_r11_unchecked_result(file, ctx, out);
+  if (on("R12")) check_r12_bare_wait(file, out);
 }
 
 void run_rules(const SourceFile& file, const std::vector<std::string>& enabled,

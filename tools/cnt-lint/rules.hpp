@@ -28,8 +28,13 @@
 //      construction); throw statements are exempt       [hot-ok]
 //   R11 unchecked Result<T>: a statement-position call to a function
 //      returning cnt::Result<T> whose value is dropped  [result-ok]
+//   R12 bare blocking waits: std::this_thread::sleep_for/sleep_until or
+//      an unbounded condition-variable .wait( outside the cancellation
+//      layer (src/common/cancel.*, src/common/failpoint.*) -- pauses
+//      must be interruptible via cancel::Token::wait_ms or a bounded
+//      wait_for/wait_until in a re-checking loop        [wait-ok]
 //
-// R1-R8 and R10 are per-file. R9 and R11 consult a TreeContext
+// R1-R8, R10 and R12 are per-file. R9 and R11 consult a TreeContext
 // harvested from every scanned file first (guard annotations in a
 // header govern the paired .cpp; Result-returning declarations are
 // collected tree-wide), so the driver runs in two passes.
@@ -119,6 +124,7 @@ void check_r9_lock_discipline(const SourceFile& file, const TreeContext& ctx,
 void check_r10_hot_alloc(const SourceFile& file, std::vector<Finding>& out);
 void check_r11_unchecked_result(const SourceFile& file, const TreeContext& ctx,
                                 std::vector<Finding>& out);
+void check_r12_bare_wait(const SourceFile& file, std::vector<Finding>& out);
 
 // R8 layering model, exposed for the include-graph dump in the driver.
 // A module is one of the ranked src/ subsystems ("common", "device",
